@@ -1,0 +1,72 @@
+// Ablation benchmarks for the design choices the analysis makes
+// (DESIGN.md): interprocedural constant propagation, Figure 2 path-policy
+// collection, the security-manager null-guard assumption, and the
+// exception-semantics extension. Each isolates one knob against the
+// default configuration of BenchmarkTable1Extraction.
+package policyoracle_test
+
+import (
+	"testing"
+
+	"policyoracle/internal/exceptions"
+	"policyoracle/internal/oracle"
+)
+
+func BenchmarkAblationICPOff(b *testing.B) {
+	w := benchWorkload(b)
+	opts := oracle.DefaultOptions()
+	opts.ICP = false
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		l := loadLib(b, w, "jdk")
+		l.Extract(opts)
+	}
+}
+
+func BenchmarkAblationNoPathPolicies(b *testing.B) {
+	w := benchWorkload(b)
+	opts := oracle.DefaultOptions()
+	opts.CollectPaths = false
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		l := loadLib(b, w, "jdk")
+		l.Extract(opts)
+	}
+}
+
+func BenchmarkAblationNoSecurityManagerAssumption(b *testing.B) {
+	w := benchWorkload(b)
+	opts := oracle.DefaultOptions()
+	opts.AssumeSecurityManager = false
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		l := loadLib(b, w, "jdk")
+		l.Extract(opts)
+	}
+}
+
+func BenchmarkAblationMaxDepthIntraprocedural(b *testing.B) {
+	w := benchWorkload(b)
+	opts := oracle.DefaultOptions()
+	opts.MaxDepth = 0
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		l := loadLib(b, w, "jdk")
+		l.Extract(opts)
+	}
+}
+
+// BenchmarkExceptionSemantics measures the Section 8 extension: the
+// whole-program thrown-exception fixed point plus comparison.
+func BenchmarkExceptionSemantics(b *testing.B) {
+	w := benchWorkload(b)
+	jdk := loadLib(b, w, "jdk")
+	harmony := loadLib(b, w, "harmony")
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		a1 := exceptions.New(jdk.Prog, jdk.Resolver)
+		a2 := exceptions.New(harmony.Prog, harmony.Resolver)
+		exceptions.Compare(a1, a2)
+	}
+}

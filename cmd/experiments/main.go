@@ -1,0 +1,178 @@
+// Command experiments regenerates every table and figure of the paper's
+// evaluation (see DESIGN.md's experiment index and EXPERIMENTS.md for the
+// recorded outcomes).
+//
+// Usage:
+//
+//	experiments [flags] table1|table2|table3|broad|baselines|all
+//
+// Flags:
+//
+//	-scale small|paper   corpus size (default paper; small for quick runs)
+//	-no-handwritten      exclude the hand-written figure classes
+//	-table2-scale        corpus scale for table2 only (default small, since
+//	                     the no-summaries configuration is deliberately slow)
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"policyoracle/internal/analysis"
+	"policyoracle/internal/corpus/gen"
+	"policyoracle/internal/experiments"
+	"policyoracle/internal/oracle"
+)
+
+func main() {
+	scale := flag.String("scale", "paper", "corpus scale: small or paper")
+	table2Scale := flag.String("table2-scale", "small", "corpus scale for table2: small or paper")
+	noHandwritten := flag.Bool("no-handwritten", false, "exclude the hand-written figure classes")
+	flag.Parse()
+	if flag.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "usage: experiments [flags] table1|table2|table3|broad|baselines|witness|exceptions|all")
+		os.Exit(2)
+	}
+
+	params, err := paramsFor(*scale)
+	check(err)
+	t2params, err := paramsFor(*table2Scale)
+	check(err)
+
+	w := experiments.NewWorkload(params, !*noHandwritten)
+	w2 := experiments.NewWorkload(t2params, !*noHandwritten)
+
+	run := flag.Arg(0)
+	all := run == "all"
+	if all || run == "table1" {
+		check(runTable1(w))
+	}
+	if all || run == "table2" {
+		check(runTable2(w2))
+	}
+	if all || run == "table3" {
+		check(runTable3(w))
+	}
+	if all || run == "broad" {
+		check(runBroad(w))
+	}
+	if all || run == "baselines" {
+		check(runBaselines(w))
+	}
+	if all || run == "witness" {
+		check(runWitness(w))
+	}
+	if all || run == "exceptions" {
+		check(runExceptions(w))
+	}
+	switch run {
+	case "all", "table1", "table2", "table3", "broad", "baselines", "witness", "exceptions":
+	default:
+		fmt.Fprintf(os.Stderr, "experiments: unknown experiment %q\n", run)
+		os.Exit(2)
+	}
+}
+
+func paramsFor(scale string) (gen.Params, error) {
+	switch scale {
+	case "small":
+		return gen.Small(), nil
+	case "paper":
+		return gen.PaperScale(), nil
+	default:
+		return gen.Params{}, fmt.Errorf("unknown scale %q", scale)
+	}
+}
+
+func check(err error) {
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "experiments: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+func runTable1(w *experiments.Workload) error {
+	start := time.Now()
+	libs, err := w.LoadAll(oracle.DefaultOptions())
+	if err != nil {
+		return err
+	}
+	rows := experiments.Table1(libs)
+	fmt.Print(experiments.RenderTable1(rows))
+	for _, name := range []string{"jdk", "harmony", "classpath"} {
+		l := libs[name]
+		fmt.Printf("%s: may analysis %v, must analysis %v\n", name, l.MayTime, l.MustTime)
+	}
+	fmt.Printf("(total %v)\n\n", time.Since(start).Round(time.Millisecond))
+	return nil
+}
+
+func runTable2(w *experiments.Workload) error {
+	start := time.Now()
+	res, err := experiments.Table2(w, []analysis.MemoMode{
+		analysis.MemoNone, analysis.MemoPerEntry, analysis.MemoGlobal,
+	})
+	if err != nil {
+		return err
+	}
+	fmt.Print(experiments.RenderTable2(res))
+	fmt.Printf("(total %v)\n\n", time.Since(start).Round(time.Millisecond))
+	return nil
+}
+
+func runTable3(w *experiments.Workload) error {
+	start := time.Now()
+	res, err := experiments.Table3(w)
+	if err != nil {
+		return err
+	}
+	fmt.Print(experiments.RenderTable3(res))
+	fmt.Printf("(total %v)\n\n", time.Since(start).Round(time.Millisecond))
+	return nil
+}
+
+func runBroad(w *experiments.Workload) error {
+	start := time.Now()
+	res, err := experiments.Broad(w)
+	if err != nil {
+		return err
+	}
+	fmt.Print(experiments.RenderBroad(res))
+	fmt.Printf("(total %v)\n\n", time.Since(start).Round(time.Millisecond))
+	return nil
+}
+
+func runBaselines(w *experiments.Workload) error {
+	start := time.Now()
+	res, err := experiments.Baselines(w)
+	if err != nil {
+		return err
+	}
+	fmt.Print(experiments.RenderBaselines(res))
+	fmt.Printf("(total %v)\n\n", time.Since(start).Round(time.Millisecond))
+	return nil
+}
+
+func runWitness(w *experiments.Workload) error {
+	start := time.Now()
+	res, err := experiments.Witness(w)
+	if err != nil {
+		return err
+	}
+	fmt.Print(experiments.RenderWitness(res))
+	fmt.Printf("(total %v)\n\n", time.Since(start).Round(time.Millisecond))
+	return nil
+}
+
+func runExceptions(w *experiments.Workload) error {
+	start := time.Now()
+	res, err := experiments.Exceptions(w)
+	if err != nil {
+		return err
+	}
+	fmt.Print(experiments.RenderExceptions(res))
+	fmt.Printf("(total %v)\n\n", time.Since(start).Round(time.Millisecond))
+	return nil
+}

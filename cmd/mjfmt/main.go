@@ -1,0 +1,84 @@
+// Command mjfmt formats MJ source files into the canonical form produced
+// by the AST printer (the same form the corpus generator emits). Like
+// gofmt, it lists files whose formatting differs, rewrites in place with
+// -w, or prints the formatted source of a single file to stdout.
+//
+// Usage:
+//
+//	mjfmt [-l] [-w] <file-or-dir>...
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"policyoracle/internal/ast"
+	"policyoracle/internal/lang"
+	"policyoracle/internal/parser"
+)
+
+func main() {
+	list := flag.Bool("l", false, "list files whose formatting differs")
+	write := flag.Bool("w", false, "rewrite files in place")
+	flag.Parse()
+	if flag.NArg() == 0 {
+		fmt.Fprintln(os.Stderr, "usage: mjfmt [-l] [-w] <file-or-dir>...")
+		os.Exit(2)
+	}
+	exit := 0
+	for _, arg := range flag.Args() {
+		if err := process(arg, *list, *write); err != nil {
+			fmt.Fprintf(os.Stderr, "mjfmt: %v\n", err)
+			exit = 1
+		}
+	}
+	os.Exit(exit)
+}
+
+func process(path string, list, write bool) error {
+	info, err := os.Stat(path)
+	if err != nil {
+		return err
+	}
+	if !info.IsDir() {
+		return formatFile(path, list, write)
+	}
+	return filepath.WalkDir(path, func(p string, d fs.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if d.IsDir() || !strings.HasSuffix(p, ".mj") {
+			return nil
+		}
+		return formatFile(p, list, write)
+	})
+}
+
+func formatFile(path string, list, write bool) error {
+	src, err := os.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	var diags lang.Diagnostics
+	f := parser.ParseFile(path, string(src), &diags)
+	if diags.HasErrors() {
+		return fmt.Errorf("%s: %w", path, diags.Err())
+	}
+	out := ast.Print(f)
+	if out == string(src) {
+		return nil
+	}
+	switch {
+	case list:
+		fmt.Println(path)
+	case write:
+		return os.WriteFile(path, []byte(out), 0o644)
+	default:
+		fmt.Print(out)
+	}
+	return nil
+}

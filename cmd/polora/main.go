@@ -1,0 +1,383 @@
+// Command polora is the security policy oracle CLI.
+//
+// Usage:
+//
+//	polora policies <dir> [flags]        extract and print security policies
+//	polora diff <dirA> <dirB> [flags]    difference two implementations
+//	polora corpus <outdir>               write the bundled corpora to disk
+//
+// Flags (policies, diff):
+//
+//	-entry substr   restrict output to entry points containing substr
+//	-broad          use broad security-sensitive events (Section 3)
+//	-no-icp         disable interprocedural constant propagation
+//	-memo mode      summary reuse: global (default), per-entry, none
+//	-no-assume-sm   do not fold `getSecurityManager() != null` guards
+//
+// The bundled corpora let the oracle be tried immediately:
+//
+//	polora corpus /tmp/corpus
+//	polora diff /tmp/corpus/jdk /tmp/corpus/harmony
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+
+	"policyoracle"
+	"policyoracle/internal/analysis"
+	"policyoracle/internal/diff"
+	"policyoracle/internal/exceptions"
+	internalpolicy "policyoracle/internal/policy"
+	"policyoracle/internal/secmodel"
+	"policyoracle/internal/witness"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		usage()
+		os.Exit(2)
+	}
+	var err error
+	switch os.Args[1] {
+	case "policies":
+		err = cmdPolicies(os.Args[2:])
+	case "diff":
+		err = cmdDiff(os.Args[2:])
+	case "corpus":
+		err = cmdCorpus(os.Args[2:])
+	case "exceptions":
+		err = cmdExceptions(os.Args[2:])
+	case "export":
+		err = cmdExport(os.Args[2:])
+	case "diff-policies":
+		err = cmdDiffPolicies(os.Args[2:])
+	case "help", "-h", "--help":
+		usage()
+	default:
+		fmt.Fprintf(os.Stderr, "polora: unknown command %q\n", os.Args[1])
+		usage()
+		os.Exit(2)
+	}
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "polora: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+func usage() {
+	fmt.Fprint(os.Stderr, `usage:
+  polora policies <dir> [flags]         extract and print security policies
+  polora diff <dirA> <dirB> [flags]     difference two implementations
+  polora exceptions <dirA> <dirB>       difference thrown-exception semantics (§8)
+  polora export <dir> <out.json>        extract and export policies for sharing
+  polora diff-policies <a.json> <dir>   difference shared policies against local code
+  polora corpus <outdir>                write the bundled jdk/harmony/classpath corpora
+`)
+}
+
+type commonFlags struct {
+	entry      string
+	broad      bool
+	noICP      bool
+	memo       string
+	noAssumeSM bool
+	witness    bool
+	jsonOut    bool
+	guards     bool
+}
+
+func (cf *commonFlags) register(fs *flag.FlagSet) {
+	fs.StringVar(&cf.entry, "entry", "", "restrict to entry points containing this substring")
+	fs.BoolVar(&cf.broad, "broad", false, "use broad security-sensitive events")
+	fs.BoolVar(&cf.noICP, "no-icp", false, "disable interprocedural constant propagation")
+	fs.StringVar(&cf.memo, "memo", "global", "summary reuse: global, per-entry, none")
+	fs.BoolVar(&cf.noAssumeSM, "no-assume-sm", false, "do not fold security-manager null guards")
+	fs.BoolVar(&cf.witness, "witness", false, "dynamically confirm each difference by interpretation")
+	fs.BoolVar(&cf.jsonOut, "json", false, "emit the report as JSON (diff only)")
+	fs.BoolVar(&cf.guards, "guards", false, "report the branch conditions guarding each check (policies only)")
+}
+
+func (cf *commonFlags) options() (policyoracle.Options, error) {
+	opts := policyoracle.DefaultOptions()
+	if cf.broad {
+		opts.Events = secmodel.BroadEvents
+	}
+	opts.ICP = !cf.noICP
+	opts.AssumeSecurityManager = !cf.noAssumeSM
+	opts.CollectGuards = cf.guards
+	switch cf.memo {
+	case "global":
+		opts.Memo = analysis.MemoGlobal
+	case "per-entry":
+		opts.Memo = analysis.MemoPerEntry
+	case "none":
+		opts.Memo = analysis.MemoNone
+	default:
+		return opts, fmt.Errorf("unknown -memo mode %q", cf.memo)
+	}
+	return opts, nil
+}
+
+func cmdPolicies(args []string) error {
+	fs := flag.NewFlagSet("policies", flag.ExitOnError)
+	var cf commonFlags
+	cf.register(fs)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if fs.NArg() != 1 {
+		return fmt.Errorf("policies: expected one directory, got %d args", fs.NArg())
+	}
+	dir := fs.Arg(0)
+	opts, err := cf.options()
+	if err != nil {
+		return err
+	}
+	lib, err := policyoracle.LoadLibraryDir(filepath.Base(dir), dir)
+	if err != nil {
+		return err
+	}
+	lib.Extract(opts)
+	fmt.Printf("library %s: %d entry points, %d policies, %d with checks (analysis %v + %v)\n\n",
+		lib.Name, len(lib.EntryPoints()), lib.Policies.CountPolicies(),
+		lib.Policies.EntriesWithChecks(), lib.MayTime, lib.MustTime)
+	for _, sig := range lib.Policies.SortedEntries() {
+		if cf.entry != "" && !strings.Contains(sig, cf.entry) {
+			continue
+		}
+		ep := lib.Policies.Entries[sig]
+		if !ep.HasChecks() && cf.entry == "" {
+			continue // print only checked entries unless filtered explicitly
+		}
+		fmt.Printf("%s\n", sig)
+		for _, ev := range ep.SortedEvents() {
+			evp := ep.Events[ev]
+			fmt.Printf("  MUST check: %s  Event: %s\n", evp.Must, ev)
+			fmt.Printf("  MAY  check: %s  Event: %s\n", evp.May, ev)
+			if len(evp.Paths.Sets) > 1 {
+				fmt.Printf("  MAY  paths: %s\n", evp.Paths)
+			}
+		}
+		if cf.guards {
+			ids := make([]secmodel.CheckID, 0, len(ep.Guards))
+			for id := range ep.Guards {
+				ids = append(ids, id)
+			}
+			sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+			for _, id := range ids {
+				for _, g := range ep.GuardsOf(id) {
+					if g == "" {
+						fmt.Printf("  guard: %s is unconditional on some path\n", secmodel.CheckName(id))
+					} else {
+						fmt.Printf("  guard: %s conditional on branches at %s\n", secmodel.CheckName(id), g)
+					}
+				}
+			}
+		}
+	}
+	return nil
+}
+
+func cmdDiff(args []string) error {
+	fs := flag.NewFlagSet("diff", flag.ExitOnError)
+	var cf commonFlags
+	cf.register(fs)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if fs.NArg() != 2 {
+		return fmt.Errorf("diff: expected two directories, got %d args", fs.NArg())
+	}
+	opts, err := cf.options()
+	if err != nil {
+		return err
+	}
+	var libs [2]*policyoracle.Library
+	for i, dir := range []string{fs.Arg(0), fs.Arg(1)} {
+		lib, err := policyoracle.LoadLibraryDir(filepath.Base(dir), dir)
+		if err != nil {
+			return err
+		}
+		lib.Extract(opts)
+		libs[i] = lib
+	}
+	rep := policyoracle.Diff(libs[0], libs[1])
+	if cf.jsonOut {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		return enc.Encode(rep.ToJSON())
+	}
+	fmt.Printf("%s vs %s: %d matching entry points\n", rep.LibA, rep.LibB, rep.MatchingEntries)
+	fmt.Printf("%d distinct differences, %d manifestations\n\n", len(rep.Groups), rep.TotalManifestations())
+	for _, g := range rep.Groups {
+		if cf.entry != "" {
+			hit := false
+			for _, e := range g.Entries {
+				if strings.Contains(e, cf.entry) {
+					hit = true
+				}
+			}
+			if !hit {
+				continue
+			}
+		}
+		printGroup(g)
+		if cf.witness {
+			for _, r := range witness.Confirm(libs[0].Prog.Types, libs[1].Prog.Types, libs[0].Name, libs[1].Name, g) {
+				fmt.Printf("  witness: %s\n", r)
+			}
+			fmt.Println()
+		}
+	}
+	return nil
+}
+
+func printGroup(g *policyoracle.Group) {
+	missing := g.MissingIn
+	if missing == "" {
+		missing = "(both sides differ)"
+	}
+	fmt.Printf("[%s, %s] checks %s missing in %s — %d manifestation(s)\n",
+		g.Case, g.Category, g.DiffChecks, missing, g.Manifestations())
+	if len(g.RootMethods) > 0 {
+		fmt.Printf("  root cause in: %s\n", strings.Join(g.RootMethods, ", "))
+	}
+	d := g.Diffs[0]
+	fmt.Printf("  event %s\n", d.Event)
+	fmt.Printf("    %-12s MUST %s MAY %s\n", d.A.Library+":", d.A.Must, d.A.May)
+	fmt.Printf("    %-12s MUST %s MAY %s\n", d.B.Library+":", d.B.Must, d.B.May)
+	for _, e := range g.Entries {
+		fmt.Printf("  manifests at %s\n", e)
+	}
+	fmt.Println()
+}
+
+func cmdExceptions(args []string) error {
+	fs := flag.NewFlagSet("exceptions", flag.ExitOnError)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if fs.NArg() != 2 {
+		return fmt.Errorf("exceptions: expected two directories, got %d args", fs.NArg())
+	}
+	var analyzers [2]*exceptions.Analyzer
+	var names [2]string
+	for i, dir := range []string{fs.Arg(0), fs.Arg(1)} {
+		lib, err := policyoracle.LoadLibraryDir(filepath.Base(dir), dir)
+		if err != nil {
+			return err
+		}
+		names[i] = lib.Name
+		analyzers[i] = exceptions.New(lib.Prog, lib.Resolver)
+	}
+	diffs := exceptions.Compare(analyzers[0], analyzers[1])
+	fmt.Printf("%s vs %s: %d entry point(s) with differing exception semantics\n",
+		names[0], names[1], len(diffs))
+	for _, d := range diffs {
+		fmt.Printf("  %s\n    %-12s throws %s\n    %-12s throws %s\n",
+			d.Entry, names[0]+":", d.A, names[1]+":", d.B)
+	}
+	return nil
+}
+
+// cmdExport implements the paper's policy-sharing use case (Discussion):
+// a vendor extracts and publishes policies without publishing code.
+func cmdExport(args []string) error {
+	fs := flag.NewFlagSet("export", flag.ExitOnError)
+	var cf commonFlags
+	cf.register(fs)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if fs.NArg() != 2 {
+		return fmt.Errorf("export: expected <dir> <out.json>")
+	}
+	opts, err := cf.options()
+	if err != nil {
+		return err
+	}
+	lib, err := policyoracle.LoadLibraryDir(filepath.Base(fs.Arg(0)), fs.Arg(0))
+	if err != nil {
+		return err
+	}
+	lib.Extract(opts)
+	data, err := lib.Policies.ExportJSON()
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(fs.Arg(1), data, 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("exported %d entry-point policies of %s to %s\n",
+		len(lib.Policies.Entries), lib.Name, fs.Arg(1))
+	return nil
+}
+
+// cmdDiffPolicies differences imported (shared) policies against a local
+// implementation.
+func cmdDiffPolicies(args []string) error {
+	fs := flag.NewFlagSet("diff-policies", flag.ExitOnError)
+	var cf commonFlags
+	cf.register(fs)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if fs.NArg() != 2 {
+		return fmt.Errorf("diff-policies: expected <policies.json> <dir>")
+	}
+	data, err := os.ReadFile(fs.Arg(0))
+	if err != nil {
+		return err
+	}
+	shared, err := internalpolicy.ImportJSON(data)
+	if err != nil {
+		return err
+	}
+	opts, err := cf.options()
+	if err != nil {
+		return err
+	}
+	lib, err := policyoracle.LoadLibraryDir(filepath.Base(fs.Arg(1)), fs.Arg(1))
+	if err != nil {
+		return err
+	}
+	lib.Extract(opts)
+	rep := diff.Compare(shared, lib.Policies)
+	fmt.Printf("%s (shared) vs %s (local): %d matching entry points\n",
+		rep.LibA, rep.LibB, rep.MatchingEntries)
+	fmt.Printf("%d distinct differences, %d manifestations\n\n", len(rep.Groups), rep.TotalManifestations())
+	for _, g := range rep.Groups {
+		printGroup(g)
+	}
+	return nil
+}
+
+func cmdCorpus(args []string) error {
+	fs := flag.NewFlagSet("corpus", flag.ExitOnError)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if fs.NArg() != 1 {
+		return fmt.Errorf("corpus: expected one output directory")
+	}
+	out := fs.Arg(0)
+	for _, name := range policyoracle.BuiltinCorpora() {
+		for file, src := range policyoracle.BuiltinCorpus(name) {
+			path := filepath.Join(out, name, filepath.FromSlash(file))
+			if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+				return err
+			}
+			if err := os.WriteFile(path, []byte(src), 0o644); err != nil {
+				return err
+			}
+		}
+		fmt.Printf("wrote %s/%s\n", out, name)
+	}
+	return nil
+}

@@ -1,0 +1,3 @@
+module policyoracle
+
+go 1.22

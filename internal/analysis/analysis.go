@@ -1,0 +1,326 @@
+// Package analysis implements the paper's core contribution: the flow- and
+// context-sensitive interprocedural security policy analysis.
+//
+// SPDA (Algorithm 1) is the intraprocedural worklist dataflow over the
+// powerset-of-checks lattice; ISPA (Algorithm 2) extends it across calls
+// with context sensitivity and memoizes summaries keyed on the method, the
+// inbound policy flow value, and the constant parameter values.
+// Interprocedural constant propagation binds constant arguments into
+// callees so that constant-guarded checks (the paper's Figure 4) are
+// analyzed precisely; checks inside AccessController.doPrivileged blocks
+// are semantic no-ops (Section 6.2).
+package analysis
+
+import (
+	"fmt"
+	"sort"
+
+	"policyoracle/internal/callgraph"
+	"policyoracle/internal/cfg"
+	"policyoracle/internal/constprop"
+	"policyoracle/internal/ir"
+	"policyoracle/internal/policy"
+	"policyoracle/internal/secmodel"
+	"policyoracle/internal/types"
+)
+
+// Mode selects the dataflow meet: MAY (union) or MUST (intersection).
+type Mode int
+
+// Analysis modes.
+const (
+	May Mode = iota
+	Must
+)
+
+func (m Mode) String() string {
+	if m == Must {
+		return "must"
+	}
+	return "may"
+}
+
+// MemoMode selects summary reuse, the swept parameter of Table 2.
+type MemoMode int
+
+// Memoization modes.
+const (
+	MemoGlobal   MemoMode = iota // summaries reused across all entry points
+	MemoPerEntry                 // summaries reused within one entry point
+	MemoNone                     // every call re-analyzed
+)
+
+func (m MemoMode) String() string {
+	switch m {
+	case MemoGlobal:
+		return "global"
+	case MemoPerEntry:
+		return "per-entry"
+	default:
+		return "none"
+	}
+}
+
+// Config controls one analysis run.
+type Config struct {
+	Mode   Mode
+	Events secmodel.EventMode
+	// ICP enables interprocedural constant propagation (binding constant
+	// arguments into callees). Intraprocedural constant propagation is
+	// always on, as in Soot.
+	ICP bool
+	// AssumeSecurityManager folds `System.getSecurityManager() != null`
+	// guards to the taken branch, so guarded checks participate in MUST
+	// policies (the library is analyzed as if a manager is installed).
+	AssumeSecurityManager bool
+	Memo                  MemoMode
+	// MaxDepth bounds interprocedural descent; 0 analyzes entry-point
+	// bodies only (used to classify intraprocedural root causes) and -1 is
+	// unlimited.
+	MaxDepth int
+	// CollectPaths tracks bounded per-path check conjunctions (Figure 2
+	// style); valid in May mode only.
+	CollectPaths bool
+	// CollectOrigins records, per check, the methods whose bodies invoke
+	// it (for root-cause grouping of report manifestations).
+	CollectOrigins bool
+	// RecursionBound allows re-analyzing a method already on the call
+	// stack up to this many times before cutting off. 0 is the paper's
+	// main implementation (recursive calls are not re-analyzed); Section
+	// 4.2 notes the bounded-traversal alternative this option implements.
+	RecursionBound int
+	// CollectGuards records, per check occurrence, the source positions of
+	// the branch conditions dominating it — the MAY-policy conditions
+	// Section 6.4 says are easy to report (and overwhelming to read, which
+	// is why this is opt-in display data rather than comparison input).
+	CollectGuards bool
+}
+
+// DefaultConfig returns the configuration used for the paper's main
+// results: MAY or MUST, narrow events, ICP on, global memoization.
+func DefaultConfig(mode Mode) Config {
+	return Config{
+		Mode:                  mode,
+		Events:                secmodel.NarrowEvents,
+		ICP:                   true,
+		AssumeSecurityManager: true,
+		Memo:                  MemoGlobal,
+		MaxDepth:              -1,
+		CollectPaths:          mode == May,
+		CollectOrigins:        true,
+	}
+}
+
+// Stats counts analysis work for the Table 2 reproduction.
+type Stats struct {
+	MethodAnalyses int // SPDA solves (memo misses)
+	MemoHits       int
+	CPRuns         int // constant propagation solves
+	CPHits         int
+	EntryPoints    int
+}
+
+// Analyzer runs ISPA over one program under one configuration.
+type Analyzer struct {
+	prog *ir.Program
+	res  *callgraph.Resolver
+	cfg  Config
+
+	memo    map[memoKey]*summary
+	cpCache map[cpKey]*constprop.Result
+	taints  map[*ir.Func]map[*ir.Local]uint64
+	active  map[*types.Method]int
+	sites   map[*ir.Call]siteEntry
+	doms    map[*ir.Func]*cfg.Dominators
+	stats   Stats
+}
+
+type memoKey struct {
+	method int
+	priv   bool
+	in     string
+	consts string
+}
+
+type cpKey struct {
+	method int
+	consts string
+}
+
+// New returns an analyzer for p.
+func New(p *ir.Program, res *callgraph.Resolver, cfg Config) *Analyzer {
+	if cfg.CollectPaths && cfg.Mode != May {
+		cfg.CollectPaths = false
+	}
+	return &Analyzer{
+		prog:    p,
+		res:     res,
+		cfg:     cfg,
+		memo:    make(map[memoKey]*summary),
+		cpCache: make(map[cpKey]*constprop.Result),
+		taints:  make(map[*ir.Func]map[*ir.Local]uint64),
+		active:  make(map[*types.Method]int),
+	}
+}
+
+// Stats returns the accumulated work counters.
+func (a *Analyzer) Stats() Stats { return a.stats }
+
+// Resolver exposes the analyzer's call-site resolver.
+func (a *Analyzer) Resolver() *callgraph.Resolver { return a.res }
+
+// OriginRec records that a check is invoked in a method's body. With
+// Config.CollectGuards, Guards lists the source positions of the branch
+// conditions that dominate the check (empty for unconditional checks).
+type OriginRec struct {
+	Check  secmodel.CheckID
+	Sig    string
+	Guards string // comma-joined guard positions, "" when unconditional
+}
+
+// EventResult is the per-event outcome of one entry-point analysis in one
+// mode: the combined check set (∩ across occurrences for MUST, ∪ for MAY)
+// and the path alternatives.
+type EventResult struct {
+	Checks      policy.CheckSet
+	Paths       policy.PathSets
+	Occurrences int
+}
+
+// EntryResult is the outcome of analyzing one API entry point.
+type EntryResult struct {
+	Entry   string
+	Method  *types.Method
+	Events  map[secmodel.Event]*EventResult
+	Origins []OriginRec
+}
+
+// AnalyzeEntry runs ISPA rooted at entry point m.
+func (a *Analyzer) AnalyzeEntry(m *types.Method) *EntryResult {
+	a.stats.EntryPoints++
+	if a.cfg.Memo == MemoPerEntry || a.cfg.Memo == MemoNone {
+		a.memo = make(map[memoKey]*summary)
+		a.cpCache = make(map[cpKey]*constprop.Result)
+	}
+	res := &EntryResult{
+		Entry:  m.Qualified(),
+		Method: m,
+		Events: make(map[secmodel.Event]*EventResult),
+	}
+	f := a.prog.FuncOf(m)
+	if f == nil {
+		// Native entry point: the native body itself is the event, with no
+		// preceding checks.
+		if m.IsNative() {
+			res.addEvent(secmodel.NativeEvent(m), a.entryState(), a.cfg.Mode)
+			res.addEvent(secmodel.ReturnEvent(), a.entryState(), a.cfg.Mode)
+		}
+		return res
+	}
+	sum := a.ispa(m, a.entryState(), nil, false, 0, true)
+	for _, er := range sum.events {
+		res.addEvent(er.ev, er.st, a.cfg.Mode)
+	}
+	if a.cfg.CollectOrigins {
+		res.Origins = append([]OriginRec(nil), sum.origins...)
+	}
+	return res
+}
+
+func (a *Analyzer) entryState() state {
+	st := state{}
+	if a.cfg.Mode == Must {
+		st.bits = policy.Empty // no checks performed yet on entry
+	}
+	if a.cfg.CollectPaths {
+		st.paths = policy.PathEmpty()
+	}
+	return st
+}
+
+func (r *EntryResult) addEvent(ev secmodel.Event, st state, mode Mode) {
+	er := r.Events[ev]
+	if er == nil {
+		er = &EventResult{}
+		if mode == Must {
+			er.Checks = policy.Full
+		}
+		r.Events[ev] = er
+	}
+	if mode == Must {
+		er.Checks = er.Checks.Intersect(st.bits)
+	} else {
+		er.Checks = er.Checks.Union(st.bits)
+	}
+	if er.Occurrences == 0 {
+		er.Paths = st.paths
+	} else {
+		er.Paths = er.Paths.Join(st.paths)
+	}
+	er.Occurrences++
+}
+
+// SortedEvents returns the entry's events in deterministic order.
+func (r *EntryResult) SortedEvents() []secmodel.Event {
+	out := make([]secmodel.Event, 0, len(r.Events))
+	for ev := range r.Events {
+		out = append(out, ev)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Kind != out[j].Kind {
+			return out[i].Kind < out[j].Kind
+		}
+		return out[i].Key < out[j].Key
+	})
+	return out
+}
+
+// ---------------------------------------------------------------------------
+// Analysis state
+
+// state is the dataflow value of SPDA: the set of checks that may/must
+// have executed, plus optional bounded path alternatives.
+type state struct {
+	bits  policy.CheckSet
+	paths policy.PathSets
+}
+
+func (a *Analyzer) meet(x, y state) state {
+	out := state{}
+	if a.cfg.Mode == Must {
+		out.bits = x.bits.Intersect(y.bits)
+	} else {
+		out.bits = x.bits.Union(y.bits)
+	}
+	if a.cfg.CollectPaths {
+		out.paths = x.paths.Join(y.paths)
+	}
+	return out
+}
+
+func (a *Analyzer) stateEqual(x, y state) bool {
+	if x.bits != y.bits {
+		return false
+	}
+	if a.cfg.CollectPaths && !x.paths.Equal(y.paths) {
+		return false
+	}
+	return true
+}
+
+func (st state) key(paths bool) string {
+	if !paths {
+		return fmt.Sprintf("%x", uint64(st.bits))
+	}
+	return fmt.Sprintf("%x|%s", uint64(st.bits), st.paths.Key())
+}
+
+func (st state) withCheck(id secmodel.CheckID, paths bool) state {
+	out := state{bits: st.bits.With(id)}
+	if paths {
+		out.paths = st.paths.AddCheck(id)
+	} else {
+		out.paths = st.paths
+	}
+	return out
+}

@@ -1,0 +1,50 @@
+package analysis
+
+import (
+	"testing"
+
+	"policyoracle/internal/types"
+)
+
+// BenchmarkISPAFigure1 measures one entry-point analysis over the Figure 1
+// workload (MAY mode with path policies, the most expensive configuration).
+func BenchmarkISPAFigure1(b *testing.B) {
+	p, res := buildProgram(b, figure1JDK)
+	var entry *types.Method
+	for _, m := range p.Types.EntryPoints() {
+		if m.Qualified() == "java.net.DatagramSocket.connect(InetAddress,int)" {
+			entry = m
+		}
+	}
+	if entry == nil {
+		b.Fatal("entry not found")
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		a := New(p, res, DefaultConfig(May))
+		r := a.AnalyzeEntry(entry)
+		if len(r.Events) == 0 {
+			b.Fatal("no events")
+		}
+	}
+}
+
+// BenchmarkISPAMemoized measures the memoized steady state: repeated
+// analyses of the same entry under one analyzer instance.
+func BenchmarkISPAMemoized(b *testing.B) {
+	p, res := buildProgram(b, figure1JDK)
+	var entry *types.Method
+	for _, m := range p.Types.EntryPoints() {
+		if m.Qualified() == "java.net.DatagramSocket.connect(InetAddress,int)" {
+			entry = m
+		}
+	}
+	a := New(p, res, DefaultConfig(May))
+	a.AnalyzeEntry(entry) // warm the caches
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		a.AnalyzeEntry(entry)
+	}
+}

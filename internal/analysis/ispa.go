@@ -1,0 +1,403 @@
+package analysis
+
+import (
+	"sort"
+	"strings"
+
+	"policyoracle/internal/cfg"
+	"policyoracle/internal/constprop"
+	"policyoracle/internal/dataflow"
+	"policyoracle/internal/ir"
+	"policyoracle/internal/secmodel"
+	"policyoracle/internal/types"
+)
+
+// eventRec is one security-sensitive event occurrence with the analysis
+// state (checks performed) at that point.
+type eventRec struct {
+	ev secmodel.Event
+	st state
+}
+
+// summary is the memoized result of analyzing one method in one context:
+// the exit state (meet over its returns) and every event occurring within
+// the method or its callees. Summaries are immutable once stored.
+type summary struct {
+	out     state
+	events  []eventRec
+	origins []OriginRec
+}
+
+// recorder accumulates events during the post-convergence recording pass.
+type recorder struct {
+	events   []eventRec
+	origins  []OriginRec
+	exit     state
+	haveExit bool
+}
+
+func (r *recorder) event(ev secmodel.Event, st state) {
+	r.events = append(r.events, eventRec{ev, st})
+}
+
+func (r *recorder) merge(s *summary) {
+	r.events = append(r.events, s.events...)
+	r.origins = append(r.origins, s.origins...)
+}
+
+func (r *recorder) exitAt(a *Analyzer, st state) {
+	if !r.haveExit {
+		r.exit = st
+		r.haveExit = true
+	} else {
+		r.exit = a.meet(r.exit, st)
+	}
+}
+
+// ispa analyzes method m with inbound state in and abstract argument
+// values argConsts (Algorithm 2). priv marks privileged execution; depth
+// is the interprocedural nesting level; isEntry marks the API entry point
+// whose returns are security-sensitive events.
+func (a *Analyzer) ispa(m *types.Method, in state, argConsts []constprop.Value, priv bool, depth int, isEntry bool) *summary {
+	f := a.prog.FuncOf(m)
+	if f == nil {
+		return &summary{out: in}
+	}
+	priv = priv || secmodel.IsPrivilegedScope(m)
+
+	constsKey := ""
+	if a.cfg.ICP {
+		constsKey = constprop.KeyOf(argConsts)
+	}
+	key := memoKey{method: m.ID, priv: priv, in: in.key(a.cfg.CollectPaths), consts: constsKey}
+	if isEntry {
+		key.in = "entry|" + key.in // entry analyses also record return events
+	}
+	if a.cfg.Memo != MemoNone {
+		if s, ok := a.memo[key]; ok {
+			a.stats.MemoHits++
+			return s
+		}
+	}
+	if a.active[m] > a.cfg.RecursionBound {
+		// Recursive call beyond the bound: do not re-analyze (Section 4.2;
+		// the default bound of 0 matches the paper's implementation).
+		return &summary{out: in}
+	}
+	a.active[m]++
+	defer func() {
+		a.active[m]--
+		if a.active[m] == 0 {
+			delete(a.active, m)
+		}
+	}()
+	a.stats.MethodAnalyses++
+
+	cp := a.constants(m, f, argConsts)
+
+	prob := &dataflow.Problem[state]{
+		Blocks:       f.Blocks,
+		EntryIn:      in,
+		Meet:         a.meet,
+		Equal:        a.stateEqual,
+		EdgeFeasible: cp.EdgeFeasible,
+		Transfer: func(b *ir.Block, st state) state {
+			return a.transferBlock(m, f, b, st, cp, priv, depth, isEntry, nil)
+		},
+	}
+	sol := dataflow.Solve(prob)
+
+	// Recording pass over the converged solution.
+	rec := &recorder{}
+	for _, b := range f.Blocks {
+		if !sol.Reached[b.Index] {
+			continue
+		}
+		a.transferBlock(m, f, b, sol.In[b.Index], cp, priv, depth, isEntry, rec)
+	}
+	out := in
+	if rec.haveExit {
+		out = rec.exit
+	}
+	s := &summary{out: out, events: rec.events, origins: dedupOrigins(rec.origins)}
+	if a.cfg.Memo != MemoNone {
+		a.memo[key] = s
+	}
+	return s
+}
+
+func dedupOrigins(in []OriginRec) []OriginRec {
+	if len(in) <= 1 {
+		return in
+	}
+	seen := make(map[OriginRec]bool, len(in))
+	out := in[:0]
+	for _, o := range in {
+		if !seen[o] {
+			seen[o] = true
+			out = append(out, o)
+		}
+	}
+	return out
+}
+
+// constants runs (and caches) conditional constant propagation for f
+// under the given parameter binding.
+func (a *Analyzer) constants(m *types.Method, f *ir.Func, argConsts []constprop.Value) *constprop.Result {
+	key := cpKey{method: m.ID}
+	if a.cfg.ICP {
+		key.consts = constprop.KeyOf(argConsts)
+	} else {
+		argConsts = nil
+	}
+	if r, ok := a.cpCache[key]; ok {
+		a.stats.CPHits++
+		return r
+	}
+	a.stats.CPRuns++
+	r := constprop.Analyze(f, argConsts, constprop.Config{
+		AssumeSecurityManager: a.cfg.AssumeSecurityManager,
+		IsGetSecurityManager:  secmodel.IsGetSecurityManager,
+	})
+	a.cpCache[key] = r
+	return r
+}
+
+// resolveSite resolves a call site once, caching the result and counting
+// it in the resolver statistics exactly once.
+func (a *Analyzer) resolveSite(c *ir.Call) *types.Method {
+	if a.sites == nil {
+		a.sites = make(map[*ir.Call]siteEntry)
+	}
+	if e, ok := a.sites[c]; ok {
+		return e.target
+	}
+	t := a.res.Resolve(c)
+	a.sites[c] = siteEntry{target: t}
+	return t
+}
+
+type siteEntry struct{ target *types.Method }
+
+// transferBlock interprets one block: checks extend the state, resolved
+// calls are analyzed recursively (ISPA), native calls and — in broad mode —
+// private field and parameter accesses are security-sensitive events.
+// When rec is nil the pass only computes the state transformation.
+func (a *Analyzer) transferBlock(m *types.Method, f *ir.Func, b *ir.Block, st state, cp *constprop.Result, priv bool, depth int, isEntry bool, rec *recorder) state {
+	broad := a.cfg.Events == secmodel.BroadEvents
+	var taint map[*ir.Local]uint64
+	if broad && isEntry && rec != nil {
+		taint = a.taintOf(f)
+	}
+	for _, instr := range b.Instrs {
+		switch instr := instr.(type) {
+		case *ir.Call:
+			st = a.transferCall(m, f, b, instr, st, cp, priv, depth, rec, taint)
+		case *ir.Return:
+			if rec != nil {
+				rec.exitAt(a, st)
+				if isEntry {
+					rec.event(secmodel.ReturnEvent(), st)
+				}
+			}
+		case *ir.FieldLoad:
+			if rec != nil && broad {
+				if instr.Field != nil && instr.Field.IsPrivate() {
+					rec.event(secmodel.PrivateReadEvent(instr.Field), st)
+				}
+				a.paramEvents(rec, taint, st, instr.Obj)
+			}
+		case *ir.FieldStore:
+			if rec != nil && broad {
+				if instr.Field != nil && instr.Field.IsPrivate() {
+					rec.event(secmodel.PrivateWriteEvent(instr.Field), st)
+				}
+				a.paramEvents(rec, taint, st, instr.Obj, instr.Val)
+			}
+		}
+	}
+	return st
+}
+
+// transferCall handles one call site.
+func (a *Analyzer) transferCall(m *types.Method, f *ir.Func, b *ir.Block, c *ir.Call, st state, cp *constprop.Result, priv bool, depth int, rec *recorder, taint map[*ir.Local]uint64) state {
+	// Security check invocation (Section 3): extends the flow value unless
+	// executing inside a privileged block, where checks always succeed and
+	// are semantic no-ops (Section 6.2).
+	if id, ok := secmodel.IdentifyCheck(c); ok {
+		if priv {
+			return st
+		}
+		if rec != nil && a.cfg.CollectOrigins {
+			guards := ""
+			if a.cfg.CollectGuards {
+				guards = a.guardsOf(f, b)
+			}
+			rec.origins = append(rec.origins, OriginRec{Check: id, Sig: m.Qualified(), Guards: guards})
+		}
+		return st.withCheck(id, a.cfg.CollectPaths)
+	}
+
+	// Broad mode: method invocation on a parameter-derived receiver, and
+	// parameter-derived data flowing out as arguments (reads of the
+	// parameter, per Section 3's data-dependence tagging).
+	if rec != nil && taint != nil {
+		a.paramEvents(rec, taint, st, c.Recv)
+		a.paramEvents(rec, taint, st, c.Args...)
+	}
+
+	// Privileged block entry: analyze the action's run() with checks
+	// suppressed; events inside remain observable.
+	if secmodel.IsDoPrivileged(c) {
+		run := a.resolveRun(c)
+		if run != nil && a.prog.FuncOf(run) != nil && !a.depthExceeded(depth) {
+			sum := a.ispa(run, st, nil, true, depth+1, false)
+			if rec != nil {
+				rec.merge(sum)
+			}
+			return sum.out
+		}
+		return st
+	}
+
+	target := a.resolveSite(c)
+	if target == nil {
+		return st // unresolved: skipped (Section 4, a source of inaccuracy)
+	}
+	if target.IsNative() {
+		if rec != nil {
+			rec.event(secmodel.NativeEvent(target), st)
+		}
+		return st
+	}
+	if a.prog.FuncOf(target) == nil || a.depthExceeded(depth) {
+		return st
+	}
+	var argVals []constprop.Value
+	if a.cfg.ICP {
+		argVals = cp.CallArgs(c)
+	}
+	sum := a.ispa(target, st, argVals, priv, depth+1, false)
+	if rec != nil {
+		rec.merge(sum)
+	}
+	return sum.out
+}
+
+func (a *Analyzer) depthExceeded(depth int) bool {
+	return a.cfg.MaxDepth >= 0 && depth >= a.cfg.MaxDepth
+}
+
+// paramEvents emits ParamAccess events for operands derived from entry
+// parameters (broad event mode).
+func (a *Analyzer) paramEvents(rec *recorder, taint map[*ir.Local]uint64, st state, ops ...ir.Operand) {
+	if taint == nil {
+		return
+	}
+	for _, op := range ops {
+		l, ok := op.(*ir.Local)
+		if !ok || l == nil {
+			continue
+		}
+		mask := taint[l]
+		for i := 0; mask != 0; i++ {
+			if mask&1 != 0 {
+				rec.event(secmodel.ParamAccessEvent(i), st)
+			}
+			mask >>= 1
+		}
+	}
+}
+
+// guardsOf returns the comma-joined source positions of the If conditions
+// dominating block b in f — the conditions under which a check in b
+// executes (Section 6.4's MAY-policy conditions).
+func (a *Analyzer) guardsOf(f *ir.Func, b *ir.Block) string {
+	dom := a.doms[f]
+	if dom == nil {
+		dom = cfg.ComputeDominators(f)
+		if a.doms == nil {
+			a.doms = make(map[*ir.Func]*cfg.Dominators)
+		}
+		a.doms[f] = dom
+	}
+	var parts []string
+	for _, blk := range f.Blocks {
+		ifInstr, ok := blk.Term().(*ir.If)
+		if !ok || blk == b {
+			continue
+		}
+		if dom.Dominates(blk, b) {
+			parts = append(parts, ifInstr.Pos().String())
+		}
+	}
+	sort.Strings(parts)
+	return strings.Join(parts, ",")
+}
+
+// resolveRun finds the concrete run() implementation of the action passed
+// to doPrivileged.
+func (a *Analyzer) resolveRun(c *ir.Call) *types.Method {
+	if len(c.Args) == 0 {
+		return nil
+	}
+	l, ok := c.Args[0].(*ir.Local)
+	if !ok || l.Type.Class == nil {
+		return nil
+	}
+	return a.res.ResolveOn(l.Type.Class, "run", 0)
+}
+
+// taintOf computes, per local of f, the bitmask of entry parameters it is
+// data-dependent on (flow-insensitive closure over copies, arithmetic,
+// casts, and array loads — the "event tag" propagation of Section 3).
+func (a *Analyzer) taintOf(f *ir.Func) map[*ir.Local]uint64 {
+	if t, ok := a.taints[f]; ok {
+		return t
+	}
+	taint := make(map[*ir.Local]uint64)
+	for i, p := range f.Params {
+		if i < 64 {
+			taint[p] = 1 << uint(i)
+		}
+	}
+	maskOf := func(op ir.Operand) uint64 {
+		if l, ok := op.(*ir.Local); ok && l != nil {
+			return taint[l]
+		}
+		return 0
+	}
+	changed := true
+	for changed {
+		changed = false
+		add := func(dst *ir.Local, mask uint64) {
+			if dst == nil || mask == 0 {
+				return
+			}
+			if taint[dst]&mask != mask {
+				taint[dst] |= mask
+				changed = true
+			}
+		}
+		for _, b := range f.Blocks {
+			for _, instr := range b.Instrs {
+				switch instr := instr.(type) {
+				case *ir.Assign:
+					add(instr.Dst, maskOf(instr.Src))
+				case *ir.Binary:
+					add(instr.Dst, maskOf(instr.X)|maskOf(instr.Y))
+				case *ir.Unary:
+					add(instr.Dst, maskOf(instr.X))
+				case *ir.Cast:
+					add(instr.Dst, maskOf(instr.X))
+				case *ir.ArrayLoad:
+					add(instr.Dst, maskOf(instr.Arr))
+				case *ir.FieldLoad:
+					add(instr.Dst, maskOf(instr.Obj))
+				}
+			}
+		}
+	}
+	a.taints[f] = taint
+	return taint
+}

@@ -1,0 +1,96 @@
+package analysis
+
+import (
+	"testing"
+
+	"policyoracle/internal/secmodel"
+)
+
+const mutualRecSrc = `
+package java.lang;
+public class MR {
+  SecurityManager sm;
+  public void a(int n) {
+    sm.checkWrite("x");
+    if (n > 0) {
+      b(n - 1);
+    }
+    op0();
+  }
+  void b(int n) {
+    if (n > 0) {
+      a(n - 1);
+    }
+  }
+  native void op0();
+}
+`
+
+// TestRecursionBoundConsistency: the bounded-traversal alternative of
+// Section 4.2 must converge and agree with the cutoff implementation on
+// policies whose fixed point is reached within the bound.
+func TestRecursionBoundConsistency(t *testing.T) {
+	nat := secmodel.Event{Kind: secmodel.NativeCall, Key: "op0/0"}
+	var results []string
+	for _, bound := range []int{0, 1, 3} {
+		cfg := DefaultConfig(Must)
+		cfg.RecursionBound = bound
+		r := analyzeOne(t, cfg, "java.lang.MR", "a", mutualRecSrc)
+		results = append(results, eventResult(t, r, nat).Checks.String())
+	}
+	for i := 1; i < len(results); i++ {
+		if results[i] != results[0] {
+			t.Errorf("bound sweep disagrees: %v", results)
+		}
+	}
+	if results[0] != setOf(t, "checkWrite", 1).String() {
+		t.Errorf("policy = %s", results[0])
+	}
+}
+
+// TestRecursionBoundExtraTraversals verifies the bound actually re-enters
+// recursive methods (more method analyses with a higher bound).
+func TestRecursionBoundExtraTraversals(t *testing.T) {
+	run := func(bound int) int {
+		p, res := buildProgram(t, mutualRecSrc)
+		cfg := DefaultConfig(Must)
+		cfg.RecursionBound = bound
+		cfg.Memo = MemoNone
+		a := New(p, res, cfg)
+		for _, m := range p.Types.EntryPoints() {
+			a.AnalyzeEntry(m)
+		}
+		return a.Stats().MethodAnalyses
+	}
+	if base, deep := run(0), run(2); deep <= base {
+		t.Errorf("bound 2 (%d analyses) should exceed bound 0 (%d)", deep, base)
+	}
+}
+
+// TestSelfRecursionWithCheckAfterCall: events after the recursive call see
+// the check regardless of bound.
+func TestSelfRecursionWithCheckAfterCall(t *testing.T) {
+	src := `
+package java.lang;
+public class SR {
+  SecurityManager sm;
+  public void walk(int n) {
+    if (n > 0) {
+      walk(n - 1);
+    }
+    sm.checkRead("f");
+    op0();
+  }
+  native void op0();
+}
+`
+	for _, bound := range []int{0, 2} {
+		cfg := DefaultConfig(Must)
+		cfg.RecursionBound = bound
+		r := analyzeOne(t, cfg, "java.lang.SR", "walk", src)
+		nat := eventResult(t, r, secmodel.Event{Kind: secmodel.NativeCall, Key: "op0/0"})
+		if nat.Checks != setOf(t, "checkRead", 1) {
+			t.Errorf("bound %d: checks = %s", bound, nat.Checks)
+		}
+	}
+}

@@ -1,0 +1,449 @@
+// Package ast defines the abstract syntax tree for MJ, the Java-subset
+// language analyzed by the security policy oracle.
+package ast
+
+import "policyoracle/internal/lang"
+
+// Node is the interface implemented by all AST nodes.
+type Node interface {
+	Pos() lang.Pos
+}
+
+// File is one MJ source file: a package declaration, imports, and types.
+type File struct {
+	Package string // dotted package name, e.g. "java.net"
+	Imports []string
+	Types   []*TypeDecl
+	Start   lang.Pos
+	Name    string // source file name
+}
+
+func (f *File) Pos() lang.Pos { return f.Start }
+
+// Modifiers is a bit set of declaration modifiers.
+type Modifiers uint16
+
+// Modifier bits.
+const (
+	ModPublic Modifiers = 1 << iota
+	ModProtected
+	ModPrivate
+	ModStatic
+	ModFinal
+	ModAbstract
+	ModNative
+	ModSynchronized
+	ModTransient
+	ModVolatile
+)
+
+// Has reports whether all bits in m are set.
+func (ms Modifiers) Has(m Modifiers) bool { return ms&m == m }
+
+// String renders the modifiers in canonical order.
+func (ms Modifiers) String() string {
+	var s string
+	add := func(m Modifiers, name string) {
+		if ms.Has(m) {
+			if s != "" {
+				s += " "
+			}
+			s += name
+		}
+	}
+	add(ModPublic, "public")
+	add(ModProtected, "protected")
+	add(ModPrivate, "private")
+	add(ModStatic, "static")
+	add(ModFinal, "final")
+	add(ModAbstract, "abstract")
+	add(ModNative, "native")
+	add(ModSynchronized, "synchronized")
+	add(ModTransient, "transient")
+	add(ModVolatile, "volatile")
+	return s
+}
+
+// TypeDecl is a class or interface declaration.
+type TypeDecl struct {
+	Mods        Modifiers
+	IsInterface bool
+	Name        string
+	Extends     string   // superclass (classes) or "" for none
+	Implements  []string // implemented interfaces; for interfaces, extended interfaces
+	Fields      []*FieldDecl
+	Methods     []*MethodDecl
+	Start       lang.Pos
+}
+
+func (d *TypeDecl) Pos() lang.Pos { return d.Start }
+
+// FieldDecl declares one field (multi-declarator statements are split by
+// the parser into one FieldDecl per name).
+type FieldDecl struct {
+	Mods  Modifiers
+	Type  TypeRef
+	Name  string
+	Init  Expr // may be nil
+	Start lang.Pos
+}
+
+func (d *FieldDecl) Pos() lang.Pos { return d.Start }
+
+// MethodDecl declares a method or constructor. Constructors have
+// IsCtor==true and an empty return type.
+type MethodDecl struct {
+	Mods   Modifiers
+	Ret    TypeRef // zero TypeRef (Name=="") for constructors
+	Name   string
+	Params []Param
+	Throws []string
+	Body   *Block // nil for native and abstract methods
+	IsCtor bool
+	Start  lang.Pos
+}
+
+func (d *MethodDecl) Pos() lang.Pos { return d.Start }
+
+// Param is one formal parameter.
+type Param struct {
+	Type TypeRef
+	Name string
+}
+
+// TypeRef names a type in source: a primitive, or a possibly-qualified
+// class name, with an array dimension count.
+type TypeRef struct {
+	Name string // "int", "boolean", "void", or class name possibly dotted
+	Dims int    // number of [] suffixes
+}
+
+// IsVoid reports whether the reference is the void type.
+func (t TypeRef) IsVoid() bool { return t.Name == "void" && t.Dims == 0 }
+
+// String renders the type reference as source text.
+func (t TypeRef) String() string {
+	s := t.Name
+	for i := 0; i < t.Dims; i++ {
+		s += "[]"
+	}
+	return s
+}
+
+// ---------------------------------------------------------------------------
+// Statements
+
+// Stmt is implemented by all statement nodes.
+type Stmt interface {
+	Node
+	stmtNode()
+}
+
+// Block is a { ... } statement list.
+type Block struct {
+	Stmts []Stmt
+	Start lang.Pos
+}
+
+// LocalVarDecl declares one local variable, optionally initialized.
+type LocalVarDecl struct {
+	Type  TypeRef
+	Name  string
+	Init  Expr // may be nil
+	Start lang.Pos
+}
+
+// ExprStmt evaluates an expression for effect (method call, assignment,
+// increment).
+type ExprStmt struct {
+	X     Expr
+	Start lang.Pos
+}
+
+// AssignStmt stores Value into Target (a VarRef, FieldAccess, or IndexExpr).
+// Op is "=", "+=", "-=", "*=", or "/=".
+type AssignStmt struct {
+	Target Expr
+	Op     string
+	Value  Expr
+	Start  lang.Pos
+}
+
+// IfStmt is a conditional with optional else.
+type IfStmt struct {
+	Cond  Expr
+	Then  Stmt
+	Else  Stmt // may be nil
+	Start lang.Pos
+}
+
+// WhileStmt is a while loop.
+type WhileStmt struct {
+	Cond  Expr
+	Body  Stmt
+	Start lang.Pos
+}
+
+// DoWhileStmt is a do/while loop.
+type DoWhileStmt struct {
+	Body  Stmt
+	Cond  Expr
+	Start lang.Pos
+}
+
+// ForStmt is a C-style for loop; any of Init/Cond/Post may be nil.
+type ForStmt struct {
+	Init  Stmt // LocalVarDecl, AssignStmt or ExprStmt
+	Cond  Expr
+	Post  Stmt
+	Body  Stmt
+	Start lang.Pos
+}
+
+// ReturnStmt returns from the enclosing method.
+type ReturnStmt struct {
+	Value Expr // may be nil
+	Start lang.Pos
+}
+
+// ThrowStmt throws an exception value.
+type ThrowStmt struct {
+	Value Expr
+	Start lang.Pos
+}
+
+// BreakStmt exits the innermost loop or switch.
+type BreakStmt struct {
+	Start lang.Pos
+}
+
+// ContinueStmt continues the innermost loop.
+type ContinueStmt struct {
+	Start lang.Pos
+}
+
+// SyncStmt is synchronized (lock) { body }.
+type SyncStmt struct {
+	Lock  Expr
+	Body  *Block
+	Start lang.Pos
+}
+
+// TryStmt is try/catch/finally. The analysis treats catch blocks as
+// alternative successors of the try body (conservative join).
+type TryStmt struct {
+	Body    *Block
+	Catches []*CatchClause
+	Finally *Block // may be nil
+	Start   lang.Pos
+}
+
+// CatchClause is one catch (Type name) { ... } handler.
+type CatchClause struct {
+	Type  TypeRef
+	Name  string
+	Body  *Block
+	Start lang.Pos
+}
+
+// SwitchStmt is a switch over an int/char expression.
+type SwitchStmt struct {
+	Tag   Expr
+	Cases []*SwitchCase
+	Start lang.Pos
+}
+
+// SwitchCase is one case (or default when IsDefault) arm. Fallthrough
+// follows Java semantics: execution continues into the next arm unless a
+// break terminates it.
+type SwitchCase struct {
+	IsDefault bool
+	Value     Expr // constant expression; nil for default
+	Stmts     []Stmt
+	Start     lang.Pos
+}
+
+func (s *Block) Pos() lang.Pos        { return s.Start }
+func (s *LocalVarDecl) Pos() lang.Pos { return s.Start }
+func (s *ExprStmt) Pos() lang.Pos     { return s.Start }
+func (s *AssignStmt) Pos() lang.Pos   { return s.Start }
+func (s *IfStmt) Pos() lang.Pos       { return s.Start }
+func (s *WhileStmt) Pos() lang.Pos    { return s.Start }
+func (s *DoWhileStmt) Pos() lang.Pos  { return s.Start }
+func (s *ForStmt) Pos() lang.Pos      { return s.Start }
+func (s *ReturnStmt) Pos() lang.Pos   { return s.Start }
+func (s *ThrowStmt) Pos() lang.Pos    { return s.Start }
+func (s *BreakStmt) Pos() lang.Pos    { return s.Start }
+func (s *ContinueStmt) Pos() lang.Pos { return s.Start }
+func (s *SyncStmt) Pos() lang.Pos     { return s.Start }
+func (s *TryStmt) Pos() lang.Pos      { return s.Start }
+func (s *CatchClause) Pos() lang.Pos  { return s.Start }
+func (s *SwitchStmt) Pos() lang.Pos   { return s.Start }
+func (s *SwitchCase) Pos() lang.Pos   { return s.Start }
+
+func (*Block) stmtNode()        {}
+func (*LocalVarDecl) stmtNode() {}
+func (*ExprStmt) stmtNode()     {}
+func (*AssignStmt) stmtNode()   {}
+func (*IfStmt) stmtNode()       {}
+func (*WhileStmt) stmtNode()    {}
+func (*DoWhileStmt) stmtNode()  {}
+func (*ForStmt) stmtNode()      {}
+func (*ReturnStmt) stmtNode()   {}
+func (*ThrowStmt) stmtNode()    {}
+func (*BreakStmt) stmtNode()    {}
+func (*ContinueStmt) stmtNode() {}
+func (*SyncStmt) stmtNode()     {}
+func (*TryStmt) stmtNode()      {}
+func (*SwitchStmt) stmtNode()   {}
+
+// ---------------------------------------------------------------------------
+// Expressions
+
+// Expr is implemented by all expression nodes.
+type Expr interface {
+	Node
+	exprNode()
+}
+
+// Literal kinds.
+type LitKind int
+
+// Literal kind values.
+const (
+	LitInt LitKind = iota
+	LitString
+	LitChar
+	LitBool
+	LitNull
+)
+
+// Literal is a constant literal.
+type Literal struct {
+	Kind  LitKind
+	Int   int64  // LitInt, LitChar
+	Str   string // LitString
+	Bool  bool   // LitBool
+	Start lang.Pos
+}
+
+// VarRef names a local variable, parameter, `this`, or — before name
+// resolution — a field or class referenced by simple name.
+type VarRef struct {
+	Name  string
+	Start lang.Pos
+}
+
+// FieldAccess is X.Name; X may also denote a package/class prefix, which
+// name resolution disambiguates.
+type FieldAccess struct {
+	X     Expr
+	Name  string
+	Start lang.Pos
+}
+
+// IndexExpr is X[Index].
+type IndexExpr struct {
+	X     Expr
+	Index Expr
+	Start lang.Pos
+}
+
+// CallExpr is a method invocation. Recv is nil for unqualified calls
+// (implicit this or static-in-class); for `this(...)` / `super(...)`
+// constructor calls Name is "this" / "super".
+type CallExpr struct {
+	Recv  Expr // nil, or receiver/qualifier expression
+	Name  string
+	Args  []Expr
+	Start lang.Pos
+}
+
+// NewExpr is `new Type(args)`.
+type NewExpr struct {
+	Type  TypeRef
+	Args  []Expr
+	Start lang.Pos
+}
+
+// NewArrayExpr is `new Type[len]` (or `new Type[]{...}` with Elems).
+type NewArrayExpr struct {
+	Type  TypeRef
+	Len   Expr // may be nil when Elems given
+	Elems []Expr
+	Start lang.Pos
+}
+
+// UnaryExpr is Op X where Op is "!", "-", or "~".
+type UnaryExpr struct {
+	Op    string
+	X     Expr
+	Start lang.Pos
+}
+
+// BinaryExpr is X Op Y for arithmetic, comparison, logical and bitwise
+// operators (&& and || are represented here and lowered with
+// short-circuit control flow).
+type BinaryExpr struct {
+	Op    string
+	X     Expr
+	Y     Expr
+	Start lang.Pos
+}
+
+// CondExpr is Cond ? Then : Else.
+type CondExpr struct {
+	Cond  Expr
+	Then  Expr
+	Else  Expr
+	Start lang.Pos
+}
+
+// CastExpr is (Type) X.
+type CastExpr struct {
+	Type  TypeRef
+	X     Expr
+	Start lang.Pos
+}
+
+// InstanceOfExpr is X instanceof Type.
+type InstanceOfExpr struct {
+	X     Expr
+	Type  TypeRef
+	Start lang.Pos
+}
+
+// IncDecExpr is X++ / X-- / ++X / --X used as an expression statement.
+type IncDecExpr struct {
+	X     Expr
+	Op    string // "++" or "--"
+	Start lang.Pos
+}
+
+func (e *Literal) Pos() lang.Pos        { return e.Start }
+func (e *VarRef) Pos() lang.Pos         { return e.Start }
+func (e *FieldAccess) Pos() lang.Pos    { return e.Start }
+func (e *IndexExpr) Pos() lang.Pos      { return e.Start }
+func (e *CallExpr) Pos() lang.Pos       { return e.Start }
+func (e *NewExpr) Pos() lang.Pos        { return e.Start }
+func (e *NewArrayExpr) Pos() lang.Pos   { return e.Start }
+func (e *UnaryExpr) Pos() lang.Pos      { return e.Start }
+func (e *BinaryExpr) Pos() lang.Pos     { return e.Start }
+func (e *CondExpr) Pos() lang.Pos       { return e.Start }
+func (e *CastExpr) Pos() lang.Pos       { return e.Start }
+func (e *InstanceOfExpr) Pos() lang.Pos { return e.Start }
+func (e *IncDecExpr) Pos() lang.Pos     { return e.Start }
+
+func (*Literal) exprNode()        {}
+func (*VarRef) exprNode()         {}
+func (*FieldAccess) exprNode()    {}
+func (*IndexExpr) exprNode()      {}
+func (*CallExpr) exprNode()       {}
+func (*NewExpr) exprNode()        {}
+func (*NewArrayExpr) exprNode()   {}
+func (*UnaryExpr) exprNode()      {}
+func (*BinaryExpr) exprNode()     {}
+func (*CondExpr) exprNode()       {}
+func (*CastExpr) exprNode()       {}
+func (*InstanceOfExpr) exprNode() {}
+func (*IncDecExpr) exprNode()     {}

@@ -1,0 +1,359 @@
+package ast
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// Print renders a File as canonical MJ source. Parsing the output yields a
+// structurally identical tree (see the roundtrip tests), which makes the
+// printer usable for corpus dumping, golden tests, and debugging.
+func Print(f *File) string {
+	p := &printer{}
+	if f.Package != "" {
+		p.linef("package %s;", f.Package)
+		p.blank()
+	}
+	for _, imp := range f.Imports {
+		p.linef("import %s;", imp)
+	}
+	if len(f.Imports) > 0 {
+		p.blank()
+	}
+	for i, td := range f.Types {
+		if i > 0 {
+			p.blank()
+		}
+		p.typeDecl(td)
+	}
+	return p.sb.String()
+}
+
+type printer struct {
+	sb     strings.Builder
+	indent int
+}
+
+func (p *printer) linef(format string, args ...any) {
+	p.sb.WriteString(strings.Repeat("  ", p.indent))
+	fmt.Fprintf(&p.sb, format, args...)
+	p.sb.WriteByte('\n')
+}
+
+func (p *printer) blank() { p.sb.WriteByte('\n') }
+
+func mods(m Modifiers) string {
+	s := m.String()
+	if s != "" {
+		s += " "
+	}
+	return s
+}
+
+func (p *printer) typeDecl(td *TypeDecl) {
+	kw := "class"
+	if td.IsInterface {
+		kw = "interface"
+	}
+	head := fmt.Sprintf("%s%s %s", mods(td.Mods), kw, td.Name)
+	if td.Extends != "" {
+		head += " extends " + td.Extends
+	}
+	if len(td.Implements) > 0 {
+		joiner := " implements "
+		if td.IsInterface {
+			joiner = " extends "
+		}
+		head += joiner + strings.Join(td.Implements, ", ")
+	}
+	p.linef("%s {", head)
+	p.indent++
+	for _, fd := range td.Fields {
+		if fd.Init != nil {
+			p.linef("%s%s %s = %s;", mods(fd.Mods), fd.Type, fd.Name, ExprString(fd.Init))
+		} else {
+			p.linef("%s%s %s;", mods(fd.Mods), fd.Type, fd.Name)
+		}
+	}
+	for _, md := range td.Methods {
+		p.methodDecl(md)
+	}
+	p.indent--
+	p.linef("}")
+}
+
+func (p *printer) methodDecl(md *MethodDecl) {
+	var params []string
+	for _, prm := range md.Params {
+		params = append(params, prm.Type.String()+" "+prm.Name)
+	}
+	var head string
+	if md.IsCtor {
+		head = fmt.Sprintf("%s%s(%s)", mods(md.Mods), md.Name, strings.Join(params, ", "))
+	} else {
+		head = fmt.Sprintf("%s%s %s(%s)", mods(md.Mods), md.Ret, md.Name, strings.Join(params, ", "))
+	}
+	if len(md.Throws) > 0 {
+		head += " throws " + strings.Join(md.Throws, ", ")
+	}
+	if md.Body == nil {
+		p.linef("%s;", head)
+		return
+	}
+	p.linef("%s {", head)
+	p.indent++
+	for _, s := range md.Body.Stmts {
+		p.stmt(s)
+	}
+	p.indent--
+	p.linef("}")
+}
+
+func (p *printer) stmt(s Stmt) {
+	switch s := s.(type) {
+	case *Block:
+		p.linef("{")
+		p.indent++
+		for _, st := range s.Stmts {
+			p.stmt(st)
+		}
+		p.indent--
+		p.linef("}")
+	case *LocalVarDecl:
+		if s.Init != nil {
+			p.linef("%s %s = %s;", s.Type, s.Name, ExprString(s.Init))
+		} else {
+			p.linef("%s %s;", s.Type, s.Name)
+		}
+	case *ExprStmt:
+		p.linef("%s;", ExprString(s.X))
+	case *AssignStmt:
+		p.linef("%s %s %s;", ExprString(s.Target), s.Op, ExprString(s.Value))
+	case *IfStmt:
+		p.linef("if (%s) {", ExprString(s.Cond))
+		p.indent++
+		p.stmtBody(s.Then)
+		p.indent--
+		if s.Else != nil {
+			p.linef("} else {")
+			p.indent++
+			p.stmtBody(s.Else)
+			p.indent--
+		}
+		p.linef("}")
+	case *WhileStmt:
+		p.linef("while (%s) {", ExprString(s.Cond))
+		p.indent++
+		p.stmtBody(s.Body)
+		p.indent--
+		p.linef("}")
+	case *DoWhileStmt:
+		p.linef("do {")
+		p.indent++
+		p.stmtBody(s.Body)
+		p.indent--
+		p.linef("} while (%s);", ExprString(s.Cond))
+	case *ForStmt:
+		p.linef("for (%s; %s; %s) {", forClause(s.Init), exprOrEmpty(s.Cond), forClause(s.Post))
+		p.indent++
+		p.stmtBody(s.Body)
+		p.indent--
+		p.linef("}")
+	case *ReturnStmt:
+		if s.Value != nil {
+			p.linef("return %s;", ExprString(s.Value))
+		} else {
+			p.linef("return;")
+		}
+	case *ThrowStmt:
+		p.linef("throw %s;", ExprString(s.Value))
+	case *BreakStmt:
+		p.linef("break;")
+	case *ContinueStmt:
+		p.linef("continue;")
+	case *SyncStmt:
+		p.linef("synchronized (%s) {", ExprString(s.Lock))
+		p.indent++
+		for _, st := range s.Body.Stmts {
+			p.stmt(st)
+		}
+		p.indent--
+		p.linef("}")
+	case *TryStmt:
+		p.linef("try {")
+		p.indent++
+		for _, st := range s.Body.Stmts {
+			p.stmt(st)
+		}
+		p.indent--
+		for _, cc := range s.Catches {
+			p.linef("} catch (%s %s) {", cc.Type, cc.Name)
+			p.indent++
+			for _, st := range cc.Body.Stmts {
+				p.stmt(st)
+			}
+			p.indent--
+		}
+		if s.Finally != nil {
+			p.linef("} finally {")
+			p.indent++
+			for _, st := range s.Finally.Stmts {
+				p.stmt(st)
+			}
+			p.indent--
+		}
+		p.linef("}")
+	case *SwitchStmt:
+		p.linef("switch (%s) {", ExprString(s.Tag))
+		for _, c := range s.Cases {
+			if c.IsDefault {
+				p.linef("default:")
+			} else {
+				p.linef("case %s:", ExprString(c.Value))
+			}
+			p.indent++
+			for _, st := range c.Stmts {
+				p.stmt(st)
+			}
+			p.indent--
+		}
+		p.linef("}")
+	default:
+		p.linef("/* unprintable %T */;", s)
+	}
+}
+
+// stmtBody prints the body of a control statement, flattening a Block so
+// the roundtrip does not accumulate nesting.
+func (p *printer) stmtBody(s Stmt) {
+	if b, ok := s.(*Block); ok {
+		for _, st := range b.Stmts {
+			p.stmt(st)
+		}
+		return
+	}
+	p.stmt(s)
+}
+
+// forClause renders a for-init or for-post clause without a trailing
+// semicolon.
+func forClause(s Stmt) string {
+	switch s := s.(type) {
+	case nil:
+		return ""
+	case *LocalVarDecl:
+		if s.Init != nil {
+			return fmt.Sprintf("%s %s = %s", s.Type, s.Name, ExprString(s.Init))
+		}
+		return fmt.Sprintf("%s %s", s.Type, s.Name)
+	case *AssignStmt:
+		return fmt.Sprintf("%s %s %s", ExprString(s.Target), s.Op, ExprString(s.Value))
+	case *ExprStmt:
+		return ExprString(s.X)
+	case *Block:
+		if len(s.Stmts) == 0 {
+			return ""
+		}
+	}
+	return ""
+}
+
+func exprOrEmpty(e Expr) string {
+	if e == nil {
+		return ""
+	}
+	return ExprString(e)
+}
+
+// ExprString renders an expression as source text, fully parenthesizing
+// nested binary operations so precedence survives the roundtrip.
+func ExprString(e Expr) string {
+	switch e := e.(type) {
+	case *Literal:
+		switch e.Kind {
+		case LitInt:
+			return strconv.FormatInt(e.Int, 10)
+		case LitChar:
+			return fmt.Sprintf("'%s'", escapeChar(byte(e.Int)))
+		case LitString:
+			return strconv.Quote(e.Str)
+		case LitBool:
+			return strconv.FormatBool(e.Bool)
+		case LitNull:
+			return "null"
+		}
+	case *VarRef:
+		return e.Name
+	case *FieldAccess:
+		return ExprString(e.X) + "." + e.Name
+	case *IndexExpr:
+		return ExprString(e.X) + "[" + ExprString(e.Index) + "]"
+	case *CallExpr:
+		args := exprList(e.Args)
+		if e.Recv == nil {
+			return e.Name + "(" + args + ")"
+		}
+		return ExprString(e.Recv) + "." + e.Name + "(" + args + ")"
+	case *NewExpr:
+		return "new " + e.Type.String() + "(" + exprList(e.Args) + ")"
+	case *NewArrayExpr:
+		base := e.Type
+		base.Dims = 0
+		if len(e.Elems) > 0 {
+			return "new " + base.String() + "[] {" + exprList(e.Elems) + "}"
+		}
+		return "new " + base.String() + "[" + exprOrEmpty(e.Len) + "]" + strings.Repeat("[]", e.Type.Dims)
+	case *UnaryExpr:
+		return e.Op + parenthesize(e.X)
+	case *BinaryExpr:
+		return "(" + ExprString(e.X) + " " + e.Op + " " + ExprString(e.Y) + ")"
+	case *CondExpr:
+		return "(" + ExprString(e.Cond) + " ? " + ExprString(e.Then) + " : " + ExprString(e.Else) + ")"
+	case *CastExpr:
+		return "((" + e.Type.String() + ") " + parenthesize(e.X) + ")"
+	case *InstanceOfExpr:
+		return "(" + ExprString(e.X) + " instanceof " + e.Type.String() + ")"
+	case *IncDecExpr:
+		return ExprString(e.X) + e.Op
+	}
+	return fmt.Sprintf("/*%T*/null", e)
+}
+
+// parenthesize wraps operands whose rendering could fuse with a prefix
+// operator or cast.
+func parenthesize(e Expr) string {
+	switch e.(type) {
+	case *BinaryExpr, *CondExpr, *CastExpr, *InstanceOfExpr:
+		return ExprString(e) // already parenthesized
+	case *UnaryExpr:
+		return "(" + ExprString(e) + ")"
+	}
+	return ExprString(e)
+}
+
+func exprList(es []Expr) string {
+	parts := make([]string, len(es))
+	for i, e := range es {
+		parts[i] = ExprString(e)
+	}
+	return strings.Join(parts, ", ")
+}
+
+func escapeChar(c byte) string {
+	switch c {
+	case '\n':
+		return `\n`
+	case '\t':
+		return `\t`
+	case '\r':
+		return `\r`
+	case 0:
+		return `\0`
+	case '\'':
+		return `\'`
+	case '\\':
+		return `\\`
+	}
+	return string(c)
+}

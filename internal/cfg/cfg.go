@@ -1,0 +1,120 @@
+// Package cfg provides control-flow-graph utilities over the IR: reverse
+// postorder and dominator trees (Cooper–Harvey–Kennedy). The CMV baseline
+// uses dominance to check complete mediation; the analyses use reverse
+// postorder for fast convergence.
+package cfg
+
+import "policyoracle/internal/ir"
+
+// ReversePostorder returns the blocks of f in reverse postorder starting
+// from the entry block.
+func ReversePostorder(f *ir.Func) []*ir.Block {
+	if len(f.Blocks) == 0 {
+		return nil
+	}
+	seen := make([]bool, len(f.Blocks))
+	var post []*ir.Block
+	var walk func(*ir.Block)
+	walk = func(b *ir.Block) {
+		if seen[b.Index] {
+			return
+		}
+		seen[b.Index] = true
+		for _, s := range b.Succs {
+			walk(s)
+		}
+		post = append(post, b)
+	}
+	walk(f.Blocks[0])
+	for i, j := 0, len(post)-1; i < j; i, j = i+1, j-1 {
+		post[i], post[j] = post[j], post[i]
+	}
+	return post
+}
+
+// Dominators holds the dominator tree of a function.
+type Dominators struct {
+	f    *ir.Func
+	idom []int // immediate dominator block index; -1 for entry/unreachable
+	rpo  []*ir.Block
+	num  []int // rpo number per block index
+}
+
+// Idom returns the immediate dominator of b, or nil for the entry block.
+func (d *Dominators) Idom(b *ir.Block) *ir.Block {
+	i := d.idom[b.Index]
+	if i < 0 || i == b.Index {
+		return nil
+	}
+	return d.f.Blocks[i]
+}
+
+// Dominates reports whether a dominates b (reflexively).
+func (d *Dominators) Dominates(a, b *ir.Block) bool {
+	for {
+		if a == b {
+			return true
+		}
+		i := d.idom[b.Index]
+		if i < 0 || i == b.Index {
+			return false
+		}
+		b = d.f.Blocks[i]
+	}
+}
+
+// ComputeDominators builds the dominator tree of f using the
+// Cooper–Harvey–Kennedy iterative algorithm.
+func ComputeDominators(f *ir.Func) *Dominators {
+	d := &Dominators{f: f, idom: make([]int, len(f.Blocks)), num: make([]int, len(f.Blocks))}
+	for i := range d.idom {
+		d.idom[i] = -1
+		d.num[i] = -1
+	}
+	d.rpo = ReversePostorder(f)
+	for i, b := range d.rpo {
+		d.num[b.Index] = i
+	}
+	if len(d.rpo) == 0 {
+		return d
+	}
+	entry := d.rpo[0]
+	d.idom[entry.Index] = entry.Index
+	changed := true
+	for changed {
+		changed = false
+		for _, b := range d.rpo[1:] {
+			var newIdom *ir.Block
+			for _, p := range b.Preds {
+				if d.num[p.Index] < 0 || d.idom[p.Index] < 0 {
+					continue // unreachable or not yet processed
+				}
+				if newIdom == nil {
+					newIdom = p
+				} else {
+					newIdom = d.intersect(p, newIdom)
+				}
+			}
+			if newIdom == nil {
+				continue
+			}
+			if d.idom[b.Index] != newIdom.Index {
+				d.idom[b.Index] = newIdom.Index
+				changed = true
+			}
+		}
+	}
+	return d
+}
+
+func (d *Dominators) intersect(a, b *ir.Block) *ir.Block {
+	for a != b {
+		for d.num[a.Index] > d.num[b.Index] {
+			a = d.f.Blocks[d.idom[a.Index]]
+		}
+		for d.num[b.Index] > d.num[a.Index] {
+			b = d.f.Blocks[d.idom[b.Index]]
+		}
+	}
+	return a
+}

@@ -1,0 +1,153 @@
+package cfg
+
+import (
+	"testing"
+
+	"policyoracle/internal/ast"
+	"policyoracle/internal/ir"
+	"policyoracle/internal/lang"
+	"policyoracle/internal/parser"
+	"policyoracle/internal/types"
+)
+
+func lowerFunc(t *testing.T, body string) *ir.Func {
+	t.Helper()
+	src := "package p; class C { int f; void m(boolean a, boolean b, int n) { " + body + " } void g() { } }"
+	var diags lang.Diagnostics
+	files := []*ast.File{parser.ParseFile("t.mj", src, &diags)}
+	tp := types.Build("t", files, &diags)
+	p := ir.LowerProgram(tp, &diags)
+	if diags.HasErrors() {
+		t.Fatalf("errors: %v", diags.Err())
+	}
+	for _, m := range tp.Classes["p.C"].Methods {
+		if m.Name == "m" {
+			return p.FuncOf(m)
+		}
+	}
+	t.Fatal("m not found")
+	return nil
+}
+
+func TestRPOStartsAtEntryAndCoversAll(t *testing.T) {
+	f := lowerFunc(t, `if (a) { g(); } else { g(); } while (b) { g(); } f = 1;`)
+	rpo := ReversePostorder(f)
+	if len(rpo) != len(f.Blocks) {
+		t.Fatalf("rpo covers %d of %d blocks", len(rpo), len(f.Blocks))
+	}
+	if rpo[0] != f.Blocks[0] {
+		t.Error("rpo does not start at entry")
+	}
+	// Every block appears exactly once.
+	seen := map[*ir.Block]bool{}
+	for _, b := range rpo {
+		if seen[b] {
+			t.Fatalf("block b%d appears twice", b.Index)
+		}
+		seen[b] = true
+	}
+}
+
+func TestRPOOrdersAcyclicEdgesForward(t *testing.T) {
+	f := lowerFunc(t, `if (a) { f = 1; } else { f = 2; } f = 3;`)
+	rpo := ReversePostorder(f)
+	pos := map[*ir.Block]int{}
+	for i, b := range rpo {
+		pos[b] = i
+	}
+	for _, b := range f.Blocks {
+		for _, s := range b.Succs {
+			if pos[s] < pos[b] && s != b {
+				// Only back edges (loops) may go backwards; this CFG has none.
+				t.Errorf("edge b%d->b%d goes backwards in RPO", b.Index, s.Index)
+			}
+		}
+	}
+}
+
+func TestDominatorsDiamond(t *testing.T) {
+	f := lowerFunc(t, `if (a) { f = 1; } else { f = 2; } f = 3;`)
+	dom := ComputeDominators(f)
+	entry := f.Blocks[0]
+	thenB, elseB := entry.Succs[0], entry.Succs[1]
+	join := thenB.Succs[0]
+	if !dom.Dominates(entry, join) {
+		t.Error("entry should dominate join")
+	}
+	if dom.Dominates(thenB, join) || dom.Dominates(elseB, join) {
+		t.Error("branch should not dominate join")
+	}
+	if dom.Idom(join) != entry {
+		t.Errorf("idom(join) = %v", dom.Idom(join))
+	}
+	if dom.Idom(entry) != nil {
+		t.Error("entry has an idom")
+	}
+	if !dom.Dominates(join, join) {
+		t.Error("dominance should be reflexive")
+	}
+}
+
+func TestDominatorsLoop(t *testing.T) {
+	f := lowerFunc(t, `while (b) { g(); } f = 1;`)
+	dom := ComputeDominators(f)
+	// Find the loop head (If terminator with 2 preds).
+	var head *ir.Block
+	for _, blk := range f.Blocks {
+		if _, ok := blk.Term().(*ir.If); ok && len(blk.Preds) == 2 {
+			head = blk
+		}
+	}
+	if head == nil {
+		t.Fatalf("no loop head:\n%s", f.Dump())
+	}
+	// The head dominates the body and the exit.
+	for _, s := range head.Succs {
+		if !dom.Dominates(head, s) {
+			t.Errorf("head does not dominate successor b%d", s.Index)
+		}
+	}
+	if !dom.Dominates(f.Blocks[0], head) {
+		t.Error("entry does not dominate loop head")
+	}
+}
+
+func TestDominanceIsPartialOrder(t *testing.T) {
+	f := lowerFunc(t, `
+if (a) { if (b) { f = 1; } f = 2; } else { f = 3; }
+while (b) { g(); }
+f = 4;`)
+	dom := ComputeDominators(f)
+	for _, x := range f.Blocks {
+		for _, y := range f.Blocks {
+			// Antisymmetry.
+			if x != y && dom.Dominates(x, y) && dom.Dominates(y, x) {
+				t.Fatalf("b%d and b%d dominate each other", x.Index, y.Index)
+			}
+			for _, z := range f.Blocks {
+				// Transitivity.
+				if dom.Dominates(x, y) && dom.Dominates(y, z) && !dom.Dominates(x, z) {
+					t.Fatalf("dominance not transitive: b%d, b%d, b%d", x.Index, y.Index, z.Index)
+				}
+			}
+		}
+	}
+}
+
+func TestIdomChainReachesEntry(t *testing.T) {
+	f := lowerFunc(t, `if (a) { f = 1; } for (int i = 0; i < n; i++) { g(); } f = 2;`)
+	dom := ComputeDominators(f)
+	entry := f.Blocks[0]
+	for _, b := range f.Blocks {
+		steps := 0
+		for x := b; x != entry; {
+			x = dom.Idom(x)
+			if x == nil {
+				t.Fatalf("idom chain of b%d does not reach entry", b.Index)
+			}
+			if steps++; steps > len(f.Blocks) {
+				t.Fatalf("idom chain of b%d cycles", b.Index)
+			}
+		}
+	}
+}

@@ -1,0 +1,318 @@
+package corpus
+
+// classpathNet: Socket.connect omits all checks (Figure 7(b)); the rest of
+// java.net follows the correct JDK policies, with Classpath's own internal
+// structure.
+const classpathNet = `
+package java.net;
+
+import java.lang.*;
+
+public class InetAddress {
+  private String hostName;
+  public boolean isMulticastAddress() { return isMulticast0(); }
+  public String getHostAddress() { return addr0(); }
+  public String getHostName() { return hostName; }
+  native boolean isMulticast0();
+  native String addr0();
+}
+
+public class SocketAddress {
+  public SocketAddress() { }
+}
+
+public class InetSocketAddress extends SocketAddress {
+  private InetAddress addr;
+  private String hostname;
+  private int port;
+  public boolean isUnresolved() { return addr == null; }
+  public String getHostName() { return hostname; }
+  public int getPort() { return port; }
+  public InetAddress getAddress() { return addr; }
+}
+
+public class DatagramSocketImpl {
+  public void connect(InetAddress address, int port) {
+    connect0(address, port);
+  }
+  native void connect0(InetAddress address, int port);
+}
+
+// DatagramSocket.connect: Classpath implements the correct Figure 1 policy.
+public class DatagramSocket {
+  private SecurityManager securityManager;
+  private DatagramSocketImpl impl;
+  private InetAddress remoteAddress;
+  private int remotePort;
+
+  public void connect(InetAddress address, int port) {
+    doConnect(address, port);
+  }
+
+  public void reconnect(InetAddress address, int port) {
+    doConnect(address, port);
+  }
+
+  private void doConnect(InetAddress address, int port) {
+    if (address.isMulticastAddress()) {
+      securityManager.checkMulticast(address);
+    } else {
+      securityManager.checkConnect(address.getHostAddress(), port);
+      securityManager.checkAccept(address.getHostAddress(), port);
+    }
+    impl.connect(address, port);
+    remoteAddress = address;
+    remotePort = port;
+  }
+}
+
+public class SocketImpl {
+  public void connect(SocketAddress address, int timeout) {
+    socketConnect(address, timeout);
+  }
+  native void socketConnect(SocketAddress address, int timeout);
+}
+
+// Socket.connect is Figure 7(b): Classpath omits the checkConnect that the
+// JDK performs before opening a network connection. The method is directly
+// accessible to applications, so this is easy to exploit.
+public class Socket {
+  private SocketImpl impl;
+
+  public void connect(SocketAddress endpoint) {
+    connect(endpoint, 0);
+  }
+
+  public void connect(SocketAddress endpoint, int timeout) {
+    getImpl().connect(endpoint, timeout);
+  }
+
+  SocketImpl getImpl() { return impl; }
+}
+
+public class Proxy {
+  public static int DIRECT = 0;
+  private int proxyType;
+  private SocketAddress sa;
+  public int type() { return proxyType; }
+  public SocketAddress address() { return sa; }
+}
+
+public class URLConnection {
+  public URLConnection() { }
+  public Object getContent() { return content0(); }
+  native Object content0();
+}
+
+public class URLStreamHandler {
+  public URLConnection openConnection(URL u, Proxy p) {
+    return new URLConnection();
+  }
+}
+
+// URL: Classpath's one-argument constructor parses the spec directly and
+// never touches handler logic — structurally different from the JDK's
+// constant-null delegation, which is what makes the JDK/Harmony pattern a
+// false positive unless interprocedural constant propagation proves the
+// delegated checkPermission dead.
+public class URL {
+  private URLStreamHandler handler;
+  private SecurityManager securityManager;
+  private Permission specifyStreamHandlerPermission;
+  private String protocol;
+
+  public URL(String spec) {
+    protocol = spec;
+  }
+
+  public URL(URL context, String spec, URLStreamHandler h) {
+    if (h != null) {
+      securityManager.checkPermission(specifyStreamHandlerPermission);
+      handler = h;
+    }
+    protocol = spec;
+  }
+
+  public URLConnection openConnection(Proxy proxy) {
+    if (proxy.type() != Proxy.DIRECT) {
+      InetSocketAddress epoint = (InetSocketAddress) proxy.address();
+      if (epoint.isUnresolved()) {
+        securityManager.checkConnect(epoint.getHostName(), epoint.getPort());
+      } else {
+        securityManager.checkConnect(
+            epoint.getAddress().getHostAddress(), epoint.getPort());
+      }
+    }
+    return handler.openConnection(this, proxy);
+  }
+}
+
+public class NetworkInterface {
+  public boolean getInetAddresses() {
+    return isReachable0();
+  }
+  native boolean isReachable0();
+}
+`
+
+// classpathRuntime is Figure 5(b): loadLibrary performs both checkLink and
+// checkRead before the native load.
+const classpathRuntime = `
+package java.lang;
+
+import java.security.*;
+
+public class VMRuntime {
+  static native int nativeLoad(String filename, Object loader);
+}
+
+public class VMStackWalker {
+  static Object getCallingClassLoader() { return null; }
+}
+
+public class Runtime {
+  private SecurityManager securityManager;
+
+  public void loadLibrary(String libname) {
+    loadLibraryInternal(libname, VMStackWalker.getCallingClassLoader());
+  }
+
+  void loadLibraryInternal(String libname, Object loader) {
+    securityManager.checkLink(libname);
+    loadLib(libname, loader);
+  }
+
+  private int loadLib(String filename, Object loader) {
+    securityManager.checkRead(filename);
+    return VMRuntime.nativeLoad(filename, loader);
+  }
+}
+
+public class PropsAccess {
+  private SecurityManager securityManager;
+  public String getProperty(String key) {
+    securityManager.checkPropertyAccess(key);
+    return read0(key);
+  }
+  static native String read0(String key);
+}
+
+// StringOps.getBytes: Classpath throws like Harmony — no checkExit.
+public class StringOps {
+  public byte[] getBytes(String s) {
+    return encodeDefault(s);
+  }
+  private byte[] encodeDefault(String s) {
+    return encode0(s);
+  }
+  static native byte[] encode0(String s);
+}
+`
+
+const classpathMisc = `
+package java.security;
+
+import java.lang.*;
+
+public class Security {
+  private static SecurityManager securityManager;
+  private static Permission securityPropertyPermission;
+  public static String getProperty(String key) {
+    securityManager.checkPermission(securityPropertyPermission);
+    return getProp0(key);
+  }
+  static native String getProp0(String key);
+}
+`
+
+// classpathNio: Classpath loads charset providers dynamically and guards
+// the load with checkPermission(new RuntimePermission("charsetProvider")),
+// which the JDK and Harmony do not need — the paper's charsetProvider
+// interoperability difference (Section 6.3).
+const classpathNio = `
+package java.nio.charset;
+
+import java.lang.*;
+
+public class Charset {
+  private static SecurityManager securityManager;
+  public static Charset forName(String name) {
+    securityManager.checkPermission(new RuntimePermission("charsetProvider"));
+    return loadProvider0(name);
+  }
+  static native Charset loadProvider0(String name);
+  public byte[] encode(String s) {
+    return encodeLoop0(s);
+  }
+  native byte[] encodeLoop0(String s);
+}
+`
+
+const classpathIO = `
+package java.io;
+
+import java.lang.*;
+
+public class FileStream {
+  private SecurityManager securityManager;
+  public void open(String name) {
+    securityManager.checkRead(name);
+    open0(name);
+  }
+  native void open0(String name);
+}
+`
+
+const classpathUtil = `
+package java.util;
+
+import java.lang.*;
+
+// Bag: Classpath implements the correct Figure 3 policy (like the JDK).
+public class Bag {
+  private Object data1;
+  private Object data2;
+  private SecurityManager securityManager;
+
+  public Object a(boolean condition, Collector obj) {
+    if (condition) {
+      securityManager.checkRead("bag");
+      obj.add(data1);
+      return obj;
+    }
+    securityManager.checkRead("bag");
+    obj.add(data2);
+    return obj;
+  }
+}
+
+public class Collector {
+  private int n;
+  public Collector() { }
+  public void add(Object x) { n = n + 1; }
+}
+
+public class Props {
+  private SecurityManager securityManager;
+  public void list() {
+    securityManager.checkPropertyAccess("*");
+    list0();
+  }
+  native void list0();
+}
+`
+
+// ClasspathSources returns the hand-written classpath implementation.
+func ClasspathSources() map[string]string {
+	m := RuntimeSources()
+	for f, src := range consistentClasses(Classpath) {
+		m[f] = src
+	}
+	m["java/net/net.mj"] = classpathNet
+	m["java/lang/rt.mj"] = classpathRuntime
+	m["java/security/security.mj"] = classpathMisc
+	m["java/nio/charset.mj"] = classpathNio
+	m["java/io/io.mj"] = classpathIO
+	m["java/util/util.mj"] = classpathUtil
+	return m
+}

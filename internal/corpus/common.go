@@ -1,0 +1,192 @@
+package corpus
+
+import "fmt"
+
+// consistentClasses returns library classes whose security policies agree
+// across all three implementations — the quiet majority of a real class
+// library. Internal structure still varies by dialect (helper naming and
+// nesting), exercising the analysis without adding differences. The
+// templates cover further check families: checkAccess, checkDelete,
+// checkListen, checkExec, checkPropertiesAccess, checkCreateClassLoader,
+// and checkSetFactory.
+func consistentClasses(dialect string) map[string]string {
+	helper := map[string]string{
+		JDK:       "Impl",
+		Harmony:   "Internal",
+		Classpath: "Do",
+	}[dialect]
+
+	ioSrc := fmt.Sprintf(`
+package java.io;
+
+import java.lang.*;
+
+public class File {
+  private SecurityManager securityManager;
+  private String path;
+
+  public boolean delete() {
+    securityManager.checkDelete(path);
+    return delete%[1]s();
+  }
+
+  private boolean delete%[1]s() {
+    return unlink0(path);
+  }
+
+  public String[] list() {
+    securityManager.checkRead(path);
+    return list0(path);
+  }
+
+  public boolean exists() {
+    securityManager.checkRead(path);
+    return stat0(path);
+  }
+
+  native boolean unlink0(String path);
+  native String[] list0(String path);
+  native boolean stat0(String path);
+}
+
+public class FileDescriptorOps {
+  private SecurityManager securityManager;
+  public void sync(Object fd) {
+    securityManager.checkWriteFD(fd);
+    sync0(fd);
+  }
+  native void sync0(Object fd);
+}
+`, helper)
+
+	langSrc := fmt.Sprintf(`
+package java.lang;
+
+public class ThreadOps {
+  private SecurityManager securityManager;
+
+  public void interruptThread(Thread t) {
+    securityManager.checkAccess(t);
+    interrupt0(t);
+  }
+
+  public void stopGroup(ThreadGroup g) {
+    securityManager.checkAccessThreadGroup(g);
+    stop%[1]s(g);
+  }
+
+  private void stop%[1]s(ThreadGroup g) {
+    stop0(g);
+  }
+
+  native void interrupt0(Thread t);
+  native void stop0(ThreadGroup g);
+}
+
+public class ProcessBuilder {
+  private SecurityManager securityManager;
+  private String command;
+
+  public Object start() {
+    securityManager.checkExec(command);
+    return exec%[1]s(command);
+  }
+
+  private Object exec%[1]s(String cmd) {
+    return exec0(cmd);
+  }
+
+  native Object exec0(String cmd);
+}
+
+public class ClassLoaderFactory {
+  private SecurityManager securityManager;
+  public Object newClassLoader() {
+    securityManager.checkCreateClassLoader();
+    return create0();
+  }
+  native Object create0();
+}
+`, helper)
+
+	netSrc := fmt.Sprintf(`
+package java.net;
+
+import java.lang.*;
+
+public class ServerSocket {
+  private SecurityManager securityManager;
+  private int localPort;
+
+  public void bind(int port) {
+    securityManager.checkListen(port);
+    bind%[1]s(port);
+  }
+
+  private void bind%[1]s(int port) {
+    localPort = port;
+    bind0(port);
+  }
+
+  public Object accept() {
+    securityManager.checkAccept("client", localPort);
+    return accept0();
+  }
+
+  native void bind0(int port);
+  native Object accept0();
+}
+
+public class SocketFactoryRegistry {
+  private SecurityManager securityManager;
+  public void setSocketFactory(Object factory) {
+    securityManager.checkSetFactory();
+    install0(factory);
+  }
+  native void install0(Object factory);
+}
+`, helper)
+
+	utilSrc := fmt.Sprintf(`
+package java.util;
+
+import java.lang.*;
+
+public class SystemProps {
+  private SecurityManager securityManager;
+
+  public Object getProperties() {
+    securityManager.checkPropertiesAccess();
+    return props%[1]s();
+  }
+
+  private Object props%[1]s() {
+    return props0();
+  }
+
+  public String getSystemProperty(String key) {
+    securityManager.checkPropertyAccess(key);
+    return prop0(key);
+  }
+
+  native Object props0();
+  native String prop0(String key);
+}
+
+public class LocaleOps {
+  private SecurityManager securityManager;
+  public void setDefaultLocale(String tag) {
+    securityManager.checkPropertiesAccess();
+    setLocale0(tag);
+  }
+  native void setLocale0(String tag);
+}
+`, helper)
+
+	return map[string]string{
+		"java/io/common.mj":   ioSrc,
+		"java/lang/common.mj": langSrc,
+		"java/net/common.mj":  netSrc,
+		"java/util/common.mj": utilSrc,
+	}
+}

@@ -1,0 +1,339 @@
+package gen
+
+import (
+	"fmt"
+	"strings"
+
+	"policyoracle/internal/corpus"
+)
+
+// emitLibrary renders the skeleton as MJ source for one implementation.
+// The three dialects differ in helper structure and check placement, which
+// must not change the extracted policies; only seeded deviations do.
+func emitLibrary(spec []*classSpec, lib string) map[string]string {
+	files := corpus.RuntimeSources()
+	byPkg := map[string]*strings.Builder{}
+	pkgOf := func(pkg string) *strings.Builder {
+		sb := byPkg[pkg]
+		if sb == nil {
+			sb = &strings.Builder{}
+			fmt.Fprintf(sb, "package %s;\n\nimport java.lang.*;\nimport java.security.*;\n\n", pkg)
+			byPkg[pkg] = sb
+			emitUtil(sb, lib)
+		}
+		return sb
+	}
+	for _, cs := range spec {
+		if cs.uniqueIn != "" && cs.uniqueIn != lib {
+			continue
+		}
+		if cs.poly {
+			emitPolyClass(pkgOf(cs.pkg), cs)
+			continue
+		}
+		emitClass(pkgOf(cs.pkg), cs, lib)
+	}
+	for pkg, sb := range byPkg {
+		path := strings.ReplaceAll(pkg, ".", "/") + "/gen.mj"
+		files[path] = sb.String()
+	}
+	return files
+}
+
+// emitUtil renders the shared per-package utility whose diamond-shaped
+// call chain gives memoization its Table 2 leverage: without summaries the
+// chain is re-analyzed 2^depth times per entry point.
+func emitUtil(sb *strings.Builder, lib string) {
+	const chainDepth = 4
+	fmt.Fprintf(sb, "public class Util {\n")
+	for i := 0; i < chainDepth; i++ {
+		fmt.Fprintf(sb, "  static int chain%d(String a, int b) {\n", i)
+		fmt.Fprintf(sb, "    int x = chain%d(a, b);\n", i+1)
+		fmt.Fprintf(sb, "    int y = chain%d(a, b);\n", i+1)
+		fmt.Fprintf(sb, "    return x + y;\n  }\n")
+	}
+	fmt.Fprintf(sb, "  static int chain%d(String a, int b) {\n    return util0(a);\n  }\n", chainDepth)
+	fmt.Fprintf(sb, "  static native int util0(String a);\n")
+	fmt.Fprintf(sb, "}\n\n")
+}
+
+// dialect returns implementation-flavor knobs for a library.
+type dialect struct {
+	helperSuffix string
+	// checkPos places checks in the helper chain: 0 = entry method,
+	// -1 = deepest helper, 1 = first helper.
+	checkPos int
+}
+
+func dialectOf(lib string) dialect {
+	switch lib {
+	case "jdk":
+		return dialect{helperSuffix: "Impl", checkPos: 1}
+	case "harmony":
+		return dialect{helperSuffix: "Internal", checkPos: 2}
+	default:
+		return dialect{helperSuffix: "Do", checkPos: -1}
+	}
+}
+
+// emitPolyClass renders one polymorphic-noise class: a private base-typed
+// field initialized to one of two allocated subclasses, so every
+// `dispatch.op(...)` site has two possible targets and is skipped by the
+// analysis — the population behind the resolution-rate statistic.
+func emitPolyClass(sb *strings.Builder, cs *classSpec) {
+	base := cs.name + "Base"
+	fmt.Fprintf(sb, "class %s {\n  int op(String a, int b) { return 0; }\n}\n", base)
+	fmt.Fprintf(sb, "class %sSubA extends %s {\n  int op(String a, int b) { return 1; }\n}\n", cs.name, base)
+	fmt.Fprintf(sb, "class %sSubB extends %s {\n  int op(String a, int b) { return 2; }\n}\n", cs.name, base)
+	fmt.Fprintf(sb, "public class %s {\n", cs.name)
+	fmt.Fprintf(sb, "  private %s dispatch;\n", base)
+	fmt.Fprintf(sb, "  public %s(int kind) {\n", cs.name)
+	fmt.Fprintf(sb, "    if (kind > 0) {\n      dispatch = new %sSubA();\n", cs.name)
+	fmt.Fprintf(sb, "    } else {\n      dispatch = new %sSubB();\n    }\n  }\n", cs.name)
+	for _, ms := range cs.methods {
+		fmt.Fprintf(sb, "  public int %s(String a, int b) {\n    return dispatch.op(a, b);\n  }\n", ms.name)
+	}
+	fmt.Fprintf(sb, "}\n\n")
+}
+
+func emitClass(sb *strings.Builder, cs *classSpec, lib string) {
+	fmt.Fprintf(sb, "public class %s {\n", cs.name)
+	fmt.Fprintf(sb, "  private SecurityManager securityManager;\n")
+	fmt.Fprintf(sb, "  private int state;\n")
+	fmt.Fprintf(sb, "  private int cacheSize;\n")
+	fmt.Fprintf(sb, "  private int hits;\n")
+	fmt.Fprintf(sb, "  private String label;\n")
+	var actions []string
+	for _, ms := range cs.methods {
+		emitMethod(sb, cs, ms, lib, &actions)
+	}
+	fmt.Fprintf(sb, "}\n\n")
+	for _, a := range actions {
+		sb.WriteString(a)
+	}
+}
+
+// checkCall renders one security-check invocation with arity-appropriate
+// arguments drawn from the method's (String a, int b) parameters.
+func checkCall(poolIdx int) string {
+	c := checkPool[poolIdx]
+	switch {
+	case c.Arity == 0:
+		return fmt.Sprintf("securityManager.%s();", c.Name)
+	case c.Arity == 2:
+		return fmt.Sprintf("securityManager.%s(a, b);", c.Name)
+	case c.Name == "checkExit" || c.Name == "checkListen":
+		return fmt.Sprintf("securityManager.%s(b);", c.Name)
+	default:
+		return fmt.Sprintf("securityManager.%s(a);", c.Name)
+	}
+}
+
+// altCheck returns a different pool index with the swap deterministic.
+func altCheck(idx int) int { return (idx + 1) % len(checkPool) }
+
+func extraCheck(idx int) int { return (idx + 3) % len(checkPool) }
+
+// emitMethod renders one entry method, its helper chain, its native leaf,
+// its wrappers, and any deviation for lib.
+func emitMethod(sb *strings.Builder, cs *classSpec, ms *methodSpec, lib string, actions *[]string) {
+	d := dialectOf(lib)
+	dev, deviates := ms.deviation[lib]
+
+	if ms.pattern == pGuard {
+		emitGuard(sb, cs, ms, lib, dev, deviates)
+		return
+	}
+	if ms.fn != FNNone {
+		emitFalseNegative(sb, ms, lib)
+		return
+	}
+
+	depth := ms.depth
+	pos := d.checkPos
+	if pos < 0 || pos > depth {
+		pos = depth
+	}
+	// Entry point.
+	fmt.Fprintf(sb, "  public int %s(String a, int b) {\n", ms.name)
+	if pos == 0 {
+		emitChecks(sb, ms, dev, deviates, actions, cs, lib)
+	}
+	if depth == 0 {
+		emitLeaf(sb, cs, ms, lib, dev == PrivWrap && deviates, actions)
+	} else {
+		fmt.Fprintf(sb, "    return %s%s1(a, b);\n  }\n", ms.name, d.helperSuffix)
+	}
+	// Helper chain.
+	for h := 1; h <= depth; h++ {
+		fmt.Fprintf(sb, "  private int %s%s%d(String a, int b) {\n", ms.name, d.helperSuffix, h)
+		if pos == h {
+			emitChecks(sb, ms, dev, deviates, actions, cs, lib)
+		}
+		if h == depth {
+			emitLeaf(sb, cs, ms, lib, dev == PrivWrap && deviates, actions)
+		} else {
+			fmt.Fprintf(sb, "    return %s%s%d(a, b);\n  }\n", ms.name, d.helperSuffix, h+1)
+		}
+	}
+	// Native leaf declaration.
+	fmt.Fprintf(sb, "  native int %sN(String a);\n", ms.name)
+	// Public wrappers (multi-manifestation root causes).
+	for w := 1; w <= ms.wrappers; w++ {
+		fmt.Fprintf(sb, "  public int %sWrap%d(String a, int b) {\n    return %s(a, b);\n  }\n",
+			ms.name, w, ms.name)
+	}
+}
+
+// emitChecks renders the pattern's check statements, applying the
+// deviation when this library is the deviant.
+func emitChecks(sb *strings.Builder, ms *methodSpec, dev IssueKind, deviates bool, actions *[]string, cs *classSpec, lib string) {
+	if deviates && dev == PrivWrap {
+		// Checks move inside the privileged action emitted by emitLeaf.
+		return
+	}
+	checks := ms.checks
+	switch ms.pattern {
+	case pMustOne, pMustTwo, pPrivInner:
+		for i, c := range checks {
+			if deviates {
+				switch {
+				case dev == DropCheck && i == len(checks)-1:
+					continue
+				case dev == SwapCheck && i == 0:
+					c = altCheck(c)
+				case dev == WeakenMust && i == 0:
+					fmt.Fprintf(sb, "    if (b != 7) {\n      %s\n    }\n", checkCall(c))
+					continue
+				}
+			}
+			fmt.Fprintf(sb, "    %s\n", checkCall(c))
+		}
+		if deviates && dev == ExtraCheck {
+			fmt.Fprintf(sb, "    %s\n", checkCall(extraCheck(checks[0])))
+		}
+	case pMay:
+		c0, c1 := checks[0], checks[1]
+		if deviates && dev == SwapCheck {
+			c0 = altCheck(c0)
+		}
+		fmt.Fprintf(sb, "    if (b > 0) {\n      %s\n", checkCall(c0))
+		fmt.Fprintf(sb, "    } else {\n")
+		if !(deviates && dev == DropCheck) {
+			fmt.Fprintf(sb, "      %s\n", checkCall(c1))
+		}
+		if deviates && dev == ExtraCheck {
+			fmt.Fprintf(sb, "      %s\n", checkCall(extraCheck(c1)))
+		}
+		fmt.Fprintf(sb, "    }\n")
+		if deviates && dev == WeakenMust {
+			// Not applicable to pMay (already MAY); keep policies equal.
+			_ = dev
+		}
+	case pLoop:
+		c0 := checks[0]
+		if deviates && dev == SwapCheck {
+			c0 = altCheck(c0)
+		}
+		if deviates && dev == DropCheck {
+			fmt.Fprintf(sb, "    for (int i = 0; i < b; i++) {\n      state = state + 1;\n    }\n")
+		} else {
+			fmt.Fprintf(sb, "    for (int i = 0; i < b; i++) {\n      %s\n    }\n", checkCall(c0))
+		}
+		if deviates && dev == ExtraCheck {
+			fmt.Fprintf(sb, "    %s\n", checkCall(extraCheck(c0)))
+		}
+	}
+}
+
+// emitLeaf renders the security-sensitive tail: either a direct native
+// call or (for pPrivInner, and for PrivWrap deviations) a doPrivileged
+// action wrapping the native call.
+func emitLeaf(sb *strings.Builder, cs *classSpec, ms *methodSpec, lib string, privWrapped bool, actions *[]string) {
+	needAction := ms.pattern == pPrivInner || privWrapped
+	if !needAction {
+		fmt.Fprintf(sb, "    state = state + 1;\n")
+		fmt.Fprintf(sb, "    cacheSize = cacheSize + b;\n")
+		fmt.Fprintf(sb, "    hits = hits + state;\n")
+		fmt.Fprintf(sb, "    label = a;\n")
+		fmt.Fprintf(sb, "    int r = Util.chain0(a, b);\n")
+		fmt.Fprintf(sb, "    return r + %sN(a);\n  }\n", ms.name)
+		return
+	}
+	actionName := fmt.Sprintf("%s%sAction", cs.name, strings.Title(ms.name))
+	fmt.Fprintf(sb, "    Object r = AccessController.doPrivileged(new %s(a, b));\n", actionName)
+	fmt.Fprintf(sb, "    return state;\n  }\n")
+
+	var ab strings.Builder
+	fmt.Fprintf(&ab, "class %s implements PrivilegedAction {\n", actionName)
+	fmt.Fprintf(&ab, "  private String a;\n  private int b;\n")
+	fmt.Fprintf(&ab, "  private SecurityManager securityManager;\n")
+	fmt.Fprintf(&ab, "  %s(String a, int b) {\n    this.a = a;\n    this.b = b;\n  }\n", actionName)
+	fmt.Fprintf(&ab, "  public Object run() {\n")
+	if privWrapped {
+		// The deviant library performs its checks here, where they are
+		// semantic no-ops.
+		for _, c := range ms.checks {
+			fmt.Fprintf(&ab, "    %s\n", checkCall(c))
+		}
+	}
+	fmt.Fprintf(&ab, "    int v = %s.%sP0(a);\n    return null;\n  }\n", cs.name, ms.name)
+	fmt.Fprintf(&ab, "}\n\n")
+	*actions = append(*actions, ab.String())
+
+	// Static native leaf for the action to call.
+	fmt.Fprintf(sb, "  static native int %sP0(String a);\n", ms.name)
+}
+
+// emitFalseNegative renders the Section 6.4 false-negative populations.
+// FNCondDivergence guards the same check with a different, data-dependent
+// condition per library: the flat MAY sets agree, so the oracle is silent
+// even though the implementations genuinely disagree about when to check.
+// FNAllWrongKind omits the check in every library: all policies agree on
+// the (wrong) empty policy.
+func emitFalseNegative(sb *strings.Builder, ms *methodSpec, lib string) {
+	fmt.Fprintf(sb, "  public int %s(String a, int b) {\n", ms.name)
+	if ms.fn == FNCondDivergence {
+		cond := map[string]string{
+			"jdk":       "b > 0",
+			"harmony":   "b < 0",
+			"classpath": "b == 0",
+		}[lib]
+		fmt.Fprintf(sb, "    if (%s) {\n      %s\n    }\n", cond, checkCall(ms.checks[0]))
+	}
+	fmt.Fprintf(sb, "    return %sN(a);\n  }\n", ms.name)
+	fmt.Fprintf(sb, "  native int %sN(String a);\n", ms.name)
+}
+
+// emitGuard renders the Figure 4 constant-guard twin: a guarded entry plus
+// a delegating entry that passes a constant null. Identical across
+// libraries; only interprocedural constant propagation keeps the delegate's
+// policy empty.
+func emitGuard(sb *strings.Builder, cs *classSpec, ms *methodSpec, lib string, dev IssueKind, deviates bool) {
+	c0 := ms.checks[0]
+	if deviates && dev == SwapCheck {
+		c0 = altCheck(c0)
+	}
+	fmt.Fprintf(sb, "  public int %s(String a, int b, Object handler) {\n", ms.name)
+	if !(deviates && dev == DropCheck) {
+		fmt.Fprintf(sb, "    if (handler != null) {\n      %s\n    }\n", checkCall(c0))
+	}
+	if deviates && dev == ExtraCheck {
+		fmt.Fprintf(sb, "    %s\n", checkCall(extraCheck(c0)))
+	}
+	fmt.Fprintf(sb, "    return %sN(a);\n  }\n", ms.name)
+	fmt.Fprintf(sb, "  public int %sDefault(String a) {\n", ms.name)
+	if lib == ms.guardInlineLib {
+		// This dialect's twin skips the handler logic outright (like
+		// Classpath's URL(String)); the others delegate with a constant
+		// null and need ICP to prove the guarded check dead.
+		fmt.Fprintf(sb, "    return %sN(a);\n  }\n", ms.name)
+	} else {
+		fmt.Fprintf(sb, "    return %s(a, 0, (Object) null);\n  }\n", ms.name)
+	}
+	fmt.Fprintf(sb, "  native int %sN(String a);\n", ms.name)
+	for w := 1; w <= ms.wrappers; w++ {
+		fmt.Fprintf(sb, "  public int %sWrap%d(String a, int b, Object handler) {\n    return %s(a, b, handler);\n  }\n",
+			ms.name, w, ms.name)
+	}
+}

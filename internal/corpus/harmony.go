@@ -1,0 +1,317 @@
+package corpus
+
+// harmonyNet reproduces the Harmony-side code of Figures 1, 4, and 6.
+const harmonyNet = `
+package java.net;
+
+import java.lang.*;
+
+public class InetAddress {
+  private String hostName;
+  public boolean isMulticastAddress() { return isMulticast0(); }
+  public String getHostAddress() { return addr0(); }
+  public String getHostName() { return hostName; }
+  native boolean isMulticast0();
+  native String addr0();
+}
+
+public class SocketAddress {
+  public SocketAddress() { }
+}
+
+public class InetSocketAddress extends SocketAddress {
+  private InetAddress addr;
+  private String hostname;
+  private int port;
+  public boolean isUnresolved() { return addr == null; }
+  public String getHostName() { return hostname; }
+  public int getPort() { return port; }
+  public InetAddress getAddress() { return addr; }
+}
+
+public class DatagramSocketImpl {
+  public void connect(InetAddress address, int port) {
+    connect0(address, port);
+  }
+  native void connect0(InetAddress address, int port);
+}
+
+// DatagramSocket.connect is Figure 1(b): Harmony's vulnerability — the
+// checkAccept call on the non-multicast branch is missing.
+public class DatagramSocket {
+  private SecurityManager securityManager;
+  private DatagramSocketImpl impl;
+  private Object lock;
+  private InetAddress address;
+  private int port;
+
+  public void connect(InetAddress anAddr, int aPort) {
+    connectCheck(anAddr, aPort);
+  }
+
+  public void reconnect(InetAddress anAddr, int aPort) {
+    connectCheck(anAddr, aPort);
+  }
+
+  private void connectCheck(InetAddress anAddr, int aPort) {
+    synchronized (lock) {
+      if (anAddr.isMulticastAddress()) {
+        securityManager.checkMulticast(anAddr);
+      } else {
+        securityManager.checkConnect(anAddr.getHostName(), aPort);
+      }
+      impl.connect(anAddr, aPort);
+      address = anAddr;
+      port = aPort;
+    }
+  }
+}
+
+public class SocketImpl {
+  public void connect(SocketAddress address, int timeout) {
+    socketConnect(address, timeout);
+  }
+  native void socketConnect(SocketAddress address, int timeout);
+}
+
+// Socket.connect: Harmony performs the check (like the JDK).
+public class Socket {
+  private SecurityManager securityManager;
+  private SocketImpl impl;
+
+  public void connect(SocketAddress endpoint) {
+    connect(endpoint, 0);
+  }
+
+  public void connect(SocketAddress endpoint, int timeout) {
+    InetSocketAddress anAddr = (InetSocketAddress) endpoint;
+    securityManager.checkConnect(anAddr.getHostName(), anAddr.getPort());
+    impl.connect(endpoint, timeout);
+  }
+}
+
+public class Proxy {
+  public static int DIRECT = 0;
+  private int proxyType;
+  private SocketAddress sa;
+  public int type() { return proxyType; }
+  public SocketAddress address() { return sa; }
+}
+
+public class URLConnection {
+  public URLConnection() { }
+  public Object getContent() { return content0(); }
+  native Object content0();
+}
+
+public class URLStreamHandler {
+  public URLConnection openConnection(URL u, Proxy p) {
+    return new URLConnection();
+  }
+}
+
+// URL.openConnection is Figure 6(a): Harmony returns internal API state
+// without any checks — the vulnerability requires API-return events.
+public class URL {
+  private URLStreamHandler strmHandler;
+  private SecurityManager securityManager;
+  private Permission specifyStreamHandlerPermission;
+  private String protocol;
+
+  // Figure 4 verbatim: the Harmony constructors whose precise policy needs
+  // interprocedural constant propagation.
+  public URL(String spec) {
+    this((URL) null, spec, (URLStreamHandler) null);
+  }
+
+  public URL(URL context, String spec, URLStreamHandler handler) {
+    if (handler != null) {
+      securityManager.checkPermission(specifyStreamHandlerPermission);
+      strmHandler = handler;
+    }
+    protocol = spec;
+  }
+
+  public URLConnection openConnection(Proxy proxy) {
+    return strmHandler.openConnection(this, proxy);
+  }
+}
+
+// NetworkInterface.getInetAddresses: Harmony unnecessarily uses
+// checkConnect to test address reachability — a questionable coding
+// practice producing one of the paper's three false positives.
+public class NetworkInterface {
+  private SecurityManager securityManager;
+  public boolean getInetAddresses() {
+    securityManager.checkConnect("localhost", 0);
+    return isReachable0();
+  }
+  native boolean isReachable0();
+}
+`
+
+// harmonyRuntime: loadLibrary performs both checkLink and checkRead (the
+// correct policy JDK misses), and the property read checks outside any
+// privileged block.
+const harmonyRuntime = `
+package java.lang;
+
+import java.security.*;
+import java.nio.charset.Charset;
+
+public class Runtime {
+  private SecurityManager securityManager;
+
+  public void loadLibrary(String libname) {
+    securityManager.checkLink(libname);
+    securityManager.checkRead(libname);
+    nativeLoad(libname);
+  }
+
+  native void nativeLoad(String filename);
+}
+
+public class PropsAccess {
+  private SecurityManager securityManager;
+  public String getProperty(String key) {
+    securityManager.checkPropertyAccess(key);
+    return read0(key);
+  }
+  static native String read0(String key);
+}
+
+// StringOps.getBytes is Figure 8(b): Harmony throws an exception where the
+// JDK calls System.exit, so no checkExit permission is involved.
+public class StringOps {
+  private Charset defaultCharsetValue;
+  public byte[] getBytes(String s) {
+    Charset cs = defaultCharset();
+    return cs.encode(s);
+  }
+  private Charset defaultCharset() {
+    if (defaultCharsetValue == null) {
+      defaultCharsetValue = Charset.forName("ISO-8859-1");
+    }
+    return defaultCharsetValue;
+  }
+}
+`
+
+const harmonyMisc = `
+package java.security;
+
+import java.lang.*;
+
+// Security.getProperty: Harmony uses checkSecurityAccess where the JDK
+// uses checkPermission — both achieve the same goal; the reported
+// difference is a false positive (Section 6.4).
+public class Security {
+  private static SecurityManager securityManager;
+  public static String getProperty(String key) {
+    securityManager.checkSecurityAccess("getProperty");
+    return getProp0(key);
+  }
+  static native String getProp0(String key);
+}
+`
+
+const harmonyNio = `
+package java.nio.charset;
+
+import java.lang.*;
+
+public class Charset {
+  public static Charset forName(String name) {
+    Charset cs = lookup0(name);
+    if (cs == null) {
+      // Figure 8(b): a missing default charset surfaces as an exception,
+      // where the JDK terminates via System.exit.
+      throw new UnsupportedEncodingException();
+    }
+    return cs;
+  }
+  static native Charset lookup0(String name);
+  public byte[] encode(String s) {
+    return encodeLoop0(s);
+  }
+  native byte[] encodeLoop0(String s);
+}
+`
+
+const harmonyIO = `
+package java.io;
+
+import java.lang.*;
+
+// FileStream.open: Harmony guards the check on a data-dependent condition,
+// turning JDK's MUST policy into a MAY policy — the paper's one MUST/MAY
+// interoperability bug.
+public class FileStream {
+  private SecurityManager securityManager;
+  public void open(String name) {
+    if (!name.isEmpty()) {
+      securityManager.checkRead(name);
+    }
+    open0(name);
+  }
+  native void open0(String name);
+}
+`
+
+const harmonyUtil = `
+package java.util;
+
+import java.lang.*;
+
+// Bag is the second implementation of Figure 3: the read of private data1
+// happens before its checkRead. Narrow policies are identical to the
+// JDK's; only broad events reveal the unprotected read.
+public class Bag {
+  private Object data1;
+  private Object data2;
+  private SecurityManager securityManager;
+
+  public Object a(boolean condition, Collector obj) {
+    if (condition) {
+      obj.add(data1);
+      securityManager.checkRead("bag");
+      return obj;
+    }
+    securityManager.checkRead("bag");
+    obj.add(data2);
+    return obj;
+  }
+}
+
+public class Collector {
+  private int n;
+  public Collector() { }
+  public void add(Object x) { n = n + 1; }
+}
+
+// Props.list: Harmony uses checkPropertiesAccess where the JDK uses
+// checkPropertyAccess — a false positive (both protect property state).
+public class Props {
+  private SecurityManager securityManager;
+  public void list() {
+    securityManager.checkPropertiesAccess();
+    list0();
+  }
+  native void list0();
+}
+`
+
+// HarmonySources returns the hand-written harmony implementation.
+func HarmonySources() map[string]string {
+	m := RuntimeSources()
+	for f, src := range consistentClasses(Harmony) {
+		m[f] = src
+	}
+	m["java/net/net.mj"] = harmonyNet
+	m["java/lang/rt.mj"] = harmonyRuntime
+	m["java/security/security.mj"] = harmonyMisc
+	m["java/nio/charset.mj"] = harmonyNio
+	m["java/io/io.mj"] = harmonyIO
+	m["java/util/util.mj"] = harmonyUtil
+	return m
+}

@@ -1,0 +1,372 @@
+package corpus
+
+// jdkNet reproduces the JDK-side code of Figures 1, 4, 6, and 7.
+const jdkNet = `
+package java.net;
+
+import java.lang.*;
+
+public class InetAddress {
+  private String hostName;
+  public boolean isMulticastAddress() { return isMulticast0(); }
+  public String getHostAddress() { return addr0(); }
+  public String getHostName() { return hostName; }
+  native boolean isMulticast0();
+  native String addr0();
+}
+
+public class SocketAddress {
+  public SocketAddress() { }
+}
+
+public class InetSocketAddress extends SocketAddress {
+  private InetAddress addr;
+  private String hostname;
+  private int port;
+  public boolean isUnresolved() { return addr == null; }
+  public String getHostName() { return hostname; }
+  public int getPort() { return port; }
+  public InetAddress getAddress() { return addr; }
+}
+
+public class DatagramSocketImpl {
+  public void connect(InetAddress address, int port) {
+    connect0(address, port);
+  }
+  native void connect0(InetAddress address, int port);
+}
+
+// DatagramSocket.connect is Figure 1(a): the correct, unique policy —
+// checkMulticast on the multicast branch, checkConnect AND checkAccept on
+// the other.
+public class DatagramSocket {
+  private SecurityManager securityManager;
+  private DatagramSocketImpl impl;
+  private InetAddress connectedAddress;
+  private int connectedPort;
+  private int connectState;
+  private boolean oldImpl;
+
+  public void connect(InetAddress address, int port) {
+    connectInternal(address, port);
+  }
+
+  public void reconnect(InetAddress address, int port) {
+    connectInternal(address, port);
+  }
+
+  private synchronized void connectInternal(InetAddress address, int port) {
+    if (address.isMulticastAddress()) {
+      securityManager.checkMulticast(address);
+    } else {
+      securityManager.checkConnect(address.getHostAddress(), port);
+      securityManager.checkAccept(address.getHostAddress(), port);
+    }
+    if (oldImpl) {
+      connectState = 2;
+    } else {
+      getImpl().connect(address, port);
+    }
+    connectedAddress = address;
+    connectedPort = port;
+  }
+
+  DatagramSocketImpl getImpl() { return impl; }
+}
+
+public class SocketImpl {
+  public void connect(SocketAddress address, int timeout) {
+    socketConnect(address, timeout);
+  }
+  native void socketConnect(SocketAddress address, int timeout);
+}
+
+// Socket.connect is Figure 7(a): JDK always calls checkConnect before
+// opening the network connection.
+public class Socket {
+  private SecurityManager securityManager;
+  private SocketImpl impl;
+
+  public void connect(SocketAddress endpoint) {
+    connect(endpoint, 0);
+  }
+
+  public void connect(SocketAddress endpoint, int timeout) {
+    InetSocketAddress epoint = (InetSocketAddress) endpoint;
+    securityManager.checkConnect(epoint.getHostName(), epoint.getPort());
+    impl.connect(endpoint, timeout);
+  }
+}
+
+public class Proxy {
+  public static int DIRECT = 0;
+  private int proxyType;
+  private SocketAddress sa;
+  public int type() { return proxyType; }
+  public SocketAddress address() { return sa; }
+}
+
+public class URLConnection {
+  public URLConnection() { }
+  public Object getContent() { return content0(); }
+  native Object content0();
+}
+
+public class URLStreamHandler {
+  public URLConnection openConnection(URL u, Proxy p) {
+    return new URLConnection();
+  }
+}
+
+// URL.openConnection is Figure 6(b): JDK performs checkConnect before
+// returning internal API state; the checks differ by proxy resolution.
+public class URL {
+  private URLStreamHandler handler;
+  private SecurityManager securityManager;
+  private Permission specifyStreamHandlerPermission;
+  private String protocol;
+
+  // Figure 4's pattern: the single-argument constructor delegates with a
+  // constant null handler, so the guarded checkPermission below does not
+  // apply to it — precision that requires interprocedural constant
+  // propagation.
+  public URL(String spec) {
+    this((URL) null, spec, (URLStreamHandler) null);
+  }
+
+  public URL(URL context, String spec, URLStreamHandler h) {
+    if (h != null) {
+      securityManager.checkPermission(specifyStreamHandlerPermission);
+      handler = h;
+    }
+    protocol = spec;
+  }
+
+  public URLConnection openConnection(Proxy proxy) {
+    if (proxy.type() != Proxy.DIRECT) {
+      InetSocketAddress epoint = (InetSocketAddress) proxy.address();
+      if (epoint.isUnresolved()) {
+        securityManager.checkConnect(epoint.getHostName(), epoint.getPort());
+      } else {
+        securityManager.checkConnect(
+            epoint.getAddress().getHostAddress(), epoint.getPort());
+      }
+    }
+    return handler.openConnection(this, proxy);
+  }
+}
+
+// NetworkInterface.getInetAddresses: JDK simply returns the result of the
+// native reachability test (the harmony side wraps it in a questionable
+// checkConnect — one of the paper's three false positives).
+public class NetworkInterface {
+  public boolean getInetAddresses() {
+    return isReachable0();
+  }
+  native boolean isReachable0();
+}
+`
+
+// jdkRuntime reproduces the JDK side of Figure 5 (Runtime.loadLibrary
+// missing checkRead) and the privileged-block vulnerability class
+// (checks inside doPrivileged are semantic no-ops).
+const jdkRuntime = `
+package java.lang;
+
+import java.security.*;
+
+public class NativeLibrary {
+  private String name;
+  public NativeLibrary(Object fromClass, String name) { this.name = name; }
+  public void load(String name) {
+    nativeLoad0(name);
+  }
+  native void nativeLoad0(String name);
+}
+
+public class ClassLoader {
+  static void loadLibrary(Object fromClass, String name, boolean isAbsolute) {
+    loadLibrary0(fromClass, name);
+  }
+  private static boolean loadLibrary0(Object fromClass, String file) {
+    NativeLibrary lib = new NativeLibrary(fromClass, file);
+    lib.load(file);
+    return true;
+  }
+}
+
+// Figure 5(a): JDK returns from loadLibrary having called only checkLink;
+// the checkRead performed by Classpath is missing.
+public class Runtime {
+  private SecurityManager securityManager;
+
+  public void loadLibrary(String libname) {
+    loadLibrary0(getCallerClass(), libname);
+  }
+
+  synchronized void loadLibrary0(Object fromClass, String libname) {
+    securityManager.checkLink(libname);
+    ClassLoader.loadLibrary(fromClass, libname, false);
+  }
+
+  static Object getCallerClass() { return null; }
+}
+
+// PropsAccess models the privileged-block vulnerability class: JDK wraps
+// the permission check inside doPrivileged, where it always succeeds and
+// protects nothing.
+class PropAction implements PrivilegedAction {
+  private String key;
+  private SecurityManager securityManager;
+  public PropAction(String key) { this.key = key; }
+  public Object run() {
+    securityManager.checkPropertyAccess(key);
+    return PropsAccess.read0(key);
+  }
+}
+
+public class PropsAccess {
+  public String getProperty(String key) {
+    Object v = AccessController.doPrivileged(new PropAction(key));
+    return (String) v;
+  }
+  static native String read0(String key);
+}
+
+// StringOps.getBytes is Figure 8(a): on a missing default charset JDK
+// terminates via System.exit, which requires checkExit permission —
+// an interoperability difference with Harmony's exception.
+public class StringOps {
+  public byte[] getBytes(String s) {
+    return StringCoding.encode(s);
+  }
+}
+
+public class StringCoding {
+  static byte[] encode(String s) {
+    try {
+      return encodeNamed("ISO-8859-1", s);
+    } catch (UnsupportedEncodingException x) {
+      System.exit(1);
+      return null;
+    }
+  }
+  static byte[] encodeNamed(String charset, String s) throws UnsupportedEncodingException {
+    return encode0(s);
+  }
+  static native byte[] encode0(String s);
+}
+`
+
+// jdkMisc covers the remaining comparison subjects: the security-property
+// false positive, the charsetProvider interoperability difference, the
+// MUST/MAY interoperability bug, and the Figure 3 broad-events holder.
+const jdkMisc = `
+package java.security;
+
+import java.lang.*;
+
+public class Security {
+  private static SecurityManager securityManager;
+  private static Permission securityPropertyPermission;
+  public static String getProperty(String key) {
+    securityManager.checkPermission(securityPropertyPermission);
+    return getProp0(key);
+  }
+  static native String getProp0(String key);
+}
+`
+
+const jdkNio = `
+package java.nio.charset;
+
+import java.lang.*;
+
+public class Charset {
+  public static Charset forName(String name) {
+    return lookup0(name);
+  }
+  static native Charset lookup0(String name);
+  public byte[] encode(String s) {
+    return encodeLoop0(s);
+  }
+  native byte[] encodeLoop0(String s);
+}
+`
+
+const jdkIO = `
+package java.io;
+
+import java.lang.*;
+
+// FileStream.open: JDK checks unconditionally — Harmony's conditional
+// check makes this the MUST/MAY interoperability difference.
+public class FileStream {
+  private SecurityManager securityManager;
+  public void open(String name) {
+    securityManager.checkRead(name);
+    open0(name);
+  }
+  native void open0(String name);
+}
+`
+
+const jdkUtil = `
+package java.util;
+
+import java.lang.*;
+
+// Bag is the first implementation of the paper's Figure 3: checkRead
+// guards the read of private data1; with narrow events both
+// implementations have identical API-return policies, and only broad
+// events expose the difference.
+public class Bag {
+  private Object data1;
+  private Object data2;
+  private SecurityManager securityManager;
+
+  public Object a(boolean condition, Collector obj) {
+    if (condition) {
+      securityManager.checkRead("bag");
+      obj.add(data1);
+      return obj;
+    }
+    securityManager.checkRead("bag");
+    obj.add(data2);
+    return obj;
+  }
+}
+
+public class Collector {
+  private int n;
+  public Collector() { }
+  public void add(Object x) { n = n + 1; }
+}
+
+// Props.list: JDK uses checkPropertyAccess where Harmony uses
+// checkPropertiesAccess — a questionable-coding-practice mismatch that is
+// one of the paper's three false positives.
+public class Props {
+  private SecurityManager securityManager;
+  public void list() {
+    securityManager.checkPropertyAccess("*");
+    list0();
+  }
+  native void list0();
+}
+`
+
+// JDKSources returns the hand-written jdk implementation.
+func JDKSources() map[string]string {
+	m := RuntimeSources()
+	for f, src := range consistentClasses(JDK) {
+		m[f] = src
+	}
+	m["java/net/net.mj"] = jdkNet
+	m["java/lang/rt.mj"] = jdkRuntime
+	m["java/security/security.mj"] = jdkMisc
+	m["java/nio/charset.mj"] = jdkNio
+	m["java/io/io.mj"] = jdkIO
+	m["java/util/util.mj"] = jdkUtil
+	return m
+}

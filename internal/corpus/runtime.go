@@ -1,0 +1,143 @@
+// Package corpus provides the MJ workloads for the security policy oracle:
+// hand-written classes reproducing every figure of the paper in three
+// independent implementation dialects (jdk, harmony, classpath), the
+// ground-truth labels for the seeded differences, and (in subpackage gen)
+// a deterministic generator of paper-scale libraries.
+package corpus
+
+// runtimeSource is the java.lang/java.security prelude that every
+// implementation ships its own copy of: Object, String, the full
+// 31-check SecurityManager, System, Runtime permissions, and the
+// AccessController privileged-block machinery.
+const runtimeSource = `
+package java.lang;
+
+public class Object {
+  public int hashCode() { return 0; }
+  public boolean equals(Object other) { return this == other; }
+  public String toString() { return null; }
+}
+
+public class String {
+  private char[] value;
+  private int count;
+  public int length() { return count; }
+  public boolean isEmpty() { return count == 0; }
+  public char charAt(int index) { return value[index]; }
+}
+
+public class Exception {
+  private String message;
+  public Exception() { }
+  public String getMessage() { return message; }
+}
+
+public class RuntimeException extends Exception {
+  public RuntimeException() { }
+}
+
+public class SecurityException extends RuntimeException {
+  public SecurityException() { }
+}
+
+public class UnsupportedEncodingException extends Exception {
+  public UnsupportedEncodingException() { }
+}
+
+public class IOException extends Exception {
+  public IOException() { }
+}
+
+public class Thread {
+  public void interrupt() { }
+}
+
+public class ThreadGroup {
+  public void interruptGroup() { }
+}
+
+public class Permission {
+  private String name;
+  public Permission(String name) { this.name = name; }
+  public String getName() { return name; }
+}
+
+public class RuntimePermission extends Permission {
+  public RuntimePermission(String name) { super(name); }
+}
+
+// SecurityManager declares the 31 security checks of the Java security
+// model. Bodies delegate to checkPermission in the real libraries; the
+// analysis treats every call to one of these methods as a security check
+// and does not descend into it.
+public class SecurityManager {
+  public void checkAccept(String host, int port) { }
+  public void checkAccess(Thread t) { }
+  public void checkAccessThreadGroup(ThreadGroup g) { }
+  public void checkAwtEventQueueAccess() { }
+  public void checkConnect(String host, int port) { }
+  public void checkConnect(String host, int port, Object context) { }
+  public void checkCreateClassLoader() { }
+  public void checkDelete(String file) { }
+  public void checkExec(String cmd) { }
+  public void checkExit(int status) { }
+  public void checkLink(String lib) { }
+  public void checkListen(int port) { }
+  public void checkMemberAccess(Object clazz, int which) { }
+  public void checkMulticast(Object maddr) { }
+  public void checkMulticast(Object maddr, int ttl) { }
+  public void checkPackageAccess(String pkg) { }
+  public void checkPackageDefinition(String pkg) { }
+  public void checkPermission(Object perm) { }
+  public void checkPermission(Object perm, Object context) { }
+  public void checkPrintJobAccess() { }
+  public void checkPropertiesAccess() { }
+  public void checkPropertyAccess(String key) { }
+  public void checkRead(String file) { }
+  public void checkReadFD(Object fd) { }
+  public void checkRead(String file, Object context) { }
+  public void checkSecurityAccess(String target) { }
+  public void checkSetFactory() { }
+  public void checkSystemClipboardAccess() { }
+  public void checkTopLevelWindow(Object window) { }
+  public void checkWrite(String file) { }
+  public void checkWriteFD(Object fd) { }
+}
+
+public class System {
+  private static SecurityManager security;
+  public static SecurityManager getSecurityManager() { return security; }
+  public static void exit(int status) {
+    SecurityManager sm = getSecurityManager();
+    sm.checkExit(status);
+    halt0(status);
+  }
+  static native void halt0(int status);
+}
+`
+
+// accessControlSource is the java.security prelude.
+const accessControlSource = `
+package java.security;
+
+import java.lang.*;
+
+public interface PrivilegedAction {
+  Object run();
+}
+
+public class AccessController {
+  public static Object doPrivileged(PrivilegedAction action) {
+    return action.run();
+  }
+}
+`
+
+// RuntimeSources returns the runtime prelude files shared (as per-library
+// copies) by every implementation.
+func RuntimeSources() map[string]string {
+	return map[string]string{
+		"java/lang/runtime.mj":           runtimeSource,
+		"java/security/accesscontrol.mj": accessControlSource,
+	}
+}

@@ -1,0 +1,111 @@
+// Package dataflow provides a generic forward worklist solver over IR
+// control-flow graphs. The security policy dataflow analysis (SPDA,
+// Algorithm 1 in the paper) instantiates it twice — MAY (union meet) and
+// MUST (intersection meet) — over the powerset-of-checks lattice, and a
+// third time over bounded path-set states for Figure 2-style reporting.
+package dataflow
+
+import "policyoracle/internal/ir"
+
+// Problem describes one forward dataflow instance over a function's CFG.
+type Problem[T any] struct {
+	Blocks  []*ir.Block
+	EntryIn T
+
+	// Meet combines the OUT values of multiple feasible predecessors
+	// (union for MAY, intersection for MUST).
+	Meet func(a, b T) T
+	// Equal detects convergence.
+	Equal func(a, b T) bool
+	// Transfer computes OUT from IN for one block.
+	Transfer func(b *ir.Block, in T) T
+	// EdgeFeasible reports whether the i'th successor edge of b can
+	// execute; nil means all edges are feasible. Infeasible edges are the
+	// product of conditional constant propagation.
+	EdgeFeasible func(b *ir.Block, i int) bool
+}
+
+// Solution holds per-block dataflow values after convergence.
+type Solution[T any] struct {
+	In      []T
+	Out     []T
+	Reached []bool
+}
+
+// Solve runs the worklist algorithm to a fixed point. Blocks with no
+// feasible path from the entry are left unreached; their In/Out values are
+// meaningless and Reached reports false.
+func Solve[T any](p *Problem[T]) *Solution[T] {
+	n := len(p.Blocks)
+	sol := &Solution[T]{In: make([]T, n), Out: make([]T, n), Reached: make([]bool, n)}
+	if n == 0 {
+		return sol
+	}
+	feasible := p.EdgeFeasible
+	if feasible == nil {
+		feasible = func(*ir.Block, int) bool { return true }
+	}
+
+	entry := p.Blocks[0]
+	sol.In[entry.Index] = p.EntryIn
+	sol.Out[entry.Index] = p.Transfer(entry, p.EntryIn)
+	sol.Reached[entry.Index] = true
+
+	worklist := make([]*ir.Block, 0, n)
+	inList := make([]bool, n)
+	push := func(b *ir.Block) {
+		if !inList[b.Index] {
+			worklist = append(worklist, b)
+			inList[b.Index] = true
+		}
+	}
+	for i, s := range entry.Succs {
+		if feasible(entry, i) {
+			push(s)
+		}
+	}
+
+	for len(worklist) > 0 {
+		b := worklist[0]
+		worklist = worklist[1:]
+		inList[b.Index] = false
+
+		// IN(b) = meet over feasible, reached predecessor edges.
+		var in T
+		have := false
+		for _, pred := range b.Preds {
+			if !sol.Reached[pred.Index] {
+				continue
+			}
+			for i, s := range pred.Succs {
+				if s != b || !feasible(pred, i) {
+					continue
+				}
+				if !have {
+					in = sol.Out[pred.Index]
+					have = true
+				} else {
+					in = p.Meet(in, sol.Out[pred.Index])
+				}
+				break // one edge from this pred suffices for the meet
+			}
+		}
+		if !have {
+			continue // no feasible path here yet
+		}
+
+		out := p.Transfer(b, in)
+		first := !sol.Reached[b.Index]
+		if first || !p.Equal(sol.Out[b.Index], out) || !p.Equal(sol.In[b.Index], in) {
+			sol.In[b.Index] = in
+			sol.Out[b.Index] = out
+			sol.Reached[b.Index] = true
+			for i, s := range b.Succs {
+				if feasible(b, i) {
+					push(s)
+				}
+			}
+		}
+	}
+	return sol
+}

@@ -1,0 +1,81 @@
+package diff
+
+import (
+	"encoding/json"
+
+	"policyoracle/internal/secmodel"
+)
+
+// JSONReport is the serializable form of a Report, for CI integration and
+// archival. Check sets render as sorted name lists and events as their
+// string form.
+type JSONReport struct {
+	LibA            string      `json:"libA"`
+	LibB            string      `json:"libB"`
+	MatchingEntries int         `json:"matchingEntries"`
+	Groups          []JSONGroup `json:"groups"`
+}
+
+// JSONGroup is one distinct error.
+type JSONGroup struct {
+	Case           string     `json:"case"`
+	Category       string     `json:"category"`
+	DiffChecks     []string   `json:"diffChecks"`
+	MissingIn      string     `json:"missingIn,omitempty"`
+	RootMethods    []string   `json:"rootMethods,omitempty"`
+	Manifestations int        `json:"manifestations"`
+	Entries        []string   `json:"entries"`
+	Diffs          []JSONDiff `json:"differences"`
+}
+
+// JSONDiff is one per-entry difference.
+type JSONDiff struct {
+	Entry string   `json:"entry"`
+	Event string   `json:"event"`
+	AMust []string `json:"aMust"`
+	AMay  []string `json:"aMay"`
+	BMust []string `json:"bMust"`
+	BMay  []string `json:"bMay"`
+}
+
+func checkNames(s interface{ IDs() []secmodel.CheckID }) []string {
+	ids := s.IDs()
+	out := make([]string, 0, len(ids))
+	for _, id := range ids {
+		out = append(out, secmodel.CheckName(id))
+	}
+	return out
+}
+
+// ToJSON converts the report to its serializable form.
+func (r *Report) ToJSON() *JSONReport {
+	jr := &JSONReport{LibA: r.LibA, LibB: r.LibB, MatchingEntries: r.MatchingEntries}
+	for _, g := range r.Groups {
+		jg := JSONGroup{
+			Case:           g.Case.String(),
+			Category:       g.Category.String(),
+			DiffChecks:     checkNames(g.DiffChecks),
+			MissingIn:      g.MissingIn,
+			RootMethods:    g.RootMethods,
+			Manifestations: g.Manifestations(),
+			Entries:        g.Entries,
+		}
+		for _, d := range g.Diffs {
+			jg.Diffs = append(jg.Diffs, JSONDiff{
+				Entry: d.Entry,
+				Event: d.Event.String(),
+				AMust: checkNames(d.A.Must),
+				AMay:  checkNames(d.A.May),
+				BMust: checkNames(d.B.Must),
+				BMay:  checkNames(d.B.May),
+			})
+		}
+		jr.Groups = append(jr.Groups, jg)
+	}
+	return jr
+}
+
+// MarshalJSON encodes the report via its serializable form.
+func (r *Report) MarshalJSON() ([]byte, error) {
+	return json.Marshal(r.ToJSON())
+}

@@ -1,0 +1,64 @@
+package diff
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+
+	"policyoracle/internal/policy"
+	"policyoracle/internal/secmodel"
+)
+
+func TestJSONRoundtrip(t *testing.T) {
+	c := check(t, "checkConnect", 2)
+	a := lib("a", map[string]map[secmodel.Event]evSpec{
+		"A.f()": {ret: {must: set(c), may: set(c), origins: map[secmodel.CheckID]string{c: "A.f()"}}},
+	})
+	b := lib("b", map[string]map[secmodel.Event]evSpec{
+		"A.f()": {ret: {}},
+	})
+	rep := Compare(a, b)
+	data, err := json.Marshal(rep)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := string(data)
+	for _, want := range []string{
+		`"libA":"a"`, `"libB":"b"`, `"matchingEntries":1`,
+		`"case":"missing-policy"`, `"checkConnect"`, `"A.f()"`, `"missingIn":"b"`,
+	} {
+		if !strings.Contains(s, want) {
+			t.Errorf("JSON missing %s:\n%s", want, s)
+		}
+	}
+
+	// The JSON decodes back into the serializable form.
+	var jr JSONReport
+	if err := json.Unmarshal(data, &jr); err != nil {
+		t.Fatal(err)
+	}
+	if jr.LibA != "a" || len(jr.Groups) != 1 || jr.Groups[0].Manifestations != 1 {
+		t.Errorf("decoded = %+v", jr)
+	}
+	if len(jr.Groups[0].Diffs) != 1 || jr.Groups[0].Diffs[0].Event != "return" {
+		t.Errorf("diffs = %+v", jr.Groups[0].Diffs)
+	}
+}
+
+func TestJSONEmptyReport(t *testing.T) {
+	a := lib("a", map[string]map[secmodel.Event]evSpec{"A.f()": {ret: {}}})
+	b := lib("b", map[string]map[secmodel.Event]evSpec{"A.f()": {ret: {}}})
+	rep := Compare(a, b)
+	data, err := json.Marshal(rep)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var jr JSONReport
+	if err := json.Unmarshal(data, &jr); err != nil {
+		t.Fatal(err)
+	}
+	if len(jr.Groups) != 0 {
+		t.Errorf("groups = %+v", jr.Groups)
+	}
+	_ = policy.Empty
+}

@@ -1,0 +1,120 @@
+package exceptions
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestThrowInsideControlFlow(t *testing.T) {
+	a, p := analyze(t, excPrelude, `
+package p;
+public class A {
+  public void f(int n) {
+    for (int i = 0; i < n; i++) {
+      switch (i) {
+      case 1:
+        throw new IOException();
+      default:
+        keep(i);
+      }
+    }
+    synchronized (this) {
+      while (n > 0) {
+        do {
+          n--;
+          if (n == 3) { throw new FileNotFoundException(); }
+        } while (n > 5);
+      }
+    }
+  }
+  void keep(int i) { }
+}`)
+	got := a.ThrownBy(entry(t, p, "p.A.f(int)"))
+	if !got["IOException"] || !got["FileNotFoundException"] {
+		t.Errorf("thrown = %s", got)
+	}
+}
+
+func TestCatchInsideNestedTry(t *testing.T) {
+	a, p := analyze(t, excPrelude, `
+package p;
+public class A {
+  public void f() {
+    try {
+      try {
+        throw new IOException();
+      } finally {
+        cleanup();
+      }
+    } catch (IOException e) {
+      recover();
+    }
+  }
+  void cleanup() { }
+  void recover() { }
+}`)
+	got := a.ThrownBy(entry(t, p, "p.A.f()"))
+	if len(got) != 0 {
+		t.Errorf("thrown = %s, want empty", got)
+	}
+}
+
+func TestTypeSetOps(t *testing.T) {
+	s := TypeSet{"B": true, "A": true}
+	if got := s.String(); got != "{A, B}" {
+		t.Errorf("String = %q", got)
+	}
+	if !s.Equal(TypeSet{"A": true, "B": true}) {
+		t.Error("Equal order-sensitive")
+	}
+	if s.Equal(TypeSet{"A": true}) || s.Equal(TypeSet{"A": true, "C": true}) {
+		t.Error("Equal wrong")
+	}
+	if got := s.Sorted(); len(got) != 2 || got[0] != "A" {
+		t.Errorf("Sorted = %v", got)
+	}
+}
+
+func TestCompareSortedAndSymmetricCount(t *testing.T) {
+	a, _ := analyze(t, excPrelude, `
+package p;
+public class Z {
+  public void z() { throw new IOException(); }
+}
+public class A {
+  public void f() { throw new IOException(); }
+}`)
+	b, _ := analyze(t, excPrelude, `
+package p;
+public class Z {
+  public void z() { }
+}
+public class A {
+  public void f() { }
+}`)
+	ab := Compare(a, b)
+	ba := Compare(b, a)
+	if len(ab) != 2 || len(ba) != 2 {
+		t.Fatalf("counts: %d vs %d", len(ab), len(ba))
+	}
+	if !strings.Contains(ab[0].Entry, "p.A.f") {
+		t.Errorf("not sorted: %v", ab)
+	}
+}
+
+func TestUnresolvedCatchTypeMatchesByName(t *testing.T) {
+	a, p := analyze(t, excPrelude, `
+package p;
+public class A {
+  public void f() {
+    try { g(); } catch (NoSuchType e) { }
+  }
+  void g() { throw new IOException(); }
+}`)
+	got := a.ThrownBy(entry(t, p, "p.A.f()"))
+	// An unresolved handler type covers only its own name, so the
+	// IOException escapes — conservative toward reporting.
+	if !got["IOException"] {
+		t.Errorf("thrown = %s, want IOException to escape", got)
+	}
+}

@@ -1,0 +1,197 @@
+package exceptions
+
+import (
+	"strings"
+	"testing"
+
+	"policyoracle/internal/ast"
+	"policyoracle/internal/callgraph"
+	"policyoracle/internal/corpus"
+	"policyoracle/internal/ir"
+	"policyoracle/internal/lang"
+	"policyoracle/internal/parser"
+	"policyoracle/internal/types"
+)
+
+func analyze(t testing.TB, srcs ...string) (*Analyzer, *ir.Program) {
+	t.Helper()
+	var diags lang.Diagnostics
+	var files []*ast.File
+	for _, src := range srcs {
+		files = append(files, parser.ParseFile("t.mj", src, &diags))
+	}
+	tp := types.Build("t", files, &diags)
+	p := ir.LowerProgram(tp, &diags)
+	if diags.HasErrors() {
+		t.Fatalf("errors: %v", diags.Err())
+	}
+	return New(p, callgraph.NewResolver(p)), p
+}
+
+func entry(t testing.TB, p *ir.Program, sig string) *types.Method {
+	t.Helper()
+	for _, m := range p.Types.EntryPoints() {
+		if m.Qualified() == sig {
+			return m
+		}
+	}
+	t.Fatalf("entry %s not found", sig)
+	return nil
+}
+
+const excPrelude = `
+package p;
+public class Object { }
+public class String { }
+public class Exception { }
+public class IOException extends Exception { }
+public class FileNotFoundException extends IOException { }
+`
+
+func TestDirectThrow(t *testing.T) {
+	a, p := analyze(t, excPrelude, `
+package p;
+public class A {
+  public void f(boolean b) {
+    if (b) {
+      throw new IOException();
+    }
+  }
+}`)
+	got := a.ThrownBy(entry(t, p, "p.A.f(boolean)"))
+	if !got["IOException"] || len(got) != 1 {
+		t.Errorf("thrown = %s", got)
+	}
+}
+
+func TestInterproceduralPropagation(t *testing.T) {
+	a, p := analyze(t, excPrelude, `
+package p;
+public class A {
+  public void f() { g(); }
+  void g() { h(); }
+  void h() { throw new FileNotFoundException(); }
+}`)
+	got := a.ThrownBy(entry(t, p, "p.A.f()"))
+	if !got["FileNotFoundException"] {
+		t.Errorf("thrown = %s", got)
+	}
+}
+
+func TestCatchStopsPropagation(t *testing.T) {
+	a, p := analyze(t, excPrelude, `
+package p;
+public class A {
+  public void f() {
+    try { g(); } catch (IOException e) { recover(); }
+  }
+  void g() { throw new FileNotFoundException(); }
+  void recover() { }
+}`)
+	got := a.ThrownBy(entry(t, p, "p.A.f()"))
+	// FileNotFoundException is a subtype of the caught IOException.
+	if len(got) != 0 {
+		t.Errorf("thrown = %s, want empty (caught)", got)
+	}
+}
+
+func TestCatchOfUnrelatedTypeDoesNotStop(t *testing.T) {
+	a, p := analyze(t, excPrelude, `
+package p;
+public class Unrelated extends Exception { }
+public class A {
+	public void f() {
+		try { g(); } catch (Unrelated e) { }
+	}
+	void g() { throw new IOException(); }
+}`)
+	got := a.ThrownBy(entry(t, p, "p.A.f()"))
+	if !got["IOException"] {
+		t.Errorf("thrown = %s, want IOException to escape", got)
+	}
+}
+
+func TestRecursionConverges(t *testing.T) {
+	a, p := analyze(t, excPrelude, `
+package p;
+public class A {
+  public void f(int n) {
+    if (n > 0) { f(n - 1); }
+    throw new IOException();
+  }
+}`)
+	got := a.ThrownBy(entry(t, p, "p.A.f(int)"))
+	if !got["IOException"] {
+		t.Errorf("thrown = %s", got)
+	}
+}
+
+func TestCompareReportsDifferences(t *testing.T) {
+	a, _ := analyze(t, excPrelude, `
+package p;
+public class A {
+  public void f() { throw new IOException(); }
+}`)
+	b, _ := analyze(t, excPrelude, `
+package p;
+public class A {
+  public void f() { }
+}`)
+	diffs := Compare(a, b)
+	if len(diffs) != 1 || diffs[0].Entry != "p.A.f()" {
+		t.Fatalf("diffs = %v", diffs)
+	}
+	if !diffs[0].A["IOException"] || len(diffs[0].B) != 0 {
+		t.Errorf("diff sides = %s vs %s", diffs[0].A, diffs[0].B)
+	}
+}
+
+// TestFigure8ExceptionSemantics runs the Section 8 generalization on the
+// bundled corpora: Harmony's getBytes path propagates
+// UnsupportedEncodingException where the JDK's exits the VM.
+func TestFigure8ExceptionSemantics(t *testing.T) {
+	load := func(name string) (*Analyzer, *ir.Program) {
+		var diags lang.Diagnostics
+		var files []*ast.File
+		srcs := corpus.Sources(name)
+		var names []string
+		for n := range srcs {
+			names = append(names, n)
+		}
+		// Deterministic order.
+		for i := 0; i < len(names); i++ {
+			for j := i + 1; j < len(names); j++ {
+				if names[j] < names[i] {
+					names[i], names[j] = names[j], names[i]
+				}
+			}
+		}
+		for _, n := range names {
+			files = append(files, parser.ParseFile(n, srcs[n], &diags))
+		}
+		tp := types.Build(name, files, &diags)
+		p := ir.LowerProgram(tp, &diags)
+		if diags.HasErrors() {
+			t.Fatalf("%s: %v", name, diags.Err())
+		}
+		return New(p, callgraph.NewResolver(p)), p
+	}
+	jdk, _ := load("jdk")
+	harmony, _ := load("harmony")
+	diffs := Compare(jdk, harmony)
+	found := false
+	for _, d := range diffs {
+		if strings.Contains(d.Entry, "StringOps.getBytes") {
+			found = true
+			if !d.B["UnsupportedEncodingException"] {
+				t.Errorf("harmony thrown = %s", d.B)
+			}
+			if len(d.A) != 0 {
+				t.Errorf("jdk thrown = %s, want empty (exits instead)", d.A)
+			}
+		}
+	}
+	if !found {
+		t.Errorf("Figure 8 exception difference not reported: %v", diffs)
+	}
+}

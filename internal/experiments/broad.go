@@ -1,0 +1,74 @@
+package experiments
+
+import (
+	"policyoracle/internal/corpus"
+	"policyoracle/internal/oracle"
+	"policyoracle/internal/secmodel"
+)
+
+// BroadRow summarizes one library under both event definitions
+// (Section 3: broad events generate many more policies — >90k vs ≤16.7k in
+// the paper — without finding additional bugs on the Java Class Library,
+// but are required for Figure 3-style holes).
+type BroadRow struct {
+	Library        string
+	NarrowPolicies int
+	BroadPolicies  int
+}
+
+// BroadResult is the broad-events experiment outcome.
+type BroadResult struct {
+	Rows []BroadRow
+	// NarrowGroups and BroadGroups count distinct differences summed over
+	// all pairs under each event definition.
+	NarrowGroups int
+	BroadGroups  int
+	// BroadOnlyEntries lists entries reported only under broad events
+	// (the Figure 3 population).
+	BroadOnlyEntries []string
+}
+
+// Broad runs the Section 3 experiment.
+func Broad(w *Workload) (*BroadResult, error) {
+	narrowLibs, err := w.LoadAll(oracle.DefaultOptions())
+	if err != nil {
+		return nil, err
+	}
+	broadOpts := oracle.DefaultOptions()
+	broadOpts.Events = secmodel.BroadEvents
+	broadLibs, err := w.LoadAll(broadOpts)
+	if err != nil {
+		return nil, err
+	}
+
+	res := &BroadResult{}
+	for _, name := range corpus.Libraries() {
+		res.Rows = append(res.Rows, BroadRow{
+			Library:        name,
+			NarrowPolicies: narrowLibs[name].Policies.CountPolicies(),
+			BroadPolicies:  broadLibs[name].Policies.CountPolicies(),
+		})
+	}
+	narrowFlagged := map[string]bool{}
+	broadOnly := map[string]bool{}
+	for _, pair := range corpus.Pairs() {
+		nrep := oracle.Diff(narrowLibs[pair[0]], narrowLibs[pair[1]])
+		brep := oracle.Diff(broadLibs[pair[0]], broadLibs[pair[1]])
+		res.NarrowGroups += len(nrep.Groups)
+		res.BroadGroups += len(brep.Groups)
+		for _, g := range nrep.Groups {
+			for _, e := range g.Entries {
+				narrowFlagged[e] = true
+			}
+		}
+		for _, g := range brep.Groups {
+			for _, e := range g.Entries {
+				if !narrowFlagged[e] && !broadOnly[e] {
+					broadOnly[e] = true
+					res.BroadOnlyEntries = append(res.BroadOnlyEntries, e)
+				}
+			}
+		}
+	}
+	return res, nil
+}

@@ -1,0 +1,373 @@
+// Package experiments implements the evaluation harness that regenerates
+// every table and figure of the paper's evaluation (Section 6) over the
+// corpus workloads: Table 1 (library characteristics), Table 2 (analysis
+// time vs memoization), Table 3 (security-policy differencing results),
+// the broad-events experiment (Section 3), and the baseline comparisons
+// (Sections 2 and 7).
+package experiments
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"policyoracle/internal/analysis"
+	"policyoracle/internal/corpus"
+	"policyoracle/internal/corpus/gen"
+	"policyoracle/internal/diff"
+	"policyoracle/internal/oracle"
+)
+
+// Workload is one three-implementation corpus: the hand-written figure
+// classes optionally merged with a generated paper-scale bulk.
+type Workload struct {
+	Gen     *gen.Corpus
+	Sources map[string]map[string]string
+}
+
+// NewWorkload builds a workload. p sizes the generated bulk (zero Classes
+// disables generation); handwritten includes the figure classes.
+func NewWorkload(p gen.Params, handwritten bool) *Workload {
+	w := &Workload{Sources: make(map[string]map[string]string)}
+	for _, lib := range corpus.Libraries() {
+		w.Sources[lib] = make(map[string]string)
+		if handwritten {
+			for f, src := range corpus.Sources(lib) {
+				w.Sources[lib][f] = src
+			}
+		}
+	}
+	if p.Classes > 0 {
+		w.Gen = gen.Generate(p)
+		for _, lib := range corpus.Libraries() {
+			for f, src := range w.Gen.Sources[lib] {
+				w.Sources[lib][f] = src
+			}
+		}
+	}
+	return w
+}
+
+// Load parses and builds one implementation.
+func (w *Workload) Load(lib string) (*oracle.Library, error) {
+	return oracle.LoadLibrary(lib, w.Sources[lib])
+}
+
+// LoadAll loads every implementation and extracts policies under opts.
+func (w *Workload) LoadAll(opts oracle.Options) (map[string]*oracle.Library, error) {
+	libs := make(map[string]*oracle.Library)
+	for _, name := range corpus.Libraries() {
+		l, err := w.Load(name)
+		if err != nil {
+			return nil, err
+		}
+		l.Extract(opts)
+		libs[name] = l
+	}
+	return libs, nil
+}
+
+// ---------------------------------------------------------------------------
+// Table 1: library characteristics
+
+// Table1Row is one implementation's row of Table 1.
+type Table1Row struct {
+	Library           string
+	NCLoC             int
+	EntryPoints       int
+	EntriesWithChecks int
+	MayPolicies       int
+	MustPolicies      int
+	ResolutionRate    float64
+}
+
+// Table1 computes library characteristics from extracted libraries.
+func Table1(libs map[string]*oracle.Library) []Table1Row {
+	var rows []Table1Row
+	for _, name := range corpus.Libraries() {
+		l := libs[name]
+		n := l.Policies.CountPolicies()
+		rows = append(rows, Table1Row{
+			Library:           name,
+			NCLoC:             l.NCLoC,
+			EntryPoints:       len(l.EntryPoints()),
+			EntriesWithChecks: l.Policies.EntriesWithChecks(),
+			// One may and one must policy per security-sensitive event.
+			MayPolicies:    n,
+			MustPolicies:   n,
+			ResolutionRate: l.Resolver.ResolutionRate(),
+		})
+	}
+	return rows
+}
+
+// ---------------------------------------------------------------------------
+// Table 2: analysis time vs memoization
+
+// Table2Cell is one (library, mode, memo) measurement.
+type Table2Cell struct {
+	Time           time.Duration
+	MethodAnalyses int
+	MemoHits       int
+}
+
+// Table2Result holds the full sweep.
+type Table2Result struct {
+	// Cells[lib][mode][memo]
+	Cells map[string]map[analysis.Mode]map[analysis.MemoMode]Table2Cell
+}
+
+// Speedup returns the time ratio of the slower memo mode over the faster.
+func (r *Table2Result) Speedup(lib string, mode analysis.Mode, slow, fast analysis.MemoMode) float64 {
+	s := r.Cells[lib][mode][slow].Time
+	f := r.Cells[lib][mode][fast].Time
+	if f <= 0 {
+		return 0
+	}
+	return float64(s) / float64(f)
+}
+
+// Table2 sweeps memoization modes for each library and analysis mode,
+// reloading the library for each cell so caches never leak across cells.
+func Table2(w *Workload, memos []analysis.MemoMode) (*Table2Result, error) {
+	res := &Table2Result{Cells: make(map[string]map[analysis.Mode]map[analysis.MemoMode]Table2Cell)}
+	for _, lib := range corpus.Libraries() {
+		res.Cells[lib] = make(map[analysis.Mode]map[analysis.MemoMode]Table2Cell)
+		for _, mode := range []analysis.Mode{analysis.May, analysis.Must} {
+			res.Cells[lib][mode] = make(map[analysis.MemoMode]Table2Cell)
+			for _, memo := range memos {
+				l, err := w.Load(lib)
+				if err != nil {
+					return nil, err
+				}
+				opts := oracle.DefaultOptions()
+				opts.Memo = memo
+				opts.Modes = []analysis.Mode{mode}
+				opts.CollectPaths = false
+				l.Extract(opts)
+				stats, dur := l.MayStats, l.MayTime
+				if mode == analysis.Must {
+					stats, dur = l.MustStats, l.MustTime
+				}
+				res.Cells[lib][mode][memo] = Table2Cell{
+					Time:           dur,
+					MethodAnalyses: stats.MethodAnalyses,
+					MemoHits:       stats.MemoHits,
+				}
+			}
+		}
+	}
+	return res, nil
+}
+
+// ---------------------------------------------------------------------------
+// Table 3: differencing results
+
+// Label classifies a reported difference group.
+type Label int
+
+// Group labels.
+const (
+	Vulnerability Label = iota
+	Interoperability
+	FalsePositive
+	Unclassified
+)
+
+func (l Label) String() string {
+	switch l {
+	case Vulnerability:
+		return "vulnerability"
+	case Interoperability:
+		return "interoperability"
+	case FalsePositive:
+		return "false-positive"
+	}
+	return "unclassified"
+}
+
+// DM is a distinct (manifestations) pair, the cell format of Table 3.
+type DM struct {
+	Distinct       int
+	Manifestations int
+}
+
+func (d DM) String() string { return fmt.Sprintf("%d (%d)", d.Distinct, d.Manifestations) }
+
+func (d *DM) add(g *diff.Group) {
+	d.Distinct++
+	d.Manifestations += g.Manifestations()
+}
+
+// PairResult is one pairwise comparison of Table 3.
+type PairResult struct {
+	Pair           [2]string
+	MatchingAPIs   int
+	Report         *diff.Report
+	ICPEliminated  DM
+	FalsePositives DM
+	ByCategory     map[diff.Category]DM
+	TotalDiffs     DM
+	InteropBugs    DM
+	// VulnsIn maps the responsible library to its vulnerability count.
+	VulnsIn map[string]DM
+	// UnclassifiedGroups should be empty; anything here is a difference
+	// with no ground-truth label.
+	UnclassifiedGroups []*diff.Group
+}
+
+// Table3Result aggregates all pairs plus per-library vulnerability totals,
+// deduplicated across pairs (the same bug detected against two partner
+// implementations counts once).
+type Table3Result struct {
+	Pairs      []*PairResult
+	TotalVulns map[string]DM
+}
+
+// Table3 runs the pairwise differencing with ICP on, classifies every
+// group against ground truth, and measures the false positives that ICP
+// eliminates by re-running with ICP off.
+func Table3(w *Workload) (*Table3Result, error) {
+	libsICP, err := w.LoadAll(oracle.DefaultOptions())
+	if err != nil {
+		return nil, err
+	}
+	noICPOpts := oracle.DefaultOptions()
+	noICPOpts.ICP = false
+	libsNoICP, err := w.LoadAll(noICPOpts)
+	if err != nil {
+		return nil, err
+	}
+
+	res := &Table3Result{TotalVulns: map[string]DM{}}
+	// vulnSeen dedupes vulnerabilities across pairs: lib → issue key →
+	// largest manifestation count observed.
+	vulnSeen := map[string]map[string]int{}
+	for _, pair := range corpus.Pairs() {
+		pr := &PairResult{
+			Pair:       pair,
+			ByCategory: map[diff.Category]DM{},
+			VulnsIn:    map[string]DM{},
+		}
+		pr.MatchingAPIs = oracle.MatchingEntries(libsICP[pair[0]], libsICP[pair[1]])
+		pr.Report = oracle.Diff(libsICP[pair[0]], libsICP[pair[1]])
+
+		// ICP row: groups reported without ICP whose entries are all
+		// absent from the ICP-on report.
+		flagged := map[string]bool{}
+		for _, g := range pr.Report.Groups {
+			for _, e := range g.Entries {
+				flagged[e] = true
+			}
+		}
+		noICPRep := oracle.Diff(libsNoICP[pair[0]], libsNoICP[pair[1]])
+		for _, g := range noICPRep.Groups {
+			spurious := true
+			for _, e := range g.Entries {
+				if flagged[e] {
+					spurious = false
+				}
+			}
+			if spurious {
+				pr.ICPEliminated.add(g)
+			}
+		}
+
+		for _, g := range pr.Report.Groups {
+			label, responsible, key := w.classify(g, pair)
+			switch label {
+			case Vulnerability:
+				d := pr.VulnsIn[responsible]
+				d.add(g)
+				pr.VulnsIn[responsible] = d
+				if vulnSeen[responsible] == nil {
+					vulnSeen[responsible] = map[string]int{}
+				}
+				if m := g.Manifestations(); m > vulnSeen[responsible][key] {
+					vulnSeen[responsible][key] = m
+				}
+				c := pr.ByCategory[g.Category]
+				c.add(g)
+				pr.ByCategory[g.Category] = c
+				pr.TotalDiffs.add(g)
+			case Interoperability:
+				pr.InteropBugs.add(g)
+				c := pr.ByCategory[g.Category]
+				c.add(g)
+				pr.ByCategory[g.Category] = c
+				pr.TotalDiffs.add(g)
+			case FalsePositive:
+				pr.FalsePositives.add(g)
+			default:
+				pr.UnclassifiedGroups = append(pr.UnclassifiedGroups, g)
+				pr.TotalDiffs.add(g)
+			}
+		}
+		res.Pairs = append(res.Pairs, pr)
+	}
+	for lib, byKey := range vulnSeen {
+		var d DM
+		for _, m := range byKey {
+			d.Distinct++
+			d.Manifestations += m
+		}
+		res.TotalVulns[lib] = d
+	}
+	return res, nil
+}
+
+// classify labels a group using the hand-written and generated ground
+// truth. The returned key identifies the underlying issue stably across
+// pairs, for cross-pair deduplication.
+func (w *Workload) classify(g *diff.Group, pair [2]string) (Label, string, string) {
+	if is := corpus.ClassifyGroup(g, pair, false); is != nil {
+		switch is.Kind {
+		case corpus.Vulnerability:
+			return Vulnerability, is.Responsible, is.ID
+		case corpus.Interoperability:
+			return Interoperability, is.Responsible, is.ID
+		default:
+			return FalsePositive, is.Responsible, is.ID
+		}
+	}
+	if w.Gen != nil {
+		for i := range w.Gen.Issues {
+			is := &w.Gen.Issues[i]
+			if is.Responsible != pair[0] && is.Responsible != pair[1] {
+				continue
+			}
+			for _, e := range g.Entries {
+				if is.MatchesEntry(e) {
+					if is.Kind.IsVulnerability() {
+						return Vulnerability, is.Responsible, is.ID
+					}
+					return Interoperability, is.Responsible, is.ID
+				}
+			}
+		}
+	}
+	return Unclassified, "", g.RootKey
+}
+
+// TotalVulnsSorted returns (library, DM) pairs sorted by library name.
+func (r *Table3Result) TotalVulnsSorted() []struct {
+	Library string
+	Count   DM
+} {
+	var out []struct {
+		Library string
+		Count   DM
+	}
+	var names []string
+	for n := range r.TotalVulns {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	for _, n := range names {
+		out = append(out, struct {
+			Library string
+			Count   DM
+		}{n, r.TotalVulns[n]})
+	}
+	return out
+}

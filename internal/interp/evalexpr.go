@@ -1,0 +1,469 @@
+package interp
+
+import (
+	"policyoracle/internal/ast"
+	"policyoracle/internal/types"
+)
+
+func (in *Interp) resolveType(fr *frame, tr ast.TypeRef) types.Type {
+	switch tr.Name {
+	case "":
+		return types.Type{Prim: "void"}
+	case "void", "boolean", "int", "long", "char", "byte", "short", "float", "double":
+		return types.Type{Prim: tr.Name, Dims: tr.Dims}
+	}
+	if c := in.prog.Lookup(tr.Name, fr.class.File); c != nil {
+		return types.Type{Class: c, Dims: tr.Dims}
+	}
+	return types.Type{Named: tr.Name, Dims: tr.Dims}
+}
+
+// classQualifier mirrors the lowering's rule for interpreting an
+// expression as a class-name prefix.
+func (in *Interp) classQualifier(fr *frame, x ast.Expr) *types.Class {
+	name, ok := qualifierName(x)
+	if !ok {
+		return nil
+	}
+	if v, isVar := x.(*ast.VarRef); isVar {
+		if _, shadowed := fr.lookup(v.Name); shadowed {
+			return nil
+		}
+		if fr.class.FieldOf(v.Name) != nil {
+			return nil
+		}
+	}
+	return in.prog.Lookup(name, fr.class.File)
+}
+
+func qualifierName(x ast.Expr) (string, bool) {
+	switch x := x.(type) {
+	case *ast.VarRef:
+		return x.Name, true
+	case *ast.FieldAccess:
+		if p, ok := qualifierName(x.X); ok {
+			return p + "." + x.Name, true
+		}
+	}
+	return "", false
+}
+
+// evalObject evaluates e and requires an object, synthesizing through null
+// when configured.
+func (in *Interp) evalObject(fr *frame, e ast.Expr) *Object {
+	v := in.eval(fr, e)
+	if obj, ok := v.(*Object); ok {
+		return obj
+	}
+	in.fail("expected object, got %v", v)
+	return nil
+}
+
+// fieldValue reads a field, lazily synthesizing null reference values so
+// library code can run without a caller-provided object graph.
+func (in *Interp) fieldValue(owner *Object, f *types.Field, name string) Value {
+	key := name
+	var cur Value
+	var ok bool
+	if f != nil && f.Mods.Has(ast.ModStatic) {
+		key = f.Qualified()
+		cur, ok = in.statics[key]
+	} else if owner != nil {
+		cur, ok = owner.Fields[name]
+	}
+	if ok && cur != nil {
+		return cur
+	}
+	if f == nil {
+		return nil
+	}
+	if cur == nil && in.cfg.SynthesizeObjects && f.Type.Class != nil && f.Type.Dims == 0 {
+		v := in.synthesizeOf(f.Type.Class)
+		if f.Mods.Has(ast.ModStatic) {
+			in.statics[key] = v
+		} else if owner != nil {
+			owner.Fields[name] = v
+		}
+		return v
+	}
+	if !ok {
+		return in.zeroOf(f.Type)
+	}
+	return cur
+}
+
+func (in *Interp) eval(fr *frame, e ast.Expr) Value {
+	in.burn()
+	switch e := e.(type) {
+	case *ast.Literal:
+		switch e.Kind {
+		case ast.LitInt, ast.LitChar:
+			return e.Int
+		case ast.LitBool:
+			return e.Bool
+		case ast.LitString:
+			return e.Str
+		case ast.LitNull:
+			return nil
+		}
+	case *ast.VarRef:
+		if e.Name == "this" {
+			return fr.this
+		}
+		if v, ok := fr.lookup(e.Name); ok {
+			return v
+		}
+		if f := fr.class.FieldOf(e.Name); f != nil {
+			if f.Mods.Has(ast.ModStatic) {
+				return in.fieldValue(nil, f, e.Name)
+			}
+			obj, _ := fr.this.(*Object)
+			return in.fieldValue(obj, f, e.Name)
+		}
+		in.fail("unresolved name %s", e.Name)
+	case *ast.FieldAccess:
+		if cls := in.classQualifier(fr, e.X); cls != nil {
+			return in.fieldValue(nil, cls.FieldOf(e.Name), e.Name)
+		}
+		v := in.eval(fr, e.X)
+		switch v := v.(type) {
+		case *Object:
+			var f *types.Field
+			if v.Class != nil {
+				f = v.Class.FieldOf(e.Name)
+			}
+			return in.fieldValue(v, f, e.Name)
+		case *Array:
+			if e.Name == "length" {
+				return int64(len(v.Elems))
+			}
+		case nil:
+			in.fail("field %s of null", e.Name)
+		}
+		in.fail("field %s of non-object", e.Name)
+	case *ast.IndexExpr:
+		arr, _ := in.eval(fr, e.X).(*Array)
+		idx := asInt(in.eval(fr, e.Index))
+		if arr == nil || idx < 0 || idx >= int64(len(arr.Elems)) {
+			return nil // lenient out-of-bounds read
+		}
+		return arr.Elems[idx]
+	case *ast.CallExpr:
+		return in.evalCall(fr, e)
+	case *ast.NewExpr:
+		return in.evalNew(fr, e)
+	case *ast.NewArrayExpr:
+		n := int64(len(e.Elems))
+		if e.Len != nil {
+			n = asInt(in.eval(fr, e.Len))
+		}
+		if n < 0 || n > 1<<16 {
+			n = 0
+		}
+		a := &Array{Elems: make([]Value, n)}
+		for i, el := range e.Elems {
+			a.Elems[i] = in.eval(fr, el)
+		}
+		return a
+	case *ast.UnaryExpr:
+		v := in.eval(fr, e.X)
+		switch e.Op {
+		case "!":
+			return !truthy(v)
+		case "-":
+			return -asInt(v)
+		}
+	case *ast.BinaryExpr:
+		switch e.Op {
+		case "&&":
+			return truthy(in.eval(fr, e.X)) && truthy(in.eval(fr, e.Y))
+		case "||":
+			return truthy(in.eval(fr, e.X)) || truthy(in.eval(fr, e.Y))
+		}
+		return in.binary(e.Op, in.eval(fr, e.X), in.eval(fr, e.Y))
+	case *ast.CondExpr:
+		if truthy(in.eval(fr, e.Cond)) {
+			return in.eval(fr, e.Then)
+		}
+		return in.eval(fr, e.Else)
+	case *ast.CastExpr:
+		v := in.eval(fr, e.X)
+		// Downcast refinement: a synthesized object cast to a subtype is
+		// re-classed so subtype members resolve — the cast documents what
+		// the library expects a real caller to pass (harness heuristic).
+		if obj, ok := v.(*Object); ok && in.cfg.SynthesizeObjects {
+			t := in.resolveType(fr, e.Type)
+			if t.Class != nil && obj.Class != nil && t.Class != obj.Class &&
+				t.Class.SubtypeOf(obj.Class) && !t.Class.IsInterface {
+				obj.Class = t.Class
+				for k := t.Class; k != nil; k = k.Super {
+					for _, f := range k.Fields {
+						if f.Mods.Has(ast.ModStatic) {
+							continue
+						}
+						if _, has := obj.Fields[f.Name]; !has {
+							obj.Fields[f.Name] = in.syntheticZero(f.Type)
+						}
+					}
+				}
+			}
+		}
+		return v
+	case *ast.InstanceOfExpr:
+		v := in.eval(fr, e.X)
+		t := in.resolveType(fr, e.Type)
+		obj, ok := v.(*Object)
+		if !ok || t.Class == nil {
+			if s, isStr := v.(string); isStr {
+				_ = s
+				return t.Class != nil && t.Class.Simple == "String"
+			}
+			return false
+		}
+		return obj.Class.SubtypeOf(t.Class)
+	case *ast.IncDecExpr:
+		cur := asInt(in.eval(fr, e.X))
+		next := cur + 1
+		if e.Op == "--" {
+			next = cur - 1
+		}
+		in.store(fr, e.X, next)
+		return next
+	}
+	in.fail("cannot evaluate %T", e)
+	return nil
+}
+
+func (in *Interp) binary(op string, x, y Value) Value {
+	// String concatenation.
+	if op == "+" {
+		if xs, ok := x.(string); ok {
+			return xs + stringify(y)
+		}
+		if ys, ok := y.(string); ok {
+			return stringify(x) + ys
+		}
+	}
+	switch op {
+	case "==":
+		return valueEquals(x, y)
+	case "!=":
+		return !valueEquals(x, y)
+	}
+	a, b := asInt(x), asInt(y)
+	switch op {
+	case "+":
+		return a + b
+	case "-":
+		return a - b
+	case "*":
+		return a * b
+	case "/":
+		if b == 0 {
+			return int64(0) // lenient division by zero
+		}
+		return a / b
+	case "%":
+		if b == 0 {
+			return int64(0)
+		}
+		return a % b
+	case "<":
+		return a < b
+	case ">":
+		return a > b
+	case "<=":
+		return a <= b
+	case ">=":
+		return a >= b
+	case "&":
+		if xb, ok := x.(bool); ok {
+			return xb && truthy(y)
+		}
+		return a & b
+	case "|":
+		if xb, ok := x.(bool); ok {
+			return xb || truthy(y)
+		}
+		return a | b
+	case "^":
+		return a ^ b
+	}
+	in.fail("unknown operator %s", op)
+	return nil
+}
+
+func stringify(v Value) string {
+	switch v := v.(type) {
+	case string:
+		return v
+	case nil:
+		return "null"
+	case bool:
+		if v {
+			return "true"
+		}
+		return "false"
+	case int64:
+		digits := "0123456789"
+		if v == 0 {
+			return "0"
+		}
+		neg := v < 0
+		if neg {
+			v = -v
+		}
+		var buf []byte
+		for v > 0 {
+			buf = append([]byte{digits[v%10]}, buf...)
+			v /= 10
+		}
+		if neg {
+			return "-" + string(buf)
+		}
+		return string(buf)
+	case *Object:
+		return v.String()
+	}
+	return "?"
+}
+
+func (in *Interp) evalNew(fr *frame, e *ast.NewExpr) Value {
+	t := in.resolveType(fr, e.Type)
+	if t.Class == nil {
+		in.fail("new of unresolved class %s", e.Type.Name)
+	}
+	obj := in.newObject(t.Class)
+	var args []Value
+	for _, a := range e.Args {
+		args = append(args, in.eval(fr, a))
+	}
+	for _, ctor := range t.Class.MethodsNamed("<init>") {
+		if len(ctor.Params) == len(args) {
+			in.invoke(ctor, obj, args)
+			break
+		}
+	}
+	return obj
+}
+
+func (in *Interp) evalCall(fr *frame, e *ast.CallExpr) Value {
+	evalArgs := func() []Value {
+		var args []Value
+		for _, a := range e.Args {
+			args = append(args, in.eval(fr, a))
+		}
+		return args
+	}
+
+	// this(...) / super(...) constructor delegation.
+	if e.Recv == nil && (e.Name == "this" || e.Name == "super") {
+		target := fr.class
+		if e.Name == "super" {
+			target = fr.class.Super
+		}
+		args := evalArgs()
+		if target != nil {
+			for _, ctor := range target.MethodsNamed("<init>") {
+				if len(ctor.Params) == len(args) {
+					return in.invoke(ctor, fr.this, args)
+				}
+			}
+		}
+		return nil
+	}
+
+	// super.m(...): non-virtual dispatch starting at the superclass.
+	if vr, ok := e.Recv.(*ast.VarRef); ok && vr.Name == "super" {
+		args := evalArgs()
+		if fr.class.Super != nil {
+			if m := fr.class.Super.LookupMethod(e.Name, len(args)); m != nil {
+				return in.invoke(m, fr.this, args)
+			}
+		}
+		in.fail("unresolved super call %s", e.Name)
+	}
+
+	// Class-qualified static call.
+	if e.Recv != nil {
+		if cls := in.classQualifier(fr, e.Recv); cls != nil {
+			args := evalArgs()
+			if m := cls.LookupMethod(e.Name, len(args)); m != nil {
+				return in.invoke(m, nil, args)
+			}
+			in.fail("unresolved static call %s.%s", cls.Simple, e.Name)
+		}
+	}
+
+	// Unqualified call: implicit this or static of the current class.
+	if e.Recv == nil {
+		args := evalArgs()
+		m := fr.class.LookupMethod(e.Name, len(args))
+		if m == nil {
+			in.fail("unresolved call %s in %s", e.Name, fr.class.Name)
+		}
+		if m.IsStatic() {
+			return in.invoke(m, nil, args)
+		}
+		return in.dispatch(fr.this, m, args)
+	}
+
+	// Virtual call through an expression receiver.
+	recv := in.eval(fr, e.Recv)
+	args := evalArgs()
+	switch recv := recv.(type) {
+	case *Object:
+		m := recv.Class.LookupMethod(e.Name, len(args))
+		if m == nil {
+			in.fail("unresolved call %s on %s", e.Name, recv.Class.Name)
+		}
+		return in.invoke(m, recv, args)
+	case string:
+		return in.stringMethod(recv, e.Name, args)
+	case nil:
+		in.fail("call %s on null", e.Name)
+	}
+	in.fail("call %s on non-object", e.Name)
+	return nil
+}
+
+// dispatch performs virtual dispatch on the receiver's runtime class.
+func (in *Interp) dispatch(recv Value, declared *types.Method, args []Value) Value {
+	obj, ok := recv.(*Object)
+	if !ok {
+		return in.invoke(declared, recv, args)
+	}
+	if m := obj.Class.LookupMethod(declared.Name, len(args)); m != nil {
+		return in.invoke(m, obj, args)
+	}
+	return in.invoke(declared, obj, args)
+}
+
+// stringMethod implements the String intrinsics the corpus uses.
+func (in *Interp) stringMethod(s string, name string, args []Value) Value {
+	switch name {
+	case "length":
+		return int64(len(s))
+	case "isEmpty":
+		return len(s) == 0
+	case "charAt":
+		i := asInt(args[0])
+		if i < 0 || i >= int64(len(s)) {
+			return int64(0)
+		}
+		return int64(s[i])
+	case "equals":
+		other, _ := args[0].(string)
+		return s == other
+	case "hashCode":
+		var h int64
+		for i := 0; i < len(s); i++ {
+			h = h*31 + int64(s[i])
+		}
+		return h
+	case "toString":
+		return s
+	}
+	in.fail("unknown String method %s", name)
+	return nil
+}

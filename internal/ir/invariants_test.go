@@ -1,0 +1,176 @@
+package ir_test
+
+import (
+	"testing"
+
+	"policyoracle/internal/ast"
+	"policyoracle/internal/corpus"
+	"policyoracle/internal/corpus/gen"
+	"policyoracle/internal/ir"
+	"policyoracle/internal/lang"
+	"policyoracle/internal/parser"
+	"policyoracle/internal/types"
+)
+
+// checkInvariants asserts the structural invariants every lowered function
+// must satisfy; the analyses rely on all of them.
+func checkInvariants(t *testing.T, f *ir.Func) {
+	t.Helper()
+	if len(f.Blocks) == 0 {
+		t.Errorf("%s: no blocks", f.Method)
+		return
+	}
+	if len(f.Blocks[0].Preds) != 0 {
+		t.Errorf("%s: entry block has predecessors", f.Method)
+	}
+	for i, b := range f.Blocks {
+		if b.Index != i {
+			t.Errorf("%s: block index %d at position %d", f.Method, b.Index, i)
+		}
+		if len(b.Instrs) == 0 {
+			t.Errorf("%s: empty block b%d", f.Method, b.Index)
+			continue
+		}
+		term := b.Term()
+		switch term.(type) {
+		case *ir.If:
+			if len(b.Succs) != 2 {
+				t.Errorf("%s: b%d If with %d successors", f.Method, b.Index, len(b.Succs))
+			}
+		case *ir.Goto:
+			if len(b.Succs) < 1 {
+				t.Errorf("%s: b%d Goto with no successor", f.Method, b.Index)
+			}
+		case *ir.Return, *ir.Throw:
+			if len(b.Succs) != 0 {
+				t.Errorf("%s: b%d exits with %d successors", f.Method, b.Index, len(b.Succs))
+			}
+		default:
+			t.Errorf("%s: b%d ends in non-terminator %s", f.Method, b.Index, term)
+		}
+		// No terminator in the middle of a block.
+		for _, in := range b.Instrs[:len(b.Instrs)-1] {
+			switch in.(type) {
+			case *ir.If, *ir.Goto, *ir.Return, *ir.Throw:
+				t.Errorf("%s: b%d has mid-block terminator %s", f.Method, b.Index, in)
+			}
+		}
+		// Edge symmetry: succs' preds contain b and vice versa.
+		for _, s := range b.Succs {
+			found := false
+			for _, p := range s.Preds {
+				if p == b {
+					found = true
+				}
+			}
+			if !found {
+				t.Errorf("%s: edge b%d->b%d missing back-link", f.Method, b.Index, s.Index)
+			}
+		}
+		for _, p := range b.Preds {
+			found := false
+			for _, s := range p.Succs {
+				if s == b {
+					found = true
+				}
+			}
+			if !found {
+				t.Errorf("%s: pred b%d of b%d lacks forward edge", f.Method, p.Index, b.Index)
+			}
+		}
+	}
+	// All blocks reachable from entry (lowering prunes the rest).
+	seen := make([]bool, len(f.Blocks))
+	var walk func(*ir.Block)
+	walk = func(b *ir.Block) {
+		if seen[b.Index] {
+			return
+		}
+		seen[b.Index] = true
+		for _, s := range b.Succs {
+			walk(s)
+		}
+	}
+	walk(f.Blocks[0])
+	for i, ok := range seen {
+		if !ok {
+			t.Errorf("%s: unreachable block b%d survived lowering", f.Method, i)
+		}
+	}
+	// Locals are indexed densely and parameters registered.
+	for i, l := range f.Locals {
+		if l.Index != i {
+			t.Errorf("%s: local %s index %d at position %d", f.Method, l.Name, l.Index, i)
+		}
+	}
+	if !f.Method.IsStatic() && f.This == nil {
+		t.Errorf("%s: instance method without this", f.Method)
+	}
+	if len(f.Params) != len(f.Method.Params) {
+		t.Errorf("%s: %d param locals for %d params", f.Method, len(f.Params), len(f.Method.Params))
+	}
+}
+
+func lowerSources(t *testing.T, name string, sources map[string]string) *ir.Program {
+	t.Helper()
+	var diags lang.Diagnostics
+	var files []*ast.File
+	for f, src := range sources {
+		files = append(files, parser.ParseFile(f, src, &diags))
+	}
+	tp := types.Build(name, files, &diags)
+	p := ir.LowerProgram(tp, &diags)
+	if diags.HasErrors() {
+		t.Fatalf("%s: %v", name, diags.Err())
+	}
+	return p
+}
+
+// TestInvariantsOnHandwrittenCorpus lowers all three bundled corpora and
+// checks every function.
+func TestInvariantsOnHandwrittenCorpus(t *testing.T) {
+	for _, name := range corpus.Libraries() {
+		p := lowerSources(t, name, corpus.Sources(name))
+		n := 0
+		for _, f := range p.Funcs {
+			checkInvariants(t, f)
+			n++
+		}
+		if n < 50 {
+			t.Errorf("%s: only %d functions lowered", name, n)
+		}
+	}
+}
+
+// TestInvariantsOnGeneratedCorpus drives the invariants over thousands of
+// generated functions — a property test with the generator as the input
+// distribution.
+func TestInvariantsOnGeneratedCorpus(t *testing.T) {
+	c := gen.Generate(gen.Small())
+	for lib, sources := range c.Sources {
+		p := lowerSources(t, lib, sources)
+		for _, f := range p.Funcs {
+			checkInvariants(t, f)
+		}
+	}
+}
+
+// TestInvariantsAcrossSeeds varies the generator seed to broaden the
+// sampled program space.
+func TestInvariantsAcrossSeeds(t *testing.T) {
+	for seed := int64(100); seed < 105; seed++ {
+		p := gen.Params{
+			Seed: seed, Classes: 10, MethodsPerClass: 6, CheckFraction: 0.5,
+			MaxDepth: 4, WrapperFanout: 2, DropCheck: 2, WeakenMust: 1,
+			SwapCheck: 1, PrivWrap: 1, ExtraCheck: 1, ConstGuards: 2,
+			UniquePerLib: 2, PolymorphicNoise: 4,
+		}
+		c := gen.Generate(p)
+		for lib, sources := range c.Sources {
+			prog := lowerSources(t, lib, sources)
+			for _, f := range prog.Funcs {
+				checkInvariants(t, f)
+			}
+		}
+	}
+}

@@ -1,0 +1,396 @@
+// Package ir defines a Jimple-like three-address intermediate representation
+// for MJ methods, and the lowering from AST to IR.
+//
+// Each method body becomes a Func: a list of basic blocks of simple
+// instructions, ending in explicit control transfers. The security policy
+// analyses (SPDA/ISPA) and constant propagation all operate on this IR,
+// mirroring how the paper's implementation operates on Soot's Jimple.
+package ir
+
+import (
+	"fmt"
+	"strings"
+
+	"policyoracle/internal/lang"
+	"policyoracle/internal/types"
+)
+
+// Program pairs a types.Program with the lowered IR of every method body.
+type Program struct {
+	Types *types.Program
+	Funcs map[*types.Method]*Func
+}
+
+// FuncOf returns the IR for m, or nil when m has no body (native/abstract).
+func (p *Program) FuncOf(m *types.Method) *Func { return p.Funcs[m] }
+
+// Func is the IR of one method body.
+type Func struct {
+	Method *types.Method
+	Locals []*Local // Locals[0] == this for instance methods; then params
+	Params []*Local // parameter locals in declaration order (excludes this)
+	This   *Local   // nil for static methods
+	Blocks []*Block // Blocks[0] is the entry block
+}
+
+// NumInstrs returns the total instruction count across all blocks.
+func (f *Func) NumInstrs() int {
+	n := 0
+	for _, b := range f.Blocks {
+		n += len(b.Instrs)
+	}
+	return n
+}
+
+// Local is an IR register: a source variable, parameter, or temporary.
+type Local struct {
+	Name  string
+	Index int
+	Type  types.Type
+	IsTmp bool
+}
+
+func (l *Local) String() string { return l.Name }
+
+// Block is a basic block. The last instruction is always a control
+// transfer (If, Goto, Return, or Throw); other instructions are straight-
+// line.
+type Block struct {
+	Index  int
+	Instrs []Instr
+	Preds  []*Block
+	Succs  []*Block
+}
+
+// Term returns the block's terminating instruction, or nil when the block
+// is empty (only during construction).
+func (b *Block) Term() Instr {
+	if len(b.Instrs) == 0 {
+		return nil
+	}
+	return b.Instrs[len(b.Instrs)-1]
+}
+
+// ---------------------------------------------------------------------------
+// Operands
+
+// Operand is a value usable by an instruction: a Local or a Const.
+type Operand interface {
+	operand()
+	String() string
+}
+
+func (*Local) operand() {}
+
+// ConstKind classifies constant operands.
+type ConstKind int
+
+// Constant kinds.
+const (
+	ConstInt ConstKind = iota
+	ConstBool
+	ConstString
+	ConstNull
+)
+
+// Const is a constant operand.
+type Const struct {
+	Kind ConstKind
+	Int  int64
+	Bool bool
+	Str  string
+}
+
+func (Const) operand() {}
+
+func (c Const) String() string {
+	switch c.Kind {
+	case ConstInt:
+		return fmt.Sprintf("%d", c.Int)
+	case ConstBool:
+		return fmt.Sprintf("%t", c.Bool)
+	case ConstString:
+		return fmt.Sprintf("%q", c.Str)
+	case ConstNull:
+		return "null"
+	}
+	return "?"
+}
+
+// IntConst returns an integer constant operand.
+func IntConst(v int64) Const { return Const{Kind: ConstInt, Int: v} }
+
+// BoolConst returns a boolean constant operand.
+func BoolConst(v bool) Const { return Const{Kind: ConstBool, Bool: v} }
+
+// StringConst returns a string constant operand.
+func StringConst(s string) Const { return Const{Kind: ConstString, Str: s} }
+
+// NullConst returns the null constant operand.
+func NullConst() Const { return Const{Kind: ConstNull} }
+
+// ---------------------------------------------------------------------------
+// Instructions
+
+// Instr is implemented by all IR instructions.
+type Instr interface {
+	Pos() lang.Pos
+	String() string
+}
+
+type instrBase struct{ At lang.Pos }
+
+func (i instrBase) Pos() lang.Pos { return i.At }
+
+// Assign copies an operand into a local.
+type Assign struct {
+	instrBase
+	Dst *Local
+	Src Operand
+}
+
+// Binary computes Dst = X Op Y.
+type Binary struct {
+	instrBase
+	Dst *Local
+	Op  string
+	X   Operand
+	Y   Operand
+}
+
+// Unary computes Dst = Op X ("!" or "-").
+type Unary struct {
+	instrBase
+	Dst *Local
+	Op  string
+	X   Operand
+}
+
+// FieldLoad reads Dst = Obj.Field (Obj nil for a static load).
+type FieldLoad struct {
+	instrBase
+	Dst   *Local
+	Obj   *Local       // nil for static fields
+	Field *types.Field // nil when the field did not resolve
+	Name  string       // source name, kept for unresolved fields
+}
+
+// FieldStore writes Obj.Field = Val (Obj nil for a static store).
+type FieldStore struct {
+	instrBase
+	Obj   *Local
+	Field *types.Field
+	Name  string
+	Val   Operand
+}
+
+// ArrayLoad reads Dst = Arr[Idx].
+type ArrayLoad struct {
+	instrBase
+	Dst *Local
+	Arr Operand
+	Idx Operand
+}
+
+// ArrayStore writes Arr[Idx] = Val.
+type ArrayStore struct {
+	instrBase
+	Arr Operand
+	Idx Operand
+	Val Operand
+}
+
+// New allocates an instance: Dst = new Class. The constructor is invoked
+// by a separate Call with Kind CallSpecial.
+type New struct {
+	instrBase
+	Dst   *Local
+	Class *types.Class
+	Name  string // unresolved class name fallback
+}
+
+// NewArray allocates an array.
+type NewArray struct {
+	instrBase
+	Dst *Local
+	Len Operand // may be nil
+}
+
+// Cast narrows/checks: Dst = (Type) X.
+type Cast struct {
+	instrBase
+	Dst *Local
+	To  types.Type
+	X   Operand
+}
+
+// InstanceOf tests: Dst = X instanceof Type.
+type InstanceOf struct {
+	instrBase
+	Dst *Local
+	X   Operand
+	Of  types.Type
+}
+
+// CallKind distinguishes dispatch flavors.
+type CallKind int
+
+// Call kinds.
+const (
+	CallVirtual CallKind = iota // instance call, dynamic dispatch
+	CallStatic                  // static method call
+	CallSpecial                 // constructor or super call, no dispatch
+)
+
+func (k CallKind) String() string {
+	switch k {
+	case CallVirtual:
+		return "virtual"
+	case CallStatic:
+		return "static"
+	case CallSpecial:
+		return "special"
+	}
+	return "?"
+}
+
+// Call invokes a method. Recv is nil for static calls. StaticType is the
+// declared type of the receiver (or the target class for static calls);
+// Declared is the statically resolved method declaration when lookup
+// succeeded. Dynamic dispatch targets are computed by the callgraph
+// package.
+type Call struct {
+	instrBase
+	Dst        *Local // nil when the result is unused
+	Kind       CallKind
+	Recv       *Local
+	StaticType *types.Class
+	Declared   *types.Method
+	Name       string
+	Args       []Operand
+}
+
+// If branches on a boolean operand. Succs[0] is the true edge and
+// Succs[1] the false edge of the containing block.
+type If struct {
+	instrBase
+	Cond Operand
+}
+
+// Goto transfers to the single successor.
+type Goto struct{ instrBase }
+
+// Return exits the method. Val is nil for void returns.
+type Return struct {
+	instrBase
+	Val Operand
+}
+
+// Throw raises an exception; control leaves the method (handlers are
+// modeled as block successors during lowering).
+type Throw struct {
+	instrBase
+	Val Operand
+}
+
+func opStr(o Operand) string {
+	if o == nil {
+		return "_"
+	}
+	return o.String()
+}
+
+func (i *Assign) String() string { return fmt.Sprintf("%s = %s", i.Dst, opStr(i.Src)) }
+func (i *Binary) String() string {
+	return fmt.Sprintf("%s = %s %s %s", i.Dst, opStr(i.X), i.Op, opStr(i.Y))
+}
+func (i *Unary) String() string { return fmt.Sprintf("%s = %s%s", i.Dst, i.Op, opStr(i.X)) }
+func (i *FieldLoad) String() string {
+	obj := "static"
+	if i.Obj != nil {
+		obj = i.Obj.String()
+	}
+	return fmt.Sprintf("%s = %s.%s", i.Dst, obj, i.fieldName())
+}
+func (i *FieldLoad) fieldName() string {
+	if i.Field != nil {
+		return i.Field.Name
+	}
+	return i.Name
+}
+func (i *FieldStore) String() string {
+	obj := "static"
+	if i.Obj != nil {
+		obj = i.Obj.String()
+	}
+	name := i.Name
+	if i.Field != nil {
+		name = i.Field.Name
+	}
+	return fmt.Sprintf("%s.%s = %s", obj, name, opStr(i.Val))
+}
+func (i *ArrayLoad) String() string {
+	return fmt.Sprintf("%s = %s[%s]", i.Dst, opStr(i.Arr), opStr(i.Idx))
+}
+func (i *ArrayStore) String() string {
+	return fmt.Sprintf("%s[%s] = %s", opStr(i.Arr), opStr(i.Idx), opStr(i.Val))
+}
+func (i *New) String() string {
+	name := i.Name
+	if i.Class != nil {
+		name = i.Class.Name
+	}
+	return fmt.Sprintf("%s = new %s", i.Dst, name)
+}
+func (i *NewArray) String() string { return fmt.Sprintf("%s = newarray[%s]", i.Dst, opStr(i.Len)) }
+func (i *Cast) String() string {
+	return fmt.Sprintf("%s = (%s) %s", i.Dst, i.To.SimpleName(), opStr(i.X))
+}
+func (i *InstanceOf) String() string {
+	return fmt.Sprintf("%s = %s instanceof %s", i.Dst, opStr(i.X), i.Of.SimpleName())
+}
+func (i *Call) String() string {
+	var sb strings.Builder
+	if i.Dst != nil {
+		fmt.Fprintf(&sb, "%s = ", i.Dst)
+	}
+	fmt.Fprintf(&sb, "%s ", i.Kind)
+	if i.Recv != nil {
+		fmt.Fprintf(&sb, "%s.", i.Recv)
+	} else if i.StaticType != nil {
+		fmt.Fprintf(&sb, "%s.", i.StaticType.Simple)
+	}
+	fmt.Fprintf(&sb, "%s(", i.Name)
+	for n, a := range i.Args {
+		if n > 0 {
+			sb.WriteString(", ")
+		}
+		sb.WriteString(opStr(a))
+	}
+	sb.WriteString(")")
+	return sb.String()
+}
+func (i *If) String() string     { return fmt.Sprintf("if %s", opStr(i.Cond)) }
+func (i *Goto) String() string   { return "goto" }
+func (i *Return) String() string { return fmt.Sprintf("return %s", opStr(i.Val)) }
+func (i *Throw) String() string  { return fmt.Sprintf("throw %s", opStr(i.Val)) }
+
+// Dump renders the function for debugging and golden tests.
+func (f *Func) Dump() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "func %s\n", f.Method.Qualified())
+	for _, b := range f.Blocks {
+		fmt.Fprintf(&sb, "b%d:", b.Index)
+		if len(b.Succs) > 0 {
+			sb.WriteString(" ->")
+			for _, s := range b.Succs {
+				fmt.Fprintf(&sb, " b%d", s.Index)
+			}
+		}
+		sb.WriteString("\n")
+		for _, in := range b.Instrs {
+			fmt.Fprintf(&sb, "  %s\n", in)
+		}
+	}
+	return sb.String()
+}

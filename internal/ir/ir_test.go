@@ -1,0 +1,544 @@
+package ir
+
+import (
+	"strings"
+	"testing"
+
+	"policyoracle/internal/ast"
+	"policyoracle/internal/lang"
+	"policyoracle/internal/parser"
+	"policyoracle/internal/types"
+)
+
+func lower(t *testing.T, srcs ...string) *Program {
+	t.Helper()
+	var diags lang.Diagnostics
+	var files []*ast.File
+	for _, src := range srcs {
+		files = append(files, parser.ParseFile("t.mj", src, &diags))
+	}
+	tp := types.Build("test", files, &diags)
+	p := LowerProgram(tp, &diags)
+	if diags.HasErrors() {
+		t.Fatalf("errors: %v", diags.Err())
+	}
+	return p
+}
+
+func funcOf(t *testing.T, p *Program, class, method string) *Func {
+	t.Helper()
+	c := p.Types.Classes[class]
+	if c == nil {
+		t.Fatalf("class %s not found", class)
+	}
+	for _, m := range c.Methods {
+		if m.Name == method || (method == "<init>" && m.IsCtor) {
+			f := p.FuncOf(m)
+			if f == nil {
+				t.Fatalf("no IR for %s", m)
+			}
+			return f
+		}
+	}
+	t.Fatalf("method %s.%s not found", class, method)
+	return nil
+}
+
+func TestStraightLine(t *testing.T) {
+	p := lower(t, `
+package p;
+class C {
+  int f;
+  void m(int a) {
+    int x = a + 1;
+    f = x;
+  }
+}`)
+	f := funcOf(t, p, "p.C", "m")
+	if len(f.Blocks) != 1 {
+		t.Fatalf("blocks = %d\n%s", len(f.Blocks), f.Dump())
+	}
+	if f.This == nil || len(f.Params) != 1 {
+		t.Fatalf("locals wrong: this=%v params=%v", f.This, f.Params)
+	}
+	last := f.Blocks[0].Term()
+	if _, ok := last.(*Return); !ok {
+		t.Errorf("implicit return missing, last = %s", last)
+	}
+	dump := f.Dump()
+	if !strings.Contains(dump, "this.f =") {
+		t.Errorf("field store missing:\n%s", dump)
+	}
+}
+
+func TestIfElseCFG(t *testing.T) {
+	p := lower(t, `
+package p;
+class C {
+  void m(boolean c) {
+    if (c) { a(); } else { b(); }
+    join();
+  }
+  void a() { }
+  void b() { }
+  void join() { }
+}`)
+	f := funcOf(t, p, "p.C", "m")
+	entry := f.Blocks[0]
+	ifInstr, ok := entry.Term().(*If)
+	if !ok {
+		t.Fatalf("entry term = %s", entry.Term())
+	}
+	_ = ifInstr
+	if len(entry.Succs) != 2 {
+		t.Fatalf("entry succs = %d", len(entry.Succs))
+	}
+	// Both branches join.
+	thenB, elseB := entry.Succs[0], entry.Succs[1]
+	if len(thenB.Succs) != 1 || len(elseB.Succs) != 1 || thenB.Succs[0] != elseB.Succs[0] {
+		t.Errorf("branches do not join:\n%s", f.Dump())
+	}
+	join := thenB.Succs[0]
+	if len(join.Preds) != 2 {
+		t.Errorf("join preds = %d", len(join.Preds))
+	}
+}
+
+func TestWhileCFG(t *testing.T) {
+	p := lower(t, `
+package p;
+class C {
+  void m(int n) {
+    int i = 0;
+    while (i < n) { i = i + 1; }
+    done();
+  }
+  void done() { }
+}`)
+	f := funcOf(t, p, "p.C", "m")
+	// Find the loop head: a block with an If terminator and 2 preds.
+	var head *Block
+	for _, b := range f.Blocks {
+		if _, ok := b.Term().(*If); ok {
+			head = b
+		}
+	}
+	if head == nil {
+		t.Fatalf("no loop head:\n%s", f.Dump())
+	}
+	if len(head.Preds) != 2 {
+		t.Errorf("loop head preds = %d:\n%s", len(head.Preds), f.Dump())
+	}
+}
+
+func TestShortCircuitLowering(t *testing.T) {
+	p := lower(t, `
+package p;
+class C {
+  void m(Object h, boolean done) {
+    if (h != null && !done) { go(); }
+  }
+  void go() { }
+}
+class Object { }`)
+	f := funcOf(t, p, "p.C", "m")
+	// Expect two If terminators (one per condition operand).
+	ifs := 0
+	for _, b := range f.Blocks {
+		if _, ok := b.Term().(*If); ok {
+			ifs++
+		}
+	}
+	if ifs != 2 {
+		t.Errorf("got %d If blocks, want 2:\n%s", ifs, f.Dump())
+	}
+}
+
+func TestCallLowering(t *testing.T) {
+	p := lower(t, `
+package java.lang;
+public class SecurityManager {
+  public void checkConnect(String host, int port) { }
+}
+public class String { }
+class App {
+  SecurityManager sm;
+  void m(String host, int port) {
+    sm.checkConnect(host, port);
+    helper();
+    StaticUtil.doit();
+  }
+  void helper() { }
+}
+class StaticUtil {
+  static void doit() { }
+}`)
+	f := funcOf(t, p, "java.lang.App", "m")
+	var calls []*Call
+	for _, b := range f.Blocks {
+		for _, in := range b.Instrs {
+			if c, ok := in.(*Call); ok {
+				calls = append(calls, c)
+			}
+		}
+	}
+	if len(calls) != 3 {
+		t.Fatalf("got %d calls:\n%s", len(calls), f.Dump())
+	}
+	if calls[0].Name != "checkConnect" || calls[0].Kind != CallVirtual {
+		t.Errorf("call 0 = %s", calls[0])
+	}
+	if calls[0].Declared == nil || calls[0].Declared.Class.Simple != "SecurityManager" {
+		t.Errorf("checkConnect declared = %v", calls[0].Declared)
+	}
+	if calls[1].Name != "helper" || calls[1].Recv == nil {
+		t.Errorf("call 1 = %s", calls[1])
+	}
+	if calls[2].Kind != CallStatic || calls[2].StaticType.Simple != "StaticUtil" {
+		t.Errorf("call 2 = %s", calls[2])
+	}
+	if calls[2].Declared == nil || !calls[2].Declared.IsStatic() {
+		t.Errorf("static target = %v", calls[2].Declared)
+	}
+}
+
+func TestNewAndCtorCall(t *testing.T) {
+	p := lower(t, `
+package p;
+class Lib {
+  Lib(int x) { }
+  static Lib make() { return new Lib(3); }
+}`)
+	f := funcOf(t, p, "p.Lib", "make")
+	var newI *New
+	var ctor *Call
+	for _, b := range f.Blocks {
+		for _, in := range b.Instrs {
+			switch in := in.(type) {
+			case *New:
+				newI = in
+			case *Call:
+				ctor = in
+			}
+		}
+	}
+	if newI == nil || newI.Class == nil || newI.Class.Simple != "Lib" {
+		t.Fatalf("new = %v", newI)
+	}
+	if ctor == nil || ctor.Kind != CallSpecial || ctor.Declared == nil || !ctor.Declared.IsCtor {
+		t.Fatalf("ctor call = %v", ctor)
+	}
+}
+
+func TestThisCtorDelegation(t *testing.T) {
+	p := lower(t, `
+package p;
+class URL {
+  public URL(String spec) { this(null, spec); }
+  public URL(Object context, String spec) { }
+}
+class Object { }
+class String { }`)
+	c := p.Types.Classes["p.URL"]
+	var oneArg *types.Method
+	for _, m := range c.Methods {
+		if m.IsCtor && len(m.Params) == 1 {
+			oneArg = m
+		}
+	}
+	f := p.FuncOf(oneArg)
+	var call *Call
+	for _, b := range f.Blocks {
+		for _, in := range b.Instrs {
+			if cl, ok := in.(*Call); ok {
+				call = cl
+			}
+		}
+	}
+	if call == nil || call.Kind != CallSpecial || call.Declared == nil || len(call.Declared.Params) != 2 {
+		t.Fatalf("delegated ctor = %v\n%s", call, f.Dump())
+	}
+	if len(call.Args) != 2 {
+		t.Errorf("args = %v", call.Args)
+	}
+	if c0, ok := call.Args[0].(Const); !ok || c0.Kind != ConstNull {
+		t.Errorf("first arg should be null constant, got %v", call.Args[0])
+	}
+}
+
+func TestTernaryLowering(t *testing.T) {
+	p := lower(t, `
+package p;
+class C {
+  int m(boolean c) { return c ? f() : g(); }
+  int f() { return 1; }
+  int g() { return 2; }
+}`)
+	f := funcOf(t, p, "p.C", "m")
+	// The two arms must be in different blocks reached by an If.
+	var haveIf bool
+	for _, b := range f.Blocks {
+		if _, ok := b.Term().(*If); ok {
+			haveIf = true
+		}
+	}
+	if !haveIf {
+		t.Errorf("ternary did not lower to control flow:\n%s", f.Dump())
+	}
+}
+
+func TestTryCatchEdges(t *testing.T) {
+	p := lower(t, `
+package p;
+class C {
+  void m() {
+    before();
+    try { risky(); } catch (Exception e) { handle(); } finally { fin(); }
+    after();
+  }
+  void before() { }
+  void risky() { }
+  void handle() { }
+  void fin() { }
+  void after() { }
+}
+class Exception { }`)
+	f := funcOf(t, p, "p.C", "m")
+	// The pre-try block must have 2 successors: body and handler.
+	var pre *Block
+	for _, b := range f.Blocks {
+		for _, in := range b.Instrs {
+			if c, ok := in.(*Call); ok && c.Name == "before" {
+				pre = b
+			}
+		}
+	}
+	if pre == nil || len(pre.Succs) != 2 {
+		t.Fatalf("pre-try block wrong:\n%s", f.Dump())
+	}
+	// finally must be on both paths: find the fin() call block; it must have
+	// 2 preds (body tail + handler tail).
+	var finB *Block
+	for _, b := range f.Blocks {
+		for _, in := range b.Instrs {
+			if c, ok := in.(*Call); ok && c.Name == "fin" {
+				finB = b
+			}
+		}
+	}
+	if finB == nil || len(finB.Preds) != 2 {
+		t.Fatalf("finally block preds wrong:\n%s", f.Dump())
+	}
+}
+
+func TestSwitchLowering(t *testing.T) {
+	p := lower(t, `
+package p;
+class C {
+  void m(int k) {
+    switch (k) {
+    case 1: a(); break;
+    case 2: b();
+    default: c();
+    }
+    after();
+  }
+  void a() { }
+  void b() { }
+  void c() { }
+  void after() { }
+}`)
+	f := funcOf(t, p, "p.C", "m")
+	// case 2 falls through into default: the block calling b() must have the
+	// block calling c() as successor.
+	var bBlock, cBlock *Block
+	for _, blk := range f.Blocks {
+		for _, in := range blk.Instrs {
+			if call, ok := in.(*Call); ok {
+				switch call.Name {
+				case "b":
+					bBlock = blk
+				case "c":
+					cBlock = blk
+				}
+			}
+		}
+	}
+	if bBlock == nil || cBlock == nil {
+		t.Fatalf("case blocks missing:\n%s", f.Dump())
+	}
+	found := false
+	for _, s := range bBlock.Succs {
+		if s == cBlock {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("fallthrough edge missing:\n%s", f.Dump())
+	}
+}
+
+func TestBreakContinue(t *testing.T) {
+	p := lower(t, `
+package p;
+class C {
+  void m(int n) {
+    for (int i = 0; i < n; i++) {
+      if (i == 3) { continue; }
+      if (i == 5) { break; }
+      use(i);
+    }
+  }
+  void use(int i) { }
+}`)
+	f := funcOf(t, p, "p.C", "m")
+	if len(f.Blocks) < 5 {
+		t.Errorf("loop CFG too small:\n%s", f.Dump())
+	}
+}
+
+func TestUnreachableCodePruned(t *testing.T) {
+	p := lower(t, `
+package p;
+class C {
+  int m(boolean c) {
+    if (c) { return 1; } else { return 2; }
+  }
+}`)
+	f := funcOf(t, p, "p.C", "m")
+	for _, b := range f.Blocks {
+		if len(b.Instrs) == 0 {
+			t.Errorf("empty block b%d survived:\n%s", b.Index, f.Dump())
+		}
+	}
+}
+
+func TestStaticFieldAccess(t *testing.T) {
+	p := lower(t, `
+package p;
+class System {
+  static SecurityManager security;
+  static SecurityManager getSecurityManager() { return security; }
+}
+class SecurityManager { }`)
+	f := funcOf(t, p, "p.System", "getSecurityManager")
+	var load *FieldLoad
+	for _, b := range f.Blocks {
+		for _, in := range b.Instrs {
+			if fl, ok := in.(*FieldLoad); ok {
+				load = fl
+			}
+		}
+	}
+	if load == nil || load.Obj != nil || load.Field == nil {
+		t.Fatalf("static load = %v\n%s", load, f.Dump())
+	}
+}
+
+func TestChainedCallsReceiverTyping(t *testing.T) {
+	p := lower(t, `
+package p;
+class Proxy {
+  Addr address() { return null; }
+}
+class Addr {
+  String getHostName() { return null; }
+}
+class String { }
+class App {
+  void m(Proxy proxy) {
+    proxy.address().getHostName();
+  }
+}`)
+	f := funcOf(t, p, "p.App", "m")
+	var calls []*Call
+	for _, b := range f.Blocks {
+		for _, in := range b.Instrs {
+			if c, ok := in.(*Call); ok {
+				calls = append(calls, c)
+			}
+		}
+	}
+	if len(calls) != 2 {
+		t.Fatalf("calls = %d\n%s", len(calls), f.Dump())
+	}
+	if calls[1].Declared == nil || calls[1].Declared.Class.Simple != "Addr" {
+		t.Errorf("chained receiver type lost: %v", calls[1].Declared)
+	}
+}
+
+func TestNativeMethodHasNoIR(t *testing.T) {
+	p := lower(t, `
+package p;
+class C {
+  native void n();
+}`)
+	c := p.Types.Classes["p.C"]
+	if got := p.FuncOf(c.Methods[0]); got != nil {
+		t.Errorf("native method has IR: %v", got)
+	}
+}
+
+func TestCastAndInstanceof(t *testing.T) {
+	p := lower(t, `
+package p;
+class A { }
+class B extends A {
+  void use() { }
+}
+class App {
+  void m(A a) {
+    if (a instanceof B) {
+      B b = (B) a;
+      b.use();
+    }
+  }
+}`)
+	f := funcOf(t, p, "p.App", "m")
+	dump := f.Dump()
+	if !strings.Contains(dump, "instanceof B") {
+		t.Errorf("instanceof missing:\n%s", dump)
+	}
+	if !strings.Contains(dump, "(B)") {
+		t.Errorf("cast missing:\n%s", dump)
+	}
+	// The cast temp must have type B so b.use() resolves.
+	var use *Call
+	for _, b := range f.Blocks {
+		for _, in := range b.Instrs {
+			if c, ok := in.(*Call); ok && c.Name == "use" {
+				use = c
+			}
+		}
+	}
+	if use == nil || use.Declared == nil {
+		t.Errorf("use() not resolved through cast:\n%s", dump)
+	}
+}
+
+func TestSynchronizedBody(t *testing.T) {
+	p := lower(t, `
+package p;
+class C {
+  Object lock;
+  void m() {
+    synchronized (lock) {
+      inner();
+    }
+  }
+  void inner() { }
+}
+class Object { }`)
+	f := funcOf(t, p, "p.C", "m")
+	var found bool
+	for _, b := range f.Blocks {
+		for _, in := range b.Instrs {
+			if c, ok := in.(*Call); ok && c.Name == "inner" {
+				found = true
+			}
+		}
+	}
+	if !found {
+		t.Errorf("synchronized body lost:\n%s", f.Dump())
+	}
+}

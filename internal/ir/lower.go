@@ -1,0 +1,509 @@
+package ir
+
+import (
+	"fmt"
+
+	"policyoracle/internal/ast"
+	"policyoracle/internal/lang"
+	"policyoracle/internal/types"
+)
+
+// LowerProgram lowers every method body in tp to IR.
+func LowerProgram(tp *types.Program, diags *lang.Diagnostics) *Program {
+	p := &Program{Types: tp, Funcs: make(map[*types.Method]*Func)}
+	for _, m := range tp.AllMethods() {
+		if m.Decl == nil || m.Decl.Body == nil {
+			continue
+		}
+		p.Funcs[m] = lowerMethod(tp, m, diags)
+	}
+	return p
+}
+
+// lowerMethod lowers one method body.
+func lowerMethod(tp *types.Program, m *types.Method, diags *lang.Diagnostics) *Func {
+	lw := &lowerer{
+		prog:  tp,
+		class: m.Class,
+		fn:    &Func{Method: m},
+		diags: diags,
+	}
+	lw.pushScope()
+	if !m.IsStatic() {
+		lw.fn.This = lw.newNamedLocal("this", types.Type{Class: m.Class})
+	}
+	for i, pt := range m.Params {
+		l := lw.newNamedLocal(m.ParamNames[i], pt)
+		lw.fn.Params = append(lw.fn.Params, l)
+	}
+	entry := lw.newBlock()
+	lw.cur = entry
+	lw.lowerBlock(m.Decl.Body)
+	// Implicit return at the end of a void method.
+	if lw.cur != nil && !isTerm(lw.cur.Term()) {
+		lw.emit(&Return{instrBase: instrBase{At: m.Decl.Start}})
+	}
+	lw.popScope()
+	lw.finish()
+	return lw.fn
+}
+
+func isTerm(in Instr) bool {
+	switch in.(type) {
+	case *If, *Goto, *Return, *Throw:
+		return true
+	}
+	return false
+}
+
+type loopCtx struct {
+	breakTo    *Block
+	continueTo *Block
+}
+
+type lowerer struct {
+	prog   *types.Program
+	class  *types.Class
+	fn     *Func
+	cur    *Block // nil when the current position is unreachable
+	scopes []map[string]*Local
+	loops  []loopCtx
+	diags  *lang.Diagnostics
+	ntmp   int
+}
+
+func (lw *lowerer) pushScope() { lw.scopes = append(lw.scopes, map[string]*Local{}) }
+func (lw *lowerer) popScope()  { lw.scopes = lw.scopes[:len(lw.scopes)-1] }
+
+func (lw *lowerer) lookupLocal(name string) *Local {
+	for i := len(lw.scopes) - 1; i >= 0; i-- {
+		if l, ok := lw.scopes[i][name]; ok {
+			return l
+		}
+	}
+	return nil
+}
+
+func (lw *lowerer) newNamedLocal(name string, t types.Type) *Local {
+	l := &Local{Name: name, Index: len(lw.fn.Locals), Type: t}
+	lw.fn.Locals = append(lw.fn.Locals, l)
+	lw.scopes[len(lw.scopes)-1][name] = l
+	return l
+}
+
+func (lw *lowerer) newTmp(t types.Type) *Local {
+	lw.ntmp++
+	l := &Local{Name: fmt.Sprintf("t%d", lw.ntmp), Index: len(lw.fn.Locals), Type: t, IsTmp: true}
+	lw.fn.Locals = append(lw.fn.Locals, l)
+	return l
+}
+
+func (lw *lowerer) newBlock() *Block {
+	b := &Block{Index: len(lw.fn.Blocks)}
+	lw.fn.Blocks = append(lw.fn.Blocks, b)
+	return b
+}
+
+// emit appends an instruction to the current block. If the current
+// position is unreachable, a dangling block is created so lowering can
+// continue; unreachable blocks are pruned by finish.
+func (lw *lowerer) emit(in Instr) {
+	if lw.cur == nil {
+		lw.cur = lw.newBlock()
+	}
+	lw.cur.Instrs = append(lw.cur.Instrs, in)
+}
+
+// jump terminates the current block with a goto to target.
+func (lw *lowerer) jump(target *Block, at lang.Pos) {
+	if lw.cur == nil {
+		return
+	}
+	lw.emit(&Goto{instrBase{At: at}})
+	lw.cur.Succs = append(lw.cur.Succs, target)
+	lw.cur = nil
+}
+
+// branch terminates the current block with a conditional branch.
+func (lw *lowerer) branch(cond Operand, then, els *Block, at lang.Pos) {
+	if lw.cur == nil {
+		return
+	}
+	lw.emit(&If{instrBase: instrBase{At: at}, Cond: cond})
+	lw.cur.Succs = append(lw.cur.Succs, then, els)
+	lw.cur = nil
+}
+
+// finish prunes unreachable blocks, renumbers, and computes predecessors.
+func (lw *lowerer) finish() {
+	reach := map[*Block]bool{}
+	var walk func(*Block)
+	walk = func(b *Block) {
+		if reach[b] {
+			return
+		}
+		reach[b] = true
+		for _, s := range b.Succs {
+			walk(s)
+		}
+	}
+	if len(lw.fn.Blocks) > 0 {
+		walk(lw.fn.Blocks[0])
+	}
+	var kept []*Block
+	for _, b := range lw.fn.Blocks {
+		if reach[b] {
+			b.Index = len(kept)
+			kept = append(kept, b)
+		}
+	}
+	lw.fn.Blocks = kept
+	for _, b := range kept {
+		b.Preds = nil
+	}
+	for _, b := range kept {
+		for _, s := range b.Succs {
+			s.Preds = append(s.Preds, b)
+		}
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Statements
+
+func (lw *lowerer) lowerBlock(b *ast.Block) {
+	lw.pushScope()
+	for _, s := range b.Stmts {
+		lw.lowerStmt(s)
+	}
+	lw.popScope()
+}
+
+func (lw *lowerer) lowerStmt(s ast.Stmt) {
+	switch s := s.(type) {
+	case *ast.Block:
+		lw.lowerBlock(s)
+	case *ast.LocalVarDecl:
+		t := lw.resolveType(s.Type)
+		l := lw.newNamedLocal(s.Name, t)
+		if s.Init != nil {
+			v, _ := lw.lowerExpr(s.Init)
+			lw.emit(&Assign{instrBase{At: s.Start}, l, v})
+		}
+	case *ast.ExprStmt:
+		lw.lowerExprForEffect(s.X)
+	case *ast.AssignStmt:
+		lw.lowerAssign(s)
+	case *ast.IfStmt:
+		lw.lowerIf(s)
+	case *ast.WhileStmt:
+		lw.lowerWhile(s)
+	case *ast.DoWhileStmt:
+		lw.lowerDoWhile(s)
+	case *ast.ForStmt:
+		lw.lowerFor(s)
+	case *ast.ReturnStmt:
+		var v Operand
+		if s.Value != nil {
+			v, _ = lw.lowerExpr(s.Value)
+		}
+		lw.emit(&Return{instrBase{At: s.Start}, v})
+		lw.cur = nil
+	case *ast.ThrowStmt:
+		v, _ := lw.lowerExpr(s.Value)
+		lw.emit(&Throw{instrBase{At: s.Start}, v})
+		lw.cur = nil
+	case *ast.BreakStmt:
+		if len(lw.loops) == 0 {
+			lw.diags.Errorf(s.Start, "break outside loop or switch")
+			return
+		}
+		lw.jump(lw.loops[len(lw.loops)-1].breakTo, s.Start)
+	case *ast.ContinueStmt:
+		target := lw.innermostContinue()
+		if target == nil {
+			lw.diags.Errorf(s.Start, "continue outside loop")
+			return
+		}
+		lw.jump(target, s.Start)
+	case *ast.SyncStmt:
+		// Monitor operations have no policy effect; lower the lock
+		// expression for effect and the body inline.
+		lw.lowerExprForEffect(s.Lock)
+		lw.lowerBlock(s.Body)
+	case *ast.TryStmt:
+		lw.lowerTry(s)
+	case *ast.SwitchStmt:
+		lw.lowerSwitch(s)
+	default:
+		lw.diags.Errorf(s.Pos(), "cannot lower statement %T", s)
+	}
+}
+
+func (lw *lowerer) innermostContinue() *Block {
+	for i := len(lw.loops) - 1; i >= 0; i-- {
+		if lw.loops[i].continueTo != nil {
+			return lw.loops[i].continueTo
+		}
+	}
+	return nil
+}
+
+func (lw *lowerer) lowerIf(s *ast.IfStmt) {
+	thenB := lw.newBlock()
+	var elseB *Block
+	after := lw.newBlock()
+	if s.Else != nil {
+		elseB = lw.newBlock()
+	} else {
+		elseB = after
+	}
+	lw.lowerCondJump(s.Cond, thenB, elseB)
+	lw.cur = thenB
+	lw.lowerStmt(s.Then)
+	lw.jump(after, s.Start)
+	if s.Else != nil {
+		lw.cur = elseB
+		lw.lowerStmt(s.Else)
+		lw.jump(after, s.Start)
+	}
+	lw.cur = after
+}
+
+func (lw *lowerer) lowerWhile(s *ast.WhileStmt) {
+	head := lw.newBlock()
+	body := lw.newBlock()
+	after := lw.newBlock()
+	lw.jump(head, s.Start)
+	lw.cur = head
+	lw.lowerCondJump(s.Cond, body, after)
+	lw.loops = append(lw.loops, loopCtx{breakTo: after, continueTo: head})
+	lw.cur = body
+	lw.lowerStmt(s.Body)
+	lw.jump(head, s.Start)
+	lw.loops = lw.loops[:len(lw.loops)-1]
+	lw.cur = after
+}
+
+func (lw *lowerer) lowerDoWhile(s *ast.DoWhileStmt) {
+	body := lw.newBlock()
+	head := lw.newBlock()
+	after := lw.newBlock()
+	lw.jump(body, s.Start)
+	lw.loops = append(lw.loops, loopCtx{breakTo: after, continueTo: head})
+	lw.cur = body
+	lw.lowerStmt(s.Body)
+	lw.jump(head, s.Start)
+	lw.loops = lw.loops[:len(lw.loops)-1]
+	lw.cur = head
+	lw.lowerCondJump(s.Cond, body, after)
+	lw.cur = after
+}
+
+func (lw *lowerer) lowerFor(s *ast.ForStmt) {
+	lw.pushScope()
+	if s.Init != nil {
+		lw.lowerStmt(s.Init)
+	}
+	head := lw.newBlock()
+	body := lw.newBlock()
+	post := lw.newBlock()
+	after := lw.newBlock()
+	lw.jump(head, s.Start)
+	lw.cur = head
+	if s.Cond != nil {
+		lw.lowerCondJump(s.Cond, body, after)
+	} else {
+		lw.jump(body, s.Start)
+	}
+	lw.loops = append(lw.loops, loopCtx{breakTo: after, continueTo: post})
+	lw.cur = body
+	lw.lowerStmt(s.Body)
+	lw.jump(post, s.Start)
+	lw.loops = lw.loops[:len(lw.loops)-1]
+	lw.cur = post
+	if s.Post != nil {
+		lw.lowerStmt(s.Post)
+	}
+	lw.jump(head, s.Start)
+	lw.cur = after
+	lw.popScope()
+}
+
+// lowerTry models exceptional flow conservatively: each catch handler is
+// reachable from the state at try entry (an exception may be thrown before
+// any statement of the body executes), so MUST facts established inside
+// the body do not leak into handlers. finally code executes after the body
+// and after each handler.
+func (lw *lowerer) lowerTry(s *ast.TryStmt) {
+	bodyB := lw.newBlock()
+	after := lw.newBlock()
+	var catchBlocks []*Block
+	for range s.Catches {
+		catchBlocks = append(catchBlocks, lw.newBlock())
+	}
+	// Pre-try block branches to body and to each handler.
+	if lw.cur == nil {
+		lw.cur = lw.newBlock()
+	}
+	lw.emit(&Goto{instrBase{At: s.Start}})
+	lw.cur.Succs = append(lw.cur.Succs, bodyB)
+	lw.cur.Succs = append(lw.cur.Succs, catchBlocks...)
+	lw.cur = bodyB
+	lw.lowerBlock(s.Body)
+	joinAt := after
+	var finB *Block
+	if s.Finally != nil {
+		finB = lw.newBlock()
+		joinAt = finB
+	}
+	lw.jump(joinAt, s.Start)
+	for i, cc := range s.Catches {
+		lw.cur = catchBlocks[i]
+		lw.pushScope()
+		lw.newNamedLocal(cc.Name, lw.resolveType(cc.Type))
+		lw.lowerBlock(cc.Body)
+		lw.popScope()
+		lw.jump(joinAt, cc.Start)
+	}
+	if finB != nil {
+		lw.cur = finB
+		lw.lowerBlock(s.Finally)
+		lw.jump(after, s.Start)
+	}
+	lw.cur = after
+}
+
+func (lw *lowerer) lowerSwitch(s *ast.SwitchStmt) {
+	tag, _ := lw.lowerExpr(s.Tag)
+	tagLocal := lw.materialize(tag, types.Type{Prim: "int"}, s.Start)
+	after := lw.newBlock()
+
+	// One statement block per case, linked for fallthrough.
+	stmtBlocks := make([]*Block, len(s.Cases))
+	for i := range s.Cases {
+		stmtBlocks[i] = lw.newBlock()
+	}
+	defaultIdx := -1
+	for i, c := range s.Cases {
+		if c.IsDefault {
+			defaultIdx = i
+		}
+	}
+
+	// Comparison chain.
+	for i, c := range s.Cases {
+		if c.IsDefault {
+			continue
+		}
+		v, _ := lw.lowerExpr(c.Value)
+		cmp := lw.newTmp(types.Type{Prim: "boolean"})
+		lw.emit(&Binary{instrBase{At: c.Start}, cmp, "==", tagLocal, v})
+		next := lw.newBlock()
+		lw.branch(cmp, stmtBlocks[i], next, c.Start)
+		lw.cur = next
+	}
+	if defaultIdx >= 0 {
+		lw.jump(stmtBlocks[defaultIdx], s.Start)
+	} else {
+		lw.jump(after, s.Start)
+	}
+
+	lw.loops = append(lw.loops, loopCtx{breakTo: after})
+	for i, c := range s.Cases {
+		lw.cur = stmtBlocks[i]
+		for _, st := range c.Stmts {
+			lw.lowerStmt(st)
+		}
+		if i+1 < len(s.Cases) {
+			lw.jump(stmtBlocks[i+1], c.Start) // fallthrough
+		} else {
+			lw.jump(after, c.Start)
+		}
+	}
+	lw.loops = lw.loops[:len(lw.loops)-1]
+	lw.cur = after
+}
+
+func (lw *lowerer) lowerAssign(s *ast.AssignStmt) {
+	var rhs Operand
+	if s.Op == "=" {
+		rhs, _ = lw.lowerExpr(s.Value)
+	} else {
+		// Compound assignment: load target, apply op, store back.
+		cur, t := lw.lowerExpr(s.Target)
+		v, _ := lw.lowerExpr(s.Value)
+		tmp := lw.newTmp(t)
+		lw.emit(&Binary{instrBase{At: s.Start}, tmp, s.Op[:1], cur, v})
+		rhs = tmp
+	}
+	lw.store(s.Target, rhs, s.Start)
+}
+
+// store writes rhs into the lvalue denoted by target.
+func (lw *lowerer) store(target ast.Expr, rhs Operand, at lang.Pos) {
+	switch t := target.(type) {
+	case *ast.VarRef:
+		if l := lw.lookupLocal(t.Name); l != nil {
+			lw.emit(&Assign{instrBase{At: at}, l, rhs})
+			return
+		}
+		// Implicit this.field or static field of the current class.
+		if f := lw.class.FieldOf(t.Name); f != nil {
+			if f.Mods.Has(ast.ModStatic) {
+				lw.emit(&FieldStore{instrBase{At: at}, nil, f, t.Name, rhs})
+			} else {
+				lw.emit(&FieldStore{instrBase{At: at}, lw.fn.This, f, t.Name, rhs})
+			}
+			return
+		}
+		lw.diags.Warnf(at, "assignment to unresolved name %s", t.Name)
+	case *ast.FieldAccess:
+		if cls := lw.classQualifier(t.X); cls != nil {
+			f := cls.FieldOf(t.Name)
+			lw.emit(&FieldStore{instrBase{At: at}, nil, f, t.Name, rhs})
+			return
+		}
+		obj, objT := lw.lowerExpr(t.X)
+		objL := lw.materialize(obj, objT, at)
+		var f *types.Field
+		if objT.Class != nil {
+			f = objT.Class.FieldOf(t.Name)
+		}
+		lw.emit(&FieldStore{instrBase{At: at}, objL, f, t.Name, rhs})
+	case *ast.IndexExpr:
+		arr, _ := lw.lowerExpr(t.X)
+		idx, _ := lw.lowerExpr(t.Index)
+		lw.emit(&ArrayStore{instrBase{At: at}, arr, idx, rhs})
+	default:
+		lw.diags.Errorf(at, "invalid assignment target %T", target)
+	}
+}
+
+// lowerCondJump lowers a boolean condition with short-circuit control flow.
+func (lw *lowerer) lowerCondJump(e ast.Expr, thenB, elseB *Block) {
+	switch e := e.(type) {
+	case *ast.BinaryExpr:
+		switch e.Op {
+		case "&&":
+			mid := lw.newBlock()
+			lw.lowerCondJump(e.X, mid, elseB)
+			lw.cur = mid
+			lw.lowerCondJump(e.Y, thenB, elseB)
+			return
+		case "||":
+			mid := lw.newBlock()
+			lw.lowerCondJump(e.X, thenB, mid)
+			lw.cur = mid
+			lw.lowerCondJump(e.Y, thenB, elseB)
+			return
+		}
+	case *ast.UnaryExpr:
+		if e.Op == "!" {
+			lw.lowerCondJump(e.X, elseB, thenB)
+			return
+		}
+	}
+	v, _ := lw.lowerExpr(e)
+	lw.branch(v, thenB, elseB, e.Pos())
+}

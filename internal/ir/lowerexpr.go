@@ -1,0 +1,411 @@
+package ir
+
+import (
+	"policyoracle/internal/ast"
+	"policyoracle/internal/lang"
+	"policyoracle/internal/types"
+)
+
+func (lw *lowerer) resolveType(tr ast.TypeRef) types.Type {
+	switch tr.Name {
+	case "":
+		return types.Type{Prim: "void"}
+	case "void", "boolean", "int", "long", "char", "byte", "short", "float", "double":
+		return types.Type{Prim: tr.Name, Dims: tr.Dims}
+	}
+	if c := lw.prog.Lookup(tr.Name, lw.class.File); c != nil {
+		return types.Type{Class: c, Dims: tr.Dims}
+	}
+	return types.Type{Named: tr.Name, Dims: tr.Dims}
+}
+
+func (lw *lowerer) stringType() types.Type {
+	if c := lw.prog.Lookup("String", lw.class.File); c != nil {
+		return types.Type{Class: c}
+	}
+	return types.Type{Named: "String"}
+}
+
+// materialize ensures an operand is a Local (needed for receivers and
+// field bases), copying constants into a temp.
+func (lw *lowerer) materialize(op Operand, t types.Type, at lang.Pos) *Local {
+	if l, ok := op.(*Local); ok {
+		return l
+	}
+	tmp := lw.newTmp(t)
+	lw.emit(&Assign{instrBase{At: at}, tmp, op})
+	return tmp
+}
+
+// classQualifier interprets e as a class-name qualifier (e.g. `System` in
+// System.exit(...) or `java.lang.System`). It returns the class, or nil
+// when e is an ordinary expression.
+func (e *lowerer) classQualifierName(x ast.Expr) (string, bool) {
+	switch x := x.(type) {
+	case *ast.VarRef:
+		return x.Name, true
+	case *ast.FieldAccess:
+		if prefix, ok := e.classQualifierName(x.X); ok {
+			return prefix + "." + x.Name, true
+		}
+	}
+	return "", false
+}
+
+func (lw *lowerer) classQualifier(x ast.Expr) *types.Class {
+	name, ok := lw.classQualifierName(x)
+	if !ok {
+		return nil
+	}
+	// A local variable shadows a class name.
+	if v, isVar := x.(*ast.VarRef); isVar {
+		if lw.lookupLocal(v.Name) != nil || lw.class.FieldOf(v.Name) != nil {
+			return nil
+		}
+	} else if fa, isFA := x.(*ast.FieldAccess); isFA {
+		// Inner segments that denote expressions disqualify the chain.
+		if lw.classQualifier(fa.X) == nil {
+			if _, isRoot := fa.X.(*ast.VarRef); !isRoot {
+				return nil
+			}
+		}
+	}
+	return lw.prog.Lookup(name, lw.class.File)
+}
+
+// lowerExprForEffect lowers e, discarding its value.
+func (lw *lowerer) lowerExprForEffect(e ast.Expr) {
+	switch e := e.(type) {
+	case *ast.CallExpr:
+		lw.lowerCall(e, false)
+	case *ast.IncDecExpr:
+		lw.lowerIncDec(e)
+	default:
+		lw.lowerExpr(e)
+	}
+}
+
+func (lw *lowerer) lowerIncDec(e *ast.IncDecExpr) (Operand, types.Type) {
+	cur, t := lw.lowerExpr(e.X)
+	tmp := lw.newTmp(t)
+	op := "+"
+	if e.Op == "--" {
+		op = "-"
+	}
+	lw.emit(&Binary{instrBase{At: e.Start}, tmp, op, cur, IntConst(1)})
+	lw.store(e.X, tmp, e.Start)
+	return tmp, t
+}
+
+// lowerExpr lowers e and returns the operand holding its value along with
+// the operand's inferred static type.
+func (lw *lowerer) lowerExpr(e ast.Expr) (Operand, types.Type) {
+	switch e := e.(type) {
+	case *ast.Literal:
+		switch e.Kind {
+		case ast.LitInt, ast.LitChar:
+			return IntConst(e.Int), types.Type{Prim: "int"}
+		case ast.LitBool:
+			return BoolConst(e.Bool), types.Type{Prim: "boolean"}
+		case ast.LitString:
+			return StringConst(e.Str), lw.stringType()
+		case ast.LitNull:
+			return NullConst(), types.Type{}
+		}
+	case *ast.VarRef:
+		if e.Name == "this" {
+			if lw.fn.This == nil {
+				lw.diags.Errorf(e.Start, "this in static method")
+				return NullConst(), types.Type{}
+			}
+			return lw.fn.This, lw.fn.This.Type
+		}
+		if l := lw.lookupLocal(e.Name); l != nil {
+			return l, l.Type
+		}
+		if f := lw.class.FieldOf(e.Name); f != nil {
+			dst := lw.newTmp(f.Type)
+			if f.Mods.Has(ast.ModStatic) {
+				lw.emit(&FieldLoad{instrBase{At: e.Start}, dst, nil, f, e.Name})
+			} else {
+				lw.emit(&FieldLoad{instrBase{At: e.Start}, dst, lw.fn.This, f, e.Name})
+			}
+			return dst, f.Type
+		}
+		lw.diags.Warnf(e.Start, "unresolved name %s", e.Name)
+		return NullConst(), types.Type{}
+	case *ast.FieldAccess:
+		if cls := lw.classQualifier(e.X); cls != nil {
+			f := cls.FieldOf(e.Name)
+			var ft types.Type
+			if f != nil {
+				ft = f.Type
+			}
+			dst := lw.newTmp(ft)
+			lw.emit(&FieldLoad{instrBase{At: e.Start}, dst, nil, f, e.Name})
+			return dst, ft
+		}
+		obj, objT := lw.lowerExpr(e.X)
+		objL := lw.materialize(obj, objT, e.Start)
+		var f *types.Field
+		if objT.Class != nil {
+			f = objT.Class.FieldOf(e.Name)
+		}
+		var ft types.Type
+		if f != nil {
+			ft = f.Type
+		}
+		if objT.Dims > 0 && e.Name == "length" {
+			ft = types.Type{Prim: "int"}
+		}
+		dst := lw.newTmp(ft)
+		lw.emit(&FieldLoad{instrBase{At: e.Start}, dst, objL, f, e.Name})
+		return dst, ft
+	case *ast.IndexExpr:
+		arr, arrT := lw.lowerExpr(e.X)
+		idx, _ := lw.lowerExpr(e.Index)
+		elemT := arrT
+		if elemT.Dims > 0 {
+			elemT.Dims--
+		}
+		dst := lw.newTmp(elemT)
+		lw.emit(&ArrayLoad{instrBase{At: e.Start}, dst, arr, idx})
+		return dst, elemT
+	case *ast.CallExpr:
+		return lw.lowerCall(e, true)
+	case *ast.NewExpr:
+		return lw.lowerNew(e)
+	case *ast.NewArrayExpr:
+		t := lw.resolveType(e.Type)
+		t.Dims++
+		dst := lw.newTmp(t)
+		var ln Operand
+		if e.Len != nil {
+			ln, _ = lw.lowerExpr(e.Len)
+		} else {
+			ln = IntConst(int64(len(e.Elems)))
+		}
+		lw.emit(&NewArray{instrBase{At: e.Start}, dst, ln})
+		for i, el := range e.Elems {
+			v, _ := lw.lowerExpr(el)
+			lw.emit(&ArrayStore{instrBase{At: e.Start}, dst, IntConst(int64(i)), v})
+		}
+		return dst, t
+	case *ast.UnaryExpr:
+		v, t := lw.lowerExpr(e.X)
+		if e.Op == "!" {
+			t = types.Type{Prim: "boolean"}
+		}
+		dst := lw.newTmp(t)
+		lw.emit(&Unary{instrBase{At: e.Start}, dst, e.Op, v})
+		return dst, t
+	case *ast.BinaryExpr:
+		return lw.lowerBinary(e)
+	case *ast.CondExpr:
+		thenB := lw.newBlock()
+		elseB := lw.newBlock()
+		after := lw.newBlock()
+		lw.lowerCondJump(e.Cond, thenB, elseB)
+		lw.cur = thenB
+		tv, tt := lw.lowerExpr(e.Then)
+		dst := lw.newTmp(tt)
+		lw.emit(&Assign{instrBase{At: e.Start}, dst, tv})
+		lw.jump(after, e.Start)
+		lw.cur = elseB
+		ev, _ := lw.lowerExpr(e.Else)
+		lw.emit(&Assign{instrBase{At: e.Start}, dst, ev})
+		lw.jump(after, e.Start)
+		lw.cur = after
+		return dst, tt
+	case *ast.CastExpr:
+		v, _ := lw.lowerExpr(e.X)
+		to := lw.resolveType(e.Type)
+		dst := lw.newTmp(to)
+		lw.emit(&Cast{instrBase{At: e.Start}, dst, to, v})
+		return dst, to
+	case *ast.InstanceOfExpr:
+		v, _ := lw.lowerExpr(e.X)
+		dst := lw.newTmp(types.Type{Prim: "boolean"})
+		lw.emit(&InstanceOf{instrBase{At: e.Start}, dst, v, lw.resolveType(e.Type)})
+		return dst, dst.Type
+	case *ast.IncDecExpr:
+		return lw.lowerIncDec(e)
+	}
+	lw.diags.Errorf(e.Pos(), "cannot lower expression %T", e)
+	return NullConst(), types.Type{}
+}
+
+func (lw *lowerer) lowerBinary(e *ast.BinaryExpr) (Operand, types.Type) {
+	switch e.Op {
+	case "&&", "||":
+		// Value position: lower via control flow into a boolean temp.
+		dst := lw.newTmp(types.Type{Prim: "boolean"})
+		thenB := lw.newBlock()
+		elseB := lw.newBlock()
+		after := lw.newBlock()
+		lw.lowerCondJump(e, thenB, elseB)
+		lw.cur = thenB
+		lw.emit(&Assign{instrBase{At: e.Start}, dst, BoolConst(true)})
+		lw.jump(after, e.Start)
+		lw.cur = elseB
+		lw.emit(&Assign{instrBase{At: e.Start}, dst, BoolConst(false)})
+		lw.jump(after, e.Start)
+		lw.cur = after
+		return dst, dst.Type
+	}
+	x, xt := lw.lowerExpr(e.X)
+	y, _ := lw.lowerExpr(e.Y)
+	var t types.Type
+	switch e.Op {
+	case "==", "!=", "<", ">", "<=", ">=":
+		t = types.Type{Prim: "boolean"}
+	case "+":
+		if xt.Class != nil && xt.Class.Simple == "String" {
+			t = xt // string concatenation
+		} else {
+			t = types.Type{Prim: "int"}
+		}
+	default:
+		t = types.Type{Prim: "int"}
+	}
+	dst := lw.newTmp(t)
+	lw.emit(&Binary{instrBase{At: e.Start}, dst, e.Op, x, y})
+	return dst, t
+}
+
+func (lw *lowerer) lowerNew(e *ast.NewExpr) (Operand, types.Type) {
+	t := lw.resolveType(e.Type)
+	dst := lw.newTmp(t)
+	lw.emit(&New{instrBase{At: e.Start}, dst, t.Class, e.Type.Name})
+	var args []Operand
+	for _, a := range e.Args {
+		v, _ := lw.lowerExpr(a)
+		args = append(args, v)
+	}
+	var ctor *types.Method
+	if t.Class != nil {
+		for _, m := range t.Class.MethodsNamed("<init>") {
+			if len(m.Params) == len(args) {
+				ctor = m
+				break
+			}
+		}
+	}
+	if ctor != nil || len(args) > 0 {
+		lw.emit(&Call{
+			instrBase:  instrBase{At: e.Start},
+			Kind:       CallSpecial,
+			Recv:       dst,
+			StaticType: t.Class,
+			Declared:   ctor,
+			Name:       "<init>",
+			Args:       args,
+		})
+	}
+	return dst, t
+}
+
+// lowerCall lowers a method invocation. wantValue controls whether a
+// result temp is allocated.
+func (lw *lowerer) lowerCall(e *ast.CallExpr, wantValue bool) (Operand, types.Type) {
+	var args []Operand
+	lowerArgs := func() {
+		for _, a := range e.Args {
+			v, _ := lw.lowerExpr(a)
+			args = append(args, v)
+		}
+	}
+
+	emit := func(kind CallKind, recv *Local, st *types.Class, decl *types.Method, name string) (Operand, types.Type) {
+		var ret types.Type
+		if decl != nil {
+			ret = decl.Ret
+		}
+		var dst *Local
+		if wantValue {
+			dst = lw.newTmp(ret)
+		}
+		lw.emit(&Call{
+			instrBase:  instrBase{At: e.Start},
+			Dst:        dst,
+			Kind:       kind,
+			Recv:       recv,
+			StaticType: st,
+			Declared:   decl,
+			Name:       name,
+			Args:       args,
+		})
+		if dst == nil {
+			return NullConst(), ret
+		}
+		return dst, ret
+	}
+
+	// this(...) / super(...) constructor calls.
+	if e.Recv == nil && (e.Name == "this" || e.Name == "super") {
+		lowerArgs()
+		target := lw.class
+		if e.Name == "super" {
+			target = lw.class.Super
+		}
+		var ctor *types.Method
+		if target != nil {
+			for _, m := range target.MethodsNamed("<init>") {
+				if len(m.Params) == len(args) {
+					ctor = m
+					break
+				}
+			}
+		}
+		return emit(CallSpecial, lw.fn.This, target, ctor, "<init>")
+	}
+
+	// super.m(...)
+	if vr, ok := e.Recv.(*ast.VarRef); ok && vr.Name == "super" {
+		lowerArgs()
+		var decl *types.Method
+		if lw.class.Super != nil {
+			decl = lw.class.Super.LookupMethod(e.Name, len(args))
+		}
+		return emit(CallSpecial, lw.fn.This, lw.class.Super, decl, e.Name)
+	}
+
+	// Static call via class qualifier: System.exit(...), Class.forName(...).
+	if e.Recv != nil {
+		if cls := lw.classQualifier(e.Recv); cls != nil {
+			lowerArgs()
+			decl := cls.LookupMethod(e.Name, len(e.Args))
+			kind := CallStatic
+			if decl != nil && !decl.IsStatic() {
+				// Qualified instance call through a class name is invalid;
+				// treat as unresolved virtual.
+				decl = nil
+			}
+			return emit(kind, nil, cls, decl, e.Name)
+		}
+	}
+
+	// Unqualified call: implicit this or static method of the current class.
+	if e.Recv == nil {
+		lowerArgs()
+		decl := lw.class.LookupMethod(e.Name, len(e.Args))
+		if decl != nil && decl.IsStatic() {
+			return emit(CallStatic, nil, lw.class, decl, e.Name)
+		}
+		if lw.fn.This == nil {
+			// Static context: unresolved or instance method misuse.
+			return emit(CallStatic, nil, lw.class, decl, e.Name)
+		}
+		return emit(CallVirtual, lw.fn.This, lw.class, decl, e.Name)
+	}
+
+	// Ordinary virtual call through an expression receiver.
+	recvOp, recvT := lw.lowerExpr(e.Recv)
+	recvL := lw.materialize(recvOp, recvT, e.Start)
+	lowerArgs()
+	var decl *types.Method
+	if recvT.Class != nil {
+		decl = recvT.Class.LookupMethod(e.Name, len(e.Args))
+	}
+	return emit(CallVirtual, recvL, recvT.Class, decl, e.Name)
+}

@@ -1,0 +1,256 @@
+// Package oracle is the top-level engine of the security policy oracle: it
+// loads MJ library implementations, extracts MAY and MUST security
+// policies for every API entry point with the ISPA analysis, and
+// differences the policies of two implementations.
+package oracle
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"time"
+
+	"policyoracle/internal/analysis"
+	"policyoracle/internal/ast"
+	"policyoracle/internal/callgraph"
+	"policyoracle/internal/diff"
+	"policyoracle/internal/ir"
+	"policyoracle/internal/lang"
+	"policyoracle/internal/parser"
+	"policyoracle/internal/policy"
+	"policyoracle/internal/secmodel"
+	"policyoracle/internal/types"
+)
+
+// Options configures policy extraction.
+type Options struct {
+	Events                secmodel.EventMode
+	ICP                   bool
+	AssumeSecurityManager bool
+	Memo                  analysis.MemoMode
+	// MaxDepth bounds interprocedural descent (-1 = unlimited).
+	MaxDepth int
+	// CollectPaths enables Figure 2-style path alternatives in MAY
+	// policies.
+	CollectPaths bool
+	// CollectGuards records the branch conditions dominating each check
+	// occurrence (Section 6.4's MAY-policy conditions; display only).
+	CollectGuards bool
+	// Modes restricts extraction to MAY or MUST only (both when empty),
+	// which the Table 2 harness uses to time each independently.
+	Modes []analysis.Mode
+}
+
+// DefaultOptions returns the configuration used for the paper's main
+// results.
+func DefaultOptions() Options {
+	return Options{
+		Events:                secmodel.NarrowEvents,
+		ICP:                   true,
+		AssumeSecurityManager: true,
+		Memo:                  analysis.MemoGlobal,
+		MaxDepth:              -1,
+		CollectPaths:          true,
+	}
+}
+
+// Library is one loaded implementation of the API under analysis.
+type Library struct {
+	Name     string
+	Prog     *ir.Program
+	Resolver *callgraph.Resolver
+	Policies *policy.ProgramPolicies
+
+	// NCLoC is the number of non-comment, non-blank source lines.
+	NCLoC int
+	// Extraction statistics and timings, per mode.
+	MayStats, MustStats analysis.Stats
+	MayTime, MustTime   time.Duration
+	Diags               *lang.Diagnostics
+}
+
+// LoadLibrary parses and builds one implementation from named sources
+// (file name → MJ source text).
+func LoadLibrary(name string, sources map[string]string) (*Library, error) {
+	diags := &lang.Diagnostics{}
+	var files []*ast.File
+	ncloc := 0
+	names := make([]string, 0, len(sources))
+	for n := range sources {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	for _, n := range names {
+		src := sources[n]
+		files = append(files, parser.ParseFile(n, src, diags))
+		ncloc += CountNCLoC(src)
+	}
+	tp := types.Build(name, files, diags)
+	prog := ir.LowerProgram(tp, diags)
+	if diags.HasErrors() {
+		return nil, fmt.Errorf("loading %s: %w", name, diags.Err())
+	}
+	return &Library{
+		Name:     name,
+		Prog:     prog,
+		Resolver: callgraph.NewResolver(prog),
+		NCLoC:    ncloc,
+		Diags:    diags,
+	}, nil
+}
+
+// CountNCLoC counts non-comment, non-blank lines of MJ source.
+func CountNCLoC(src string) int {
+	n := 0
+	inBlock := false
+	for _, line := range strings.Split(src, "\n") {
+		s := strings.TrimSpace(line)
+		if inBlock {
+			if i := strings.Index(s, "*/"); i >= 0 {
+				inBlock = false
+				s = strings.TrimSpace(s[i+2:])
+			} else {
+				continue
+			}
+		}
+		if i := strings.Index(s, "//"); i >= 0 {
+			s = strings.TrimSpace(s[:i])
+		}
+		for {
+			i := strings.Index(s, "/*")
+			if i < 0 {
+				break
+			}
+			j := strings.Index(s[i+2:], "*/")
+			if j < 0 {
+				s = strings.TrimSpace(s[:i])
+				inBlock = true
+				break
+			}
+			s = strings.TrimSpace(s[:i] + s[i+2+j+2:])
+		}
+		if s != "" {
+			n++
+		}
+	}
+	return n
+}
+
+// EntryPoints returns the library's API entry points.
+func (l *Library) EntryPoints() []*types.Method { return l.Prog.Types.EntryPoints() }
+
+// Extract computes the security policies of every API entry point under
+// opts, storing them in l.Policies.
+func (l *Library) Extract(opts Options) {
+	modes := opts.Modes
+	if len(modes) == 0 {
+		modes = []analysis.Mode{analysis.May, analysis.Must}
+	}
+	pp := policy.NewProgramPolicies(l.Name)
+	results := make(map[analysis.Mode]map[string]*analysis.EntryResult)
+	for _, mode := range modes {
+		cfg := analysis.Config{
+			Mode:                  mode,
+			Events:                opts.Events,
+			ICP:                   opts.ICP,
+			AssumeSecurityManager: opts.AssumeSecurityManager,
+			Memo:                  opts.Memo,
+			MaxDepth:              opts.MaxDepth,
+			CollectPaths:          opts.CollectPaths && mode == analysis.May,
+			CollectOrigins:        mode == analysis.May,
+			CollectGuards:         opts.CollectGuards && mode == analysis.May,
+		}
+		a := analysis.New(l.Prog, l.Resolver, cfg)
+		start := time.Now()
+		byEntry := make(map[string]*analysis.EntryResult)
+		for _, m := range l.EntryPoints() {
+			byEntry[m.Qualified()] = a.AnalyzeEntry(m)
+		}
+		elapsed := time.Since(start)
+		results[mode] = byEntry
+		if mode == analysis.May {
+			l.MayStats, l.MayTime = a.Stats(), elapsed
+		} else {
+			l.MustStats, l.MustTime = a.Stats(), elapsed
+		}
+	}
+
+	// Merge per-mode results into combined entry policies.
+	mayRes := results[analysis.May]
+	mustRes := results[analysis.Must]
+	for _, m := range l.EntryPoints() {
+		sig := m.Qualified()
+		ep := policy.NewEntryPolicy(sig)
+		events := map[secmodel.Event]bool{}
+		if r := mayRes[sig]; r != nil {
+			for ev := range r.Events {
+				events[ev] = true
+			}
+		}
+		if r := mustRes[sig]; r != nil {
+			for ev := range r.Events {
+				events[ev] = true
+			}
+		}
+		for ev := range events {
+			evp := ep.EventPolicyFor(ev)
+			evp.Must = policy.Empty
+			if r := mustRes[sig]; r != nil {
+				if er, ok := r.Events[ev]; ok {
+					evp.Must = er.Checks
+				}
+			}
+			if r := mayRes[sig]; r != nil {
+				if er, ok := r.Events[ev]; ok {
+					evp.May = er.Checks
+					evp.Paths = er.Paths
+				}
+			}
+			if evp.May.IsEmpty() && len(modes) == 1 && modes[0] == analysis.Must {
+				// MUST-only extraction: mirror must into may for display.
+				evp.May = evp.Must
+			}
+			if r := mayRes[sig]; r != nil {
+				for _, o := range r.Origins {
+					if evp.May.Has(o.Check) {
+						evp.AddOrigin(o.Check, o.Sig)
+					}
+				}
+			}
+		}
+		if opts.CollectGuards {
+			if r := mayRes[sig]; r != nil {
+				for _, o := range r.Origins {
+					ep.AddGuard(o.Check, o.Guards)
+				}
+			}
+		}
+		pp.Entries[sig] = ep
+	}
+	l.Policies = pp
+}
+
+// Diff differences the extracted policies of two implementations. Both
+// libraries must have been Extracted first.
+func Diff(a, b *Library) *diff.Report {
+	if a.Policies == nil || b.Policies == nil {
+		panic("oracle.Diff: Extract must be called on both libraries first")
+	}
+	return diff.Compare(a.Policies, b.Policies)
+}
+
+// MatchingEntries counts entry-point signatures common to both libraries
+// (Table 3's "Matching APIs").
+func MatchingEntries(a, b *Library) int {
+	n := 0
+	bs := map[string]bool{}
+	for _, m := range b.EntryPoints() {
+		bs[m.Qualified()] = true
+	}
+	for _, m := range a.EntryPoints() {
+		if bs[m.Qualified()] {
+			n++
+		}
+	}
+	return n
+}

@@ -1,0 +1,154 @@
+package oracle
+
+import (
+	"strings"
+	"testing"
+
+	"policyoracle/internal/analysis"
+	"policyoracle/internal/secmodel"
+)
+
+const runtimeMJ = `
+package java.lang;
+public class Object { }
+public class String { }
+public class SecurityManager {
+  public void checkRead(String file) { }
+  public void checkWrite(String file) { }
+}
+`
+
+const libMJ = `
+package api;
+import java.lang.*;
+public class Store {
+  private SecurityManager sm;
+  public void put(String key) {
+    sm.checkWrite(key);
+    write0(key);
+  }
+  public String get(String key) {
+    sm.checkRead(key);
+    return read0(key);
+  }
+  public int size() { return 0; }
+  native void write0(String key);
+  native String read0(String key);
+}
+`
+
+func loadTestLib(t testing.TB, name string, srcs map[string]string) *Library {
+	t.Helper()
+	l, err := LoadLibrary(name, srcs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return l
+}
+
+func TestLoadAndExtract(t *testing.T) {
+	l := loadTestLib(t, "a", map[string]string{"rt.mj": runtimeMJ, "lib.mj": libMJ})
+	l.Extract(DefaultOptions())
+	if l.Policies == nil {
+		t.Fatal("no policies")
+	}
+	if got := len(l.EntryPoints()); got != 5 {
+		t.Errorf("entry points = %d", got)
+	}
+	if got := l.Policies.EntriesWithChecks(); got != 2 {
+		t.Errorf("entries with checks = %d", got)
+	}
+	ep := l.Policies.Entries["api.Store.put(String)"]
+	if ep == nil {
+		t.Fatal("put policy missing")
+	}
+	ret := ep.Events[secmodel.ReturnEvent()]
+	if ret == nil || ret.Must.String() != "{checkWrite}" {
+		t.Errorf("put return policy = %+v", ret)
+	}
+	if l.MayTime <= 0 || l.MustTime <= 0 {
+		t.Error("timings not recorded")
+	}
+}
+
+func TestLoadErrorOnBadSource(t *testing.T) {
+	_, err := LoadLibrary("bad", map[string]string{"x.mj": "class { nonsense"})
+	if err == nil {
+		t.Fatal("expected load error")
+	}
+	if !strings.Contains(err.Error(), "bad") {
+		t.Errorf("error lacks library name: %v", err)
+	}
+}
+
+func TestDiffPanicsWithoutExtract(t *testing.T) {
+	a := loadTestLib(t, "a", map[string]string{"rt.mj": runtimeMJ, "lib.mj": libMJ})
+	b := loadTestLib(t, "b", map[string]string{"rt.mj": runtimeMJ, "lib.mj": libMJ})
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic for un-extracted libraries")
+		}
+	}()
+	Diff(a, b)
+}
+
+func TestMatchingEntries(t *testing.T) {
+	a := loadTestLib(t, "a", map[string]string{"rt.mj": runtimeMJ, "lib.mj": libMJ})
+	b := loadTestLib(t, "b", map[string]string{"rt.mj": runtimeMJ})
+	if got := MatchingEntries(a, b); got != 2 { // the SecurityManager checks
+		t.Errorf("matching = %d", got)
+	}
+	if got := MatchingEntries(a, a); got != len(a.EntryPoints()) {
+		t.Errorf("self-match = %d", got)
+	}
+}
+
+func TestExtractMustOnlyMode(t *testing.T) {
+	l := loadTestLib(t, "a", map[string]string{"rt.mj": runtimeMJ, "lib.mj": libMJ})
+	opts := DefaultOptions()
+	opts.Modes = []analysis.Mode{analysis.Must}
+	l.Extract(opts)
+	ep := l.Policies.Entries["api.Store.put(String)"]
+	ret := ep.Events[secmodel.ReturnEvent()]
+	if ret.Must.String() != "{checkWrite}" {
+		t.Errorf("must = %s", ret.Must)
+	}
+	// Must-only extraction mirrors must into may for display.
+	if ret.May.String() != "{checkWrite}" {
+		t.Errorf("may mirror = %s", ret.May)
+	}
+}
+
+func TestCountNCLoC(t *testing.T) {
+	src := `
+// comment only
+package p; // trailing
+
+/* block
+   comment */
+class C {
+  /* inline */ int f;
+}
+`
+	if got := CountNCLoC(src); got != 4 {
+		t.Errorf("NCLoC = %d, want 4 (package, class, field, brace)", got)
+	}
+	if CountNCLoC("") != 0 {
+		t.Error("empty source has lines")
+	}
+	if CountNCLoC("a /* x */ b") != 1 {
+		t.Error("inline block comment handling wrong")
+	}
+}
+
+func TestDiffIdenticalLibraries(t *testing.T) {
+	srcs := map[string]string{"rt.mj": runtimeMJ, "lib.mj": libMJ}
+	a := loadTestLib(t, "a", srcs)
+	b := loadTestLib(t, "b", srcs)
+	a.Extract(DefaultOptions())
+	b.Extract(DefaultOptions())
+	rep := Diff(a, b)
+	if len(rep.Diffs) != 0 {
+		t.Errorf("identical libraries differ: %s", rep)
+	}
+}

@@ -1,0 +1,52 @@
+package parser
+
+import (
+	"testing"
+
+	"policyoracle/internal/ast"
+	"policyoracle/internal/corpus"
+	"policyoracle/internal/lang"
+)
+
+// BenchmarkParseCorpus measures the MJ frontend over the bundled jdk
+// corpus (lexing + parsing).
+func BenchmarkParseCorpus(b *testing.B) {
+	sources := corpus.JDKSources()
+	bytes := 0
+	for _, src := range sources {
+		bytes += len(src)
+	}
+	b.SetBytes(int64(bytes))
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		var diags lang.Diagnostics
+		for name, src := range sources {
+			ParseFile(name, src, &diags)
+		}
+		if diags.HasErrors() {
+			b.Fatal(diags.Err())
+		}
+	}
+}
+
+// BenchmarkPrintCorpus measures the canonical printer over pre-parsed
+// files.
+func BenchmarkPrintCorpus(b *testing.B) {
+	var diags lang.Diagnostics
+	var files []*ast.File
+	for name, src := range corpus.JDKSources() {
+		files = append(files, ParseFile(name, src, &diags))
+	}
+	if diags.HasErrors() {
+		b.Fatal(diags.Err())
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for _, f := range files {
+			if out := ast.Print(f); len(out) == 0 {
+				b.Fatal("empty print")
+			}
+		}
+	}
+}

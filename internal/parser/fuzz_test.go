@@ -1,0 +1,49 @@
+package parser
+
+import (
+	"testing"
+
+	"policyoracle/internal/ast"
+	"policyoracle/internal/lang"
+)
+
+// FuzzParse asserts two properties on arbitrary inputs: the parser never
+// panics, and for inputs it accepts without errors, the canonical printer
+// is a fixed point of parse∘print.
+func FuzzParse(f *testing.F) {
+	seeds := []string{
+		"",
+		"package p; class C { }",
+		"package java.net; import java.lang.*; public class S { native int n(String s); }",
+		`package p; class C { void m(int a) { if (a > 0) { m(a - 1); } } }`,
+		`package p; class C { int f = 3; int m() { return f++; } }`,
+		`package p; class C { void m() { try { } catch (E e) { } finally { } } }`,
+		`package p; class C { void m(Object o) { X x = (X) o; boolean b = o instanceof X; } }`,
+		`package p; class C { void m() { for (int i = 0; i < 3; i++) { continue; } } }`,
+		`package p; class C { void m(int k) { switch (k) { case 1: break; default: } } }`,
+		"class C { void m() { x = \"unterminated", // broken input
+		"@#$%^&*",
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, src string) {
+		var d1 lang.Diagnostics
+		file := ParseFile("fuzz.mj", src, &d1) // must not panic
+		if file == nil {
+			t.Fatal("nil file")
+		}
+		if d1.HasErrors() {
+			return
+		}
+		p1 := ast.Print(file)
+		var d2 lang.Diagnostics
+		f2 := ParseFile("fuzz.mj", p1, &d2)
+		if d2.HasErrors() {
+			t.Fatalf("canonical form fails to reparse: %v\nsource: %q\nprinted:\n%s", d2.Err(), src, p1)
+		}
+		if p2 := ast.Print(f2); p1 != p2 {
+			t.Fatalf("printer not a fixed point\nsource: %q\n--- p1 ---\n%s\n--- p2 ---\n%s", src, p1, p2)
+		}
+	})
+}

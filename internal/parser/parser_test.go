@@ -1,0 +1,413 @@
+package parser
+
+import (
+	"testing"
+
+	"policyoracle/internal/ast"
+	"policyoracle/internal/lang"
+)
+
+func parse(t *testing.T, src string) *ast.File {
+	t.Helper()
+	var diags lang.Diagnostics
+	f := ParseFile("test.mj", src, &diags)
+	if diags.HasErrors() {
+		t.Fatalf("parse errors: %v", diags.Err())
+	}
+	return f
+}
+
+func TestPackageAndImports(t *testing.T) {
+	f := parse(t, `
+package java.net;
+import java.lang.SecurityManager;
+import java.io.*;
+class Empty { }
+`)
+	if f.Package != "java.net" {
+		t.Errorf("package = %q", f.Package)
+	}
+	if len(f.Imports) != 2 || f.Imports[0] != "java.lang.SecurityManager" || f.Imports[1] != "java.io.*" {
+		t.Errorf("imports = %v", f.Imports)
+	}
+	if len(f.Types) != 1 || f.Types[0].Name != "Empty" {
+		t.Fatalf("types = %v", f.Types)
+	}
+}
+
+func TestClassHeader(t *testing.T) {
+	f := parse(t, `
+package p;
+public final class Socket extends AbstractSocket implements Closeable, Channel { }
+`)
+	td := f.Types[0]
+	if !td.Mods.Has(ast.ModPublic) || !td.Mods.Has(ast.ModFinal) {
+		t.Errorf("mods = %v", td.Mods)
+	}
+	if td.Extends != "AbstractSocket" {
+		t.Errorf("extends = %q", td.Extends)
+	}
+	if len(td.Implements) != 2 || td.Implements[0] != "Closeable" || td.Implements[1] != "Channel" {
+		t.Errorf("implements = %v", td.Implements)
+	}
+}
+
+func TestInterfaceDecl(t *testing.T) {
+	f := parse(t, `
+package p;
+public interface PrivilegedAction extends Action {
+  Object run();
+}
+`)
+	td := f.Types[0]
+	if !td.IsInterface {
+		t.Fatal("not an interface")
+	}
+	if len(td.Implements) != 1 || td.Implements[0] != "Action" {
+		t.Errorf("extended interfaces = %v", td.Implements)
+	}
+	if len(td.Methods) != 1 || td.Methods[0].Name != "run" || td.Methods[0].Body != nil {
+		t.Errorf("methods = %+v", td.Methods)
+	}
+}
+
+func TestFields(t *testing.T) {
+	f := parse(t, `
+package p;
+class C {
+  private int connectState;
+  private static final int ST_CONNECTED = 1, ST_IDLE = 0;
+  protected SecurityManager sm = null;
+}
+`)
+	td := f.Types[0]
+	if len(td.Fields) != 4 {
+		t.Fatalf("got %d fields", len(td.Fields))
+	}
+	if td.Fields[0].Name != "connectState" || !td.Fields[0].Mods.Has(ast.ModPrivate) {
+		t.Errorf("field 0 = %+v", td.Fields[0])
+	}
+	if td.Fields[1].Name != "ST_CONNECTED" || td.Fields[2].Name != "ST_IDLE" {
+		t.Errorf("multi-declarator split wrong: %v %v", td.Fields[1].Name, td.Fields[2].Name)
+	}
+	if td.Fields[3].Init == nil {
+		t.Error("field sm missing initializer")
+	}
+}
+
+func TestMethodsAndConstructors(t *testing.T) {
+	f := parse(t, `
+package p;
+class DatagramSocket {
+  public DatagramSocket(int port) { this.port = port; }
+  public synchronized void connect(InetAddress address, int port) { return; }
+  native int bind0(int port);
+  public abstract void close();
+}
+`)
+	td := f.Types[0]
+	if len(td.Methods) != 4 {
+		t.Fatalf("got %d methods", len(td.Methods))
+	}
+	ctor := td.Methods[0]
+	if !ctor.IsCtor || ctor.Name != "DatagramSocket" || len(ctor.Params) != 1 {
+		t.Errorf("ctor = %+v", ctor)
+	}
+	m := td.Methods[1]
+	if m.Name != "connect" || !m.Mods.Has(ast.ModSynchronized) || len(m.Params) != 2 {
+		t.Errorf("connect = %+v", m)
+	}
+	if m.Params[0].Type.Name != "InetAddress" || m.Params[1].Type.Name != "int" {
+		t.Errorf("params = %+v", m.Params)
+	}
+	nat := td.Methods[2]
+	if !nat.Mods.Has(ast.ModNative) || nat.Body != nil {
+		t.Errorf("native = %+v", nat)
+	}
+	if td.Methods[3].Body != nil {
+		t.Error("abstract method has body")
+	}
+}
+
+func TestNativeWithBodyIsError(t *testing.T) {
+	var diags lang.Diagnostics
+	ParseFile("t.mj", `package p; class C { native void f() { } }`, &diags)
+	if !diags.HasErrors() {
+		t.Error("expected error for native method with body")
+	}
+}
+
+func TestBodylessNonNativeIsError(t *testing.T) {
+	var diags lang.Diagnostics
+	ParseFile("t.mj", `package p; class C { void f(); }`, &diags)
+	if !diags.HasErrors() {
+		t.Error("expected error for bodyless non-native method")
+	}
+}
+
+func firstMethodBody(t *testing.T, src string) *ast.Block {
+	t.Helper()
+	f := parse(t, "package p; class C { void m() { "+src+" } }")
+	return f.Types[0].Methods[0].Body
+}
+
+func TestIfElseChain(t *testing.T) {
+	b := firstMethodBody(t, `
+if (address.isMulticastAddress()) {
+  sm.checkMulticast(address);
+} else {
+  sm.checkConnect(address.getHostAddress(), port);
+  sm.checkAccept(address.getHostAddress(), port);
+}
+`)
+	ifs, ok := b.Stmts[0].(*ast.IfStmt)
+	if !ok {
+		t.Fatalf("stmt 0 is %T", b.Stmts[0])
+	}
+	if _, ok := ifs.Cond.(*ast.CallExpr); !ok {
+		t.Errorf("cond is %T", ifs.Cond)
+	}
+	then := ifs.Then.(*ast.Block)
+	if len(then.Stmts) != 1 {
+		t.Errorf("then has %d stmts", len(then.Stmts))
+	}
+	els := ifs.Else.(*ast.Block)
+	if len(els.Stmts) != 2 {
+		t.Errorf("else has %d stmts", len(els.Stmts))
+	}
+}
+
+func TestLoops(t *testing.T) {
+	b := firstMethodBody(t, `
+while (i < n) { i = i + 1; }
+for (int j = 0; j < 10; j++) { use(j); }
+do { i--; } while (i > 0);
+`)
+	if _, ok := b.Stmts[0].(*ast.WhileStmt); !ok {
+		t.Errorf("stmt 0 is %T", b.Stmts[0])
+	}
+	fs, ok := b.Stmts[1].(*ast.ForStmt)
+	if !ok {
+		t.Fatalf("stmt 1 is %T", b.Stmts[1])
+	}
+	if _, ok := fs.Init.(*ast.LocalVarDecl); !ok {
+		t.Errorf("for init is %T", fs.Init)
+	}
+	if fs.Cond == nil || fs.Post == nil {
+		t.Error("for cond/post missing")
+	}
+	if _, ok := b.Stmts[2].(*ast.DoWhileStmt); !ok {
+		t.Errorf("stmt 2 is %T", b.Stmts[2])
+	}
+}
+
+func TestTryCatchFinally(t *testing.T) {
+	b := firstMethodBody(t, `
+try {
+  risky();
+} catch (UnsupportedEncodingException x) {
+  System.exit(1);
+} finally {
+  cleanup();
+}
+`)
+	ts, ok := b.Stmts[0].(*ast.TryStmt)
+	if !ok {
+		t.Fatalf("stmt is %T", b.Stmts[0])
+	}
+	if len(ts.Catches) != 1 || ts.Catches[0].Type.Name != "UnsupportedEncodingException" {
+		t.Errorf("catches = %+v", ts.Catches)
+	}
+	if ts.Finally == nil {
+		t.Error("finally missing")
+	}
+}
+
+func TestSynchronizedStmt(t *testing.T) {
+	b := firstMethodBody(t, `synchronized (lock) { impl.connect(a, p); }`)
+	ss, ok := b.Stmts[0].(*ast.SyncStmt)
+	if !ok {
+		t.Fatalf("stmt is %T", b.Stmts[0])
+	}
+	if len(ss.Body.Stmts) != 1 {
+		t.Errorf("sync body = %+v", ss.Body)
+	}
+}
+
+func TestSwitch(t *testing.T) {
+	b := firstMethodBody(t, `
+switch (kind) {
+case 1:
+  a();
+  break;
+case 2:
+default:
+  b();
+}
+`)
+	sw, ok := b.Stmts[0].(*ast.SwitchStmt)
+	if !ok {
+		t.Fatalf("stmt is %T", b.Stmts[0])
+	}
+	if len(sw.Cases) != 3 {
+		t.Fatalf("got %d cases", len(sw.Cases))
+	}
+	if !sw.Cases[2].IsDefault {
+		t.Error("case 2 should be default")
+	}
+	if len(sw.Cases[1].Stmts) != 0 {
+		t.Error("fallthrough case should be empty")
+	}
+}
+
+func TestExpressions(t *testing.T) {
+	b := firstMethodBody(t, `
+x = a + b * c;
+y = (Type) obj;
+z = obj instanceof InetSocketAddress;
+w = cond ? f() : g();
+n = new NativeLibrary(fromClass, name);
+arr = new byte[16];
+v = arr[3];
+s = this.handler;
+`)
+	as := b.Stmts[0].(*ast.AssignStmt)
+	sum := as.Value.(*ast.BinaryExpr)
+	if sum.Op != "+" {
+		t.Errorf("top op = %q", sum.Op)
+	}
+	if mul, ok := sum.Y.(*ast.BinaryExpr); !ok || mul.Op != "*" {
+		t.Errorf("precedence wrong: %+v", sum.Y)
+	}
+	if _, ok := b.Stmts[1].(*ast.AssignStmt).Value.(*ast.CastExpr); !ok {
+		t.Errorf("cast not parsed: %T", b.Stmts[1].(*ast.AssignStmt).Value)
+	}
+	if _, ok := b.Stmts[2].(*ast.AssignStmt).Value.(*ast.InstanceOfExpr); !ok {
+		t.Error("instanceof not parsed")
+	}
+	if _, ok := b.Stmts[3].(*ast.AssignStmt).Value.(*ast.CondExpr); !ok {
+		t.Error("ternary not parsed")
+	}
+	if ne, ok := b.Stmts[4].(*ast.AssignStmt).Value.(*ast.NewExpr); !ok || len(ne.Args) != 2 {
+		t.Error("new not parsed")
+	}
+	if na, ok := b.Stmts[5].(*ast.AssignStmt).Value.(*ast.NewArrayExpr); !ok || na.Len == nil {
+		t.Error("new array not parsed")
+	}
+	if _, ok := b.Stmts[6].(*ast.AssignStmt).Value.(*ast.IndexExpr); !ok {
+		t.Error("index not parsed")
+	}
+	if fa, ok := b.Stmts[7].(*ast.AssignStmt).Value.(*ast.FieldAccess); !ok || fa.Name != "handler" {
+		t.Error("this.field not parsed")
+	}
+}
+
+func TestCallChains(t *testing.T) {
+	b := firstMethodBody(t, `securityManager.checkConnect(epoint.getAddress().getHostAddress(), epoint.getPort());`)
+	es := b.Stmts[0].(*ast.ExprStmt)
+	call := es.X.(*ast.CallExpr)
+	if call.Name != "checkConnect" || len(call.Args) != 2 {
+		t.Fatalf("call = %+v", call)
+	}
+	inner := call.Args[0].(*ast.CallExpr)
+	if inner.Name != "getHostAddress" {
+		t.Errorf("chained call = %+v", inner)
+	}
+	if innerRecv, ok := inner.Recv.(*ast.CallExpr); !ok || innerRecv.Name != "getAddress" {
+		t.Errorf("chain receiver = %+v", inner.Recv)
+	}
+}
+
+func TestThisAndSuperCtorCalls(t *testing.T) {
+	f := parse(t, `
+package p;
+class URL {
+  public URL(String spec) { this(null, spec, null); }
+  public URL(URL context, String spec, URLStreamHandler handler) { super(); }
+}
+`)
+	c1 := f.Types[0].Methods[0]
+	es := c1.Body.Stmts[0].(*ast.ExprStmt)
+	call := es.X.(*ast.CallExpr)
+	if call.Name != "this" || len(call.Args) != 3 {
+		t.Errorf("this(...) = %+v", call)
+	}
+	c2 := f.Types[0].Methods[1]
+	call2 := c2.Body.Stmts[0].(*ast.ExprStmt).X.(*ast.CallExpr)
+	if call2.Name != "super" {
+		t.Errorf("super(...) = %+v", call2)
+	}
+}
+
+func TestShortCircuitAndUnary(t *testing.T) {
+	b := firstMethodBody(t, `if (handler != null && !done) { go(); }`)
+	ifs := b.Stmts[0].(*ast.IfStmt)
+	and := ifs.Cond.(*ast.BinaryExpr)
+	if and.Op != "&&" {
+		t.Fatalf("op = %q", and.Op)
+	}
+	if u, ok := and.Y.(*ast.UnaryExpr); !ok || u.Op != "!" {
+		t.Errorf("unary = %+v", and.Y)
+	}
+}
+
+func TestLocalDeclVsExprDisambiguation(t *testing.T) {
+	b := firstMethodBody(t, `
+InetSocketAddress epoint = (InetSocketAddress) proxy.address();
+epoint.isUnresolved();
+java.util.List xs = null;
+x = y;
+`)
+	if _, ok := b.Stmts[0].(*ast.LocalVarDecl); !ok {
+		t.Errorf("stmt 0 is %T", b.Stmts[0])
+	}
+	if _, ok := b.Stmts[1].(*ast.ExprStmt); !ok {
+		t.Errorf("stmt 1 is %T", b.Stmts[1])
+	}
+	ld, ok := b.Stmts[2].(*ast.LocalVarDecl)
+	if !ok || ld.Type.Name != "java.util.List" {
+		t.Errorf("stmt 2 = %+v", b.Stmts[2])
+	}
+	if _, ok := b.Stmts[3].(*ast.AssignStmt); !ok {
+		t.Errorf("stmt 3 is %T", b.Stmts[3])
+	}
+}
+
+func TestArrayTypes(t *testing.T) {
+	f := parse(t, `
+package p;
+class C {
+  public byte[] getBytes() { return null; }
+  void enc(char[] ca, int off) { }
+}
+`)
+	m := f.Types[0].Methods[0]
+	if m.Ret.Name != "byte" || m.Ret.Dims != 1 {
+		t.Errorf("ret = %+v", m.Ret)
+	}
+	p0 := f.Types[0].Methods[1].Params[0]
+	if p0.Type.Dims != 1 {
+		t.Errorf("param = %+v", p0)
+	}
+}
+
+func TestErrorRecovery(t *testing.T) {
+	var diags lang.Diagnostics
+	f := ParseFile("t.mj", `
+package p;
+class Bad { void m( { } }
+class Good { void ok() { } }
+`, &diags)
+	if !diags.HasErrors() {
+		t.Error("expected parse errors")
+	}
+	found := false
+	for _, td := range f.Types {
+		if td.Name == "Good" {
+			found = true
+		}
+	}
+	if !found {
+		t.Error("parser did not recover to parse class Good")
+	}
+}

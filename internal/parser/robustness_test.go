@@ -1,0 +1,113 @@
+package parser
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+
+	"policyoracle/internal/lang"
+)
+
+// TestMalformedInputsDoNotPanic feeds the parser deliberately broken
+// sources; it must produce diagnostics, never panic or loop.
+func TestMalformedInputsDoNotPanic(t *testing.T) {
+	cases := []string{
+		"",
+		";",
+		"package",
+		"package ;",
+		"class",
+		"class C",
+		"class C {",
+		"class C { void }",
+		"class C { void m( }",
+		"class C { void m() { if } }",
+		"class C { void m() { if ( } }",
+		"class C { void m() { x = ; } }",
+		"class C { void m() { return",
+		"class C { int f = ; }",
+		"class C { void m() { new } }",
+		"class C { void m() { a.b.( ); } }",
+		"class C { void m() { for (;;) } }",
+		"class C { void m() { switch (x) { case } } }",
+		"class C { void m() { try { } } }", // try without catch/finally
+		"interface I { void m() { } }",
+		"class C extends { }",
+		"class C { synchronized } ",
+		"@@@@",
+		"class C { void m() { ((((((((((x)))))))))); } }",
+		strings.Repeat("{", 500),
+		strings.Repeat("class C { ", 100),
+		"class C { void m() { x = 999999999999999999999999; } }",
+	}
+	for _, src := range cases {
+		var diags lang.Diagnostics
+		f := ParseFile("bad.mj", src, &diags)
+		if f == nil {
+			t.Errorf("nil file for %q", truncate(src))
+		}
+	}
+}
+
+// TestMutatedSourcesDoNotPanic randomly perturbs a valid source file and
+// parses every mutant.
+func TestMutatedSourcesDoNotPanic(t *testing.T) {
+	const valid = `
+package java.net;
+import java.lang.*;
+public class Socket {
+  private SecurityManager securityManager;
+  private int state;
+  public void connect(SocketAddress endpoint, int timeout) {
+    InetSocketAddress epoint = (InetSocketAddress) endpoint;
+    if (epoint.isUnresolved() && timeout > 0) {
+      securityManager.checkConnect(epoint.getHostName(), epoint.getPort());
+    } else {
+      securityManager.checkConnect("localhost", 80);
+    }
+    for (int i = 0; i < timeout; i++) {
+      state += 1;
+    }
+    try { impl.connect(endpoint, timeout); } catch (Exception e) { throw e; }
+  }
+}
+`
+	r := rand.New(rand.NewSource(7))
+	mutate := func(s string) string {
+		b := []byte(s)
+		switch r.Intn(4) {
+		case 0: // delete a span
+			if len(b) > 10 {
+				i := r.Intn(len(b) - 5)
+				n := r.Intn(5) + 1
+				b = append(b[:i], b[i+n:]...)
+			}
+		case 1: // duplicate a span
+			if len(b) > 10 {
+				i := r.Intn(len(b) - 5)
+				b = append(b[:i], append([]byte(string(b[i:i+5])), b[i:]...)...)
+			}
+		case 2: // flip a character
+			i := r.Intn(len(b))
+			b[i] = byte("{}();.=+-!&|<>\"'x7"[r.Intn(18)])
+		case 3: // truncate
+			b = b[:r.Intn(len(b))]
+		}
+		return string(b)
+	}
+	for i := 0; i < 500; i++ {
+		src := valid
+		for m := 0; m <= r.Intn(3); m++ {
+			src = mutate(src)
+		}
+		var diags lang.Diagnostics
+		ParseFile("mut.mj", src, &diags) // must not panic
+	}
+}
+
+func truncate(s string) string {
+	if len(s) > 40 {
+		return s[:40] + "..."
+	}
+	return s
+}

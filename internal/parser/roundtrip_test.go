@@ -1,0 +1,118 @@
+package parser
+
+import (
+	"testing"
+
+	"policyoracle/internal/ast"
+	"policyoracle/internal/corpus"
+	"policyoracle/internal/corpus/gen"
+	"policyoracle/internal/lang"
+)
+
+// roundtrip parses src, prints it, reparses, reprints, and requires the
+// two printed forms to be identical — the printer's canonical form is a
+// fixed point of parse∘print.
+func roundtrip(t *testing.T, name, src string) {
+	t.Helper()
+	var d1 lang.Diagnostics
+	f1 := ParseFile(name, src, &d1)
+	if d1.HasErrors() {
+		t.Fatalf("%s: parse 1: %v", name, d1.Err())
+	}
+	p1 := ast.Print(f1)
+	var d2 lang.Diagnostics
+	f2 := ParseFile(name, p1, &d2)
+	if d2.HasErrors() {
+		t.Fatalf("%s: reparse failed: %v\nprinted:\n%s", name, d2.Err(), p1)
+	}
+	p2 := ast.Print(f2)
+	if p1 != p2 {
+		t.Errorf("%s: print not a fixed point:\n--- first ---\n%s\n--- second ---\n%s", name, p1, p2)
+	}
+}
+
+func TestRoundtripHandwrittenCorpora(t *testing.T) {
+	for _, lib := range corpus.Libraries() {
+		for name, src := range corpus.Sources(lib) {
+			roundtrip(t, lib+"/"+name, src)
+		}
+	}
+}
+
+func TestRoundtripGeneratedCorpus(t *testing.T) {
+	c := gen.Generate(gen.Small())
+	for lib, srcs := range c.Sources {
+		for name, src := range srcs {
+			roundtrip(t, lib+"/"+name, src)
+		}
+	}
+}
+
+func TestRoundtripConstructs(t *testing.T) {
+	cases := map[string]string{
+		"for-variants": `
+package p;
+class C {
+  void m(int n) {
+    for (int i = 0; i < n; i++) { use(i); }
+    for (; n > 0; ) { n--; }
+    for (;;) { break; }
+  }
+  void use(int i) { }
+}`,
+		"switch": `
+package p;
+class C {
+  int m(int k) {
+    switch (k) {
+    case 1: return 1;
+    case 2:
+    default: return 0;
+    }
+  }
+}`,
+		"try": `
+package p;
+class C {
+  void m() {
+    try { a(); } catch (E1 e) { b(); } catch (E2 e) { c(); } finally { d(); }
+  }
+  void a() { } void b() { } void c() { } void d() { }
+}
+class E1 { }
+class E2 { }`,
+		"expressions": `
+package p;
+class C {
+  int m(int a, int b, boolean c) {
+    int x = a + b * 3 - (a / (b + 1));
+    boolean y = !c && (a < b || a >= 3);
+    Object o = c ? null : new Object();
+    String s = "a\n\"b\"" + 'x';
+    int[] arr = new int[4];
+    arr[0] = -x;
+    x += 2;
+    x++;
+    return (int) x;
+  }
+}
+class Object { }
+class String { }`,
+		"members": `
+package p;
+public abstract class A extends B implements I, J {
+  private static final int K = 3;
+  protected A(int k) { super(); }
+  public abstract void m();
+  native int n(String s);
+  synchronized void s() { synchronized (this) { } }
+}
+class B { B() { } }
+interface I { }
+interface J { }
+class String { }`,
+	}
+	for name, src := range cases {
+		roundtrip(t, name, src)
+	}
+}

@@ -1,0 +1,183 @@
+package policy
+
+import (
+	"encoding/json"
+	"fmt"
+	"sort"
+
+	"policyoracle/internal/secmodel"
+)
+
+// The paper's Discussion section proposes that vendors of proprietary
+// implementations share *extracted policies* rather than code, and
+// difference against them. This file provides the stable serialization
+// for that exchange: ExportJSON writes a ProgramPolicies snapshot;
+// ImportJSON reads one back into a ProgramPolicies usable by diff.Compare.
+
+// jsonPolicies is the wire form of ProgramPolicies.
+type jsonPolicies struct {
+	Library string      `json:"library"`
+	Version int         `json:"version"`
+	Entries []jsonEntry `json:"entries"`
+}
+
+type jsonEntry struct {
+	Entry  string      `json:"entry"`
+	Events []jsonEvent `json:"events"`
+}
+
+type jsonEvent struct {
+	Kind    int          `json:"kind"`
+	Key     string       `json:"key,omitempty"`
+	Must    []string     `json:"must"`
+	May     []string     `json:"may"`
+	Origins []jsonOrigin `json:"origins,omitempty"`
+}
+
+type jsonOrigin struct {
+	Check   string   `json:"check"`
+	Methods []string `json:"methods"`
+}
+
+const wireVersion = 1
+
+// checkToWire renders a check as name/arity, the stable wire identity.
+func checkToWire(id secmodel.CheckID) string {
+	return secmodel.CheckName(id) + "/" + fmt.Sprint(arityOf(id))
+}
+
+// arityOf recovers the check's arity by probing the table.
+func arityOf(id secmodel.CheckID) int {
+	name := secmodel.CheckName(id)
+	for a := 0; a <= 3; a++ {
+		if got, ok := secmodel.CheckByName(name, a); ok && got == id {
+			return a
+		}
+	}
+	return -1
+}
+
+func checkFromWire(s string) (secmodel.CheckID, error) {
+	var name string
+	var arity int
+	if _, err := fmt.Sscanf(s, "%31s", &name); err != nil {
+		return 0, fmt.Errorf("bad check %q", s)
+	}
+	if i := indexByte(s, '/'); i >= 0 {
+		name = s[:i]
+		if _, err := fmt.Sscanf(s[i+1:], "%d", &arity); err != nil {
+			return 0, fmt.Errorf("bad check arity in %q", s)
+		}
+	} else {
+		return 0, fmt.Errorf("check %q lacks arity", s)
+	}
+	id, ok := secmodel.CheckByName(name, arity)
+	if !ok {
+		return 0, fmt.Errorf("unknown check %q", s)
+	}
+	return id, nil
+}
+
+func indexByte(s string, c byte) int {
+	for i := 0; i < len(s); i++ {
+		if s[i] == c {
+			return i
+		}
+	}
+	return -1
+}
+
+func setToWire(s CheckSet) []string {
+	out := make([]string, 0, s.Len())
+	for _, id := range s.IDs() {
+		out = append(out, checkToWire(id))
+	}
+	return out
+}
+
+func setFromWire(names []string) (CheckSet, error) {
+	var s CheckSet
+	for _, n := range names {
+		id, err := checkFromWire(n)
+		if err != nil {
+			return 0, err
+		}
+		s = s.With(id)
+	}
+	return s, nil
+}
+
+// ExportJSON serializes the policies for sharing.
+func (pp *ProgramPolicies) ExportJSON() ([]byte, error) {
+	out := jsonPolicies{Library: pp.Library, Version: wireVersion}
+	for _, sig := range pp.SortedEntries() {
+		ep := pp.Entries[sig]
+		je := jsonEntry{Entry: sig}
+		for _, ev := range ep.SortedEvents() {
+			evp := ep.Events[ev]
+			jev := jsonEvent{
+				Kind: int(ev.Kind),
+				Key:  ev.Key,
+				Must: setToWire(evp.Must),
+				May:  setToWire(evp.May),
+			}
+			var ids []secmodel.CheckID
+			for id := range evp.Origins {
+				ids = append(ids, id)
+			}
+			sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+			for _, id := range ids {
+				jev.Origins = append(jev.Origins, jsonOrigin{
+					Check:   checkToWire(id),
+					Methods: evp.OriginsOf(id),
+				})
+			}
+			je.Events = append(je.Events, jev)
+		}
+		out.Entries = append(out.Entries, je)
+	}
+	return json.MarshalIndent(out, "", "  ")
+}
+
+// ImportJSON reconstructs shared policies. The result is directly usable
+// by diff.Compare against locally extracted policies.
+func ImportJSON(data []byte) (*ProgramPolicies, error) {
+	var in jsonPolicies
+	if err := json.Unmarshal(data, &in); err != nil {
+		return nil, fmt.Errorf("policy import: %w", err)
+	}
+	if in.Version != wireVersion {
+		return nil, fmt.Errorf("policy import: unsupported version %d", in.Version)
+	}
+	if in.Library == "" {
+		return nil, fmt.Errorf("policy import: missing library name")
+	}
+	pp := NewProgramPolicies(in.Library)
+	for _, je := range in.Entries {
+		ep := NewEntryPolicy(je.Entry)
+		for _, jev := range je.Events {
+			ev := secmodel.Event{Kind: secmodel.EventKind(jev.Kind), Key: jev.Key}
+			evp := ep.EventPolicyFor(ev)
+			must, err := setFromWire(jev.Must)
+			if err != nil {
+				return nil, err
+			}
+			may, err := setFromWire(jev.May)
+			if err != nil {
+				return nil, err
+			}
+			evp.Must, evp.May = must, may
+			for _, o := range jev.Origins {
+				id, err := checkFromWire(o.Check)
+				if err != nil {
+					return nil, err
+				}
+				for _, m := range o.Methods {
+					evp.AddOrigin(id, m)
+				}
+			}
+		}
+		pp.Entries[je.Entry] = ep
+	}
+	return pp, nil
+}

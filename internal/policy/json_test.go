@@ -1,0 +1,104 @@
+package policy
+
+import (
+	"strings"
+	"testing"
+
+	"policyoracle/internal/secmodel"
+)
+
+func samplePolicies(t *testing.T) *ProgramPolicies {
+	t.Helper()
+	read, _ := secmodel.CheckByName("checkRead", 1)
+	conn2, _ := secmodel.CheckByName("checkConnect", 2)
+	conn3, _ := secmodel.CheckByName("checkConnect", 3)
+	pp := NewProgramPolicies("vendor")
+	ep := NewEntryPolicy("api.F.m(String)")
+	ret := ep.EventPolicyFor(secmodel.ReturnEvent())
+	ret.Must = Empty.With(read)
+	ret.May = Empty.With(read).With(conn2).With(conn3)
+	ret.AddOrigin(read, "api.F.helper()")
+	ret.AddOrigin(conn2, "api.F.m(String)")
+	nat := ep.EventPolicyFor(secmodel.Event{Kind: secmodel.NativeCall, Key: "op0/1"})
+	nat.Must = Empty
+	nat.May = Empty.With(read)
+	pp.Entries[ep.Entry] = ep
+	pp.Entries["api.F.plain()"] = NewEntryPolicy("api.F.plain()")
+	return pp
+}
+
+func TestExportImportRoundtrip(t *testing.T) {
+	pp := samplePolicies(t)
+	data, err := pp.ExportJSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := ImportJSON(data)
+	if err != nil {
+		t.Fatalf("import: %v\n%s", err, data)
+	}
+	if got.Library != "vendor" || len(got.Entries) != len(pp.Entries) {
+		t.Fatalf("imported = %+v", got)
+	}
+	for sig, ep := range pp.Entries {
+		gep := got.Entries[sig]
+		if gep == nil {
+			t.Fatalf("entry %s missing", sig)
+		}
+		for ev, evp := range ep.Events {
+			gevp := gep.Events[ev]
+			if gevp == nil {
+				t.Fatalf("%s: event %s missing", sig, ev)
+			}
+			if gevp.Must != evp.Must || gevp.May != evp.May {
+				t.Errorf("%s/%s: must/may differ: %s/%s vs %s/%s",
+					sig, ev, gevp.Must, gevp.May, evp.Must, evp.May)
+			}
+		}
+	}
+	// Origins survive: the root-cause grouping of diff reports depends on
+	// them even for imported policies.
+	read, _ := secmodel.CheckByName("checkRead", 1)
+	gep := got.Entries["api.F.m(String)"]
+	origins := gep.Events[secmodel.ReturnEvent()].OriginsOf(read)
+	if len(origins) != 1 || origins[0] != "api.F.helper()" {
+		t.Errorf("origins = %v", origins)
+	}
+}
+
+func TestImportRejectsBadInput(t *testing.T) {
+	cases := map[string]string{
+		"not json":        "{",
+		"bad version":     `{"library":"x","version":99,"entries":[]}`,
+		"missing library": `{"version":1,"entries":[]}`,
+		"unknown check": `{"library":"x","version":1,"entries":[
+			{"entry":"A.f()","events":[{"kind":1,"must":["checkBogus/1"],"may":[]}]}]}`,
+		"missing arity": `{"library":"x","version":1,"entries":[
+			{"entry":"A.f()","events":[{"kind":1,"must":["checkRead"],"may":[]}]}]}`,
+	}
+	for name, src := range cases {
+		if _, err := ImportJSON([]byte(src)); err == nil {
+			t.Errorf("%s: import succeeded", name)
+		}
+	}
+}
+
+func TestWireDistinguishesOverloads(t *testing.T) {
+	conn2, _ := secmodel.CheckByName("checkConnect", 2)
+	conn3, _ := secmodel.CheckByName("checkConnect", 3)
+	w2, w3 := checkToWire(conn2), checkToWire(conn3)
+	if w2 == w3 {
+		t.Fatalf("overloads collide on the wire: %q", w2)
+	}
+	if !strings.HasPrefix(w2, "checkConnect/") {
+		t.Errorf("wire form = %q", w2)
+	}
+	r2, err := checkFromWire(w2)
+	if err != nil || r2 != conn2 {
+		t.Errorf("roundtrip = %v, %v", r2, err)
+	}
+	r3, err := checkFromWire(w3)
+	if err != nil || r3 != conn3 {
+		t.Errorf("roundtrip = %v, %v", r3, err)
+	}
+}

@@ -1,0 +1,285 @@
+// Package secmodel encodes the Java security model as data: the 31
+// SecurityManager check methods, the definitions of security-sensitive
+// events (narrow: JNI calls and API returns; broad: additionally private
+// field and API parameter accesses), and the semantics of privileged
+// blocks (checks inside AccessController.doPrivileged are semantic no-ops).
+package secmodel
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"policyoracle/internal/ir"
+	"policyoracle/internal/types"
+)
+
+// CheckID identifies one of the SecurityManager check methods. IDs are
+// dense in [0, NumChecks).
+type CheckID int
+
+// checkDesc describes one check method: its name and parameter count
+// (overloads of the same name are distinct checks, as in the paper's count
+// of 31).
+type checkDesc struct {
+	Name  string
+	Arity int
+}
+
+// The 31 check methods of java.lang.SecurityManager (Java 1.6),
+// distinguishing overloads.
+var checkTable = []checkDesc{
+	{"checkAccept", 2},
+	{"checkAccess", 1},            // Thread
+	{"checkAccessThreadGroup", 1}, // modeled as a distinct name
+	{"checkAwtEventQueueAccess", 0},
+	{"checkConnect", 2},
+	{"checkConnect", 3}, // with security context
+	{"checkCreateClassLoader", 0},
+	{"checkDelete", 1},
+	{"checkExec", 1},
+	{"checkExit", 1},
+	{"checkLink", 1},
+	{"checkListen", 1},
+	{"checkMemberAccess", 2},
+	{"checkMulticast", 1},
+	{"checkMulticast", 2}, // with ttl
+	{"checkPackageAccess", 1},
+	{"checkPackageDefinition", 1},
+	{"checkPermission", 1},
+	{"checkPermission", 2}, // with context
+	{"checkPrintJobAccess", 0},
+	{"checkPropertiesAccess", 0},
+	{"checkPropertyAccess", 1},
+	{"checkRead", 1},   // file name
+	{"checkReadFD", 1}, // FileDescriptor overload, modeled distinctly
+	{"checkRead", 2},   // with context
+	{"checkSecurityAccess", 1},
+	{"checkSetFactory", 0},
+	{"checkSystemClipboardAccess", 0},
+	{"checkTopLevelWindow", 1},
+	{"checkWrite", 1},   // file name
+	{"checkWriteFD", 1}, // FileDescriptor overload, modeled distinctly
+}
+
+// NumChecks is the number of distinct security checks (31, as in the paper).
+const NumChecks = 31
+
+func init() {
+	if len(checkTable) != NumChecks {
+		panic(fmt.Sprintf("check table has %d entries, want %d", len(checkTable), NumChecks))
+	}
+}
+
+var checkIndex = func() map[checkDesc]CheckID {
+	m := make(map[checkDesc]CheckID, len(checkTable))
+	for i, d := range checkTable {
+		m[d] = CheckID(i)
+	}
+	return m
+}()
+
+// CheckName returns the method name of a check ID.
+func CheckName(id CheckID) string {
+	if int(id) < 0 || int(id) >= len(checkTable) {
+		return fmt.Sprintf("check#%d", int(id))
+	}
+	return checkTable[id].Name
+}
+
+// CheckByName returns the check ID for a name and arity.
+func CheckByName(name string, arity int) (CheckID, bool) {
+	id, ok := checkIndex[checkDesc{name, arity}]
+	return id, ok
+}
+
+// AllCheckNames returns the distinct check method names, sorted.
+func AllCheckNames() []string {
+	set := map[string]bool{}
+	for _, d := range checkTable {
+		set[d.Name] = true
+	}
+	var out []string
+	for n := range set {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// SecurityManagerClass is the simple name of the class whose check*
+// methods are security checks.
+const SecurityManagerClass = "SecurityManager"
+
+// AccessControllerClass and DoPrivilegedMethod identify privileged blocks.
+const (
+	AccessControllerClass = "AccessController"
+	DoPrivilegedMethod    = "doPrivileged"
+)
+
+// IdentifyCheck reports whether call invokes a security check, and which.
+// A call is a check when its resolved declaration (or, failing that, its
+// static receiver type) belongs to SecurityManager or a subtype, and the
+// name+arity matches the check table.
+func IdentifyCheck(call *ir.Call) (CheckID, bool) {
+	owner := ownerClass(call)
+	if owner == nil || !isSecurityManager(owner) {
+		return 0, false
+	}
+	if id, ok := CheckByName(call.Name, len(call.Args)); ok {
+		return id, true
+	}
+	return 0, false
+}
+
+func ownerClass(call *ir.Call) *types.Class {
+	if call.Declared != nil {
+		return call.Declared.Class
+	}
+	return call.StaticType
+}
+
+func isSecurityManager(c *types.Class) bool {
+	for k := c; k != nil; k = k.Super {
+		if k.Simple == SecurityManagerClass {
+			return true
+		}
+	}
+	return false
+}
+
+// IsDoPrivileged reports whether call enters a privileged block:
+// AccessController.doPrivileged(action).
+func IsDoPrivileged(call *ir.Call) bool {
+	if call.Name != DoPrivilegedMethod {
+		return false
+	}
+	owner := ownerClass(call)
+	return owner != nil && owner.Simple == AccessControllerClass
+}
+
+// IsPrivilegedScope reports whether m's body executes in privileged scope:
+// AccessController.doPrivileged itself (and anything it calls) runs with
+// the library's own permissions, so checks inside are semantic no-ops even
+// when doPrivileged is analyzed as an API entry point.
+func IsPrivilegedScope(m *types.Method) bool {
+	return m.Name == DoPrivilegedMethod && m.Class.Simple == AccessControllerClass
+}
+
+// IsGetSecurityManager reports whether call is System.getSecurityManager(),
+// whose result is assumed non-null under Config.AssumeSecurityManager.
+func IsGetSecurityManager(call *ir.Call) bool {
+	if call.Name != "getSecurityManager" || len(call.Args) != 0 {
+		return false
+	}
+	owner := ownerClass(call)
+	return owner != nil && owner.Simple == "System"
+}
+
+// ---------------------------------------------------------------------------
+// Events
+
+// EventKind classifies security-sensitive events.
+type EventKind int
+
+// Event kinds. NativeCall and APIReturn are the narrow (default) set;
+// the remaining kinds are enabled by the broad event mode (Section 3).
+const (
+	NativeCall EventKind = iota
+	APIReturn
+	PrivateRead
+	PrivateWrite
+	ParamAccess
+)
+
+func (k EventKind) String() string {
+	switch k {
+	case NativeCall:
+		return "native"
+	case APIReturn:
+		return "return"
+	case PrivateRead:
+		return "private-read"
+	case PrivateWrite:
+		return "private-write"
+	case ParamAccess:
+		return "param-access"
+	}
+	return fmt.Sprintf("event(%d)", int(k))
+}
+
+// Event is a security-sensitive event. Key is the cross-implementation
+// matching key:
+//
+//   - NativeCall: the native method's simple signature, e.g. "connect0/2";
+//   - APIReturn: "" (one per entry point);
+//   - PrivateRead/PrivateWrite: the field's simple name;
+//   - ParamAccess: the parameter index, e.g. "p0".
+type Event struct {
+	Kind EventKind
+	Key  string
+}
+
+func (e Event) String() string {
+	if e.Key == "" {
+		return e.Kind.String()
+	}
+	return e.Kind.String() + ":" + e.Key
+}
+
+// NativeEvent builds the event for a call to native method m.
+func NativeEvent(m *types.Method) Event {
+	return Event{Kind: NativeCall, Key: fmt.Sprintf("%s/%d", m.Name, len(m.Params))}
+}
+
+// ReturnEvent is the API-return event.
+func ReturnEvent() Event { return Event{Kind: APIReturn} }
+
+// PrivateReadEvent builds the broad-mode event for reading private field f.
+func PrivateReadEvent(f *types.Field) Event {
+	return Event{Kind: PrivateRead, Key: f.Name}
+}
+
+// PrivateWriteEvent builds the broad-mode event for writing private field f.
+func PrivateWriteEvent(f *types.Field) Event {
+	return Event{Kind: PrivateWrite, Key: f.Name}
+}
+
+// ParamAccessEvent builds the broad-mode event for accessing entry-point
+// parameter i.
+func ParamAccessEvent(i int) Event {
+	return Event{Kind: ParamAccess, Key: "p" + itoa(i)}
+}
+
+func itoa(i int) string { return fmt.Sprintf("%d", i) }
+
+// EventMode selects the event definition breadth.
+type EventMode int
+
+// Event modes.
+const (
+	NarrowEvents EventMode = iota // JNI calls + API returns (default)
+	BroadEvents                   // + private field and parameter accesses
+)
+
+func (m EventMode) String() string {
+	if m == BroadEvents {
+		return "broad"
+	}
+	return "narrow"
+}
+
+// CheckSetString renders a bitset of checks as sorted names (for reports).
+func CheckSetString(bits uint64) string {
+	if bits == 0 {
+		return "{}"
+	}
+	var names []string
+	for i := 0; i < NumChecks; i++ {
+		if bits&(1<<uint(i)) != 0 {
+			names = append(names, CheckName(CheckID(i)))
+		}
+	}
+	sort.Strings(names)
+	return "{" + strings.Join(names, ", ") + "}"
+}

@@ -1,0 +1,87 @@
+// Package witness dynamically confirms the oracle's reports, playing the
+// role of the paper's manual vulnerability confirmation: for a reported
+// difference it denies exactly the differing permission, executes the
+// manifesting entry point in both implementations under the interpreter,
+// and checks that one implementation throws SecurityException while the
+// other proceeds to the security-sensitive action.
+package witness
+
+import (
+	"fmt"
+
+	"policyoracle/internal/diff"
+	"policyoracle/internal/interp"
+	"policyoracle/internal/secmodel"
+	"policyoracle/internal/types"
+)
+
+// Result is the dynamic outcome for one (entry, denied check) pair.
+type Result struct {
+	Entry  string
+	Denied secmodel.CheckID
+	// Outcomes per implementation, keyed in the same order as the
+	// libraries passed to Confirm.
+	A, B *interp.Outcome
+	// Confirmed reports that exactly one implementation enforced the
+	// denied permission.
+	Confirmed bool
+	// VulnerableLib names the implementation that proceeded without
+	// enforcing the permission ("" when unconfirmed).
+	VulnerableLib string
+}
+
+func (r Result) String() string {
+	status := "not confirmed"
+	if r.Confirmed {
+		status = "CONFIRMED: " + r.VulnerableLib + " does not enforce " + secmodel.CheckName(r.Denied)
+	}
+	return fmt.Sprintf("%s denying %s: %s", r.Entry, secmodel.CheckName(r.Denied), status)
+}
+
+// Confirm executes the manifesting entry points of a difference group in
+// both implementations, denying each differing check in turn.
+func Confirm(progA, progB *types.Program, libA, libB string, g *diff.Group) []Result {
+	var out []Result
+	for _, id := range g.DiffChecks.IDs() {
+		for _, entry := range g.Entries {
+			r := Result{Entry: entry, Denied: id}
+			ma := findEntry(progA, entry)
+			mb := findEntry(progB, entry)
+			if ma == nil || mb == nil {
+				out = append(out, r)
+				continue
+			}
+			cfg := interp.DefaultConfig(interp.Deny(id))
+			r.A = interp.New(progA, cfg).CallEntry(ma)
+			r.B = interp.New(progB, cfg).CallEntry(mb)
+			r.Confirmed, r.VulnerableLib = judge(r.A, r.B, libA, libB)
+			out = append(out, r)
+		}
+	}
+	return out
+}
+
+// judge decides whether the pair of outcomes witnesses a missing
+// enforcement: one side throws SecurityException, the other completes (or
+// reaches a native action) without it.
+func judge(a, b *interp.Outcome, libA, libB string) (bool, string) {
+	if a == nil || b == nil || a.Err != nil || b.Err != nil {
+		return false, ""
+	}
+	switch {
+	case a.SecurityViolation && !b.SecurityViolation:
+		return true, libB
+	case b.SecurityViolation && !a.SecurityViolation:
+		return true, libA
+	}
+	return false, ""
+}
+
+func findEntry(p *types.Program, sig string) *types.Method {
+	for _, m := range p.EntryPoints() {
+		if m.Qualified() == sig {
+			return m
+		}
+	}
+	return nil
+}

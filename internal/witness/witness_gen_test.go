@@ -1,0 +1,64 @@
+package witness
+
+import (
+	"testing"
+
+	"policyoracle/internal/corpus/gen"
+	"policyoracle/internal/oracle"
+)
+
+// TestWitnessesSeededDropChecks dynamically confirms the generated
+// corpus's dropped-check and privileged-wrap vulnerabilities. WeakenMust
+// seeds are intentionally out of reach: the guard condition depends on a
+// specific argument value the synthesized inputs do not hit, which is
+// exactly why they are MAY/MUST differences rather than outright holes.
+func TestWitnessesSeededDropChecks(t *testing.T) {
+	c := gen.Generate(gen.Small())
+	libs := map[string]*oracle.Library{}
+	for name, srcs := range c.Sources {
+		l, err := oracle.LoadLibrary(name, srcs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		l.Extract(oracle.DefaultOptions())
+		libs[name] = l
+	}
+
+	confirmed := map[string]bool{}
+	pairs := [][2]string{{"jdk", "harmony"}, {"jdk", "classpath"}, {"classpath", "harmony"}}
+	for _, pair := range pairs {
+		a, b := libs[pair[0]], libs[pair[1]]
+		rep := oracle.Diff(a, b)
+		for _, g := range rep.Groups {
+			for i := range c.Issues {
+				is := &c.Issues[i]
+				if is.Responsible != pair[0] && is.Responsible != pair[1] {
+					continue
+				}
+				hit := false
+				for _, e := range g.Entries {
+					if is.MatchesEntry(e) {
+						hit = true
+					}
+				}
+				if !hit {
+					continue
+				}
+				for _, r := range Confirm(a.Prog.Types, b.Prog.Types, a.Name, b.Name, g) {
+					if r.Confirmed && r.VulnerableLib == is.Responsible {
+						confirmed[is.ID] = true
+					}
+				}
+			}
+		}
+	}
+	for _, is := range c.Issues {
+		switch is.Kind {
+		case gen.DropCheck, gen.PrivWrap:
+			if !confirmed[is.ID] {
+				t.Errorf("seeded %s issue %s (in %s) not dynamically confirmed",
+					is.Kind, is.ID, is.Responsible)
+			}
+		}
+	}
+}

@@ -1,0 +1,152 @@
+// Package policyoracle is a security policy oracle: it detects security
+// holes in an API by comparing multiple, independent implementations of
+// that API, reproducing Srivastava, Bond, McKinley, and Shmatikov,
+// "A Security Policy Oracle: Detecting Security Holes Using Multiple API
+// Implementations" (PLDI 2011).
+//
+// A security policy in the access-rights model maps security-sensitive
+// events — native (JNI) calls and API returns, optionally private-field
+// and parameter accesses — to the security checks (SecurityManager.check*)
+// that precede them. All implementations of one API must enforce the same
+// policy, so any difference between the policies extracted from two
+// implementations is at least an interoperability bug and possibly a
+// security hole; the oracle needs no manual policy and no mined patterns.
+//
+// Libraries are written in MJ, a Java subset (see the examples directory
+// and internal/parser). The pipeline is:
+//
+//	srcs := map[string]string{"Socket.mj": "package java.net; ..."}
+//	a, err := policyoracle.LoadLibrary("jdk", srcs)
+//	b, err := policyoracle.LoadLibrary("harmony", srcs2)
+//	opts := policyoracle.DefaultOptions()
+//	a.Extract(opts)
+//	b.Extract(opts)
+//	report := policyoracle.Diff(a, b)
+//	fmt.Print(report)
+//
+// Extraction runs the paper's flow- and context-sensitive interprocedural
+// analysis (SPDA/ISPA) twice per entry point — a MAY pass (union meet) and
+// a MUST pass (intersection meet) — with interprocedural constant
+// propagation and memoized method summaries. Diff applies the paper's
+// Section 5 comparison cases and groups manifestations by root cause.
+package policyoracle
+
+import (
+	"fmt"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"policyoracle/internal/analysis"
+	"policyoracle/internal/corpus"
+	"policyoracle/internal/diff"
+	"policyoracle/internal/oracle"
+	"policyoracle/internal/policy"
+	"policyoracle/internal/secmodel"
+)
+
+// Library is one loaded API implementation with its extracted policies.
+type Library = oracle.Library
+
+// Options configures policy extraction.
+type Options = oracle.Options
+
+// Report is the outcome of differencing two implementations.
+type Report = diff.Report
+
+// Group is one distinct difference (root cause) with its manifestations.
+type Group = diff.Group
+
+// Difference is one policy difference at one API entry point.
+type Difference = diff.Difference
+
+// EntryPolicy aggregates the event policies of one API entry point.
+type EntryPolicy = policy.EntryPolicy
+
+// EventPolicy is the MAY/MUST policy of one security-sensitive event.
+type EventPolicy = policy.EventPolicy
+
+// CheckSet is a set of security checks.
+type CheckSet = policy.CheckSet
+
+// Event identifies a security-sensitive event.
+type Event = secmodel.Event
+
+// Event kinds, re-exported for matching report events.
+const (
+	NativeCall   = secmodel.NativeCall
+	APIReturn    = secmodel.APIReturn
+	PrivateRead  = secmodel.PrivateRead
+	PrivateWrite = secmodel.PrivateWrite
+	ParamAccess  = secmodel.ParamAccess
+)
+
+// Comparison cases (Section 5).
+const (
+	CaseMissingPolicy   = diff.CaseMissingPolicy
+	CaseCheckMismatch   = diff.CaseCheckMismatch
+	CaseMustMayMismatch = diff.CaseMustMayMismatch
+)
+
+// Memoization modes (Table 2's swept parameter).
+const (
+	MemoGlobal   = analysis.MemoGlobal
+	MemoPerEntry = analysis.MemoPerEntry
+	MemoNone     = analysis.MemoNone
+)
+
+// DefaultOptions returns the configuration used for the paper's main
+// results: narrow events, interprocedural constant propagation, global
+// summaries, Figure 2-style path policies.
+func DefaultOptions() Options { return oracle.DefaultOptions() }
+
+// LoadLibrary parses and builds one implementation from named MJ sources.
+func LoadLibrary(name string, sources map[string]string) (*Library, error) {
+	return oracle.LoadLibrary(name, sources)
+}
+
+// LoadLibraryDir loads every .mj file under dir as one implementation.
+func LoadLibraryDir(name, dir string) (*Library, error) {
+	sources := map[string]string{}
+	err := filepath.WalkDir(dir, func(path string, d fs.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if d.IsDir() || !strings.HasSuffix(path, ".mj") {
+			return nil
+		}
+		data, err := os.ReadFile(path)
+		if err != nil {
+			return err
+		}
+		rel, err := filepath.Rel(dir, path)
+		if err != nil {
+			rel = path
+		}
+		sources[rel] = string(data)
+		return nil
+	})
+	if err != nil {
+		return nil, fmt.Errorf("loading %s from %s: %w", name, dir, err)
+	}
+	if len(sources) == 0 {
+		return nil, fmt.Errorf("no .mj files under %s", dir)
+	}
+	return oracle.LoadLibrary(name, sources)
+}
+
+// Diff differences the extracted policies of two implementations; both
+// must have been Extracted first.
+func Diff(a, b *Library) *Report { return oracle.Diff(a, b) }
+
+// MatchingEntries counts entry-point signatures common to both libraries.
+func MatchingEntries(a, b *Library) int { return oracle.MatchingEntries(a, b) }
+
+// BuiltinCorpus returns the bundled MJ implementation named "jdk",
+// "harmony", or "classpath" — the hand-written corpus reproducing every
+// figure of the paper. It returns nil for unknown names.
+func BuiltinCorpus(name string) map[string]string { return corpus.Sources(name) }
+
+// BuiltinCorpora lists the bundled implementation names.
+func BuiltinCorpora() []string { return corpus.Libraries() }
