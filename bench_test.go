@@ -16,6 +16,7 @@
 package policyoracle_test
 
 import (
+	"fmt"
 	"sync"
 	"testing"
 
@@ -135,6 +136,29 @@ func BenchmarkBroadEvents(b *testing.B) {
 			for i := 0; i < b.N; i++ {
 				l := loadLib(b, w, "classpath")
 				l.Extract(opts)
+			}
+		})
+	}
+}
+
+// BenchmarkExtractParallel measures full MAY+MUST extraction of one
+// implementation across worker counts. On a multi-core machine the
+// 4- and 8-worker variants should show the near-linear speedup of the
+// entry-point fan-out; on a single core all variants converge (the pool
+// degenerates to sequential execution plus scheduling overhead).
+func BenchmarkExtractParallel(b *testing.B) {
+	w := benchWorkload(b)
+	for _, par := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("workers=%d", par), func(b *testing.B) {
+			opts := oracle.DefaultOptions()
+			opts.Parallel = par
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				l := loadLib(b, w, "jdk")
+				l.Extract(opts)
+				if l.Policies.CountPolicies() == 0 {
+					b.Fatal("no policies extracted")
+				}
 			}
 		})
 	}

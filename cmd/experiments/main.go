@@ -12,12 +12,15 @@
 //	-no-handwritten      exclude the hand-written figure classes
 //	-table2-scale        corpus scale for table2 only (default small, since
 //	                     the no-summaries configuration is deliberately slow)
+//	-parallel N          extraction workers per analysis mode (default
+//	                     GOMAXPROCS; 1 reproduces the sequential timings)
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 	"time"
 
 	"policyoracle/internal/analysis"
@@ -30,6 +33,7 @@ func main() {
 	scale := flag.String("scale", "paper", "corpus scale: small or paper")
 	table2Scale := flag.String("table2-scale", "small", "corpus scale for table2: small or paper")
 	noHandwritten := flag.Bool("no-handwritten", false, "exclude the hand-written figure classes")
+	parallel := flag.Int("parallel", runtime.GOMAXPROCS(0), "extraction workers per analysis mode (1 = sequential)")
 	flag.Parse()
 	if flag.NArg() != 1 {
 		fmt.Fprintln(os.Stderr, "usage: experiments [flags] table1|table2|table3|broad|baselines|witness|exceptions|all")
@@ -43,6 +47,8 @@ func main() {
 
 	w := experiments.NewWorkload(params, !*noHandwritten)
 	w2 := experiments.NewWorkload(t2params, !*noHandwritten)
+	w.Parallel = *parallel
+	w2.Parallel = *parallel
 
 	run := flag.Arg(0)
 	all := run == "all"

@@ -13,6 +13,7 @@
 //	-no-icp         disable interprocedural constant propagation
 //	-memo mode      summary reuse: global (default), per-entry, none
 //	-no-assume-sm   do not fold `getSecurityManager() != null` guards
+//	-parallel N     extraction workers per mode (0 = GOMAXPROCS, 1 = sequential)
 //
 // The bundled corpora let the oracle be tried immediately:
 //
@@ -26,8 +27,11 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"runtime"
 	"sort"
 	"strings"
+	"sync"
+	"sync/atomic"
 
 	"policyoracle"
 	"policyoracle/internal/analysis"
@@ -90,6 +94,7 @@ type commonFlags struct {
 	witness    bool
 	jsonOut    bool
 	guards     bool
+	parallel   int
 }
 
 func (cf *commonFlags) register(fs *flag.FlagSet) {
@@ -101,6 +106,7 @@ func (cf *commonFlags) register(fs *flag.FlagSet) {
 	fs.BoolVar(&cf.witness, "witness", false, "dynamically confirm each difference by interpretation")
 	fs.BoolVar(&cf.jsonOut, "json", false, "emit the report as JSON (diff only)")
 	fs.BoolVar(&cf.guards, "guards", false, "report the branch conditions guarding each check (policies only)")
+	fs.IntVar(&cf.parallel, "parallel", 0, "extraction workers per analysis mode (0 = GOMAXPROCS, 1 = sequential)")
 }
 
 func (cf *commonFlags) options() (policyoracle.Options, error) {
@@ -111,6 +117,7 @@ func (cf *commonFlags) options() (policyoracle.Options, error) {
 	opts.ICP = !cf.noICP
 	opts.AssumeSecurityManager = !cf.noAssumeSM
 	opts.CollectGuards = cf.guards
+	opts.Parallel = cf.parallel
 	switch cf.memo {
 	case "global":
 		opts.Memo = analysis.MemoGlobal
@@ -360,6 +367,7 @@ func cmdDiffPolicies(args []string) error {
 
 func cmdCorpus(args []string) error {
 	fs := flag.NewFlagSet("corpus", flag.ExitOnError)
+	parallel := fs.Int("parallel", 0, "concurrent file writers (0 = GOMAXPROCS, 1 = sequential)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -367,16 +375,52 @@ func cmdCorpus(args []string) error {
 		return fmt.Errorf("corpus: expected one output directory")
 	}
 	out := fs.Arg(0)
+	type job struct{ path, src string }
+	var jobs []job
 	for _, name := range policyoracle.BuiltinCorpora() {
 		for file, src := range policyoracle.BuiltinCorpus(name) {
-			path := filepath.Join(out, name, filepath.FromSlash(file))
-			if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
-				return err
-			}
-			if err := os.WriteFile(path, []byte(src), 0o644); err != nil {
-				return err
-			}
+			jobs = append(jobs, job{filepath.Join(out, name, filepath.FromSlash(file)), src})
 		}
+	}
+	workers := *parallel
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(jobs) {
+		workers = len(jobs)
+	}
+	var (
+		next    atomic.Int64
+		wg      sync.WaitGroup
+		errOnce sync.Once
+		jobErr  error
+	)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= len(jobs) {
+					return
+				}
+				j := jobs[i]
+				err := os.MkdirAll(filepath.Dir(j.path), 0o755)
+				if err == nil {
+					err = os.WriteFile(j.path, []byte(j.src), 0o644)
+				}
+				if err != nil {
+					errOnce.Do(func() { jobErr = err })
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	if jobErr != nil {
+		return jobErr
+	}
+	for _, name := range policyoracle.BuiltinCorpora() {
 		fmt.Printf("wrote %s/%s\n", out, name)
 	}
 	return nil

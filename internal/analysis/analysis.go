@@ -14,6 +14,8 @@ package analysis
 import (
 	"fmt"
 	"sort"
+	"sync"
+	"sync/atomic"
 
 	"policyoracle/internal/callgraph"
 	"policyoracle/internal/cfg"
@@ -112,6 +114,12 @@ func DefaultConfig(mode Mode) Config {
 }
 
 // Stats counts analysis work for the Table 2 reproduction.
+//
+// Under concurrent extraction with global memoization, two workers may
+// race to a cold memo key and both solve it; MethodAnalyses then counts
+// both solves, so it can exceed the sequential count by the number of
+// such races. The analysis results themselves are unaffected (summaries
+// are pure functions of their key), and all other counters merge exactly.
 type Stats struct {
 	MethodAnalyses int // SPDA solves (memo misses)
 	MemoHits       int
@@ -120,19 +128,55 @@ type Stats struct {
 	EntryPoints    int
 }
 
+// atomicStats is the analyzer-internal accumulator behind Stats: plain
+// atomic counters so concurrent entry analyses merge without locks.
+type atomicStats struct {
+	methodAnalyses atomic.Int64
+	memoHits       atomic.Int64
+	cpRuns         atomic.Int64
+	cpHits         atomic.Int64
+	entryPoints    atomic.Int64
+}
+
+// cacheStripes is the number of lock stripes in the shared summary and
+// constant-propagation caches. A power of two well above typical core
+// counts keeps contention negligible without bloating the analyzer.
+const cacheStripes = 64
+
+// memoStripe is one lock-striped shard of the global summary cache.
+// Stored summaries are immutable, so readers share them freely.
+type memoStripe struct {
+	mu sync.RWMutex
+	m  map[memoKey]*summary
+}
+
+// cpStripe is one lock-striped shard of the global constant-propagation
+// cache; constprop.Result is read-only after Analyze returns.
+type cpStripe struct {
+	mu sync.RWMutex
+	m  map[cpKey]*constprop.Result
+}
+
 // Analyzer runs ISPA over one program under one configuration.
+//
+// An Analyzer is safe for concurrent use: AnalyzeEntry may be called from
+// many goroutines at once. All mutable state is either striped behind
+// locks here (the summary/CP/taint/dominator caches and the call-site
+// resolution cache, all holding immutable values) or private to one
+// AnalyzeEntry invocation (the recursion stack and recorder, see task).
 type Analyzer struct {
 	prog *ir.Program
 	res  *callgraph.Resolver
 	cfg  Config
 
-	memo    map[memoKey]*summary
-	cpCache map[cpKey]*constprop.Result
+	memo    [cacheStripes]memoStripe
+	cp      [cacheStripes]cpStripe
+	taintMu sync.RWMutex
 	taints  map[*ir.Func]map[*ir.Local]uint64
-	active  map[*types.Method]int
-	sites   map[*ir.Call]siteEntry
+	sites   sync.Map // *ir.Call → siteEntry
+	domMu   sync.Mutex
 	doms    map[*ir.Func]*cfg.Dominators
-	stats   Stats
+	stats   atomicStats
 }
 
 type memoKey struct {
@@ -142,9 +186,37 @@ type memoKey struct {
 	consts string
 }
 
+// stripe maps the key onto a cache stripe with an FNV-1a mix of its
+// fields, spreading keys that share a method across stripes.
+func (k memoKey) stripe() int {
+	h := fnvMix(uint64(k.method)*2+boolBit(k.priv), k.in)
+	h = fnvMix(h, k.consts)
+	return int(h % cacheStripes)
+}
+
 type cpKey struct {
 	method int
 	consts string
+}
+
+func (k cpKey) stripe() int {
+	return int(fnvMix(uint64(k.method), k.consts) % cacheStripes)
+}
+
+func boolBit(b bool) uint64 {
+	if b {
+		return 1
+	}
+	return 0
+}
+
+func fnvMix(seed uint64, s string) uint64 {
+	const prime = 1099511628211
+	h := (14695981039346656037 ^ seed) * prime
+	for i := 0; i < len(s); i++ {
+		h = (h ^ uint64(s[i])) * prime
+	}
+	return h
 }
 
 // New returns an analyzer for p.
@@ -152,19 +224,31 @@ func New(p *ir.Program, res *callgraph.Resolver, cfg Config) *Analyzer {
 	if cfg.CollectPaths && cfg.Mode != May {
 		cfg.CollectPaths = false
 	}
-	return &Analyzer{
-		prog:    p,
-		res:     res,
-		cfg:     cfg,
-		memo:    make(map[memoKey]*summary),
-		cpCache: make(map[cpKey]*constprop.Result),
-		taints:  make(map[*ir.Func]map[*ir.Local]uint64),
-		active:  make(map[*types.Method]int),
+	a := &Analyzer{
+		prog:   p,
+		res:    res,
+		cfg:    cfg,
+		taints: make(map[*ir.Func]map[*ir.Local]uint64),
 	}
+	for i := range a.memo {
+		a.memo[i].m = make(map[memoKey]*summary)
+	}
+	for i := range a.cp {
+		a.cp[i].m = make(map[cpKey]*constprop.Result)
+	}
+	return a
 }
 
 // Stats returns the accumulated work counters.
-func (a *Analyzer) Stats() Stats { return a.stats }
+func (a *Analyzer) Stats() Stats {
+	return Stats{
+		MethodAnalyses: int(a.stats.methodAnalyses.Load()),
+		MemoHits:       int(a.stats.memoHits.Load()),
+		CPRuns:         int(a.stats.cpRuns.Load()),
+		CPHits:         int(a.stats.cpHits.Load()),
+		EntryPoints:    int(a.stats.entryPoints.Load()),
+	}
+}
 
 // Resolver exposes the analyzer's call-site resolver.
 func (a *Analyzer) Resolver() *callgraph.Resolver { return a.res }
@@ -195,12 +279,25 @@ type EntryResult struct {
 	Origins []OriginRec
 }
 
-// AnalyzeEntry runs ISPA rooted at entry point m.
+// task is the state private to one AnalyzeEntry invocation: the recursion
+// stack of the ISPA descent and, under MemoPerEntry/MemoNone, the
+// entry-scoped caches. Concurrent entry analyses each run on their own
+// task and share only the Analyzer's striped caches.
+type task struct {
+	a      *Analyzer
+	active map[*types.Method]int
+	memo   map[memoKey]*summary        // entry-local summaries (MemoPerEntry)
+	cp     map[cpKey]*constprop.Result // entry-local CP results (MemoPerEntry/MemoNone)
+}
+
+// AnalyzeEntry runs ISPA rooted at entry point m. It is safe to call from
+// multiple goroutines concurrently.
 func (a *Analyzer) AnalyzeEntry(m *types.Method) *EntryResult {
-	a.stats.EntryPoints++
-	if a.cfg.Memo == MemoPerEntry || a.cfg.Memo == MemoNone {
-		a.memo = make(map[memoKey]*summary)
-		a.cpCache = make(map[cpKey]*constprop.Result)
+	a.stats.entryPoints.Add(1)
+	t := &task{a: a, active: make(map[*types.Method]int)}
+	if a.cfg.Memo != MemoGlobal {
+		t.memo = make(map[memoKey]*summary)
+		t.cp = make(map[cpKey]*constprop.Result)
 	}
 	res := &EntryResult{
 		Entry:  m.Qualified(),
@@ -217,7 +314,7 @@ func (a *Analyzer) AnalyzeEntry(m *types.Method) *EntryResult {
 		}
 		return res
 	}
-	sum := a.ispa(m, a.entryState(), nil, false, 0, true)
+	sum := t.ispa(m, a.entryState(), nil, false, 0, true)
 	for _, er := range sum.events {
 		res.addEvent(er.ev, er.st, a.cfg.Mode)
 	}
@@ -225,6 +322,37 @@ func (a *Analyzer) AnalyzeEntry(m *types.Method) *EntryResult {
 		res.Origins = append([]OriginRec(nil), sum.origins...)
 	}
 	return res
+}
+
+// lookupMemo consults the summary cache appropriate to the memo mode.
+func (t *task) lookupMemo(key memoKey) (*summary, bool) {
+	switch t.a.cfg.Memo {
+	case MemoNone:
+		return nil, false
+	case MemoPerEntry:
+		s, ok := t.memo[key]
+		return s, ok
+	}
+	sh := &t.a.memo[key.stripe()]
+	sh.mu.RLock()
+	s, ok := sh.m[key]
+	sh.mu.RUnlock()
+	return s, ok
+}
+
+// storeMemo publishes an immutable summary under the memo mode's cache.
+func (t *task) storeMemo(key memoKey, s *summary) {
+	switch t.a.cfg.Memo {
+	case MemoNone:
+		return
+	case MemoPerEntry:
+		t.memo[key] = s
+		return
+	}
+	sh := &t.a.memo[key.stripe()]
+	sh.mu.Lock()
+	sh.m[key] = s
+	sh.mu.Unlock()
 }
 
 func (a *Analyzer) entryState() state {

@@ -22,18 +22,29 @@ type eventRec struct {
 // summary is the memoized result of analyzing one method in one context:
 // the exit state (meet over its returns) and every event occurring within
 // the method or its callees. Summaries are immutable once stored.
+//
+// truncated marks a summary whose computation hit the recursion cutoff —
+// either the cutoff's own placeholder result or any summary derived from
+// one. Truncated summaries are valid for the call tree that produced them
+// (the cutoff is exactly the paper's Section 4.2 treatment of recursion)
+// but depend on which methods were on the stack at the time, so they are
+// never memoized: caching one would let a later analysis that reaches the
+// same method outside the cycle silently drop the checks and events cut
+// off here.
 type summary struct {
-	out     state
-	events  []eventRec
-	origins []OriginRec
+	out       state
+	events    []eventRec
+	origins   []OriginRec
+	truncated bool
 }
 
 // recorder accumulates events during the post-convergence recording pass.
 type recorder struct {
-	events   []eventRec
-	origins  []OriginRec
-	exit     state
-	haveExit bool
+	events    []eventRec
+	origins   []OriginRec
+	exit      state
+	haveExit  bool
+	truncated bool
 }
 
 func (r *recorder) event(ev secmodel.Event, st state) {
@@ -43,6 +54,7 @@ func (r *recorder) event(ev secmodel.Event, st state) {
 func (r *recorder) merge(s *summary) {
 	r.events = append(r.events, s.events...)
 	r.origins = append(r.origins, s.origins...)
+	r.truncated = r.truncated || s.truncated
 }
 
 func (r *recorder) exitAt(a *Analyzer, st state) {
@@ -58,7 +70,8 @@ func (r *recorder) exitAt(a *Analyzer, st state) {
 // values argConsts (Algorithm 2). priv marks privileged execution; depth
 // is the interprocedural nesting level; isEntry marks the API entry point
 // whose returns are security-sensitive events.
-func (a *Analyzer) ispa(m *types.Method, in state, argConsts []constprop.Value, priv bool, depth int, isEntry bool) *summary {
+func (t *task) ispa(m *types.Method, in state, argConsts []constprop.Value, priv bool, depth int, isEntry bool) *summary {
+	a := t.a
 	f := a.prog.FuncOf(m)
 	if f == nil {
 		return &summary{out: in}
@@ -73,27 +86,27 @@ func (a *Analyzer) ispa(m *types.Method, in state, argConsts []constprop.Value, 
 	if isEntry {
 		key.in = "entry|" + key.in // entry analyses also record return events
 	}
-	if a.cfg.Memo != MemoNone {
-		if s, ok := a.memo[key]; ok {
-			a.stats.MemoHits++
-			return s
-		}
+	if s, ok := t.lookupMemo(key); ok {
+		a.stats.memoHits.Add(1)
+		return s
 	}
-	if a.active[m] > a.cfg.RecursionBound {
+	if t.active[m] > a.cfg.RecursionBound {
 		// Recursive call beyond the bound: do not re-analyze (Section 4.2;
-		// the default bound of 0 matches the paper's implementation).
-		return &summary{out: in}
+		// the default bound of 0 matches the paper's implementation). The
+		// placeholder is truncated so that no summary computed from it is
+		// ever memoized.
+		return &summary{out: in, truncated: true}
 	}
-	a.active[m]++
+	t.active[m]++
 	defer func() {
-		a.active[m]--
-		if a.active[m] == 0 {
-			delete(a.active, m)
+		t.active[m]--
+		if t.active[m] == 0 {
+			delete(t.active, m)
 		}
 	}()
-	a.stats.MethodAnalyses++
+	a.stats.methodAnalyses.Add(1)
 
-	cp := a.constants(m, f, argConsts)
+	cp := t.constants(m, f, argConsts)
 
 	prob := &dataflow.Problem[state]{
 		Blocks:       f.Blocks,
@@ -102,7 +115,7 @@ func (a *Analyzer) ispa(m *types.Method, in state, argConsts []constprop.Value, 
 		Equal:        a.stateEqual,
 		EdgeFeasible: cp.EdgeFeasible,
 		Transfer: func(b *ir.Block, st state) state {
-			return a.transferBlock(m, f, b, st, cp, priv, depth, isEntry, nil)
+			return t.transferBlock(m, f, b, st, cp, priv, depth, isEntry, nil)
 		},
 	}
 	sol := dataflow.Solve(prob)
@@ -113,15 +126,18 @@ func (a *Analyzer) ispa(m *types.Method, in state, argConsts []constprop.Value, 
 		if !sol.Reached[b.Index] {
 			continue
 		}
-		a.transferBlock(m, f, b, sol.In[b.Index], cp, priv, depth, isEntry, rec)
+		t.transferBlock(m, f, b, sol.In[b.Index], cp, priv, depth, isEntry, rec)
 	}
 	out := in
 	if rec.haveExit {
 		out = rec.exit
 	}
-	s := &summary{out: out, events: rec.events, origins: dedupOrigins(rec.origins)}
-	if a.cfg.Memo != MemoNone {
-		a.memo[key] = s
+	s := &summary{out: out, events: rec.events, origins: dedupOrigins(rec.origins), truncated: rec.truncated}
+	if !s.truncated {
+		// A summary computed beneath an active recursion cutoff reflects
+		// that cutoff, not the method's full behavior; memoizing it would
+		// poison later analyses that reach this method outside the cycle.
+		t.storeMemo(key, s)
 	}
 	return s
 }
@@ -142,38 +158,60 @@ func dedupOrigins(in []OriginRec) []OriginRec {
 }
 
 // constants runs (and caches) conditional constant propagation for f
-// under the given parameter binding.
-func (a *Analyzer) constants(m *types.Method, f *ir.Func, argConsts []constprop.Value) *constprop.Result {
+// under the given parameter binding. The cache is entry-local under
+// MemoPerEntry/MemoNone and lock-striped globally under MemoGlobal.
+func (t *task) constants(m *types.Method, f *ir.Func, argConsts []constprop.Value) *constprop.Result {
+	a := t.a
 	key := cpKey{method: m.ID}
 	if a.cfg.ICP {
 		key.consts = constprop.KeyOf(argConsts)
 	} else {
 		argConsts = nil
 	}
-	if r, ok := a.cpCache[key]; ok {
-		a.stats.CPHits++
-		return r
+	var sh *cpStripe
+	if t.cp != nil {
+		if r, ok := t.cp[key]; ok {
+			a.stats.cpHits.Add(1)
+			return r
+		}
+	} else {
+		sh = &a.cp[key.stripe()]
+		sh.mu.RLock()
+		r, ok := sh.m[key]
+		sh.mu.RUnlock()
+		if ok {
+			a.stats.cpHits.Add(1)
+			return r
+		}
 	}
-	a.stats.CPRuns++
+	a.stats.cpRuns.Add(1)
 	r := constprop.Analyze(f, argConsts, constprop.Config{
 		AssumeSecurityManager: a.cfg.AssumeSecurityManager,
 		IsGetSecurityManager:  secmodel.IsGetSecurityManager,
 	})
-	a.cpCache[key] = r
+	if t.cp != nil {
+		t.cp[key] = r
+	} else {
+		sh.mu.Lock()
+		sh.m[key] = r
+		sh.mu.Unlock()
+	}
 	return r
 }
 
 // resolveSite resolves a call site once, caching the result and counting
-// it in the resolver statistics exactly once.
+// it in the resolver statistics exactly once. The cache is a sync.Map so
+// the warm path (the overwhelming majority of lookups) is lock-free; on a
+// racing cold miss both goroutines resolve (resolution is pure) but only
+// the one that publishes the entry records the statistics outcome.
 func (a *Analyzer) resolveSite(c *ir.Call) *types.Method {
-	if a.sites == nil {
-		a.sites = make(map[*ir.Call]siteEntry)
+	if e, ok := a.sites.Load(c); ok {
+		return e.(siteEntry).target
 	}
-	if e, ok := a.sites[c]; ok {
-		return e.target
+	t := a.res.ResolveQuiet(c)
+	if _, loaded := a.sites.LoadOrStore(c, siteEntry{target: t}); !loaded {
+		a.res.RecordOutcome(t != nil)
 	}
-	t := a.res.Resolve(c)
-	a.sites[c] = siteEntry{target: t}
 	return t
 }
 
@@ -183,7 +221,8 @@ type siteEntry struct{ target *types.Method }
 // calls are analyzed recursively (ISPA), native calls and — in broad mode —
 // private field and parameter accesses are security-sensitive events.
 // When rec is nil the pass only computes the state transformation.
-func (a *Analyzer) transferBlock(m *types.Method, f *ir.Func, b *ir.Block, st state, cp *constprop.Result, priv bool, depth int, isEntry bool, rec *recorder) state {
+func (t *task) transferBlock(m *types.Method, f *ir.Func, b *ir.Block, st state, cp *constprop.Result, priv bool, depth int, isEntry bool, rec *recorder) state {
+	a := t.a
 	broad := a.cfg.Events == secmodel.BroadEvents
 	var taint map[*ir.Local]uint64
 	if broad && isEntry && rec != nil {
@@ -192,7 +231,7 @@ func (a *Analyzer) transferBlock(m *types.Method, f *ir.Func, b *ir.Block, st st
 	for _, instr := range b.Instrs {
 		switch instr := instr.(type) {
 		case *ir.Call:
-			st = a.transferCall(m, f, b, instr, st, cp, priv, depth, rec, taint)
+			st = t.transferCall(m, f, b, instr, st, cp, priv, depth, rec, taint)
 		case *ir.Return:
 			if rec != nil {
 				rec.exitAt(a, st)
@@ -220,7 +259,8 @@ func (a *Analyzer) transferBlock(m *types.Method, f *ir.Func, b *ir.Block, st st
 }
 
 // transferCall handles one call site.
-func (a *Analyzer) transferCall(m *types.Method, f *ir.Func, b *ir.Block, c *ir.Call, st state, cp *constprop.Result, priv bool, depth int, rec *recorder, taint map[*ir.Local]uint64) state {
+func (t *task) transferCall(m *types.Method, f *ir.Func, b *ir.Block, c *ir.Call, st state, cp *constprop.Result, priv bool, depth int, rec *recorder, taint map[*ir.Local]uint64) state {
+	a := t.a
 	// Security check invocation (Section 3): extends the flow value unless
 	// executing inside a privileged block, where checks always succeed and
 	// are semantic no-ops (Section 6.2).
@@ -251,7 +291,7 @@ func (a *Analyzer) transferCall(m *types.Method, f *ir.Func, b *ir.Block, c *ir.
 	if secmodel.IsDoPrivileged(c) {
 		run := a.resolveRun(c)
 		if run != nil && a.prog.FuncOf(run) != nil && !a.depthExceeded(depth) {
-			sum := a.ispa(run, st, nil, true, depth+1, false)
+			sum := t.ispa(run, st, nil, true, depth+1, false)
 			if rec != nil {
 				rec.merge(sum)
 			}
@@ -277,7 +317,7 @@ func (a *Analyzer) transferCall(m *types.Method, f *ir.Func, b *ir.Block, c *ir.
 	if a.cfg.ICP {
 		argVals = cp.CallArgs(c)
 	}
-	sum := a.ispa(target, st, argVals, priv, depth+1, false)
+	sum := t.ispa(target, st, argVals, priv, depth+1, false)
 	if rec != nil {
 		rec.merge(sum)
 	}
@@ -313,6 +353,7 @@ func (a *Analyzer) paramEvents(rec *recorder, taint map[*ir.Local]uint64, st sta
 // dominating block b in f — the conditions under which a check in b
 // executes (Section 6.4's MAY-policy conditions).
 func (a *Analyzer) guardsOf(f *ir.Func, b *ir.Block) string {
+	a.domMu.Lock()
 	dom := a.doms[f]
 	if dom == nil {
 		dom = cfg.ComputeDominators(f)
@@ -321,6 +362,7 @@ func (a *Analyzer) guardsOf(f *ir.Func, b *ir.Block) string {
 		}
 		a.doms[f] = dom
 	}
+	a.domMu.Unlock()
 	var parts []string
 	for _, blk := range f.Blocks {
 		ifInstr, ok := blk.Term().(*ir.If)
@@ -352,7 +394,10 @@ func (a *Analyzer) resolveRun(c *ir.Call) *types.Method {
 // data-dependent on (flow-insensitive closure over copies, arithmetic,
 // casts, and array loads — the "event tag" propagation of Section 3).
 func (a *Analyzer) taintOf(f *ir.Func) map[*ir.Local]uint64 {
-	if t, ok := a.taints[f]; ok {
+	a.taintMu.RLock()
+	t, ok := a.taints[f]
+	a.taintMu.RUnlock()
+	if ok {
 		return t
 	}
 	taint := make(map[*ir.Local]uint64)
@@ -398,6 +443,12 @@ func (a *Analyzer) taintOf(f *ir.Func) map[*ir.Local]uint64 {
 			}
 		}
 	}
-	a.taints[f] = taint
+	a.taintMu.Lock()
+	if prior, ok := a.taints[f]; ok {
+		taint = prior // another goroutine computed it first; share that copy
+	} else {
+		a.taints[f] = taint
+	}
+	a.taintMu.Unlock()
 	return taint
 }

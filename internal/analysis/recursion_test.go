@@ -1,6 +1,7 @@
 package analysis
 
 import (
+	"strings"
 	"testing"
 
 	"policyoracle/internal/secmodel"
@@ -64,6 +65,94 @@ func TestRecursionBoundExtraTraversals(t *testing.T) {
 	}
 	if base, deep := run(0), run(2); deep <= base {
 		t.Errorf("bound 2 (%d analyses) should exceed bound 0 (%d)", deep, base)
+	}
+}
+
+// memoPollutionSrc has two entry points sharing helper h, which sits on
+// the call cycle a→h→a. Analyzing entry a first cuts the cycle at the
+// nested a, so h's summary computed there is missing a's op0 event; that
+// summary must not be memoized, or entry b (which reaches h outside the
+// cycle) silently inherits the truncation.
+const memoPollutionSrc = `
+package java.lang;
+public class MP {
+  SecurityManager sm;
+  public void a(int n) {
+    if (n > 0) {
+      h(n - 1);
+    }
+    op0();
+  }
+  void h(int n) {
+    sm.checkRead("f");
+    if (n > 0) {
+      a(n - 1);
+    }
+    op1();
+  }
+  public void b(int n) {
+    h(n);
+    op2();
+  }
+  native void op0();
+  native void op1();
+  native void op2();
+}
+`
+
+// TestMemoNotPollutedByRecursionCutoff: under MemoGlobal, every entry
+// point's MUST policy must match a MemoNone run — in particular the
+// second entry (b), which previously hit a cached helper summary that
+// had been computed beneath entry a's recursion cutoff.
+func TestMemoNotPollutedByRecursionCutoff(t *testing.T) {
+	run := func(memo MemoMode) map[string]*EntryResult {
+		p, res := buildProgram(t, memoPollutionSrc)
+		cfg := DefaultConfig(Must)
+		cfg.Memo = memo
+		a := New(p, res, cfg)
+		out := make(map[string]*EntryResult)
+		for _, m := range p.Types.EntryPoints() { // sorted: a(int) before b(int)
+			out[m.Qualified()] = a.AnalyzeEntry(m)
+		}
+		return out
+	}
+	got := run(MemoGlobal)
+	want := run(MemoNone)
+	for sig, w := range want {
+		g := got[sig]
+		if g == nil {
+			t.Fatalf("entry %s missing under MemoGlobal", sig)
+		}
+		if len(g.Events) != len(w.Events) {
+			t.Errorf("%s: MemoGlobal has %d events (%v), MemoNone has %d (%v)",
+				sig, len(g.Events), g.SortedEvents(), len(w.Events), w.SortedEvents())
+		}
+		for ev, wer := range w.Events {
+			ger := g.Events[ev]
+			if ger == nil {
+				t.Errorf("%s: event %s dropped under MemoGlobal", sig, ev)
+				continue
+			}
+			if ger.Checks != wer.Checks {
+				t.Errorf("%s/%s: MemoGlobal checks = %s, MemoNone = %s",
+					sig, ev, ger.Checks, wer.Checks)
+			}
+		}
+	}
+	// The concrete symptom: b must still see a's op0 event, guarded by h's
+	// checkRead, exactly as in the unmemoized run.
+	var bRes *EntryResult
+	for sig, r := range got {
+		if strings.Contains(sig, ".b(") {
+			bRes = r
+		}
+	}
+	if bRes == nil {
+		t.Fatal("entry b not analyzed")
+	}
+	op0 := eventResult(t, bRes, secmodel.Event{Kind: secmodel.NativeCall, Key: "op0/0"})
+	if op0.Checks != setOf(t, "checkRead", 1) {
+		t.Errorf("b's op0 checks = %s, want %s", op0.Checks, setOf(t, "checkRead", 1))
 	}
 }
 

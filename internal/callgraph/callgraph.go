@@ -10,20 +10,23 @@ package callgraph
 
 import (
 	"sort"
+	"sync/atomic"
 
 	"policyoracle/internal/ast"
 	"policyoracle/internal/ir"
 	"policyoracle/internal/types"
 )
 
-// Resolver resolves call sites within one program.
+// Resolver resolves call sites within one program. Resolution is pure
+// (the allocated-class set is fixed at construction), and the statistics
+// counters are atomic, so a Resolver may be shared by concurrent analyses.
 type Resolver struct {
 	prog      *ir.Program
 	allocated map[*types.Class]bool
 
 	// Stats accumulate over all Resolve calls.
-	resolved   int
-	unresolved int
+	resolved   atomic.Int64
+	unresolved atomic.Int64
 }
 
 // NewResolver builds a resolver for p, scanning all method bodies for
@@ -43,15 +46,18 @@ func NewResolver(p *ir.Program) *Resolver {
 }
 
 // Stats returns the number of resolved and unresolved call sites observed.
-func (r *Resolver) Stats() (resolved, unresolved int) { return r.resolved, r.unresolved }
+func (r *Resolver) Stats() (resolved, unresolved int) {
+	return int(r.resolved.Load()), int(r.unresolved.Load())
+}
 
 // ResolutionRate returns the fraction of observed call sites that resolved.
 func (r *Resolver) ResolutionRate() float64 {
-	total := r.resolved + r.unresolved
+	resolved, unresolved := r.Stats()
+	total := resolved + unresolved
 	if total == 0 {
 		return 1
 	}
-	return float64(r.resolved) / float64(total)
+	return float64(resolved) / float64(total)
 }
 
 // Resolve returns the unique target of the call, or nil when the site does
@@ -59,12 +65,19 @@ func (r *Resolver) ResolutionRate() float64 {
 // have no bodies but are security-sensitive events).
 func (r *Resolver) Resolve(c *ir.Call) *types.Method {
 	m := r.resolve(c)
-	if m != nil {
-		r.resolved++
-	} else {
-		r.unresolved++
-	}
+	r.RecordOutcome(m != nil)
 	return m
+}
+
+// RecordOutcome counts one call-site resolution outcome. Callers that
+// resolve through ResolveQuiet and deduplicate sites themselves use this
+// to keep each site counted exactly once.
+func (r *Resolver) RecordOutcome(resolved bool) {
+	if resolved {
+		r.resolved.Add(1)
+	} else {
+		r.unresolved.Add(1)
+	}
 }
 
 // ResolveQuiet is Resolve without statistics accounting (used by

@@ -23,6 +23,17 @@ import (
 type Workload struct {
 	Gen     *gen.Corpus
 	Sources map[string]map[string]string
+	// Parallel, when non-zero, overrides oracle.Options.Parallel for every
+	// extraction the harness runs (same semantics: <= 0 is GOMAXPROCS).
+	Parallel int
+}
+
+// withParallel overlays the workload's parallelism setting onto opts.
+func (w *Workload) withParallel(opts oracle.Options) oracle.Options {
+	if w.Parallel != 0 {
+		opts.Parallel = w.Parallel
+	}
+	return opts
 }
 
 // NewWorkload builds a workload. p sizes the generated bulk (zero Classes
@@ -53,8 +64,10 @@ func (w *Workload) Load(lib string) (*oracle.Library, error) {
 	return oracle.LoadLibrary(lib, w.Sources[lib])
 }
 
-// LoadAll loads every implementation and extracts policies under opts.
+// LoadAll loads every implementation and extracts policies under opts
+// (with the workload's parallelism overlay applied).
 func (w *Workload) LoadAll(opts oracle.Options) (map[string]*oracle.Library, error) {
+	opts = w.withParallel(opts)
 	libs := make(map[string]*oracle.Library)
 	for _, name := range corpus.Libraries() {
 		l, err := w.Load(name)
@@ -140,7 +153,7 @@ func Table2(w *Workload, memos []analysis.MemoMode) (*Table2Result, error) {
 				if err != nil {
 					return nil, err
 				}
-				opts := oracle.DefaultOptions()
+				opts := w.withParallel(oracle.DefaultOptions())
 				opts.Memo = memo
 				opts.Modes = []analysis.Mode{mode}
 				opts.CollectPaths = false

@@ -6,8 +6,11 @@ package oracle
 
 import (
 	"fmt"
+	"runtime"
 	"sort"
 	"strings"
+	"sync"
+	"sync/atomic"
 	"time"
 
 	"policyoracle/internal/analysis"
@@ -39,6 +42,12 @@ type Options struct {
 	// Modes restricts extraction to MAY or MUST only (both when empty),
 	// which the Table 2 harness uses to time each independently.
 	Modes []analysis.Mode
+	// Parallel is the entry-point worker count per analysis mode: 1 (the
+	// default) extracts sequentially, N > 1 fans entry points out over N
+	// workers and runs the MAY and MUST modes concurrently, and any value
+	// <= 0 means GOMAXPROCS. Parallel extraction produces byte-identical
+	// policies and diff reports to sequential extraction.
+	Parallel int
 }
 
 // DefaultOptions returns the configuration used for the paper's main
@@ -51,6 +60,7 @@ func DefaultOptions() Options {
 		Memo:                  analysis.MemoGlobal,
 		MaxDepth:              -1,
 		CollectPaths:          true,
+		Parallel:              1,
 	}
 }
 
@@ -141,14 +151,25 @@ func (l *Library) EntryPoints() []*types.Method { return l.Prog.Types.EntryPoint
 
 // Extract computes the security policies of every API entry point under
 // opts, storing them in l.Policies.
+//
+// With opts.Parallel != 1 the MAY and MUST modes run concurrently and
+// each mode fans its entry points out over a worker pool sharing one
+// analyzer (and therefore one summary cache). Results are collected
+// per-entry and merged in the same sorted entry order as the sequential
+// path, so the extracted policies are byte-identical either way.
 func (l *Library) Extract(opts Options) {
 	modes := opts.Modes
 	if len(modes) == 0 {
 		modes = []analysis.Mode{analysis.May, analysis.Must}
 	}
+	workers := opts.Parallel
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	entries := l.EntryPoints()
 	pp := policy.NewProgramPolicies(l.Name)
-	results := make(map[analysis.Mode]map[string]*analysis.EntryResult)
-	for _, mode := range modes {
+	results := make(map[analysis.Mode]map[string]*analysis.EntryResult, len(modes))
+	runMode := func(mode analysis.Mode) map[string]*analysis.EntryResult {
 		cfg := analysis.Config{
 			Mode:                  mode,
 			Events:                opts.Events,
@@ -162,16 +183,36 @@ func (l *Library) Extract(opts Options) {
 		}
 		a := analysis.New(l.Prog, l.Resolver, cfg)
 		start := time.Now()
-		byEntry := make(map[string]*analysis.EntryResult)
-		for _, m := range l.EntryPoints() {
-			byEntry[m.Qualified()] = a.AnalyzeEntry(m)
-		}
+		perEntry := analyzeEntries(a, entries, workers)
 		elapsed := time.Since(start)
-		results[mode] = byEntry
+		byEntry := make(map[string]*analysis.EntryResult, len(entries))
+		for i, m := range entries {
+			byEntry[m.Qualified()] = perEntry[i]
+		}
 		if mode == analysis.May {
 			l.MayStats, l.MayTime = a.Stats(), elapsed
 		} else {
 			l.MustStats, l.MustTime = a.Stats(), elapsed
+		}
+		return byEntry
+	}
+	if workers > 1 && len(modes) > 1 {
+		byMode := make([]map[string]*analysis.EntryResult, len(modes))
+		var wg sync.WaitGroup
+		for i, mode := range modes {
+			wg.Add(1)
+			go func(i int, mode analysis.Mode) {
+				defer wg.Done()
+				byMode[i] = runMode(mode)
+			}(i, mode)
+		}
+		wg.Wait()
+		for i, mode := range modes {
+			results[mode] = byMode[i]
+		}
+	} else {
+		for _, mode := range modes {
+			results[mode] = runMode(mode)
 		}
 	}
 
@@ -228,6 +269,41 @@ func (l *Library) Extract(opts Options) {
 		pp.Entries[sig] = ep
 	}
 	l.Policies = pp
+}
+
+// analyzeEntries analyzes every entry point on a shared analyzer, fanning
+// the entries out over up to `workers` goroutines. The result slice is
+// indexed like entries, so callers observe the same deterministic order
+// regardless of scheduling; the workers share the analyzer's summary
+// cache, the same structure that makes sequential global memoization pay.
+func analyzeEntries(a *analysis.Analyzer, entries []*types.Method, workers int) []*analysis.EntryResult {
+	out := make([]*analysis.EntryResult, len(entries))
+	if workers > len(entries) {
+		workers = len(entries)
+	}
+	if workers <= 1 {
+		for i, m := range entries {
+			out[i] = a.AnalyzeEntry(m)
+		}
+		return out
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= len(entries) {
+					return
+				}
+				out[i] = a.AnalyzeEntry(entries[i])
+			}
+		}()
+	}
+	wg.Wait()
+	return out
 }
 
 // Diff differences the extracted policies of two implementations. Both

@@ -42,19 +42,15 @@ type jsonOrigin struct {
 const wireVersion = 1
 
 // checkToWire renders a check as name/arity, the stable wire identity.
-func checkToWire(id secmodel.CheckID) string {
-	return secmodel.CheckName(id) + "/" + fmt.Sprint(arityOf(id))
-}
-
-// arityOf recovers the check's arity by probing the table.
-func arityOf(id secmodel.CheckID) int {
-	name := secmodel.CheckName(id)
-	for a := 0; a <= 3; a++ {
-		if got, ok := secmodel.CheckByName(name, a); ok && got == id {
-			return a
-		}
+// The arity comes straight from the secmodel check table, and an ID
+// outside the table is a loud error rather than a "check/-1" token that
+// checkFromWire would reject only on re-import.
+func checkToWire(id secmodel.CheckID) (string, error) {
+	arity := secmodel.CheckArity(id)
+	if arity < 0 {
+		return "", fmt.Errorf("policy export: check ID %d is not in the security model", int(id))
 	}
-	return -1
+	return secmodel.CheckName(id) + "/" + fmt.Sprint(arity), nil
 }
 
 func checkFromWire(s string) (secmodel.CheckID, error) {
@@ -87,12 +83,16 @@ func indexByte(s string, c byte) int {
 	return -1
 }
 
-func setToWire(s CheckSet) []string {
+func setToWire(s CheckSet) ([]string, error) {
 	out := make([]string, 0, s.Len())
 	for _, id := range s.IDs() {
-		out = append(out, checkToWire(id))
+		w, err := checkToWire(id)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, w)
 	}
-	return out
+	return out, nil
 }
 
 func setFromWire(names []string) (CheckSet, error) {
@@ -115,11 +115,19 @@ func (pp *ProgramPolicies) ExportJSON() ([]byte, error) {
 		je := jsonEntry{Entry: sig}
 		for _, ev := range ep.SortedEvents() {
 			evp := ep.Events[ev]
+			must, err := setToWire(evp.Must)
+			if err != nil {
+				return nil, err
+			}
+			may, err := setToWire(evp.May)
+			if err != nil {
+				return nil, err
+			}
 			jev := jsonEvent{
 				Kind: int(ev.Kind),
 				Key:  ev.Key,
-				Must: setToWire(evp.Must),
-				May:  setToWire(evp.May),
+				Must: must,
+				May:  may,
 			}
 			var ids []secmodel.CheckID
 			for id := range evp.Origins {
@@ -127,8 +135,12 @@ func (pp *ProgramPolicies) ExportJSON() ([]byte, error) {
 			}
 			sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
 			for _, id := range ids {
+				check, err := checkToWire(id)
+				if err != nil {
+					return nil, err
+				}
 				jev.Origins = append(jev.Origins, jsonOrigin{
-					Check:   checkToWire(id),
+					Check:   check,
 					Methods: evp.OriginsOf(id),
 				})
 			}

@@ -86,7 +86,11 @@ func TestImportRejectsBadInput(t *testing.T) {
 func TestWireDistinguishesOverloads(t *testing.T) {
 	conn2, _ := secmodel.CheckByName("checkConnect", 2)
 	conn3, _ := secmodel.CheckByName("checkConnect", 3)
-	w2, w3 := checkToWire(conn2), checkToWire(conn3)
+	w2, err2 := checkToWire(conn2)
+	w3, err3 := checkToWire(conn3)
+	if err2 != nil || err3 != nil {
+		t.Fatalf("checkToWire errors: %v, %v", err2, err3)
+	}
 	if w2 == w3 {
 		t.Fatalf("overloads collide on the wire: %q", w2)
 	}
@@ -100,5 +104,35 @@ func TestWireDistinguishesOverloads(t *testing.T) {
 	r3, err := checkFromWire(w3)
 	if err != nil || r3 != conn3 {
 		t.Errorf("roundtrip = %v, %v", r3, err)
+	}
+}
+
+// TestWireRoundTripAllChecks exports and re-imports every registered
+// check: the wire arity comes from the secmodel table, so no check may
+// serialize to a form the importer rejects.
+func TestWireRoundTripAllChecks(t *testing.T) {
+	for id := secmodel.CheckID(0); id < secmodel.NumChecks; id++ {
+		w, err := checkToWire(id)
+		if err != nil {
+			t.Fatalf("check %s (id %d): export: %v", secmodel.CheckName(id), id, err)
+		}
+		got, err := checkFromWire(w)
+		if err != nil {
+			t.Fatalf("check %s (wire %q): import: %v", secmodel.CheckName(id), w, err)
+		}
+		if got != id {
+			t.Errorf("check %s: round-trip = id %d, want %d", w, got, id)
+		}
+	}
+}
+
+// TestWireRejectsUnknownCheckID: an ID outside the security model must
+// fail at export time, not silently emit "name/-1" for re-import to trip
+// over.
+func TestWireRejectsUnknownCheckID(t *testing.T) {
+	for _, id := range []secmodel.CheckID{-1, secmodel.NumChecks, 999} {
+		if w, err := checkToWire(id); err == nil {
+			t.Errorf("checkToWire(%d) = %q, want error", id, w)
+		}
 	}
 }

@@ -87,6 +87,15 @@ func CheckName(id CheckID) string {
 	return checkTable[id].Name
 }
 
+// CheckArity returns the parameter count of a check ID directly from the
+// check table, or -1 for an ID outside the table.
+func CheckArity(id CheckID) int {
+	if int(id) < 0 || int(id) >= len(checkTable) {
+		return -1
+	}
+	return checkTable[id].Arity
+}
+
 // CheckByName returns the check ID for a name and arity.
 func CheckByName(name string, arity int) (CheckID, bool) {
 	id, ok := checkIndex[checkDesc{name, arity}]

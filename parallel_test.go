@@ -1,0 +1,105 @@
+// Parallel-extraction determinism: the worker-pool extraction of
+// oracle.Extract must produce byte-identical diff reports to the
+// sequential path on the shipped corpora, in every event mode, because
+// memoized summaries are pure functions of their memo key (the recursion
+// cutoff is never cached — see internal/analysis) and per-entry results
+// are merged in sorted entry order regardless of scheduling.
+//
+// Run under `go test -race` this doubles as the race-coverage test for
+// the shared summary cache, the CP cache, and the resolver statistics.
+package policyoracle_test
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"testing"
+
+	"policyoracle"
+	"policyoracle/internal/secmodel"
+)
+
+// diffReportJSON extracts two builtin corpora with the given worker count
+// and renders the diff report as indented JSON.
+func diffReportJSON(t *testing.T, libA, libB string, parallel int, events secmodel.EventMode) []byte {
+	t.Helper()
+	load := func(name string) *policyoracle.Library {
+		lib, err := policyoracle.LoadLibrary(name, policyoracle.BuiltinCorpus(name))
+		if err != nil {
+			t.Fatalf("load %s: %v", name, err)
+		}
+		return lib
+	}
+	opts := policyoracle.DefaultOptions()
+	opts.Parallel = parallel
+	opts.Events = events
+	a, b := load(libA), load(libB)
+	a.Extract(opts)
+	b.Extract(opts)
+	data, err := json.MarshalIndent(policyoracle.Diff(a, b).ToJSON(), "", "  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	return data
+}
+
+func TestParallelExtractionByteIdentical(t *testing.T) {
+	pairs := [][2]string{{"jdk", "harmony"}, {"harmony", "classpath"}, {"jdk", "classpath"}}
+	for _, events := range []secmodel.EventMode{secmodel.NarrowEvents, secmodel.BroadEvents} {
+		for _, pair := range pairs {
+			t.Run(fmt.Sprintf("%s-%s-%s", pair[0], pair[1], events), func(t *testing.T) {
+				seq := diffReportJSON(t, pair[0], pair[1], 1, events)
+				if len(seq) == 0 {
+					t.Fatal("empty sequential report")
+				}
+				for _, parallel := range []int{4, 8} {
+					got := diffReportJSON(t, pair[0], pair[1], parallel, events)
+					if !bytes.Equal(seq, got) {
+						t.Errorf("-parallel %d report differs from sequential:\nsequential:\n%s\nparallel:\n%s",
+							parallel, seq, got)
+					}
+				}
+			})
+		}
+	}
+}
+
+// TestParallelExtractionMemoModes covers the per-entry and no-memo
+// configurations, whose caches must be private to each entry analysis
+// when entries run concurrently.
+func TestParallelExtractionMemoModes(t *testing.T) {
+	modes := []struct {
+		name string
+		memo func(*policyoracle.Options)
+	}{
+		{"per-entry", func(o *policyoracle.Options) { o.Memo = policyoracle.MemoPerEntry }},
+		{"none", func(o *policyoracle.Options) { o.Memo = policyoracle.MemoNone }},
+	}
+	for _, mm := range modes {
+		t.Run(mm.name, func(t *testing.T) {
+			report := func(parallel int) []byte {
+				lib, err := policyoracle.LoadLibrary("jdk", policyoracle.BuiltinCorpus("jdk"))
+				if err != nil {
+					t.Fatal(err)
+				}
+				other, err := policyoracle.LoadLibrary("harmony", policyoracle.BuiltinCorpus("harmony"))
+				if err != nil {
+					t.Fatal(err)
+				}
+				opts := policyoracle.DefaultOptions()
+				opts.Parallel = parallel
+				mm.memo(&opts)
+				lib.Extract(opts)
+				other.Extract(opts)
+				data, err := json.MarshalIndent(policyoracle.Diff(lib, other).ToJSON(), "", "  ")
+				if err != nil {
+					t.Fatal(err)
+				}
+				return data
+			}
+			if seq, par := report(1), report(4); !bytes.Equal(seq, par) {
+				t.Errorf("memo %s: parallel report differs from sequential", mm.name)
+			}
+		})
+	}
+}
