@@ -4,6 +4,10 @@
 //
 //	polora policies <dir> [flags]        extract and print security policies
 //	polora diff <dirA> <dirB> [flags]    difference two implementations
+//	polora exceptions <dirA> <dirB>      difference thrown-exception semantics (§8)
+//	polora export <dir> <out.json>       extract and export policies for sharing
+//	polora diff-policies <a.json> <dir>  difference shared policies against local code
+//	polora fingerprint <dir> [flags]     print the polorad content address of a library
 //	polora corpus <outdir>               write the bundled corpora to disk
 //
 // Flags (policies, diff):
@@ -61,6 +65,8 @@ func main() {
 		err = cmdExport(os.Args[2:])
 	case "diff-policies":
 		err = cmdDiffPolicies(os.Args[2:])
+	case "fingerprint":
+		err = cmdFingerprint(os.Args[2:])
 	case "help", "-h", "--help":
 		usage()
 	default:
@@ -81,6 +87,7 @@ func usage() {
   polora exceptions <dirA> <dirB>       difference thrown-exception semantics (§8)
   polora export <dir> <out.json>        extract and export policies for sharing
   polora diff-policies <a.json> <dir>   difference shared policies against local code
+  polora fingerprint <dir> [flags]      print the polorad content address of a library
   polora corpus <outdir>                write the bundled jdk/harmony/classpath corpora
 `)
 }
@@ -362,6 +369,37 @@ func cmdDiffPolicies(args []string) error {
 	for _, g := range rep.Groups {
 		printGroup(g)
 	}
+	return nil
+}
+
+// cmdFingerprint prints the content address a polorad store would assign
+// to a library directory — the same oracle.Fingerprint the service
+// computes on upload, so clients can predict (and verify) fingerprints
+// offline.
+func cmdFingerprint(args []string) error {
+	fs := flag.NewFlagSet("fingerprint", flag.ExitOnError)
+	var cf commonFlags
+	cf.register(fs)
+	name := fs.String("name", "", "library name (default: base name of the directory)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if fs.NArg() != 1 {
+		return fmt.Errorf("fingerprint: expected one directory, got %d args", fs.NArg())
+	}
+	dir := fs.Arg(0)
+	opts, err := cf.options()
+	if err != nil {
+		return err
+	}
+	sources, err := policyoracle.ReadSourcesDir(dir)
+	if err != nil {
+		return err
+	}
+	if *name == "" {
+		*name = filepath.Base(dir)
+	}
+	fmt.Println(policyoracle.Fingerprint(*name, sources, opts))
 	return nil
 }
 

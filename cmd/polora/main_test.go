@@ -102,6 +102,29 @@ func TestCLIEndToEnd(t *testing.T) {
 		t.Errorf("JSON output missing content:\n%s", out)
 	}
 
+	// fingerprint: deterministic content address, sensitive to options.
+	fp1, err := runCLI(t, bin, "fingerprint", filepath.Join(corpusDir, "jdk"))
+	if err != nil {
+		t.Fatalf("fingerprint: %v\n%s", err, fp1)
+	}
+	if !strings.HasPrefix(fp1, "po1-") {
+		t.Errorf("fingerprint output %q lacks po1- prefix", fp1)
+	}
+	fp2, err := runCLI(t, bin, "fingerprint", filepath.Join(corpusDir, "jdk"))
+	if err != nil {
+		t.Fatalf("fingerprint: %v\n%s", err, fp2)
+	}
+	if fp1 != fp2 {
+		t.Errorf("fingerprint not deterministic: %q vs %q", fp1, fp2)
+	}
+	fpBroad, err := runCLI(t, bin, "fingerprint", "-broad", filepath.Join(corpusDir, "jdk"))
+	if err != nil {
+		t.Fatalf("fingerprint -broad: %v\n%s", err, fpBroad)
+	}
+	if fpBroad == fp1 {
+		t.Error("fingerprint ignores -broad")
+	}
+
 	// exceptions: the §8 extension reports the Figure 8 difference.
 	out, err = runCLI(t, bin, "exceptions",
 		filepath.Join(corpusDir, "jdk"), filepath.Join(corpusDir, "harmony"))

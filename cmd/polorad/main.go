@@ -1,0 +1,92 @@
+// Command polorad is the policy-oracle daemon: a long-lived HTTP service
+// over a content-addressed policy store. Clients upload library bundles,
+// the daemon extracts their MAY/MUST security policies once per distinct
+// bundle, and diff requests between fingerprints are served from cache.
+//
+// Usage:
+//
+//	polorad [flags]
+//
+// Flags:
+//
+//	-addr addr        listen address (default :8075)
+//	-store dir        store directory (default polorad-store)
+//	-parallel N       oracle workers per extraction (0 = GOMAXPROCS)
+//	-max-inflight N   concurrent extractions across fingerprints (default 2)
+//	-cache N          in-memory policy-blob LRU entries (default 128)
+//
+// The daemon shuts down gracefully on SIGINT/SIGTERM, draining in-flight
+// requests. API and wire formats are documented in internal/server.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"policyoracle/internal/server"
+	"policyoracle/internal/store"
+)
+
+func main() {
+	addr := flag.String("addr", ":8075", "listen address")
+	storeDir := flag.String("store", "polorad-store", "policy store directory")
+	parallel := flag.Int("parallel", 0, "oracle extraction workers per analysis mode (0 = GOMAXPROCS)")
+	maxInflight := flag.Int("max-inflight", 2, "concurrent extractions across distinct fingerprints")
+	cache := flag.Int("cache", 128, "in-memory policy-blob LRU entries")
+	flag.Parse()
+	if err := run(*addr, *storeDir, *parallel, *maxInflight, *cache); err != nil {
+		fmt.Fprintf(os.Stderr, "polorad: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+func run(addr, storeDir string, parallel, maxInflight, cache int) error {
+	st, err := store.Open(store.Config{
+		Dir:          storeDir,
+		CacheEntries: cache,
+		Parallel:     parallel,
+		MaxInflight:  maxInflight,
+	})
+	if err != nil {
+		return err
+	}
+	srv := &http.Server{
+		Addr:              addr,
+		Handler:           server.New(st),
+		ReadHeaderTimeout: 10 * time.Second,
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	errc := make(chan error, 1)
+	go func() {
+		log.Printf("polorad: serving on %s (store %s, max-inflight %d)", addr, storeDir, maxInflight)
+		errc <- srv.ListenAndServe()
+	}()
+
+	select {
+	case err := <-errc:
+		return err
+	case <-ctx.Done():
+	}
+	stop()
+	log.Printf("polorad: shutting down")
+	shutdownCtx, cancel := context.WithTimeout(context.Background(), 15*time.Second)
+	defer cancel()
+	if err := srv.Shutdown(shutdownCtx); err != nil {
+		return fmt.Errorf("shutdown: %w", err)
+	}
+	if err := <-errc; !errors.Is(err, http.ErrServerClosed) {
+		return err
+	}
+	return nil
+}

@@ -1,0 +1,106 @@
+package oracle
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+	"io"
+	"runtime"
+	"sort"
+	"strings"
+
+	"policyoracle/internal/analysis"
+)
+
+// This file defines the content addressing used by the polorad service
+// and the `polora fingerprint` subcommand: a library bundle (name +
+// sources + extraction options) hashes to a stable fingerprint, and the
+// fingerprint addresses the persisted policy blob extracted from it.
+
+// FingerprintPrefix tags the fingerprint scheme. Bump it together with
+// fingerprintVersion when the canonical form changes, so stores never
+// serve blobs extracted under an older scheme.
+const FingerprintPrefix = "po1"
+
+const fingerprintVersion = "polora/bundle/v1"
+
+// Normalize resolves the defaulted Options fields to their effective
+// values: Parallel <= 0 becomes the GOMAXPROCS worker count and an empty
+// Modes list becomes the explicit [May, Must] pair. Extract and
+// Fingerprint both normalize first, so the options that drive extraction
+// and the options that address its result never disagree.
+func (o Options) Normalize() Options {
+	if o.Parallel <= 0 {
+		o.Parallel = runtime.GOMAXPROCS(0)
+	}
+	if len(o.Modes) == 0 {
+		o.Modes = []analysis.Mode{analysis.May, analysis.Must}
+	}
+	return o
+}
+
+// CanonicalOptions renders the semantic extraction options as a stable
+// string, the options component of a bundle fingerprint.
+//
+// Only fields that can change the exported policy bytes participate:
+// Events, ICP, AssumeSecurityManager, MaxDepth, and Modes. Parallel and
+// Memo are execution strategy — extraction is byte-identical across
+// worker counts and memoization modes — and CollectPaths/CollectGuards
+// enrich display only (neither paths nor guards are part of the policy
+// wire format), so including any of them would split the cache between
+// identical blobs.
+func CanonicalOptions(o Options) string {
+	o = o.Normalize()
+	modes := make([]string, len(o.Modes))
+	for i, m := range o.Modes {
+		modes[i] = m.String()
+	}
+	sort.Strings(modes)
+	dedup := modes[:0]
+	for i, m := range modes {
+		if i == 0 || m != modes[i-1] {
+			dedup = append(dedup, m)
+		}
+	}
+	return fmt.Sprintf("events=%s icp=%t assume-sm=%t max-depth=%d modes=%s",
+		o.Events, o.ICP, o.AssumeSecurityManager, o.MaxDepth, strings.Join(dedup, ","))
+}
+
+// Fingerprint returns the content address of a library bundle: a
+// SHA-256 over the library name, the canonical options, and every source
+// file (sorted by name, length-prefixed so file boundaries are
+// unambiguous). The name participates because the extracted policy blob
+// embeds it and diff reports display it.
+func Fingerprint(name string, sources map[string]string, opts Options) string {
+	h := sha256.New()
+	io.WriteString(h, fingerprintVersion+"\n")
+	fmt.Fprintf(h, "library %d:%s\n", len(name), name)
+	fmt.Fprintf(h, "options %s\n", CanonicalOptions(opts))
+	files := make([]string, 0, len(sources))
+	for f := range sources {
+		files = append(files, f)
+	}
+	sort.Strings(files)
+	for _, f := range files {
+		src := sources[f]
+		fmt.Fprintf(h, "file %d:%s %d\n", len(f), f, len(src))
+		io.WriteString(h, src)
+	}
+	return FingerprintPrefix + "-" + hex.EncodeToString(h.Sum(nil))
+}
+
+// IsFingerprint reports whether s is a well-formed fingerprint of the
+// current scheme. Stores validate addresses arriving over the wire with
+// this before touching the filesystem.
+func IsFingerprint(s string) bool {
+	const want = len(FingerprintPrefix) + 1 + 2*sha256.Size
+	if len(s) != want || !strings.HasPrefix(s, FingerprintPrefix+"-") {
+		return false
+	}
+	for _, c := range s[len(FingerprintPrefix)+1:] {
+		if (c < '0' || c > '9') && (c < 'a' || c > 'f') {
+			return false
+		}
+	}
+	return true
+}

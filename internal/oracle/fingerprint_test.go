@@ -1,0 +1,117 @@
+package oracle
+
+import (
+	"runtime"
+	"strings"
+	"testing"
+
+	"policyoracle/internal/analysis"
+)
+
+func TestNormalizeResolvesDefaults(t *testing.T) {
+	var o Options
+	n := o.Normalize()
+	if n.Parallel != runtime.GOMAXPROCS(0) {
+		t.Errorf("Parallel = %d, want GOMAXPROCS", n.Parallel)
+	}
+	if len(n.Modes) != 2 || n.Modes[0] != analysis.May || n.Modes[1] != analysis.Must {
+		t.Errorf("Modes = %v, want [may must]", n.Modes)
+	}
+	// Explicit values survive.
+	o = Options{Parallel: 3, Modes: []analysis.Mode{analysis.Must}}
+	n = o.Normalize()
+	if n.Parallel != 3 || len(n.Modes) != 1 || n.Modes[0] != analysis.Must {
+		t.Errorf("explicit options rewritten: %+v", n)
+	}
+}
+
+func TestCanonicalOptionsIgnoresExecutionStrategy(t *testing.T) {
+	base := DefaultOptions()
+	variants := []Options{
+		base,
+		{Events: base.Events, ICP: base.ICP, AssumeSecurityManager: base.AssumeSecurityManager,
+			Memo: analysis.MemoNone, MaxDepth: base.MaxDepth, CollectPaths: false,
+			CollectGuards: true, Parallel: 7},
+	}
+	c0 := CanonicalOptions(variants[0])
+	if c1 := CanonicalOptions(variants[1]); c1 != c0 {
+		t.Errorf("canonical options differ on strategy-only changes:\n%s\n%s", c0, c1)
+	}
+	// Semantic changes must show.
+	sem := base
+	sem.ICP = false
+	if CanonicalOptions(sem) == c0 {
+		t.Error("ICP change not reflected in canonical options")
+	}
+	sem = base
+	sem.Modes = []analysis.Mode{analysis.Must}
+	if CanonicalOptions(sem) == c0 {
+		t.Error("Modes change not reflected in canonical options")
+	}
+	// Mode order and duplicates canonicalize away.
+	a := base
+	a.Modes = []analysis.Mode{analysis.Must, analysis.May, analysis.May}
+	if CanonicalOptions(a) != c0 {
+		t.Errorf("mode order/dup changed canonical form: %s", CanonicalOptions(a))
+	}
+}
+
+func TestFingerprintDeterminism(t *testing.T) {
+	srcs := map[string]string{"rt.mj": runtimeMJ, "lib.mj": libMJ}
+	opts := DefaultOptions()
+	fp := Fingerprint("a", srcs, opts)
+	if !IsFingerprint(fp) {
+		t.Fatalf("fingerprint %q is not well-formed", fp)
+	}
+	if got := Fingerprint("a", srcs, opts); got != fp {
+		t.Errorf("fingerprint not deterministic: %s vs %s", fp, got)
+	}
+	// Parallelism does not perturb the address.
+	par := opts
+	par.Parallel = 9
+	if got := Fingerprint("a", srcs, par); got != fp {
+		t.Errorf("Parallel changed fingerprint: %s vs %s", fp, got)
+	}
+	// Name, content, file set, and semantic options all do.
+	if Fingerprint("b", srcs, opts) == fp {
+		t.Error("library name not part of fingerprint")
+	}
+	if Fingerprint("a", map[string]string{"rt.mj": runtimeMJ, "lib.mj": libMJ + " "}, opts) == fp {
+		t.Error("source content not part of fingerprint")
+	}
+	if Fingerprint("a", map[string]string{"rt.mj": runtimeMJ}, opts) == fp {
+		t.Error("file set not part of fingerprint")
+	}
+	broad := opts
+	broad.Events = 1 // secmodel.BroadEvents
+	if Fingerprint("a", srcs, broad) == fp {
+		t.Error("event mode not part of fingerprint")
+	}
+}
+
+// Fingerprinting must not depend on how file boundaries fall: two bundles
+// whose concatenated bytes agree but whose files differ must not collide.
+func TestFingerprintFileBoundaries(t *testing.T) {
+	opts := DefaultOptions()
+	a := Fingerprint("x", map[string]string{"a": "bc", "d": ""}, opts)
+	b := Fingerprint("x", map[string]string{"a": "b", "c": "", "d": ""}, opts)
+	if a == b {
+		t.Error("file boundary shift produced a collision")
+	}
+}
+
+func TestIsFingerprint(t *testing.T) {
+	good := Fingerprint("a", map[string]string{"f": "x"}, DefaultOptions())
+	for _, bad := range []string{
+		"", "po1-", strings.ToUpper(good), good + "0", good[:len(good)-1],
+		"po2" + good[3:], strings.Replace(good, "a", "z", 1),
+		"../../../etc/passwd",
+	} {
+		if bad == good {
+			continue // ToUpper/Replace may be no-ops for some digests
+		}
+		if IsFingerprint(bad) {
+			t.Errorf("IsFingerprint(%q) = true", bad)
+		}
+	}
+}

@@ -6,7 +6,6 @@ package oracle
 
 import (
 	"fmt"
-	"runtime"
 	"sort"
 	"strings"
 	"sync"
@@ -158,14 +157,9 @@ func (l *Library) EntryPoints() []*types.Method { return l.Prog.Types.EntryPoint
 // per-entry and merged in the same sorted entry order as the sequential
 // path, so the extracted policies are byte-identical either way.
 func (l *Library) Extract(opts Options) {
+	opts = opts.Normalize()
 	modes := opts.Modes
-	if len(modes) == 0 {
-		modes = []analysis.Mode{analysis.May, analysis.Must}
-	}
 	workers := opts.Parallel
-	if workers <= 0 {
-		workers = runtime.GOMAXPROCS(0)
-	}
 	entries := l.EntryPoints()
 	pp := policy.NewProgramPolicies(l.Name)
 	results := make(map[analysis.Mode]map[string]*analysis.EntryResult, len(modes))

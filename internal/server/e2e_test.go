@@ -1,0 +1,297 @@
+package server_test
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"sync"
+	"testing"
+
+	"policyoracle"
+	"policyoracle/internal/server"
+	"policyoracle/internal/store"
+)
+
+func startServer(t *testing.T) (*httptest.Server, *store.Store) {
+	t.Helper()
+	st, err := store.Open(store.Config{Dir: t.TempDir(), MaxInflight: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(server.New(st))
+	t.Cleanup(ts.Close)
+	return ts, st
+}
+
+func postJSON(t *testing.T, url string, body any) (*http.Response, []byte) {
+	t.Helper()
+	data, err := json.Marshal(body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post(url, "application/json", bytes.NewReader(data))
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp, out
+}
+
+func upload(t *testing.T, ts *httptest.Server, name string) string {
+	t.Helper()
+	resp, body := postJSON(t, ts.URL+"/v1/libraries", server.UploadRequest{
+		Name:    name,
+		Sources: policyoracle.BuiltinCorpus(name),
+	})
+	if resp.StatusCode != http.StatusCreated {
+		t.Fatalf("upload %s: status %d: %s", name, resp.StatusCode, body)
+	}
+	var ur server.UploadResponse
+	if err := json.Unmarshal(body, &ur); err != nil {
+		t.Fatal(err)
+	}
+	if !ur.Created {
+		t.Errorf("upload %s: created=false on first upload", name)
+	}
+	return ur.Fingerprint
+}
+
+func stats(t *testing.T, ts *httptest.Server) store.Stats {
+	t.Helper()
+	resp, err := http.Get(ts.URL + "/statsz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var st store.Stats
+	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+		t.Fatal(err)
+	}
+	return st
+}
+
+// TestServerE2E drives the full service path on a loopback listener with
+// the bundled corpora and asserts the acceptance criteria: the served
+// policy and diff JSON are byte-identical to the in-process
+// export/diff path, concurrent diffs are served correctly, and a warm
+// cache performs zero extractions.
+func TestServerE2E(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	ts, _ := startServer(t)
+
+	fpJDK := upload(t, ts, "jdk")
+	fpHarmony := upload(t, ts, "harmony")
+
+	// The service's address matches the client-side fingerprint.
+	opts := policyoracle.DefaultOptions()
+	if want := policyoracle.Fingerprint("jdk", policyoracle.BuiltinCorpus("jdk"), opts); fpJDK != want {
+		t.Errorf("server fingerprint %s, client computes %s", fpJDK, want)
+	}
+
+	// In-process reference: the CLI `export` / `diff -json` path.
+	libs := map[string]*policyoracle.Library{}
+	for _, name := range []string{"jdk", "harmony"} {
+		lib, err := policyoracle.LoadLibrary(name, policyoracle.BuiltinCorpus(name))
+		if err != nil {
+			t.Fatal(err)
+		}
+		lib.Extract(opts)
+		libs[name] = lib
+	}
+	wantPolicies, err := libs["jdk"].Policies.ExportJSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wantDiff bytes.Buffer
+	enc := json.NewEncoder(&wantDiff)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(policyoracle.Diff(libs["jdk"], libs["harmony"]).ToJSON()); err != nil {
+		t.Fatal(err)
+	}
+
+	// /v1/extract returns the exact bytes `polora export` writes.
+	resp, gotPolicies := postJSON(t, ts.URL+"/v1/extract", map[string]string{"fingerprint": fpJDK})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("extract: status %d: %s", resp.StatusCode, gotPolicies)
+	}
+	if !bytes.Equal(gotPolicies, wantPolicies) {
+		t.Errorf("served policies differ from in-process ExportJSON (%d vs %d bytes)",
+			len(gotPolicies), len(wantPolicies))
+	}
+
+	// /v1/diff returns the exact bytes `polora diff -json` prints.
+	resp, gotDiff := postJSON(t, ts.URL+"/v1/diff", server.DiffRequest{A: fpJDK, B: fpHarmony})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("diff: status %d: %s", resp.StatusCode, gotDiff)
+	}
+	if !bytes.Equal(gotDiff, wantDiff.Bytes()) {
+		t.Errorf("served diff differs from in-process report JSON:\n%s\nvs\n%s",
+			gotDiff, wantDiff.Bytes())
+	}
+	if !bytes.Contains(gotDiff, []byte("checkAccept")) {
+		t.Errorf("diff report misses the Figure 1 difference:\n%s", gotDiff)
+	}
+
+	// Exactly the two uploads were extracted (the diff reused the
+	// extract's cached jdk blob).
+	st := stats(t, ts)
+	if st.Extractions != 2 {
+		t.Errorf("Extractions = %d, want 2", st.Extractions)
+	}
+
+	// Warm cache: concurrent diffs perform zero further extractions and
+	// every response is byte-identical.
+	const n = 8
+	results := make([][]byte, n)
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			data, err := json.Marshal(server.DiffRequest{A: fpJDK, B: fpHarmony})
+			if err != nil {
+				return
+			}
+			resp, err := http.Post(ts.URL+"/v1/diff", "application/json", bytes.NewReader(data))
+			if err != nil {
+				return
+			}
+			defer resp.Body.Close()
+			if resp.StatusCode == http.StatusOK {
+				results[i], _ = io.ReadAll(resp.Body)
+			}
+		}(i)
+	}
+	wg.Wait()
+	for i := 0; i < n; i++ {
+		if !bytes.Equal(results[i], wantDiff.Bytes()) {
+			t.Errorf("concurrent diff %d differs (%d bytes)", i, len(results[i]))
+		}
+	}
+	warm := stats(t, ts)
+	if warm.Extractions != 2 {
+		t.Errorf("warm-cache diffs extracted: Extractions = %d, want 2", warm.Extractions)
+	}
+	if warm.Diffs != uint64(1+n) {
+		t.Errorf("Diffs = %d, want %d", warm.Diffs, 1+n)
+	}
+
+	// Re-upload is acknowledged as existing content.
+	resp, body := postJSON(t, ts.URL+"/v1/libraries", server.UploadRequest{
+		Name: "jdk", Sources: policyoracle.BuiltinCorpus("jdk"),
+	})
+	if resp.StatusCode != http.StatusOK {
+		t.Errorf("re-upload: status %d: %s", resp.StatusCode, body)
+	}
+	var ur server.UploadResponse
+	if err := json.Unmarshal(body, &ur); err != nil {
+		t.Fatal(err)
+	}
+	if ur.Created || ur.Fingerprint != fpJDK {
+		t.Errorf("re-upload: %+v, want existing %s", ur, fpJDK)
+	}
+}
+
+// TestServerColdRestart proves the store is the durable representation:
+// a second server over the same directory serves the identical diff with
+// zero extractions.
+func TestServerColdRestart(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	dir := t.TempDir()
+	st, err := store.Open(store.Config{Dir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(server.New(st))
+	fpA := upload(t, ts, "jdk")
+	fpB := upload(t, ts, "harmony")
+	_, firstDiff := postJSON(t, ts.URL+"/v1/diff", server.DiffRequest{A: fpA, B: fpB})
+	ts.Close()
+
+	st2, err := store.Open(store.Config{Dir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts2 := httptest.NewServer(server.New(st2))
+	defer ts2.Close()
+	resp, secondDiff := postJSON(t, ts2.URL+"/v1/diff", server.DiffRequest{A: fpA, B: fpB})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("diff after restart: status %d: %s", resp.StatusCode, secondDiff)
+	}
+	if !bytes.Equal(firstDiff, secondDiff) {
+		t.Error("diff differs across server restarts")
+	}
+	warm := stats(t, ts2)
+	if warm.Extractions != 0 || warm.DiskHits != 2 {
+		t.Errorf("restart served from disk: %+v", warm)
+	}
+}
+
+func TestServerErrors(t *testing.T) {
+	ts, _ := startServer(t)
+	cases := []struct {
+		name   string
+		path   string
+		body   string
+		status int
+	}{
+		{"bad JSON", "/v1/extract", `{`, http.StatusBadRequest},
+		{"unknown field", "/v1/diff", `{"a":"x","b":"y","frob":1}`, http.StatusBadRequest},
+		{"malformed fingerprint", "/v1/extract", `{"fingerprint":"nope"}`, http.StatusBadRequest},
+		{"unknown fingerprint", "/v1/extract",
+			fmt.Sprintf(`{"fingerprint":%q}`,
+				policyoracle.Fingerprint("ghost", map[string]string{"f": "x"}, policyoracle.DefaultOptions())),
+			http.StatusNotFound},
+		{"empty upload", "/v1/libraries", `{"name":"x","sources":{}}`, http.StatusBadRequest},
+		{"broken bundle", "/v1/libraries", `{"name":"x","sources":{"a.mj":"class {"}}`, http.StatusBadRequest},
+		{"bad options", "/v1/libraries", `{"name":"x","sources":{"a.mj":"package p; public class C {}"},"options":{"events":"bogus"}}`, http.StatusBadRequest},
+	}
+	for _, tc := range cases {
+		resp, err := http.Post(ts.URL+tc.path, "application/json", bytes.NewReader([]byte(tc.body)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		body, _ := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode != tc.status {
+			t.Errorf("%s: status %d, want %d (%s)", tc.name, resp.StatusCode, tc.status, body)
+		}
+		if !bytes.Contains(body, []byte(`"error"`)) {
+			t.Errorf("%s: no error payload: %s", tc.name, body)
+		}
+	}
+
+	// Method not allowed on API routes.
+	resp, err := http.Get(ts.URL + "/v1/diff")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusMethodNotAllowed {
+		t.Errorf("GET /v1/diff: status %d, want 405", resp.StatusCode)
+	}
+}
+
+func TestHealthz(t *testing.T) {
+	ts, _ := startServer(t)
+	resp, err := http.Get(ts.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK || string(body) != "ok\n" {
+		t.Errorf("healthz: %d %q", resp.StatusCode, body)
+	}
+}

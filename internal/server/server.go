@@ -1,0 +1,172 @@
+// Package server is polorad's HTTP API over the content-addressed policy
+// store. The wire formats are exactly the CLI's: /v1/extract responds
+// with the bytes `polora export` writes and /v1/diff with the JSON
+// `polora diff -json` prints, so the CLI, the store, and the service
+// speak one representation.
+//
+// Endpoints:
+//
+//	POST /v1/libraries  {"name", "sources", "options"?} → {"fingerprint", "created"}
+//	POST /v1/extract    {"fingerprint"}                 → policy wire JSON
+//	POST /v1/diff       {"a", "b"}                      → diff report JSON
+//	GET  /healthz                                       → "ok"
+//	GET  /statsz                                        → store counters
+package server
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+
+	"policyoracle/internal/store"
+)
+
+// MaxRequestBytes bounds an upload body. The bundled corpora are tens of
+// kilobytes; 32 MiB leaves room for paper-scale generated libraries.
+const MaxRequestBytes = 32 << 20
+
+// Server serves the policy-oracle API over one Store.
+type Server struct {
+	st  *store.Store
+	mux *http.ServeMux
+}
+
+// New returns a Server over st.
+func New(st *store.Store) *Server {
+	s := &Server{st: st, mux: http.NewServeMux()}
+	s.mux.HandleFunc("POST /v1/libraries", s.handleLibraries)
+	s.mux.HandleFunc("POST /v1/extract", s.handleExtract)
+	s.mux.HandleFunc("POST /v1/diff", s.handleDiff)
+	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
+	s.mux.HandleFunc("GET /statsz", s.handleStatsz)
+	return s
+}
+
+// ServeHTTP implements http.Handler.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	s.mux.ServeHTTP(w, r)
+}
+
+// UploadRequest is the body of POST /v1/libraries.
+type UploadRequest struct {
+	Name    string            `json:"name"`
+	Sources map[string]string `json:"sources"`
+	Options store.OptionsWire `json:"options"`
+}
+
+// UploadResponse is the body of a successful upload.
+type UploadResponse struct {
+	Fingerprint string `json:"fingerprint"`
+	Created     bool   `json:"created"`
+}
+
+// DiffRequest is the body of POST /v1/diff.
+type DiffRequest struct {
+	A string `json:"a"`
+	B string `json:"b"`
+}
+
+type extractRequest struct {
+	Fingerprint string `json:"fingerprint"`
+}
+
+func (s *Server) handleLibraries(w http.ResponseWriter, r *http.Request) {
+	var req UploadRequest
+	if !s.decode(w, r, &req) {
+		return
+	}
+	fp, created, err := s.st.Put(req.Name, req.Sources, req.Options)
+	if err != nil {
+		s.fail(w, http.StatusBadRequest, err)
+		return
+	}
+	status := http.StatusOK
+	if created {
+		status = http.StatusCreated
+	}
+	s.writeJSON(w, status, UploadResponse{Fingerprint: fp, Created: created})
+}
+
+func (s *Server) handleExtract(w http.ResponseWriter, r *http.Request) {
+	var req extractRequest
+	if !s.decode(w, r, &req) {
+		return
+	}
+	blob, err := s.st.Policies(req.Fingerprint)
+	if err != nil {
+		s.failStore(w, err)
+		return
+	}
+	// Raw persisted bytes: byte-identical to `polora export` output.
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(http.StatusOK)
+	w.Write(blob)
+}
+
+func (s *Server) handleDiff(w http.ResponseWriter, r *http.Request) {
+	var req DiffRequest
+	if !s.decode(w, r, &req) {
+		return
+	}
+	rep, err := s.st.Diff(req.A, req.B)
+	if err != nil {
+		s.failStore(w, err)
+		return
+	}
+	// Encoded exactly as `polora diff -json` prints the report.
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(http.StatusOK)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(rep.ToJSON())
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	fmt.Fprintln(w, "ok")
+}
+
+func (s *Server) handleStatsz(w http.ResponseWriter, r *http.Request) {
+	s.writeJSON(w, http.StatusOK, s.st.Stats())
+}
+
+// decode reads a bounded JSON body, rejecting unknown fields so typos in
+// requests fail loudly instead of extracting under default options.
+func (s *Server) decode(w http.ResponseWriter, r *http.Request, dst any) bool {
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, MaxRequestBytes))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(dst); err != nil {
+		status := http.StatusBadRequest
+		var tooLarge *http.MaxBytesError
+		if errors.As(err, &tooLarge) {
+			status = http.StatusRequestEntityTooLarge
+		}
+		s.fail(w, status, fmt.Errorf("decoding request: %w", err))
+		return false
+	}
+	return true
+}
+
+func (s *Server) failStore(w http.ResponseWriter, err error) {
+	switch {
+	case errors.Is(err, store.ErrNotFound):
+		s.fail(w, http.StatusNotFound, err)
+	case errors.Is(err, store.ErrMalformed):
+		s.fail(w, http.StatusBadRequest, err)
+	default:
+		s.fail(w, http.StatusInternalServerError, err)
+	}
+}
+
+func (s *Server) fail(w http.ResponseWriter, status int, err error) {
+	s.writeJSON(w, status, map[string]string{"error": err.Error()})
+}
+
+func (s *Server) writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(v)
+}

@@ -1,0 +1,46 @@
+package store
+
+import "container/list"
+
+// blobLRU is a fixed-capacity LRU over policy blobs, keyed by
+// fingerprint. It is not safe for concurrent use; the Store serializes
+// access under its mutex.
+type blobLRU struct {
+	cap   int
+	order *list.List // front = most recently used
+	items map[string]*list.Element
+}
+
+type lruEntry struct {
+	fp   string
+	blob []byte
+}
+
+func newBlobLRU(capacity int) *blobLRU {
+	return &blobLRU{cap: capacity, order: list.New(), items: make(map[string]*list.Element)}
+}
+
+func (c *blobLRU) get(fp string) ([]byte, bool) {
+	el, ok := c.items[fp]
+	if !ok {
+		return nil, false
+	}
+	c.order.MoveToFront(el)
+	return el.Value.(*lruEntry).blob, true
+}
+
+func (c *blobLRU) add(fp string, blob []byte) {
+	if el, ok := c.items[fp]; ok {
+		el.Value.(*lruEntry).blob = blob
+		c.order.MoveToFront(el)
+		return
+	}
+	c.items[fp] = c.order.PushFront(&lruEntry{fp: fp, blob: blob})
+	for c.order.Len() > c.cap {
+		oldest := c.order.Back()
+		c.order.Remove(oldest)
+		delete(c.items, oldest.Value.(*lruEntry).fp)
+	}
+}
+
+func (c *blobLRU) len() int { return c.order.Len() }

@@ -1,0 +1,62 @@
+package store
+
+import (
+	"fmt"
+
+	"policyoracle/internal/analysis"
+	"policyoracle/internal/oracle"
+	"policyoracle/internal/secmodel"
+)
+
+// OptionsWire is the JSON form of extraction options accepted by the
+// service and persisted inside bundles. The zero value means
+// oracle.DefaultOptions(): every field is a delta from the paper's
+// default configuration, so clients that don't care send nothing.
+//
+// Execution strategy (worker counts, memoization) is deliberately absent:
+// it belongs to the server (-parallel), never to the bundle, because it
+// cannot change the extracted bytes.
+type OptionsWire struct {
+	// Events is "narrow" (default) or "broad" (Section 3 events).
+	Events string `json:"events,omitempty"`
+	// NoICP disables interprocedural constant propagation.
+	NoICP bool `json:"noICP,omitempty"`
+	// NoAssumeSM keeps `getSecurityManager() != null` guards unfolded.
+	NoAssumeSM bool `json:"noAssumeSM,omitempty"`
+	// MaxDepth bounds interprocedural descent; nil means unlimited (-1).
+	MaxDepth *int `json:"maxDepth,omitempty"`
+	// Modes restricts extraction to "may" or "must" only; empty means both.
+	Modes []string `json:"modes,omitempty"`
+}
+
+// ToOracle resolves the wire options onto oracle.DefaultOptions and
+// normalizes the result.
+func (w OptionsWire) ToOracle() (oracle.Options, error) {
+	opts := oracle.DefaultOptions()
+	switch w.Events {
+	case "", "narrow":
+	case "broad":
+		opts.Events = secmodel.BroadEvents
+	default:
+		return opts, fmt.Errorf("unknown events mode %q (want narrow or broad)", w.Events)
+	}
+	opts.ICP = !w.NoICP
+	opts.AssumeSecurityManager = !w.NoAssumeSM
+	if w.MaxDepth != nil {
+		opts.MaxDepth = *w.MaxDepth
+	}
+	if len(w.Modes) > 0 {
+		opts.Modes = opts.Modes[:0]
+		for _, m := range w.Modes {
+			switch m {
+			case "may":
+				opts.Modes = append(opts.Modes, analysis.May)
+			case "must":
+				opts.Modes = append(opts.Modes, analysis.Must)
+			default:
+				return opts, fmt.Errorf("unknown analysis mode %q (want may or must)", m)
+			}
+		}
+	}
+	return opts.Normalize(), nil
+}

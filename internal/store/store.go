@@ -1,0 +1,337 @@
+// Package store is polorad's content-addressed policy store. A library
+// bundle (name + MJ sources + semantic extraction options) is addressed
+// by its oracle.Fingerprint; the policy set extracted from it persists as
+// a policy-wire-format JSON blob (the same bytes `polora export` writes)
+// under the store directory, with an in-memory LRU in front and
+// single-flight deduplication so concurrent requests for one fingerprint
+// extract at most once.
+//
+// Layout under the store directory:
+//
+//	bundles/<fingerprint>.json    uploaded bundle (name, options, sources)
+//	policies/<fingerprint>.json   extracted policies, policy wire format
+//
+// Blobs read back from disk are validated by re-importing them; a
+// corrupted blob is discarded and re-extracted from its bundle, so the
+// store self-heals from partial writes or bit rot.
+package store
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+	"sync/atomic"
+
+	"policyoracle/internal/diff"
+	"policyoracle/internal/oracle"
+	"policyoracle/internal/policy"
+)
+
+// ErrNotFound reports a fingerprint with no uploaded bundle.
+var ErrNotFound = errors.New("store: no bundle with this fingerprint")
+
+// ErrMalformed reports an address that is not a well-formed fingerprint.
+var ErrMalformed = errors.New("store: malformed fingerprint")
+
+// Bundle is the persisted form of an uploaded library.
+type Bundle struct {
+	Fingerprint string            `json:"fingerprint"`
+	Name        string            `json:"name"`
+	Options     OptionsWire       `json:"options"`
+	Sources     map[string]string `json:"sources"`
+}
+
+// Config configures a Store.
+type Config struct {
+	// Dir is the store directory, created if absent.
+	Dir string
+	// CacheEntries caps the in-memory blob LRU (default 128).
+	CacheEntries int
+	// Parallel is the oracle worker count per extraction
+	// (oracle.Options.Parallel; <= 0 means GOMAXPROCS).
+	Parallel int
+	// MaxInflight bounds concurrent extractions across all fingerprints
+	// (default 2). Single-flight already collapses same-fingerprint
+	// requests; this bounds distinct ones.
+	MaxInflight int
+}
+
+// Stats is a snapshot of the store's counters.
+type Stats struct {
+	// MemHits served from the LRU, DiskHits from a validated persisted
+	// blob, Misses required extraction.
+	MemHits  uint64 `json:"memHits"`
+	DiskHits uint64 `json:"diskHits"`
+	Misses   uint64 `json:"misses"`
+	// Coalesced requests waited on an identical in-flight request
+	// instead of doing their own work.
+	Coalesced uint64 `json:"coalesced"`
+	// Extractions performed (== Misses unless extraction failed early).
+	Extractions uint64 `json:"extractions"`
+	// CorruptBlobs found on disk and re-extracted.
+	CorruptBlobs uint64 `json:"corruptBlobs"`
+	// Bundles uploaded (newly created, not re-uploads).
+	Bundles uint64 `json:"bundles"`
+	// Diffs computed.
+	Diffs uint64 `json:"diffs"`
+}
+
+// Store is a content-addressed policy store. It is safe for concurrent
+// use.
+type Store struct {
+	dir      string
+	parallel int
+	sem      chan struct{} // bounds concurrent extractions
+
+	mu     sync.Mutex
+	cache  *blobLRU
+	flight map[string]*flightCall
+
+	memHits, diskHits, misses, coalesced atomic.Uint64
+	extractions, corruptBlobs            atomic.Uint64
+	bundles, diffs                       atomic.Uint64
+
+	// extract produces the policy blob for a bundle; tests may stub it.
+	extract func(*Bundle) ([]byte, error)
+}
+
+type flightCall struct {
+	done chan struct{}
+	blob []byte
+	err  error
+}
+
+// Open creates (if needed) and opens a store directory.
+func Open(cfg Config) (*Store, error) {
+	if cfg.Dir == "" {
+		return nil, errors.New("store: empty directory")
+	}
+	for _, sub := range []string{"bundles", "policies"} {
+		if err := os.MkdirAll(filepath.Join(cfg.Dir, sub), 0o755); err != nil {
+			return nil, fmt.Errorf("store: %w", err)
+		}
+	}
+	if cfg.CacheEntries <= 0 {
+		cfg.CacheEntries = 128
+	}
+	if cfg.MaxInflight <= 0 {
+		cfg.MaxInflight = 2
+	}
+	s := &Store{
+		dir:      cfg.Dir,
+		parallel: cfg.Parallel,
+		sem:      make(chan struct{}, cfg.MaxInflight),
+		cache:    newBlobLRU(cfg.CacheEntries),
+		flight:   make(map[string]*flightCall),
+	}
+	s.extract = s.extractBundle
+	return s, nil
+}
+
+func (s *Store) bundlePath(fp string) string {
+	return filepath.Join(s.dir, "bundles", fp+".json")
+}
+
+func (s *Store) policyPath(fp string) string {
+	return filepath.Join(s.dir, "policies", fp+".json")
+}
+
+// Put fingerprints and persists a bundle, returning its address. A
+// re-upload of existing content is a no-op with created == false.
+func (s *Store) Put(name string, sources map[string]string, w OptionsWire) (fp string, created bool, err error) {
+	if name == "" {
+		return "", false, errors.New("store: empty library name")
+	}
+	if len(sources) == 0 {
+		return "", false, errors.New("store: empty source bundle")
+	}
+	opts, err := w.ToOracle()
+	if err != nil {
+		return "", false, fmt.Errorf("store: %w", err)
+	}
+	// Reject bundles that don't load: a broken upload should fail at Put,
+	// not poison every later extraction of its fingerprint.
+	if _, err := oracle.LoadLibrary(name, sources); err != nil {
+		return "", false, fmt.Errorf("store: bundle does not load: %w", err)
+	}
+	fp = oracle.Fingerprint(name, sources, opts)
+	path := s.bundlePath(fp)
+	if _, err := os.Stat(path); err == nil {
+		return fp, false, nil
+	}
+	data, err := json.MarshalIndent(&Bundle{
+		Fingerprint: fp, Name: name, Options: w, Sources: sources,
+	}, "", "  ")
+	if err != nil {
+		return "", false, fmt.Errorf("store: %w", err)
+	}
+	if err := writeAtomic(path, data); err != nil {
+		return "", false, fmt.Errorf("store: %w", err)
+	}
+	s.bundles.Add(1)
+	return fp, true, nil
+}
+
+// Bundle loads the persisted bundle addressed by fp.
+func (s *Store) Bundle(fp string) (*Bundle, error) {
+	if !oracle.IsFingerprint(fp) {
+		return nil, fmt.Errorf("%w: %q", ErrMalformed, fp)
+	}
+	data, err := os.ReadFile(s.bundlePath(fp))
+	if errors.Is(err, os.ErrNotExist) {
+		return nil, fmt.Errorf("%w: %s", ErrNotFound, fp)
+	}
+	if err != nil {
+		return nil, fmt.Errorf("store: %w", err)
+	}
+	var b Bundle
+	if err := json.Unmarshal(data, &b); err != nil {
+		return nil, fmt.Errorf("store: corrupt bundle %s: %w", fp, err)
+	}
+	return &b, nil
+}
+
+// Policies returns the policy blob for a fingerprint, extracting it from
+// the bundle on a cold cache. The bytes are exactly what
+// policy.ExportJSON produced (and `polora export` writes); callers must
+// not mutate them.
+func (s *Store) Policies(fp string) ([]byte, error) {
+	if !oracle.IsFingerprint(fp) {
+		return nil, fmt.Errorf("%w: %q", ErrMalformed, fp)
+	}
+	s.mu.Lock()
+	if blob, ok := s.cache.get(fp); ok {
+		s.mu.Unlock()
+		s.memHits.Add(1)
+		return blob, nil
+	}
+	if c, ok := s.flight[fp]; ok {
+		s.mu.Unlock()
+		s.coalesced.Add(1)
+		<-c.done
+		return c.blob, c.err
+	}
+	c := &flightCall{done: make(chan struct{})}
+	s.flight[fp] = c
+	s.mu.Unlock()
+
+	c.blob, c.err = s.loadOrExtract(fp)
+	s.mu.Lock()
+	delete(s.flight, fp)
+	if c.err == nil {
+		s.cache.add(fp, c.blob)
+	}
+	s.mu.Unlock()
+	close(c.done)
+	return c.blob, c.err
+}
+
+// loadOrExtract serves one fingerprint from disk, falling back to
+// extraction. Exactly one goroutine runs this per in-flight fingerprint.
+func (s *Store) loadOrExtract(fp string) ([]byte, error) {
+	path := s.policyPath(fp)
+	if blob, err := os.ReadFile(path); err == nil {
+		if _, err := policy.ImportJSON(blob); err == nil {
+			s.diskHits.Add(1)
+			return blob, nil
+		}
+		s.corruptBlobs.Add(1)
+	}
+	s.misses.Add(1)
+	b, err := s.Bundle(fp)
+	if err != nil {
+		return nil, err
+	}
+	s.sem <- struct{}{}
+	defer func() { <-s.sem }()
+	s.extractions.Add(1)
+	blob, err := s.extract(b)
+	if err != nil {
+		return nil, err
+	}
+	if err := writeAtomic(path, blob); err != nil {
+		return nil, fmt.Errorf("store: persisting policies: %w", err)
+	}
+	return blob, nil
+}
+
+func (s *Store) extractBundle(b *Bundle) ([]byte, error) {
+	opts, err := b.Options.ToOracle()
+	if err != nil {
+		return nil, fmt.Errorf("store: bundle %s: %w", b.Fingerprint, err)
+	}
+	opts.Parallel = s.parallel
+	lib, err := oracle.LoadLibrary(b.Name, b.Sources)
+	if err != nil {
+		return nil, fmt.Errorf("store: bundle %s: %w", b.Fingerprint, err)
+	}
+	lib.Extract(opts)
+	return lib.Policies.ExportJSON()
+}
+
+// PolicySet returns the parsed policies for a fingerprint.
+func (s *Store) PolicySet(fp string) (*policy.ProgramPolicies, error) {
+	blob, err := s.Policies(fp)
+	if err != nil {
+		return nil, err
+	}
+	return policy.ImportJSON(blob)
+}
+
+// Diff differences the policies of two fingerprints. The report is the
+// same value oracle.Diff computes on in-process libraries: the policy
+// wire format round-trips everything differencing consumes.
+func (s *Store) Diff(fpA, fpB string) (*diff.Report, error) {
+	pa, err := s.PolicySet(fpA)
+	if err != nil {
+		return nil, err
+	}
+	pb, err := s.PolicySet(fpB)
+	if err != nil {
+		return nil, err
+	}
+	s.diffs.Add(1)
+	return diff.Compare(pa, pb), nil
+}
+
+// Stats snapshots the store counters.
+func (s *Store) Stats() Stats {
+	return Stats{
+		MemHits:      s.memHits.Load(),
+		DiskHits:     s.diskHits.Load(),
+		Misses:       s.misses.Load(),
+		Coalesced:    s.coalesced.Load(),
+		Extractions:  s.extractions.Load(),
+		CorruptBlobs: s.corruptBlobs.Load(),
+		Bundles:      s.bundles.Load(),
+		Diffs:        s.diffs.Load(),
+	}
+}
+
+// CachedEntries reports the current LRU occupancy.
+func (s *Store) CachedEntries() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.cache.len()
+}
+
+// writeAtomic writes data via a temp file + rename so readers never see
+// a partial blob.
+func writeAtomic(path string, data []byte) error {
+	tmp, err := os.CreateTemp(filepath.Dir(path), "."+filepath.Base(path)+".tmp-")
+	if err != nil {
+		return err
+	}
+	defer os.Remove(tmp.Name())
+	if _, err := tmp.Write(data); err != nil {
+		tmp.Close()
+		return err
+	}
+	if err := tmp.Close(); err != nil {
+		return err
+	}
+	return os.Rename(tmp.Name(), path)
+}

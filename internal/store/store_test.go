@@ -1,0 +1,370 @@
+package store
+
+import (
+	"bytes"
+	"os"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"policyoracle/internal/oracle"
+	"policyoracle/internal/policy"
+)
+
+const runtimeMJ = `
+package java.lang;
+public class Object { }
+public class String { }
+public class SecurityManager {
+  public void checkRead(String file) { }
+  public void checkWrite(String file) { }
+}
+`
+
+const libMJ = `
+package api;
+import java.lang.*;
+public class Store {
+  private SecurityManager sm;
+  public void put(String key) {
+    sm.checkWrite(key);
+    write0(key);
+  }
+  public String get(String key) {
+    sm.checkRead(key);
+    return read0(key);
+  }
+  native void write0(String key);
+  native String read0(String key);
+}
+`
+
+// libMJv2 drops the write check, so diffing v1 against v2 reports it.
+const libMJv2 = `
+package api;
+import java.lang.*;
+public class Store {
+  private SecurityManager sm;
+  public void put(String key) {
+    write0(key);
+  }
+  public String get(String key) {
+    sm.checkRead(key);
+    return read0(key);
+  }
+  native void write0(String key);
+  native String read0(String key);
+}
+`
+
+func testSources() map[string]string {
+	return map[string]string{"rt.mj": runtimeMJ, "lib.mj": libMJ}
+}
+
+func openTestStore(t *testing.T, dir string) *Store {
+	t.Helper()
+	s, err := Open(Config{Dir: dir, Parallel: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func TestPutIsContentAddressedAndIdempotent(t *testing.T) {
+	s := openTestStore(t, t.TempDir())
+	fp, created, err := s.Put("a", testSources(), OptionsWire{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !created || !oracle.IsFingerprint(fp) {
+		t.Fatalf("first Put: created=%v fp=%q", created, fp)
+	}
+	fp2, created2, err := s.Put("a", testSources(), OptionsWire{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if created2 || fp2 != fp {
+		t.Errorf("re-upload: created=%v fp=%q, want existing %q", created2, fp2, fp)
+	}
+	if got := s.Stats().Bundles; got != 1 {
+		t.Errorf("Bundles = %d, want 1", got)
+	}
+	b, err := s.Bundle(fp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b.Name != "a" || b.Fingerprint != fp || len(b.Sources) != 2 {
+		t.Errorf("bundle round-trip: %+v", b)
+	}
+}
+
+func TestPutRejectsBadInput(t *testing.T) {
+	s := openTestStore(t, t.TempDir())
+	if _, _, err := s.Put("", testSources(), OptionsWire{}); err == nil {
+		t.Error("empty name accepted")
+	}
+	if _, _, err := s.Put("a", nil, OptionsWire{}); err == nil {
+		t.Error("empty sources accepted")
+	}
+	if _, _, err := s.Put("a", testSources(), OptionsWire{Events: "bogus"}); err == nil {
+		t.Error("bad options accepted")
+	}
+	if _, _, err := s.Put("a", map[string]string{"x.mj": "class { nonsense"}, OptionsWire{}); err == nil {
+		t.Error("non-loading bundle accepted")
+	}
+}
+
+// A warm cache serves the persisted bytes without re-extraction: the
+// second in-process request hits the LRU, and a fresh Store over the
+// same directory hits the disk blob — zero extractions either way.
+func TestCacheHitSkipsExtraction(t *testing.T) {
+	dir := t.TempDir()
+	s := openTestStore(t, dir)
+	fp, _, err := s.Put("a", testSources(), OptionsWire{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	blob, err := s.Policies(fp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st := s.Stats(); st.Extractions != 1 || st.Misses != 1 {
+		t.Fatalf("cold read: %+v", st)
+	}
+	// The blob is exactly what an in-process export produces.
+	lib, err := oracle.LoadLibrary("a", testSources())
+	if err != nil {
+		t.Fatal(err)
+	}
+	lib.Extract(oracle.DefaultOptions())
+	want, err := lib.Policies.ExportJSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(blob, want) {
+		t.Errorf("stored blob differs from in-process ExportJSON:\n%s\nvs\n%s", blob, want)
+	}
+
+	again, err := s.Policies(fp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := s.Stats()
+	if st.Extractions != 1 || st.MemHits != 1 {
+		t.Errorf("warm read: %+v", st)
+	}
+	if !bytes.Equal(again, blob) {
+		t.Error("LRU returned different bytes")
+	}
+
+	cold := openTestStore(t, dir)
+	fromDisk, err := cold.Policies(fp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st := cold.Stats(); st.Extractions != 0 || st.DiskHits != 1 {
+		t.Errorf("disk read: %+v", st)
+	}
+	if !bytes.Equal(fromDisk, blob) {
+		t.Error("disk blob differs from extracted blob")
+	}
+}
+
+// A corrupted persisted blob is detected on read and re-extracted.
+func TestCorruptBlobIsReExtracted(t *testing.T) {
+	dir := t.TempDir()
+	s := openTestStore(t, dir)
+	fp, _, err := s.Put("a", testSources(), OptionsWire{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := s.Policies(fp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(s.policyPath(fp), []byte(`{"library":`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	cold := openTestStore(t, dir)
+	got, err := cold.Policies(fp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := cold.Stats()
+	if st.CorruptBlobs != 1 || st.Extractions != 1 || st.DiskHits != 0 {
+		t.Errorf("after corruption: %+v", st)
+	}
+	if !bytes.Equal(got, want) {
+		t.Error("re-extracted blob differs from original")
+	}
+	// The healed blob persisted: a third store reads it straight back.
+	healed := openTestStore(t, dir)
+	if _, err := healed.Policies(fp); err != nil {
+		t.Fatal(err)
+	}
+	if st := healed.Stats(); st.DiskHits != 1 || st.Extractions != 0 {
+		t.Errorf("after healing: %+v", st)
+	}
+}
+
+// Concurrent requests for one fingerprint extract exactly once; the rest
+// coalesce onto the in-flight extraction. The stubbed extractor sleeps so
+// all requests genuinely overlap (run under -race in CI).
+func TestConcurrentRequestsExtractOnce(t *testing.T) {
+	s := openTestStore(t, t.TempDir())
+	fp, _, err := s.Put("a", testSources(), OptionsWire{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var calls atomic.Int64
+	inner := s.extract
+	s.extract = func(b *Bundle) ([]byte, error) {
+		calls.Add(1)
+		time.Sleep(50 * time.Millisecond)
+		return inner(b)
+	}
+	const n = 16
+	blobs := make([][]byte, n)
+	errs := make([]error, n)
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			blobs[i], errs[i] = s.Policies(fp)
+		}(i)
+	}
+	wg.Wait()
+	for i := 0; i < n; i++ {
+		if errs[i] != nil {
+			t.Fatal(errs[i])
+		}
+		if !bytes.Equal(blobs[i], blobs[0]) {
+			t.Fatalf("request %d saw different bytes", i)
+		}
+	}
+	if got := calls.Load(); got != 1 {
+		t.Errorf("extractor ran %d times, want 1", got)
+	}
+	st := s.Stats()
+	if st.Extractions != 1 {
+		t.Errorf("Extractions = %d, want 1", st.Extractions)
+	}
+	if st.Coalesced+st.MemHits != n-1 {
+		t.Errorf("coalesced=%d memHits=%d, want %d combined", st.Coalesced, st.MemHits, n-1)
+	}
+}
+
+func TestDiffReportsSeededDifference(t *testing.T) {
+	s := openTestStore(t, t.TempDir())
+	fpA, _, err := s.Put("a", testSources(), OptionsWire{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fpB, _, err := s.Put("b", map[string]string{"rt.mj": runtimeMJ, "lib.mj": libMJv2}, OptionsWire{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fpA == fpB {
+		t.Fatal("distinct bundles collided")
+	}
+	rep, err := s.Diff(fpA, fpB)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.LibA != "a" || rep.LibB != "b" {
+		t.Errorf("report libraries = %s, %s", rep.LibA, rep.LibB)
+	}
+	if len(rep.Groups) == 0 {
+		t.Fatal("seeded missing checkWrite not reported")
+	}
+	found := false
+	for _, g := range rep.Groups {
+		if strings.Contains(g.DiffChecks.String(), "checkWrite") && g.MissingIn == "b" {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("no group reports checkWrite missing in b: %s", rep)
+	}
+	if got := s.Stats().Diffs; got != 1 {
+		t.Errorf("Diffs = %d, want 1", got)
+	}
+}
+
+func TestUnknownAndMalformedFingerprints(t *testing.T) {
+	s := openTestStore(t, t.TempDir())
+	ghost := oracle.Fingerprint("ghost", map[string]string{"f": "x"}, oracle.DefaultOptions())
+	if _, err := s.Policies(ghost); err == nil || !strings.Contains(err.Error(), "no bundle") {
+		t.Errorf("unknown fingerprint error = %v", err)
+	}
+	for _, bad := range []string{"", "po1-zz", "../../etc/passwd"} {
+		if _, err := s.Policies(bad); err == nil || !strings.Contains(err.Error(), "malformed") {
+			t.Errorf("Policies(%q) error = %v", bad, err)
+		}
+		if _, err := s.Bundle(bad); err == nil {
+			t.Errorf("Bundle(%q) accepted", bad)
+		}
+	}
+}
+
+// Eviction falls back to the persisted blob, never to re-extraction.
+func TestLRUEvictionFallsBackToDisk(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Open(Config{Dir: dir, CacheEntries: 1, Parallel: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fpA, _, err := s.Put("a", testSources(), OptionsWire{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fpB, _, err := s.Put("b", testSources(), OptionsWire{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Policies(fpA); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Policies(fpB); err != nil { // evicts fpA
+		t.Fatal(err)
+	}
+	if got := s.CachedEntries(); got != 1 {
+		t.Errorf("CachedEntries = %d, want 1", got)
+	}
+	if _, err := s.Policies(fpA); err != nil {
+		t.Fatal(err)
+	}
+	st := s.Stats()
+	if st.Extractions != 2 || st.DiskHits != 1 {
+		t.Errorf("after eviction: %+v", st)
+	}
+}
+
+// The blob round-trips through the policy wire format losslessly enough
+// for differencing: import of the stored bytes is re-exportable to the
+// identical bytes.
+func TestBlobRoundTripStability(t *testing.T) {
+	s := openTestStore(t, t.TempDir())
+	fp, _, err := s.Put("a", testSources(), OptionsWire{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	blob, err := s.Policies(fp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pp, err := policy.ImportJSON(blob)
+	if err != nil {
+		t.Fatal(err)
+	}
+	again, err := pp.ExportJSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(blob, again) {
+		t.Errorf("wire format not a fixed point:\n%s\nvs\n%s", blob, again)
+	}
+}

@@ -108,6 +108,18 @@ func LoadLibrary(name string, sources map[string]string) (*Library, error) {
 
 // LoadLibraryDir loads every .mj file under dir as one implementation.
 func LoadLibraryDir(name, dir string) (*Library, error) {
+	sources, err := ReadSourcesDir(dir)
+	if err != nil {
+		return nil, fmt.Errorf("loading %s: %w", name, err)
+	}
+	return oracle.LoadLibrary(name, sources)
+}
+
+// ReadSourcesDir reads every .mj file under dir into a source map keyed
+// by slash-separated path relative to dir — the same map LoadLibraryDir
+// loads and Fingerprint addresses, so a directory fingerprints
+// identically however it reaches the oracle.
+func ReadSourcesDir(dir string) (map[string]string, error) {
 	sources := map[string]string{}
 	err := filepath.WalkDir(dir, func(path string, d fs.DirEntry, err error) error {
 		if err != nil {
@@ -124,16 +136,23 @@ func LoadLibraryDir(name, dir string) (*Library, error) {
 		if err != nil {
 			rel = path
 		}
-		sources[rel] = string(data)
+		sources[filepath.ToSlash(rel)] = string(data)
 		return nil
 	})
 	if err != nil {
-		return nil, fmt.Errorf("loading %s from %s: %w", name, dir, err)
+		return nil, fmt.Errorf("reading %s: %w", dir, err)
 	}
 	if len(sources) == 0 {
 		return nil, fmt.Errorf("no .mj files under %s", dir)
 	}
-	return oracle.LoadLibrary(name, sources)
+	return sources, nil
+}
+
+// Fingerprint returns the content address of a library bundle — the
+// stable hash of its name, sources, and semantic extraction options that
+// the polorad policy store keys on.
+func Fingerprint(name string, sources map[string]string, opts Options) string {
+	return oracle.Fingerprint(name, sources, opts)
 }
 
 // Diff differences the extracted policies of two implementations; both
