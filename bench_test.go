@@ -103,7 +103,10 @@ func BenchmarkTable3Diff(b *testing.B) {
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		rep := policyoracle.Diff(libs["jdk"], libs["harmony"])
+		rep, err := policyoracle.Diff(libs["jdk"], libs["harmony"])
+		if err != nil {
+			b.Fatal(err)
+		}
 		if len(rep.Groups) == 0 {
 			b.Fatal("no differences found")
 		}
@@ -120,7 +123,9 @@ func BenchmarkTable3EndToEnd(b *testing.B) {
 		h := loadLib(b, w, "harmony")
 		a.Extract(oracle.DefaultOptions())
 		h.Extract(oracle.DefaultOptions())
-		policyoracle.Diff(a, h)
+		if _, err := policyoracle.Diff(a, h); err != nil {
+			b.Fatal(err)
+		}
 	}
 }
 

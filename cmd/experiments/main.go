@@ -14,6 +14,9 @@
 //	                     the no-summaries configuration is deliberately slow)
 //	-parallel N          extraction workers per analysis mode (default
 //	                     GOMAXPROCS; 1 reproduces the sequential timings)
+//	-timings             print a per-phase timing summary (wall and busy
+//	                     time, entry points, solves, cache hits per mode)
+//	                     after the selected experiments
 package main
 
 import (
@@ -27,6 +30,7 @@ import (
 	"policyoracle/internal/corpus/gen"
 	"policyoracle/internal/experiments"
 	"policyoracle/internal/oracle"
+	"policyoracle/internal/telemetry"
 )
 
 func main() {
@@ -34,6 +38,7 @@ func main() {
 	table2Scale := flag.String("table2-scale", "small", "corpus scale for table2: small or paper")
 	noHandwritten := flag.Bool("no-handwritten", false, "exclude the hand-written figure classes")
 	parallel := flag.Int("parallel", runtime.GOMAXPROCS(0), "extraction workers per analysis mode (1 = sequential)")
+	timings := flag.Bool("timings", false, "print a per-phase timing summary after the experiments")
 	flag.Parse()
 	if flag.NArg() != 1 {
 		fmt.Fprintln(os.Stderr, "usage: experiments [flags] table1|table2|table3|broad|baselines|witness|exceptions|all")
@@ -49,6 +54,12 @@ func main() {
 	w2 := experiments.NewWorkload(t2params, !*noHandwritten)
 	w.Parallel = *parallel
 	w2.Parallel = *parallel
+	var xm *telemetry.ExtractMetrics
+	if *timings {
+		xm = telemetry.NewExtractMetrics(telemetry.New())
+		w.Telemetry = xm
+		w2.Telemetry = xm
+	}
 
 	run := flag.Arg(0)
 	all := run == "all"
@@ -78,6 +89,9 @@ func main() {
 	default:
 		fmt.Fprintf(os.Stderr, "experiments: unknown experiment %q\n", run)
 		os.Exit(2)
+	}
+	if *timings {
+		fmt.Print(xm.Summary())
 	}
 }
 

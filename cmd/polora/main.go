@@ -18,6 +18,7 @@
 //	-memo mode      summary reuse: global (default), per-entry, none
 //	-no-assume-sm   do not fold `getSecurityManager() != null` guards
 //	-parallel N     extraction workers per mode (0 = GOMAXPROCS, 1 = sequential)
+//	-timings        print a phase-timing summary to stderr after extraction
 //
 // The bundled corpora let the oracle be tried immediately:
 //
@@ -43,6 +44,7 @@ import (
 	"policyoracle/internal/exceptions"
 	internalpolicy "policyoracle/internal/policy"
 	"policyoracle/internal/secmodel"
+	"policyoracle/internal/telemetry"
 	"policyoracle/internal/witness"
 )
 
@@ -102,6 +104,9 @@ type commonFlags struct {
 	jsonOut    bool
 	guards     bool
 	parallel   int
+	timings    bool
+
+	metrics *telemetry.ExtractMetrics
 }
 
 func (cf *commonFlags) register(fs *flag.FlagSet) {
@@ -114,6 +119,7 @@ func (cf *commonFlags) register(fs *flag.FlagSet) {
 	fs.BoolVar(&cf.jsonOut, "json", false, "emit the report as JSON (diff only)")
 	fs.BoolVar(&cf.guards, "guards", false, "report the branch conditions guarding each check (policies only)")
 	fs.IntVar(&cf.parallel, "parallel", 0, "extraction workers per analysis mode (0 = GOMAXPROCS, 1 = sequential)")
+	fs.BoolVar(&cf.timings, "timings", false, "print a phase-timing summary to stderr after extraction")
 }
 
 func (cf *commonFlags) options() (policyoracle.Options, error) {
@@ -125,6 +131,10 @@ func (cf *commonFlags) options() (policyoracle.Options, error) {
 	opts.AssumeSecurityManager = !cf.noAssumeSM
 	opts.CollectGuards = cf.guards
 	opts.Parallel = cf.parallel
+	if cf.timings {
+		cf.metrics = telemetry.NewExtractMetrics(telemetry.New())
+		opts.Telemetry = cf.metrics
+	}
 	switch cf.memo {
 	case "global":
 		opts.Memo = analysis.MemoGlobal
@@ -136,6 +146,14 @@ func (cf *commonFlags) options() (policyoracle.Options, error) {
 		return opts, fmt.Errorf("unknown -memo mode %q", cf.memo)
 	}
 	return opts, nil
+}
+
+// printTimings writes the -timings summary to stderr, away from the
+// report on stdout, so `polora diff -json -timings` still pipes cleanly.
+func (cf *commonFlags) printTimings() {
+	if cf.metrics != nil {
+		fmt.Fprint(os.Stderr, cf.metrics.Summary())
+	}
 }
 
 func cmdPolicies(args []string) error {
@@ -158,6 +176,7 @@ func cmdPolicies(args []string) error {
 		return err
 	}
 	lib.Extract(opts)
+	cf.printTimings()
 	fmt.Printf("library %s: %d entry points, %d policies, %d with checks (analysis %v + %v)\n\n",
 		lib.Name, len(lib.EntryPoints()), lib.Policies.CountPolicies(),
 		lib.Policies.EntriesWithChecks(), lib.MayTime, lib.MustTime)
@@ -221,7 +240,11 @@ func cmdDiff(args []string) error {
 		lib.Extract(opts)
 		libs[i] = lib
 	}
-	rep := policyoracle.Diff(libs[0], libs[1])
+	cf.printTimings()
+	rep, err := policyoracle.Diff(libs[0], libs[1])
+	if err != nil {
+		return err
+	}
 	if cf.jsonOut {
 		enc := json.NewEncoder(os.Stdout)
 		enc.SetIndent("", "  ")
@@ -321,6 +344,7 @@ func cmdExport(args []string) error {
 		return err
 	}
 	lib.Extract(opts)
+	cf.printTimings()
 	data, err := lib.Policies.ExportJSON()
 	if err != nil {
 		return err
@@ -362,6 +386,7 @@ func cmdDiffPolicies(args []string) error {
 		return err
 	}
 	lib.Extract(opts)
+	cf.printTimings()
 	rep := diff.Compare(shared, lib.Policies)
 	fmt.Printf("%s (shared) vs %s (local): %d matching entry points\n",
 		rep.LibA, rep.LibB, rep.MatchingEntries)

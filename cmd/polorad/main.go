@@ -14,9 +14,18 @@
 //	-parallel N       oracle workers per extraction (0 = GOMAXPROCS)
 //	-max-inflight N   concurrent extractions across fingerprints (default 2)
 //	-cache N          in-memory policy-blob LRU entries (default 128)
+//	-log-format fmt   structured log output: text or json (default text)
+//	-log-level lvl    minimum level: debug, info, warn, error (default info)
+//	-pprof            expose net/http/pprof under /debug/pprof/
+//
+// Metrics are always served at GET /metricsz in Prometheus text format;
+// DESIGN.md's Observability section documents the series.
 //
 // The daemon shuts down gracefully on SIGINT/SIGTERM, draining in-flight
-// requests. API and wire formats are documented in internal/server.
+// requests; if the drain deadline passes, remaining request contexts are
+// cancelled so in-flight extractions stop instead of running to
+// completion against no caller. API and wire formats are documented in
+// internal/server.
 package main
 
 import (
@@ -24,7 +33,7 @@ import (
 	"errors"
 	"flag"
 	"fmt"
-	"log"
+	"net"
 	"net/http"
 	"os"
 	"os/signal"
@@ -33,6 +42,7 @@ import (
 
 	"policyoracle/internal/server"
 	"policyoracle/internal/store"
+	"policyoracle/internal/telemetry"
 )
 
 func main() {
@@ -41,27 +51,69 @@ func main() {
 	parallel := flag.Int("parallel", 0, "oracle extraction workers per analysis mode (0 = GOMAXPROCS)")
 	maxInflight := flag.Int("max-inflight", 2, "concurrent extractions across distinct fingerprints")
 	cache := flag.Int("cache", 128, "in-memory policy-blob LRU entries")
+	logFormat := flag.String("log-format", "text", "structured log output: text or json")
+	logLevel := flag.String("log-level", "info", "minimum log level: debug, info, warn, error")
+	pprofOn := flag.Bool("pprof", false, "expose net/http/pprof under /debug/pprof/")
 	flag.Parse()
-	if err := run(*addr, *storeDir, *parallel, *maxInflight, *cache); err != nil {
+	if err := run(config{
+		addr:        *addr,
+		storeDir:    *storeDir,
+		parallel:    *parallel,
+		maxInflight: *maxInflight,
+		cache:       *cache,
+		logFormat:   *logFormat,
+		logLevel:    *logLevel,
+		pprof:       *pprofOn,
+	}); err != nil {
 		fmt.Fprintf(os.Stderr, "polorad: %v\n", err)
 		os.Exit(1)
 	}
 }
 
-func run(addr, storeDir string, parallel, maxInflight, cache int) error {
+type config struct {
+	addr, storeDir        string
+	parallel, maxInflight int
+	cache                 int
+	logFormat, logLevel   string
+	pprof                 bool
+}
+
+func run(cfg config) error {
+	level, err := telemetry.ParseLevel(cfg.logLevel)
+	if err != nil {
+		return err
+	}
+	logger, err := telemetry.NewLogger(os.Stderr, cfg.logFormat, level)
+	if err != nil {
+		return err
+	}
+	// One registry spans the service, the store, and the extractor, so a
+	// single /metricsz scrape sees every layer.
+	registry := telemetry.New()
 	st, err := store.Open(store.Config{
-		Dir:          storeDir,
-		CacheEntries: cache,
-		Parallel:     parallel,
-		MaxInflight:  maxInflight,
+		Dir:          cfg.storeDir,
+		CacheEntries: cfg.cache,
+		Parallel:     cfg.parallel,
+		MaxInflight:  cfg.maxInflight,
+		Registry:     registry,
+		Logger:       logger,
 	})
 	if err != nil {
 		return err
 	}
+	// Request contexts derive from baseCtx: cancelling it after a failed
+	// drain aborts whatever extractions are still running.
+	baseCtx, cancelBase := context.WithCancel(context.Background())
+	defer cancelBase()
 	srv := &http.Server{
-		Addr:              addr,
-		Handler:           server.New(st),
+		Addr: cfg.addr,
+		Handler: server.New(st, server.Options{
+			Registry: registry,
+			Logger:   logger,
+			Pprof:    cfg.pprof,
+		}),
 		ReadHeaderTimeout: 10 * time.Second,
+		BaseContext:       func(net.Listener) context.Context { return baseCtx },
 	}
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
@@ -69,7 +121,8 @@ func run(addr, storeDir string, parallel, maxInflight, cache int) error {
 
 	errc := make(chan error, 1)
 	go func() {
-		log.Printf("polorad: serving on %s (store %s, max-inflight %d)", addr, storeDir, maxInflight)
+		logger.Info("polorad: serving", "addr", cfg.addr, "store", cfg.storeDir,
+			"max_inflight", cfg.maxInflight, "pprof", cfg.pprof)
 		errc <- srv.ListenAndServe()
 	}()
 
@@ -79,14 +132,18 @@ func run(addr, storeDir string, parallel, maxInflight, cache int) error {
 	case <-ctx.Done():
 	}
 	stop()
-	log.Printf("polorad: shutting down")
+	logger.Info("polorad: shutting down")
 	shutdownCtx, cancel := context.WithTimeout(context.Background(), 15*time.Second)
 	defer cancel()
 	if err := srv.Shutdown(shutdownCtx); err != nil {
+		logger.Warn("polorad: drain deadline passed, cancelling in-flight work", "err", err)
+		cancelBase()
+		srv.Close()
 		return fmt.Errorf("shutdown: %w", err)
 	}
 	if err := <-errc; !errors.Is(err, http.ErrServerClosed) {
 		return err
 	}
+	logger.Info("polorad: stopped")
 	return nil
 }

@@ -52,7 +52,11 @@ public class Log {
 	a.Extract(opts)
 	b.Extract(opts)
 
-	for _, g := range policyoracle.Diff(a, b).Groups {
+	rep, err := policyoracle.Diff(a, b)
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, g := range rep.Groups {
 		fmt.Printf("%s: %s missing in %s at %s\n", g.Case, g.DiffChecks, g.MissingIn, g.Entries[0])
 	}
 	// Output:

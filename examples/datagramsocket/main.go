@@ -45,7 +45,10 @@ func main() {
 		fmt.Println()
 	}
 
-	rep := policyoracle.Diff(libs["jdk"], libs["harmony"])
+	rep, err := policyoracle.Diff(libs["jdk"], libs["harmony"])
+	if err != nil {
+		log.Fatal(err)
+	}
 	fmt.Println("--- oracle report ---")
 	for _, g := range rep.Groups {
 		for _, e := range g.Entries {

@@ -47,7 +47,10 @@ func main() {
 	}
 	fmt.Println()
 
-	rep := policyoracle.Diff(libs["jdk"], libs["classpath"])
+	rep, err := policyoracle.Diff(libs["jdk"], libs["classpath"])
+	if err != nil {
+		log.Fatal(err)
+	}
 	fmt.Println("--- oracle report (loadLibrary and getProperty) ---")
 	for _, g := range rep.Groups {
 		for _, e := range g.Entries {

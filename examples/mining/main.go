@@ -52,7 +52,10 @@ func main() {
 	}
 
 	fmt.Println("\n=== security policy oracle (jdk vs harmony) ===")
-	rep := policyoracle.Diff(libs["jdk"], libs["harmony"])
+	rep, err := policyoracle.Diff(libs["jdk"], libs["harmony"])
+	if err != nil {
+		log.Fatal(err)
+	}
 	for _, g := range rep.Groups {
 		if strings.Contains(g.DiffChecks.String(), "checkAccept") {
 			fmt.Printf("[%s] checks %s missing in %s — manifests at %s\n",

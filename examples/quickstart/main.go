@@ -62,11 +62,12 @@ func main() {
 		log.Fatal(err)
 	}
 
-	opts := policyoracle.DefaultOptions()
-	a.Extract(opts)
-	b.Extract(opts)
-
-	rep := policyoracle.Diff(a, b)
+	// Compare extracts both libraries' policies and differences them in
+	// one call.
+	rep, err := policyoracle.Compare(a, b, policyoracle.DefaultOptions())
+	if err != nil {
+		log.Fatal(err)
+	}
 	fmt.Printf("%s vs %s: %d matching entry points, %d distinct difference(s)\n\n",
 		rep.LibA, rep.LibB, rep.MatchingEntries, len(rep.Groups))
 	for _, g := range rep.Groups {

@@ -16,6 +16,7 @@ import (
 	"sort"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"policyoracle/internal/callgraph"
 	"policyoracle/internal/cfg"
@@ -23,6 +24,7 @@ import (
 	"policyoracle/internal/ir"
 	"policyoracle/internal/policy"
 	"policyoracle/internal/secmodel"
+	"policyoracle/internal/telemetry"
 	"policyoracle/internal/types"
 )
 
@@ -96,6 +98,12 @@ type Config struct {
 	// Section 6.4 says are easy to report (and overwhelming to read, which
 	// is why this is opt-in display data rather than comparison input).
 	CollectGuards bool
+	// Telemetry, when non-nil, receives a per-entry-point analysis
+	// duration sample from every AnalyzeEntry call (the mode label is
+	// Mode.String()). Nil — the default — costs one pointer comparison
+	// per entry and never perturbs analysis results: telemetry observes
+	// the analyzer, it cannot steer it.
+	Telemetry *telemetry.ExtractMetrics
 }
 
 // DefaultConfig returns the configuration used for the paper's main
@@ -293,6 +301,10 @@ type task struct {
 // AnalyzeEntry runs ISPA rooted at entry point m. It is safe to call from
 // multiple goroutines concurrently.
 func (a *Analyzer) AnalyzeEntry(m *types.Method) *EntryResult {
+	if tm := a.cfg.Telemetry; tm != nil {
+		start := time.Now()
+		defer func() { tm.ObserveEntry(a.cfg.Mode.String(), time.Since(start)) }()
+	}
 	a.stats.entryPoints.Add(1)
 	t := &task{a: a, active: make(map[*types.Method]int)}
 	if a.cfg.Memo != MemoGlobal {

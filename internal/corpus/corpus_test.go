@@ -8,6 +8,15 @@ import (
 	"policyoracle/internal/secmodel"
 )
 
+func mustDiff(t testing.TB, a, b *oracle.Library) *diff.Report {
+	t.Helper()
+	rep, err := oracle.Diff(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return rep
+}
+
 func load(t testing.TB, lib string) *oracle.Library {
 	t.Helper()
 	l, err := oracle.LoadLibrary(lib, Sources(lib))
@@ -65,7 +74,7 @@ func TestAllKnownIssuesDetected(t *testing.T) {
 	libs := extractAll(t, oracle.DefaultOptions())
 	found := map[string]bool{}
 	for _, pair := range Pairs() {
-		rep := oracle.Diff(libs[pair[0]], libs[pair[1]])
+		rep := mustDiff(t, libs[pair[0]], libs[pair[1]])
 		for _, g := range rep.Groups {
 			is := ClassifyGroup(g, pair, false)
 			if is == nil {
@@ -94,7 +103,7 @@ func TestFigure3RequiresBroadEvents(t *testing.T) {
 	opts.Events = secmodel.BroadEvents
 	libs := extractAll(t, opts)
 	pair := [2]string{JDK, Harmony}
-	rep := oracle.Diff(libs[JDK], libs[Harmony])
+	rep := mustDiff(t, libs[JDK], libs[Harmony])
 	found := false
 	for _, g := range rep.Groups {
 		if is := ClassifyGroup(g, pair, true); is != nil && is.ID == "fig3-bag-private-read" {
@@ -136,7 +145,7 @@ func TestICPEliminatesURLFalsePositive(t *testing.T) {
 	}
 
 	withICP := extractAll(t, oracle.DefaultOptions())
-	repICP := oracle.Diff(withICP[JDK], withICP[Classpath])
+	repICP := mustDiff(t, withICP[JDK], withICP[Classpath])
 	if hasURLCtorDiff(repICP) {
 		t.Error("URL(String) reported with ICP on (Figure 4 false positive)")
 	}
@@ -144,7 +153,7 @@ func TestICPEliminatesURLFalsePositive(t *testing.T) {
 	opts := oracle.DefaultOptions()
 	opts.ICP = false
 	noICP := extractAll(t, opts)
-	repNo := oracle.Diff(noICP[JDK], noICP[Classpath])
+	repNo := mustDiff(t, noICP[JDK], noICP[Classpath])
 	if !hasURLCtorDiff(repNo) {
 		t.Error("URL(String) not reported with ICP off — the ICP row would be empty")
 	}
@@ -152,7 +161,7 @@ func TestICPEliminatesURLFalsePositive(t *testing.T) {
 
 func TestMustMayDifferenceCategorized(t *testing.T) {
 	libs := extractAll(t, oracle.DefaultOptions())
-	rep := oracle.Diff(libs[JDK], libs[Harmony])
+	rep := mustDiff(t, libs[JDK], libs[Harmony])
 	found := false
 	for _, g := range rep.Groups {
 		for _, e := range g.Entries {
@@ -174,7 +183,7 @@ func TestMustMayDifferenceCategorized(t *testing.T) {
 
 func TestRootCauseGrouping(t *testing.T) {
 	libs := extractAll(t, oracle.DefaultOptions())
-	rep := oracle.Diff(libs[JDK], libs[Harmony])
+	rep := mustDiff(t, libs[JDK], libs[Harmony])
 	// connect and reconnect share the connectInternal/connectCheck root:
 	// they must be one group with two manifestations.
 	for _, g := range rep.Groups {
@@ -216,8 +225,8 @@ func TestFigure2PathPolicies(t *testing.T) {
 
 func TestSymmetricComparison(t *testing.T) {
 	libs := extractAll(t, oracle.DefaultOptions())
-	ab := oracle.Diff(libs[JDK], libs[Harmony])
-	ba := oracle.Diff(libs[Harmony], libs[JDK])
+	ab := mustDiff(t, libs[JDK], libs[Harmony])
+	ba := mustDiff(t, libs[Harmony], libs[JDK])
 	if len(ab.Groups) != len(ba.Groups) {
 		t.Errorf("asymmetric group counts: %d vs %d", len(ab.Groups), len(ba.Groups))
 	}

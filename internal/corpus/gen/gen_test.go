@@ -8,6 +8,15 @@ import (
 	"policyoracle/internal/oracle"
 )
 
+func mustDiff(t testing.TB, a, b *oracle.Library) *diff.Report {
+	t.Helper()
+	rep, err := oracle.Diff(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return rep
+}
+
 func loadCorpus(t testing.TB, p Params) (*Corpus, map[string]*oracle.Library) {
 	t.Helper()
 	c := Generate(p)
@@ -85,7 +94,7 @@ func TestOracleFindsAllSeededIssues(t *testing.T) {
 	pairs := []pairT{{"jdk", "harmony"}, {"jdk", "classpath"}, {"classpath", "harmony"}}
 	found := map[string]map[pairT]bool{}
 	for _, pr := range pairs {
-		rep := oracle.Diff(libs[pr[0]], libs[pr[1]])
+		rep := mustDiff(t, libs[pr[0]], libs[pr[1]])
 		for _, g := range rep.Groups {
 			matched := false
 			for i := range c.Issues {
@@ -141,7 +150,7 @@ func TestICPRowGroundTruth(t *testing.T) {
 	for _, l := range libs {
 		l.Extract(opts)
 	}
-	rep := oracle.Diff(libs["jdk"], libs["harmony"])
+	rep := mustDiff(t, libs["jdk"], libs["harmony"])
 	// With ICP off, MUST policies in the delegating twin see the guarded
 	// check as MAY (the guard cannot be folded), producing reports on
 	// *Default entries in at least one pair... but since all three
@@ -159,7 +168,7 @@ func TestICPRowGroundTruth(t *testing.T) {
 		l.Extract(oracle.DefaultOptions())
 		libs2[lib] = l
 	}
-	rep2 := oracle.Diff(libs2["jdk"], libs2["harmony"])
+	rep2 := mustDiff(t, libs2["jdk"], libs2["harmony"])
 	if len(rep2.Groups) > noICPGroups {
 		t.Errorf("ICP added reports: %d with vs %d without", len(rep2.Groups), noICPGroups)
 	}
@@ -183,7 +192,7 @@ func TestMemoModesAgreeOnGenerated(t *testing.T) {
 			l.Extract(opts)
 			libs[lib] = l
 		}
-		rep := oracle.Diff(libs["jdk"], libs["harmony"])
+		rep := mustDiff(t, libs["jdk"], libs["harmony"])
 		reports = append(reports, rep.String())
 	}
 	if reports[0] != reports[1] || reports[1] != reports[2] {
@@ -237,7 +246,7 @@ func TestWrapperManifestationsGrouped(t *testing.T) {
 				break
 			}
 		}
-		rep := oracle.Diff(libs[is.Responsible], libs[other])
+		rep := mustDiff(t, libs[is.Responsible], libs[other])
 		for _, g := range rep.Groups {
 			hit := false
 			for _, e := range g.Entries {
@@ -262,7 +271,7 @@ func TestCategoriesPresent(t *testing.T) {
 	}
 	cats := map[diff.Category]int{}
 	for _, pr := range [][2]string{{"jdk", "harmony"}, {"jdk", "classpath"}, {"classpath", "harmony"}} {
-		rep := oracle.Diff(libs[pr[0]], libs[pr[1]])
+		rep := mustDiff(t, libs[pr[0]], libs[pr[1]])
 		for _, g := range rep.Groups {
 			cats[g.Category]++
 		}
@@ -300,7 +309,7 @@ func TestSeededFalseNegativesUndetected(t *testing.T) {
 		l.Extract(oracle.DefaultOptions())
 	}
 	for _, pr := range [][2]string{{"jdk", "harmony"}, {"jdk", "classpath"}, {"classpath", "harmony"}} {
-		rep := oracle.Diff(libs[pr[0]], libs[pr[1]])
+		rep := mustDiff(t, libs[pr[0]], libs[pr[1]])
 		for _, g := range rep.Groups {
 			for _, e := range g.Entries {
 				for i := range c.FalseNegatives {

@@ -87,7 +87,10 @@ func Baselines(w *Workload) (*BaselineRowSet, error) {
 	// corpus test suites); recount here against the actual reports.
 	oracleFound := map[string]bool{}
 	for _, pair := range corpus.Pairs() {
-		rep := oracle.Diff(libs[pair[0]], libs[pair[1]])
+		rep, err := oracle.Diff(libs[pair[0]], libs[pair[1]])
+		if err != nil {
+			return nil, err
+		}
 		for _, g := range rep.Groups {
 			for _, e := range g.Entries {
 				if key, ok := issueKey(e); ok {

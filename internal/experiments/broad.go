@@ -52,8 +52,14 @@ func Broad(w *Workload) (*BroadResult, error) {
 	narrowFlagged := map[string]bool{}
 	broadOnly := map[string]bool{}
 	for _, pair := range corpus.Pairs() {
-		nrep := oracle.Diff(narrowLibs[pair[0]], narrowLibs[pair[1]])
-		brep := oracle.Diff(broadLibs[pair[0]], broadLibs[pair[1]])
+		nrep, err := oracle.Diff(narrowLibs[pair[0]], narrowLibs[pair[1]])
+		if err != nil {
+			return nil, err
+		}
+		brep, err := oracle.Diff(broadLibs[pair[0]], broadLibs[pair[1]])
+		if err != nil {
+			return nil, err
+		}
 		res.NarrowGroups += len(nrep.Groups)
 		res.BroadGroups += len(brep.Groups)
 		for _, g := range nrep.Groups {

@@ -16,6 +16,7 @@ import (
 	"policyoracle/internal/corpus/gen"
 	"policyoracle/internal/diff"
 	"policyoracle/internal/oracle"
+	"policyoracle/internal/telemetry"
 )
 
 // Workload is one three-implementation corpus: the hand-written figure
@@ -26,12 +27,18 @@ type Workload struct {
 	// Parallel, when non-zero, overrides oracle.Options.Parallel for every
 	// extraction the harness runs (same semantics: <= 0 is GOMAXPROCS).
 	Parallel int
+	// Telemetry, when non-nil, instruments every extraction the harness
+	// runs (the -timings flag of cmd/experiments).
+	Telemetry *telemetry.ExtractMetrics
 }
 
-// withParallel overlays the workload's parallelism setting onto opts.
+// withParallel overlays the workload's execution settings onto opts.
 func (w *Workload) withParallel(opts oracle.Options) oracle.Options {
 	if w.Parallel != 0 {
 		opts.Parallel = w.Parallel
+	}
+	if w.Telemetry != nil {
+		opts.Telemetry = w.Telemetry
 	}
 	return opts
 }
@@ -263,7 +270,10 @@ func Table3(w *Workload) (*Table3Result, error) {
 			VulnsIn:    map[string]DM{},
 		}
 		pr.MatchingAPIs = oracle.MatchingEntries(libsICP[pair[0]], libsICP[pair[1]])
-		pr.Report = oracle.Diff(libsICP[pair[0]], libsICP[pair[1]])
+		pr.Report, err = oracle.Diff(libsICP[pair[0]], libsICP[pair[1]])
+		if err != nil {
+			return nil, err
+		}
 
 		// ICP row: groups reported without ICP whose entries are all
 		// absent from the ICP-on report.
@@ -273,7 +283,10 @@ func Table3(w *Workload) (*Table3Result, error) {
 				flagged[e] = true
 			}
 		}
-		noICPRep := oracle.Diff(libsNoICP[pair[0]], libsNoICP[pair[1]])
+		noICPRep, err := oracle.Diff(libsNoICP[pair[0]], libsNoICP[pair[1]])
+		if err != nil {
+			return nil, err
+		}
 		for _, g := range noICPRep.Groups {
 			spurious := true
 			for _, e := range g.Entries {

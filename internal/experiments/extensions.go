@@ -39,7 +39,10 @@ func Witness(w *Workload) (*WitnessResult, error) {
 	res := &WitnessResult{}
 	for _, pair := range corpus.Pairs() {
 		a, b := libs[pair[0]], libs[pair[1]]
-		rep := oracle.Diff(a, b)
+		rep, err := oracle.Diff(a, b)
+		if err != nil {
+			return nil, err
+		}
 		row := WitnessRow{Pair: pair}
 		for _, g := range rep.Groups {
 			label, responsible, _ := w.classify(g, pair)

@@ -43,11 +43,12 @@ func (o Options) Normalize() Options {
 // string, the options component of a bundle fingerprint.
 //
 // Only fields that can change the exported policy bytes participate:
-// Events, ICP, AssumeSecurityManager, MaxDepth, and Modes. Parallel and
-// Memo are execution strategy — extraction is byte-identical across
-// worker counts and memoization modes — and CollectPaths/CollectGuards
-// enrich display only (neither paths nor guards are part of the policy
-// wire format), so including any of them would split the cache between
+// Events, ICP, AssumeSecurityManager, MaxDepth, and Modes. Parallel,
+// Memo, and Telemetry are execution strategy — extraction is
+// byte-identical across worker counts, memoization modes, and with or
+// without instrumentation — and CollectPaths/CollectGuards enrich
+// display only (neither paths nor guards are part of the policy wire
+// format), so including any of them would split the cache between
 // identical blobs.
 func CanonicalOptions(o Options) string {
 	o = o.Normalize()

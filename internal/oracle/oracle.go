@@ -5,6 +5,8 @@
 package oracle
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"sort"
 	"strings"
@@ -21,6 +23,7 @@ import (
 	"policyoracle/internal/parser"
 	"policyoracle/internal/policy"
 	"policyoracle/internal/secmodel"
+	"policyoracle/internal/telemetry"
 	"policyoracle/internal/types"
 )
 
@@ -47,6 +50,12 @@ type Options struct {
 	// <= 0 means GOMAXPROCS. Parallel extraction produces byte-identical
 	// policies and diff reports to sequential extraction.
 	Parallel int
+	// Telemetry, when non-nil, receives extraction metrics: per-mode
+	// wall time, per-entry analysis durations, worker-pool busy time,
+	// and the analyzer's per-phase work counters. Like Parallel and
+	// Memo it is execution strategy, never part of the fingerprint, and
+	// it cannot perturb the extracted policy bytes.
+	Telemetry *telemetry.ExtractMetrics
 }
 
 // DefaultOptions returns the configuration used for the paper's main
@@ -157,11 +166,26 @@ func (l *Library) EntryPoints() []*types.Method { return l.Prog.Types.EntryPoint
 // per-entry and merged in the same sorted entry order as the sequential
 // path, so the extracted policies are byte-identical either way.
 func (l *Library) Extract(opts Options) {
+	// A background context never cancels, so the only error
+	// ExtractContext can return is impossible here.
+	_ = l.ExtractContext(context.Background(), opts)
+}
+
+// ExtractContext is Extract with cancellation: workers stop picking up
+// entry points once ctx is done and the ctx error is returned, with
+// l.Policies left untouched (a cancelled extraction never publishes a
+// partial policy set). Cancellation is observed between entry-point
+// analyses, so it takes effect within one entry analysis at worst.
+func (l *Library) ExtractContext(ctx context.Context, opts Options) error {
 	opts = opts.Normalize()
 	modes := opts.Modes
 	workers := opts.Parallel
 	entries := l.EntryPoints()
 	pp := policy.NewProgramPolicies(l.Name)
+	if tm := opts.Telemetry; tm != nil {
+		tm.Extractions.Inc()
+		tm.Workers.Set(float64(workers))
+	}
 	results := make(map[analysis.Mode]map[string]*analysis.EntryResult, len(modes))
 	runMode := func(mode analysis.Mode) map[string]*analysis.EntryResult {
 		cfg := analysis.Config{
@@ -174,20 +198,24 @@ func (l *Library) Extract(opts Options) {
 			CollectPaths:          opts.CollectPaths && mode == analysis.May,
 			CollectOrigins:        mode == analysis.May,
 			CollectGuards:         opts.CollectGuards && mode == analysis.May,
+			Telemetry:             opts.Telemetry,
 		}
 		a := analysis.New(l.Prog, l.Resolver, cfg)
 		start := time.Now()
-		perEntry := analyzeEntries(a, entries, workers)
+		perEntry := analyzeEntries(ctx, a, entries, workers)
 		elapsed := time.Since(start)
 		byEntry := make(map[string]*analysis.EntryResult, len(entries))
 		for i, m := range entries {
 			byEntry[m.Qualified()] = perEntry[i]
 		}
+		stats := a.Stats()
 		if mode == analysis.May {
-			l.MayStats, l.MayTime = a.Stats(), elapsed
+			l.MayStats, l.MayTime = stats, elapsed
 		} else {
-			l.MustStats, l.MustTime = a.Stats(), elapsed
+			l.MustStats, l.MustTime = stats, elapsed
 		}
+		opts.Telemetry.ObserveMode(mode.String(), elapsed,
+			stats.MethodAnalyses, stats.MemoHits, stats.CPRuns, stats.CPHits, stats.EntryPoints)
 		return byEntry
 	}
 	if workers > 1 && len(modes) > 1 {
@@ -207,7 +235,13 @@ func (l *Library) Extract(opts Options) {
 	} else {
 		for _, mode := range modes {
 			results[mode] = runMode(mode)
+			if ctx.Err() != nil {
+				break
+			}
 		}
+	}
+	if err := ctx.Err(); err != nil {
+		return err
 	}
 
 	// Merge per-mode results into combined entry policies.
@@ -263,6 +297,7 @@ func (l *Library) Extract(opts Options) {
 		pp.Entries[sig] = ep
 	}
 	l.Policies = pp
+	return nil
 }
 
 // analyzeEntries analyzes every entry point on a shared analyzer, fanning
@@ -270,13 +305,18 @@ func (l *Library) Extract(opts Options) {
 // indexed like entries, so callers observe the same deterministic order
 // regardless of scheduling; the workers share the analyzer's summary
 // cache, the same structure that makes sequential global memoization pay.
-func analyzeEntries(a *analysis.Analyzer, entries []*types.Method, workers int) []*analysis.EntryResult {
+// When ctx is cancelled, workers stop claiming entries; the caller
+// detects the cancellation via ctx.Err and discards the partial slice.
+func analyzeEntries(ctx context.Context, a *analysis.Analyzer, entries []*types.Method, workers int) []*analysis.EntryResult {
 	out := make([]*analysis.EntryResult, len(entries))
 	if workers > len(entries) {
 		workers = len(entries)
 	}
 	if workers <= 1 {
 		for i, m := range entries {
+			if ctx.Err() != nil {
+				return out
+			}
 			out[i] = a.AnalyzeEntry(m)
 		}
 		return out
@@ -289,7 +329,7 @@ func analyzeEntries(a *analysis.Analyzer, entries []*types.Method, workers int) 
 			defer wg.Done()
 			for {
 				i := int(next.Add(1)) - 1
-				if i >= len(entries) {
+				if i >= len(entries) || ctx.Err() != nil {
 					return
 				}
 				out[i] = a.AnalyzeEntry(entries[i])
@@ -300,13 +340,36 @@ func analyzeEntries(a *analysis.Analyzer, entries []*types.Method, workers int) 
 	return out
 }
 
-// Diff differences the extracted policies of two implementations. Both
-// libraries must have been Extracted first.
-func Diff(a, b *Library) *diff.Report {
-	if a.Policies == nil || b.Policies == nil {
-		panic("oracle.Diff: Extract must be called on both libraries first")
+// ErrNotExtracted reports a Diff over a library whose policies were
+// never extracted.
+var ErrNotExtracted = errors.New("oracle: library has no extracted policies (call Extract first)")
+
+// Diff differences the extracted policies of two implementations. It
+// fails loudly — never an empty report — when either side was not
+// Extracted first; use Compare for the extract-if-needed path.
+func Diff(a, b *Library) (*diff.Report, error) {
+	for _, l := range []*Library{a, b} {
+		if l.Policies == nil {
+			return nil, fmt.Errorf("%w: %s", ErrNotExtracted, l.Name)
+		}
 	}
-	return diff.Compare(a.Policies, b.Policies)
+	return diff.Compare(a.Policies, b.Policies), nil
+}
+
+// Compare is the one-shot entry point: it extracts either library's
+// policies under opts if they are missing, then differences them. A
+// library that already has policies is never re-extracted, so mixing
+// pre-extracted and fresh libraries works (at the caller's risk of
+// having used different options).
+func Compare(a, b *Library, opts Options) (*diff.Report, error) {
+	for _, l := range []*Library{a, b} {
+		if l.Policies == nil {
+			if err := l.ExtractContext(context.Background(), opts); err != nil {
+				return nil, fmt.Errorf("oracle: extracting %s: %w", l.Name, err)
+			}
+		}
+	}
+	return Diff(a, b)
 }
 
 // MatchingEntries counts entry-point signatures common to both libraries

@@ -1,11 +1,14 @@
 package oracle
 
 import (
+	"context"
+	"errors"
 	"strings"
 	"testing"
 
 	"policyoracle/internal/analysis"
 	"policyoracle/internal/secmodel"
+	"policyoracle/internal/telemetry"
 )
 
 const runtimeMJ = `
@@ -81,15 +84,95 @@ func TestLoadErrorOnBadSource(t *testing.T) {
 	}
 }
 
-func TestDiffPanicsWithoutExtract(t *testing.T) {
+func TestDiffErrorsWithoutExtract(t *testing.T) {
 	a := loadTestLib(t, "a", map[string]string{"rt.mj": runtimeMJ, "lib.mj": libMJ})
 	b := loadTestLib(t, "b", map[string]string{"rt.mj": runtimeMJ, "lib.mj": libMJ})
-	defer func() {
-		if recover() == nil {
-			t.Error("expected panic for un-extracted libraries")
+	if _, err := Diff(a, b); !errors.Is(err, ErrNotExtracted) {
+		t.Errorf("Diff on un-extracted libraries: err = %v, want ErrNotExtracted", err)
+	}
+	a.Extract(DefaultOptions())
+	if _, err := Diff(a, b); !errors.Is(err, ErrNotExtracted) || !strings.Contains(err.Error(), "b") {
+		t.Errorf("Diff with one side extracted: err = %v, want ErrNotExtracted naming b", err)
+	}
+}
+
+func TestCompareExtractsIfNeeded(t *testing.T) {
+	srcs := map[string]string{"rt.mj": runtimeMJ, "lib.mj": libMJ}
+	a := loadTestLib(t, "a", srcs)
+	b := loadTestLib(t, "b", srcs)
+	a.Extract(DefaultOptions()) // pre-extracted side must not be redone
+	preExtracted := a.Policies
+	rep, err := Compare(a, b, DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Diffs) != 0 {
+		t.Errorf("identical libraries differ: %s", rep)
+	}
+	if a.Policies != preExtracted {
+		t.Error("Compare re-extracted an already-extracted library")
+	}
+	if b.Policies == nil {
+		t.Error("Compare did not extract the missing side")
+	}
+}
+
+func TestExtractContextCancelled(t *testing.T) {
+	l := loadTestLib(t, "a", map[string]string{"rt.mj": runtimeMJ, "lib.mj": libMJ})
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if err := l.ExtractContext(ctx, DefaultOptions()); !errors.Is(err, context.Canceled) {
+		t.Errorf("ExtractContext on cancelled ctx: err = %v", err)
+	}
+	if l.Policies != nil {
+		t.Error("cancelled extraction published a partial policy set")
+	}
+}
+
+// TestTelemetryDoesNotPerturbExtraction asserts the tentpole invariant:
+// extraction with a live metrics registry produces byte-identical
+// policies to extraction without one, and the instruments record the
+// analyzer's actual work.
+func TestTelemetryDoesNotPerturbExtraction(t *testing.T) {
+	srcs := map[string]string{"rt.mj": runtimeMJ, "lib.mj": libMJ}
+	plain := loadTestLib(t, "lib", srcs)
+	plain.Extract(DefaultOptions())
+	want, err := plain.Policies.ExportJSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	reg := telemetry.New()
+	instrumented := loadTestLib(t, "lib", srcs)
+	opts := DefaultOptions()
+	opts.Telemetry = telemetry.NewExtractMetrics(reg)
+	instrumented.Extract(opts)
+	got, err := instrumented.Policies.ExportJSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(got) != string(want) {
+		t.Error("telemetry-instrumented extraction is not byte-identical")
+	}
+
+	if n := opts.Telemetry.Extractions.Value(); n != 1 {
+		t.Errorf("extractions counter = %v, want 1", n)
+	}
+	entries := float64(len(instrumented.EntryPoints()))
+	for _, mode := range []string{"may", "must"} {
+		if n := opts.Telemetry.EntryPoints.With(mode).Value(); n != entries {
+			t.Errorf("entry-point counter[%s] = %v, want %v", mode, n, entries)
 		}
-	}()
-	Diff(a, b)
+		if n := opts.Telemetry.EntryDuration.With(mode).Count(); n != entries {
+			t.Errorf("entry-duration samples[%s] = %v, want %v", mode, n, entries)
+		}
+		if n := opts.Telemetry.ModeDuration.With(mode).Count(); n != 1 {
+			t.Errorf("mode-duration samples[%s] = %v, want 1", mode, n)
+		}
+	}
+	if got := int(opts.Telemetry.MethodAnalyses.With("may").Value()); got != instrumented.MayStats.MethodAnalyses {
+		t.Errorf("method-analyses counter = %d, want %d", got, instrumented.MayStats.MethodAnalyses)
+	}
 }
 
 func TestMatchingEntries(t *testing.T) {
@@ -147,7 +230,10 @@ func TestDiffIdenticalLibraries(t *testing.T) {
 	b := loadTestLib(t, "b", srcs)
 	a.Extract(DefaultOptions())
 	b.Extract(DefaultOptions())
-	rep := Diff(a, b)
+	rep, err := Diff(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
 	if len(rep.Diffs) != 0 {
 		t.Errorf("identical libraries differ: %s", rep)
 	}

@@ -7,21 +7,26 @@ import (
 	"io"
 	"net/http"
 	"net/http/httptest"
+	"strings"
 	"sync"
 	"testing"
 
 	"policyoracle"
 	"policyoracle/internal/server"
 	"policyoracle/internal/store"
+	"policyoracle/internal/telemetry"
 )
 
+// startServer serves a fresh store with one registry shared between the
+// store and the server, the same wiring cmd/polorad uses.
 func startServer(t *testing.T) (*httptest.Server, *store.Store) {
 	t.Helper()
-	st, err := store.Open(store.Config{Dir: t.TempDir(), MaxInflight: 4})
+	reg := telemetry.New()
+	st, err := store.Open(store.Config{Dir: t.TempDir(), MaxInflight: 4, Registry: reg})
 	if err != nil {
 		t.Fatal(err)
 	}
-	ts := httptest.NewServer(server.New(st))
+	ts := httptest.NewServer(server.New(st, server.Options{Registry: reg}))
 	t.Cleanup(ts.Close)
 	return ts, st
 }
@@ -114,7 +119,11 @@ func TestServerE2E(t *testing.T) {
 	var wantDiff bytes.Buffer
 	enc := json.NewEncoder(&wantDiff)
 	enc.SetIndent("", "  ")
-	if err := enc.Encode(policyoracle.Diff(libs["jdk"], libs["harmony"]).ToJSON()); err != nil {
+	wantRep, err := policyoracle.Diff(libs["jdk"], libs["harmony"])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := enc.Encode(wantRep.ToJSON()); err != nil {
 		t.Fatal(err)
 	}
 
@@ -213,7 +222,7 @@ func TestServerColdRestart(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	ts := httptest.NewServer(server.New(st))
+	ts := httptest.NewServer(server.New(st, server.Options{}))
 	fpA := upload(t, ts, "jdk")
 	fpB := upload(t, ts, "harmony")
 	_, firstDiff := postJSON(t, ts.URL+"/v1/diff", server.DiffRequest{A: fpA, B: fpB})
@@ -223,7 +232,7 @@ func TestServerColdRestart(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	ts2 := httptest.NewServer(server.New(st2))
+	ts2 := httptest.NewServer(server.New(st2, server.Options{}))
 	defer ts2.Close()
 	resp, secondDiff := postJSON(t, ts2.URL+"/v1/diff", server.DiffRequest{A: fpA, B: fpB})
 	if resp.StatusCode != http.StatusOK {
@@ -238,6 +247,8 @@ func TestServerColdRestart(t *testing.T) {
 	}
 }
 
+// TestServerErrors asserts every failure path returns the versioned
+// error envelope with its stable machine-readable code.
 func TestServerErrors(t *testing.T) {
 	ts, _ := startServer(t)
 	cases := []struct {
@@ -245,17 +256,23 @@ func TestServerErrors(t *testing.T) {
 		path   string
 		body   string
 		status int
+		code   string
 	}{
-		{"bad JSON", "/v1/extract", `{`, http.StatusBadRequest},
-		{"unknown field", "/v1/diff", `{"a":"x","b":"y","frob":1}`, http.StatusBadRequest},
-		{"malformed fingerprint", "/v1/extract", `{"fingerprint":"nope"}`, http.StatusBadRequest},
+		{"bad JSON", "/v1/extract", `{`, http.StatusBadRequest, server.CodeBadRequest},
+		{"unknown field", "/v1/diff", `{"a":"x","b":"y","frob":1}`, http.StatusBadRequest, server.CodeBadRequest},
+		{"malformed fingerprint", "/v1/extract", `{"fingerprint":"nope"}`, http.StatusBadRequest, server.CodeBadRequest},
 		{"unknown fingerprint", "/v1/extract",
 			fmt.Sprintf(`{"fingerprint":%q}`,
 				policyoracle.Fingerprint("ghost", map[string]string{"f": "x"}, policyoracle.DefaultOptions())),
-			http.StatusNotFound},
-		{"empty upload", "/v1/libraries", `{"name":"x","sources":{}}`, http.StatusBadRequest},
-		{"broken bundle", "/v1/libraries", `{"name":"x","sources":{"a.mj":"class {"}}`, http.StatusBadRequest},
-		{"bad options", "/v1/libraries", `{"name":"x","sources":{"a.mj":"package p; public class C {}"},"options":{"events":"bogus"}}`, http.StatusBadRequest},
+			http.StatusNotFound, server.CodeUnknownLibrary},
+		{"unknown diff side", "/v1/diff",
+			fmt.Sprintf(`{"a":%q,"b":%q}`,
+				policyoracle.Fingerprint("ghost", map[string]string{"f": "x"}, policyoracle.DefaultOptions()),
+				policyoracle.Fingerprint("ghost2", map[string]string{"f": "y"}, policyoracle.DefaultOptions())),
+			http.StatusNotFound, server.CodeUnknownLibrary},
+		{"empty upload", "/v1/libraries", `{"name":"x","sources":{}}`, http.StatusBadRequest, server.CodeBadRequest},
+		{"broken bundle", "/v1/libraries", `{"name":"x","sources":{"a.mj":"class {"}}`, http.StatusBadRequest, server.CodeBadRequest},
+		{"bad options", "/v1/libraries", `{"name":"x","sources":{"a.mj":"package p; public class C {}"},"options":{"events":"bogus"}}`, http.StatusBadRequest, server.CodeBadRequest},
 	}
 	for _, tc := range cases {
 		resp, err := http.Post(ts.URL+tc.path, "application/json", bytes.NewReader([]byte(tc.body)))
@@ -267,19 +284,176 @@ func TestServerErrors(t *testing.T) {
 		if resp.StatusCode != tc.status {
 			t.Errorf("%s: status %d, want %d (%s)", tc.name, resp.StatusCode, tc.status, body)
 		}
-		if !bytes.Contains(body, []byte(`"error"`)) {
-			t.Errorf("%s: no error payload: %s", tc.name, body)
+		var envelope server.ErrorResponse
+		if err := json.Unmarshal(body, &envelope); err != nil {
+			t.Errorf("%s: not an error envelope: %s", tc.name, body)
+			continue
+		}
+		if envelope.Code != tc.code {
+			t.Errorf("%s: code %q, want %q", tc.name, envelope.Code, tc.code)
+		}
+		if envelope.Message == "" || envelope.Detail == "" {
+			t.Errorf("%s: incomplete envelope: %+v", tc.name, envelope)
 		}
 	}
 
+	// Oversized bodies get their own code so clients can distinguish
+	// "shrink the bundle" from "fix the request".
+	huge := fmt.Sprintf(`{"name":"x","sources":{"a.mj":%q}}`, strings.Repeat("x", server.MaxRequestBytes+1))
+	resp, err := http.Post(ts.URL+"/v1/libraries", "application/json", strings.NewReader(huge))
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	var envelope server.ErrorResponse
+	if err := json.Unmarshal(body, &envelope); err != nil {
+		t.Fatalf("oversized body: not an error envelope: %.200s", body)
+	}
+	if resp.StatusCode != http.StatusRequestEntityTooLarge || envelope.Code != server.CodePayloadTooLarge {
+		t.Errorf("oversized body: status %d code %q, want 413 %q",
+			resp.StatusCode, envelope.Code, server.CodePayloadTooLarge)
+	}
+
 	// Method not allowed on API routes.
-	resp, err := http.Get(ts.URL + "/v1/diff")
+	resp, err = http.Get(ts.URL + "/v1/diff")
 	if err != nil {
 		t.Fatal(err)
 	}
 	resp.Body.Close()
 	if resp.StatusCode != http.StatusMethodNotAllowed {
 		t.Errorf("GET /v1/diff: status %d, want 405", resp.StatusCode)
+	}
+}
+
+// Tiny two-version API for the metrics round trip: v2 drops the write
+// check. Small enough that extraction is instant, so this test runs in
+// short mode too.
+const metricsRuntimeMJ = `
+package java.lang;
+public class Object { }
+public class String { }
+public class SecurityManager {
+  public void checkWrite(String file) { }
+}
+`
+
+const metricsLibV1MJ = `
+package api;
+import java.lang.*;
+public class Kv {
+  private SecurityManager sm;
+  public void put(String key) {
+    sm.checkWrite(key);
+    write0(key);
+  }
+  native void write0(String key);
+}
+`
+
+const metricsLibV2MJ = `
+package api;
+import java.lang.*;
+public class Kv {
+  public void put(String key) {
+    write0(key);
+  }
+  native void write0(String key);
+}
+`
+
+// TestMetricsEndpoint drives an upload→extract→diff round trip and
+// asserts /metricsz serves Prometheus text exposition whose request,
+// cache-miss, and per-phase extraction series reflect it.
+func TestMetricsEndpoint(t *testing.T) {
+	ts, _ := startServer(t)
+	var fps [2]string
+	for i, src := range []string{metricsLibV1MJ, metricsLibV2MJ} {
+		resp, body := postJSON(t, ts.URL+"/v1/libraries", server.UploadRequest{
+			Name:    fmt.Sprintf("kv-v%d", i+1),
+			Sources: map[string]string{"rt.mj": metricsRuntimeMJ, "kv.mj": src},
+		})
+		if resp.StatusCode != http.StatusCreated {
+			t.Fatalf("upload v%d: status %d: %s", i+1, resp.StatusCode, body)
+		}
+		var ur server.UploadResponse
+		if err := json.Unmarshal(body, &ur); err != nil {
+			t.Fatal(err)
+		}
+		fps[i] = ur.Fingerprint
+	}
+	if resp, body := postJSON(t, ts.URL+"/v1/extract", map[string]string{"fingerprint": fps[0]}); resp.StatusCode != http.StatusOK {
+		t.Fatalf("extract: status %d: %s", resp.StatusCode, body)
+	}
+	if resp, body := postJSON(t, ts.URL+"/v1/diff", server.DiffRequest{A: fps[0], B: fps[1]}); resp.StatusCode != http.StatusOK {
+		t.Fatalf("diff: status %d: %s", resp.StatusCode, body)
+	}
+
+	resp, err := http.Get(ts.URL + "/metricsz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("metricsz: status %d", resp.StatusCode)
+	}
+	if ct := resp.Header.Get("Content-Type"); !strings.Contains(ct, "version=0.0.4") {
+		t.Errorf("metricsz Content-Type = %q, want Prometheus text 0.0.4", ct)
+	}
+	text := string(body)
+	for _, want := range []string{
+		// Request counters from the middleware.
+		`polorad_http_requests_total{method="POST",route="/v1/libraries",code="201"} 2`,
+		`polorad_http_requests_total{method="POST",route="/v1/extract",code="200"} 1`,
+		`polorad_http_requests_total{method="POST",route="/v1/diff",code="200"} 1`,
+		`polorad_http_request_duration_seconds_count{route="/v1/diff"} 1`,
+		// Store series: both sides were cold, the diff reused the
+		// extract's cached blob.
+		"polorad_store_cache_misses_total 2",
+		"polorad_store_extractions_total 2",
+		"polorad_store_diffs_total 1",
+		`polorad_store_cache_hits_total{tier="mem"} 1`,
+		// Phase timers from inside the extractor.
+		`policyoracle_extract_mode_duration_seconds_count{mode="may"} 2`,
+		`policyoracle_extract_mode_duration_seconds_count{mode="must"} 2`,
+		`policyoracle_analysis_entry_points_total{mode="may"}`,
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("metricsz misses %q", want)
+		}
+	}
+	if t.Failed() {
+		t.Logf("full scrape:\n%s", text)
+	}
+}
+
+// Profiling endpoints exist only when explicitly enabled.
+func TestPprofOptIn(t *testing.T) {
+	st, err := store.Open(store.Config{Dir: t.TempDir()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	off := httptest.NewServer(server.New(st, server.Options{}))
+	defer off.Close()
+	resp, err := http.Get(off.URL + "/debug/pprof/cmdline")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound {
+		t.Errorf("pprof off: status %d, want 404", resp.StatusCode)
+	}
+
+	on := httptest.NewServer(server.New(st, server.Options{Pprof: true}))
+	defer on.Close()
+	resp, err = http.Get(on.URL + "/debug/pprof/cmdline")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Errorf("pprof on: status %d, want 200", resp.StatusCode)
 	}
 }
 

@@ -11,36 +11,169 @@
 //	POST /v1/diff       {"a", "b"}                      → diff report JSON
 //	GET  /healthz                                       → "ok"
 //	GET  /statsz                                        → store counters
+//	GET  /metricsz                                      → Prometheus text exposition
+//	GET  /debug/pprof/*                                 → runtime profiles (opt-in)
+//
+// Errors are a versioned envelope {"code", "message", "detail"} whose
+// code field is stable across releases (see the Code* constants);
+// clients should dispatch on it, never on message text.
+//
+// Handlers run under the request context: a client that disconnects
+// stops its extraction (unless another request shares it), and server
+// drain cancels in-flight work.
 package server
 
 import (
+	"context"
 	"encoding/json"
 	"errors"
 	"fmt"
+	"log/slog"
 	"net/http"
+	"net/http/pprof"
+	"strconv"
+	"strings"
+	"time"
 
 	"policyoracle/internal/store"
+	"policyoracle/internal/telemetry"
 )
 
 // MaxRequestBytes bounds an upload body. The bundled corpora are tens of
 // kilobytes; 32 MiB leaves room for paper-scale generated libraries.
 const MaxRequestBytes = 32 << 20
 
+// Stable machine-readable error codes carried in ErrorResponse.Code.
+const (
+	// CodeBadRequest: the request body failed to decode or validate.
+	CodeBadRequest = "bad_request"
+	// CodePayloadTooLarge: the body exceeded MaxRequestBytes.
+	CodePayloadTooLarge = "payload_too_large"
+	// CodeUnknownLibrary: no bundle with the given fingerprint.
+	CodeUnknownLibrary = "unknown_library"
+	// CodeExtractFailed: extraction or persistence failed server-side.
+	CodeExtractFailed = "extract_failed"
+	// CodeShuttingDown: the request was cancelled by client disconnect or
+	// server drain before it completed.
+	CodeShuttingDown = "shutting_down"
+)
+
+// ErrorResponse is the error envelope every non-2xx API response carries.
+type ErrorResponse struct {
+	// Code is a stable machine-readable identifier (Code* constants).
+	Code string `json:"code"`
+	// Message is a short human-readable description of the code.
+	Message string `json:"message"`
+	// Detail is the specific failure, not guaranteed stable.
+	Detail string `json:"detail,omitempty"`
+}
+
+var codeMessages = map[string]string{
+	CodeBadRequest:      "the request could not be decoded or validated",
+	CodePayloadTooLarge: "the request body exceeds the size limit",
+	CodeUnknownLibrary:  "no library bundle with this fingerprint",
+	CodeExtractFailed:   "policy extraction failed",
+	CodeShuttingDown:    "the request was cancelled before completion",
+}
+
+// Options configures the optional subsystems of a Server.
+type Options struct {
+	// Registry is the metrics registry /metricsz exposes. Nil allocates a
+	// private one, so the scrape endpoint always works; pass the registry
+	// shared with the store to see its series too.
+	Registry *telemetry.Registry
+	// Logger receives one structured line per completed request. Nil
+	// discards them.
+	Logger *slog.Logger
+	// Pprof mounts net/http/pprof under /debug/pprof/. Off by default:
+	// profiles expose internals and cost CPU, so enabling is a deliberate
+	// operator action (polorad -pprof).
+	Pprof bool
+}
+
 // Server serves the policy-oracle API over one Store.
 type Server struct {
 	st  *store.Store
 	mux *http.ServeMux
+	hm  *telemetry.HTTPMetrics
+	log *slog.Logger
 }
 
 // New returns a Server over st.
-func New(st *store.Store) *Server {
-	s := &Server{st: st, mux: http.NewServeMux()}
-	s.mux.HandleFunc("POST /v1/libraries", s.handleLibraries)
-	s.mux.HandleFunc("POST /v1/extract", s.handleExtract)
-	s.mux.HandleFunc("POST /v1/diff", s.handleDiff)
-	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
-	s.mux.HandleFunc("GET /statsz", s.handleStatsz)
+func New(st *store.Store, opts Options) *Server {
+	if opts.Registry == nil {
+		opts.Registry = telemetry.New()
+	}
+	if opts.Logger == nil {
+		opts.Logger = telemetry.NopLogger()
+	}
+	s := &Server{
+		st:  st,
+		mux: http.NewServeMux(),
+		hm:  telemetry.NewHTTPMetrics(opts.Registry),
+		log: opts.Logger,
+	}
+	s.handle("POST /v1/libraries", s.handleLibraries)
+	s.handle("POST /v1/extract", s.handleExtract)
+	s.handle("POST /v1/diff", s.handleDiff)
+	s.handle("GET /healthz", s.handleHealthz)
+	s.handle("GET /statsz", s.handleStatsz)
+	s.handle("GET /metricsz", opts.Registry.Handler().ServeHTTP)
+	if opts.Pprof {
+		// Mounted explicitly rather than via the package's DefaultServeMux
+		// side effects, so profiles exist only when asked for.
+		s.mux.HandleFunc("GET /debug/pprof/", pprof.Index)
+		s.mux.HandleFunc("GET /debug/pprof/cmdline", pprof.Cmdline)
+		s.mux.HandleFunc("GET /debug/pprof/profile", pprof.Profile)
+		s.mux.HandleFunc("GET /debug/pprof/symbol", pprof.Symbol)
+		s.mux.HandleFunc("GET /debug/pprof/trace", pprof.Trace)
+	}
 	return s
+}
+
+// handle registers h under pattern, wrapped with the request middleware.
+// The route label comes from the registration pattern, not the URL, so
+// label cardinality is fixed no matter what clients request.
+func (s *Server) handle(pattern string, h http.HandlerFunc) {
+	_, route, ok := strings.Cut(pattern, " ")
+	if !ok {
+		route = pattern
+	}
+	s.mux.Handle(pattern, s.instrument(route, h))
+}
+
+// statusWriter captures the status code and body size a handler wrote.
+type statusWriter struct {
+	http.ResponseWriter
+	status int
+	bytes  int
+}
+
+func (w *statusWriter) WriteHeader(status int) {
+	w.status = status
+	w.ResponseWriter.WriteHeader(status)
+}
+
+func (w *statusWriter) Write(p []byte) (int, error) {
+	n, err := w.ResponseWriter.Write(p)
+	w.bytes += n
+	return n, err
+}
+
+func (s *Server) instrument(route string, h http.HandlerFunc) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		start := time.Now()
+		s.hm.Inflight.Inc()
+		sw := &statusWriter{ResponseWriter: w, status: http.StatusOK}
+		h(sw, r)
+		s.hm.Inflight.Dec()
+		elapsed := time.Since(start)
+		s.hm.Requests.With(r.Method, route, strconv.Itoa(sw.status)).Inc()
+		s.hm.Duration.With(route).ObserveDuration(elapsed)
+		s.log.Info("request",
+			"method", r.Method, "route", route, "status", sw.status,
+			"duration", elapsed, "bytes", sw.bytes, "remote", r.RemoteAddr)
+	})
 }
 
 // ServeHTTP implements http.Handler.
@@ -78,7 +211,7 @@ func (s *Server) handleLibraries(w http.ResponseWriter, r *http.Request) {
 	}
 	fp, created, err := s.st.Put(req.Name, req.Sources, req.Options)
 	if err != nil {
-		s.fail(w, http.StatusBadRequest, err)
+		s.fail(w, http.StatusBadRequest, CodeBadRequest, err)
 		return
 	}
 	status := http.StatusOK
@@ -93,7 +226,7 @@ func (s *Server) handleExtract(w http.ResponseWriter, r *http.Request) {
 	if !s.decode(w, r, &req) {
 		return
 	}
-	blob, err := s.st.Policies(req.Fingerprint)
+	blob, err := s.st.PoliciesContext(r.Context(), req.Fingerprint)
 	if err != nil {
 		s.failStore(w, err)
 		return
@@ -109,7 +242,7 @@ func (s *Server) handleDiff(w http.ResponseWriter, r *http.Request) {
 	if !s.decode(w, r, &req) {
 		return
 	}
-	rep, err := s.st.Diff(req.A, req.B)
+	rep, err := s.st.DiffContext(r.Context(), req.A, req.B)
 	if err != nil {
 		s.failStore(w, err)
 		return
@@ -137,12 +270,12 @@ func (s *Server) decode(w http.ResponseWriter, r *http.Request, dst any) bool {
 	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, MaxRequestBytes))
 	dec.DisallowUnknownFields()
 	if err := dec.Decode(dst); err != nil {
-		status := http.StatusBadRequest
+		status, code := http.StatusBadRequest, CodeBadRequest
 		var tooLarge *http.MaxBytesError
 		if errors.As(err, &tooLarge) {
-			status = http.StatusRequestEntityTooLarge
+			status, code = http.StatusRequestEntityTooLarge, CodePayloadTooLarge
 		}
-		s.fail(w, status, fmt.Errorf("decoding request: %w", err))
+		s.fail(w, status, code, fmt.Errorf("decoding request: %w", err))
 		return false
 	}
 	return true
@@ -151,16 +284,22 @@ func (s *Server) decode(w http.ResponseWriter, r *http.Request, dst any) bool {
 func (s *Server) failStore(w http.ResponseWriter, err error) {
 	switch {
 	case errors.Is(err, store.ErrNotFound):
-		s.fail(w, http.StatusNotFound, err)
+		s.fail(w, http.StatusNotFound, CodeUnknownLibrary, err)
 	case errors.Is(err, store.ErrMalformed):
-		s.fail(w, http.StatusBadRequest, err)
+		s.fail(w, http.StatusBadRequest, CodeBadRequest, err)
+	case errors.Is(err, context.Canceled), errors.Is(err, context.DeadlineExceeded):
+		s.fail(w, http.StatusServiceUnavailable, CodeShuttingDown, err)
 	default:
-		s.fail(w, http.StatusInternalServerError, err)
+		s.fail(w, http.StatusInternalServerError, CodeExtractFailed, err)
 	}
 }
 
-func (s *Server) fail(w http.ResponseWriter, status int, err error) {
-	s.writeJSON(w, status, map[string]string{"error": err.Error()})
+func (s *Server) fail(w http.ResponseWriter, status int, code string, err error) {
+	s.writeJSON(w, status, ErrorResponse{
+		Code:    code,
+		Message: codeMessages[code],
+		Detail:  err.Error(),
+	})
 }
 
 func (s *Server) writeJSON(w http.ResponseWriter, status int, v any) {

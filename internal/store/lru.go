@@ -29,18 +29,22 @@ func (c *blobLRU) get(fp string) ([]byte, bool) {
 	return el.Value.(*lruEntry).blob, true
 }
 
-func (c *blobLRU) add(fp string, blob []byte) {
+// add inserts or refreshes a blob and reports how many entries were
+// evicted to stay within capacity.
+func (c *blobLRU) add(fp string, blob []byte) (evicted int) {
 	if el, ok := c.items[fp]; ok {
 		el.Value.(*lruEntry).blob = blob
 		c.order.MoveToFront(el)
-		return
+		return 0
 	}
 	c.items[fp] = c.order.PushFront(&lruEntry{fp: fp, blob: blob})
 	for c.order.Len() > c.cap {
 		oldest := c.order.Back()
 		c.order.Remove(oldest)
 		delete(c.items, oldest.Value.(*lruEntry).fp)
+		evicted++
 	}
+	return evicted
 }
 
 func (c *blobLRU) len() int { return c.order.Len() }

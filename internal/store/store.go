@@ -14,20 +14,28 @@
 // Blobs read back from disk are validated by re-importing them; a
 // corrupted blob is discarded and re-extracted from its bundle, so the
 // store self-heals from partial writes or bit rot.
+//
+// Reads take a context: a caller that goes away (client disconnect,
+// server drain) stops waiting immediately, and when the last waiter on
+// an in-flight extraction leaves, the extraction itself is cancelled.
 package store
 
 import (
+	"context"
 	"encoding/json"
 	"errors"
 	"fmt"
+	"log/slog"
 	"os"
 	"path/filepath"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"policyoracle/internal/diff"
 	"policyoracle/internal/oracle"
 	"policyoracle/internal/policy"
+	"policyoracle/internal/telemetry"
 )
 
 // ErrNotFound reports a fingerprint with no uploaded bundle.
@@ -57,6 +65,12 @@ type Config struct {
 	// (default 2). Single-flight already collapses same-fingerprint
 	// requests; this bounds distinct ones.
 	MaxInflight int
+	// Registry receives the store's and the extractor's metrics. Nil
+	// disables instrumentation (the instruments become no-ops).
+	Registry *telemetry.Registry
+	// Logger receives structured store events (extraction start/finish,
+	// corruption, eviction pressure). Nil discards them.
+	Logger *slog.Logger
 }
 
 // Stats is a snapshot of the store's counters.
@@ -77,6 +91,8 @@ type Stats struct {
 	Bundles uint64 `json:"bundles"`
 	// Diffs computed.
 	Diffs uint64 `json:"diffs"`
+	// Evictions dropped a blob from the in-memory LRU.
+	Evictions uint64 `json:"evictions"`
 }
 
 // Store is a content-addressed policy store. It is safe for concurrent
@@ -85,6 +101,9 @@ type Store struct {
 	dir      string
 	parallel int
 	sem      chan struct{} // bounds concurrent extractions
+	tm       *telemetry.StoreMetrics
+	xm       *telemetry.ExtractMetrics
+	log      *slog.Logger
 
 	mu     sync.Mutex
 	cache  *blobLRU
@@ -92,16 +111,22 @@ type Store struct {
 
 	memHits, diskHits, misses, coalesced atomic.Uint64
 	extractions, corruptBlobs            atomic.Uint64
-	bundles, diffs                       atomic.Uint64
+	bundles, diffs, evictions            atomic.Uint64
 
 	// extract produces the policy blob for a bundle; tests may stub it.
-	extract func(*Bundle) ([]byte, error)
+	extract func(context.Context, *Bundle) ([]byte, error)
 }
 
+// flightCall is one in-flight load-or-extract. Waiters are refcounted:
+// each caller waiting on done holds one reference, and when the last
+// waiter abandons the call (its context was cancelled), it cancels the
+// extraction context so the worker stops too.
 type flightCall struct {
-	done chan struct{}
-	blob []byte
-	err  error
+	done    chan struct{}
+	cancel  context.CancelFunc
+	waiters int // guarded by Store.mu
+	blob    []byte
+	err     error
 }
 
 // Open creates (if needed) and opens a store directory.
@@ -120,10 +145,16 @@ func Open(cfg Config) (*Store, error) {
 	if cfg.MaxInflight <= 0 {
 		cfg.MaxInflight = 2
 	}
+	if cfg.Logger == nil {
+		cfg.Logger = telemetry.NopLogger()
+	}
 	s := &Store{
 		dir:      cfg.Dir,
 		parallel: cfg.Parallel,
 		sem:      make(chan struct{}, cfg.MaxInflight),
+		tm:       telemetry.NewStoreMetrics(cfg.Registry),
+		xm:       telemetry.NewExtractMetrics(cfg.Registry),
+		log:      cfg.Logger,
 		cache:    newBlobLRU(cfg.CacheEntries),
 		flight:   make(map[string]*flightCall),
 	}
@@ -172,6 +203,8 @@ func (s *Store) Put(name string, sources map[string]string, w OptionsWire) (fp s
 		return "", false, fmt.Errorf("store: %w", err)
 	}
 	s.bundles.Add(1)
+	s.tm.Bundles.Inc()
+	s.log.Info("store: bundle created", "fingerprint", fp, "library", name, "files", len(sources))
 	return fp, true, nil
 }
 
@@ -195,10 +228,21 @@ func (s *Store) Bundle(fp string) (*Bundle, error) {
 }
 
 // Policies returns the policy blob for a fingerprint, extracting it from
-// the bundle on a cold cache. The bytes are exactly what
+// the bundle on a cold cache. It is PoliciesContext with a background
+// context.
+func (s *Store) Policies(fp string) ([]byte, error) {
+	return s.PoliciesContext(context.Background(), fp)
+}
+
+// PoliciesContext returns the policy blob for a fingerprint, extracting
+// it from the bundle on a cold cache. The bytes are exactly what
 // policy.ExportJSON produced (and `polora export` writes); callers must
 // not mutate them.
-func (s *Store) Policies(fp string) ([]byte, error) {
+//
+// If ctx is cancelled while the caller waits, PoliciesContext returns
+// ctx.Err() immediately; if the caller was the last one waiting on an
+// in-flight extraction, the extraction is cancelled too.
+func (s *Store) PoliciesContext(ctx context.Context, fp string) ([]byte, error) {
 	if !oracle.IsFingerprint(fp) {
 		return nil, fmt.Errorf("%w: %q", ErrMalformed, fp)
 	}
@@ -206,94 +250,177 @@ func (s *Store) Policies(fp string) ([]byte, error) {
 	if blob, ok := s.cache.get(fp); ok {
 		s.mu.Unlock()
 		s.memHits.Add(1)
+		s.tm.CacheHits.With("mem").Inc()
 		return blob, nil
 	}
 	if c, ok := s.flight[fp]; ok {
+		c.waiters++
 		s.mu.Unlock()
 		s.coalesced.Add(1)
-		<-c.done
-		return c.blob, c.err
+		s.tm.Coalesced.Inc()
+		return s.wait(ctx, fp, c)
 	}
-	c := &flightCall{done: make(chan struct{})}
+	// The extraction runs under its own context, detached from this
+	// caller's: other callers may coalesce onto it, so it must outlive
+	// any single one. It is cancelled only when every waiter has left.
+	cctx, cancel := context.WithCancel(context.Background())
+	c := &flightCall{done: make(chan struct{}), cancel: cancel, waiters: 1}
 	s.flight[fp] = c
 	s.mu.Unlock()
 
-	c.blob, c.err = s.loadOrExtract(fp)
-	s.mu.Lock()
-	delete(s.flight, fp)
-	if c.err == nil {
-		s.cache.add(fp, c.blob)
+	go func() {
+		defer cancel()
+		c.blob, c.err = s.loadOrExtract(cctx, fp)
+		s.mu.Lock()
+		if s.flight[fp] == c {
+			delete(s.flight, fp)
+		}
+		if c.err == nil {
+			s.noteEvictions(s.cache.add(fp, c.blob))
+		}
+		s.mu.Unlock()
+		close(c.done)
+	}()
+	return s.wait(ctx, fp, c)
+}
+
+// wait blocks until the in-flight call completes or ctx is cancelled.
+// An abandoning waiter drops its reference; the last one out cancels the
+// extraction and unregisters the call so later requests start fresh
+// rather than inheriting a cancelled result.
+func (s *Store) wait(ctx context.Context, fp string, c *flightCall) ([]byte, error) {
+	select {
+	case <-c.done:
+		return c.blob, c.err
+	case <-ctx.Done():
+		s.mu.Lock()
+		c.waiters--
+		last := c.waiters == 0
+		if last && s.flight[fp] == c {
+			delete(s.flight, fp)
+		}
+		s.mu.Unlock()
+		if last {
+			c.cancel()
+			s.log.Info("store: extraction abandoned", "fingerprint", fp, "cause", context.Cause(ctx))
+		}
+		return nil, ctx.Err()
 	}
-	s.mu.Unlock()
-	close(c.done)
-	return c.blob, c.err
+}
+
+// noteEvictions records n LRU evictions and refreshes the occupancy
+// gauge. Called with s.mu held.
+func (s *Store) noteEvictions(n int) {
+	if n > 0 {
+		s.evictions.Add(uint64(n))
+		s.tm.Evictions.Add(float64(n))
+	}
+	s.tm.CachedBlobs.Set(float64(s.cache.len()))
 }
 
 // loadOrExtract serves one fingerprint from disk, falling back to
 // extraction. Exactly one goroutine runs this per in-flight fingerprint.
-func (s *Store) loadOrExtract(fp string) ([]byte, error) {
+func (s *Store) loadOrExtract(ctx context.Context, fp string) ([]byte, error) {
 	path := s.policyPath(fp)
 	if blob, err := os.ReadFile(path); err == nil {
 		if _, err := policy.ImportJSON(blob); err == nil {
 			s.diskHits.Add(1)
+			s.tm.CacheHits.With("disk").Inc()
 			return blob, nil
 		}
 		s.corruptBlobs.Add(1)
+		s.tm.CorruptBlobs.Inc()
+		s.log.Warn("store: corrupt policy blob, re-extracting", "fingerprint", fp)
 	}
 	s.misses.Add(1)
+	s.tm.CacheMisses.Inc()
 	b, err := s.Bundle(fp)
 	if err != nil {
 		return nil, err
 	}
-	s.sem <- struct{}{}
+	queued := time.Now()
+	select {
+	case s.sem <- struct{}{}:
+	case <-ctx.Done():
+		return nil, ctx.Err()
+	}
 	defer func() { <-s.sem }()
-	s.extractions.Add(1)
-	blob, err := s.extract(b)
-	if err != nil {
+	s.tm.QueueWait.ObserveDuration(time.Since(queued))
+	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
+	s.extractions.Add(1)
+	s.tm.Extractions.Inc()
+	s.log.Info("store: extraction start", "fingerprint", fp, "library", b.Name)
+	start := time.Now()
+	blob, err := s.extract(ctx, b)
+	elapsed := time.Since(start)
+	s.tm.ExtractDuration.ObserveDuration(elapsed)
+	if err != nil {
+		s.tm.ExtractFailures.Inc()
+		s.log.Warn("store: extraction failed", "fingerprint", fp, "library", b.Name,
+			"duration", elapsed, "err", err)
+		return nil, err
+	}
+	s.log.Info("store: extraction done", "fingerprint", fp, "library", b.Name,
+		"duration", elapsed, "bytes", len(blob))
 	if err := writeAtomic(path, blob); err != nil {
 		return nil, fmt.Errorf("store: persisting policies: %w", err)
 	}
 	return blob, nil
 }
 
-func (s *Store) extractBundle(b *Bundle) ([]byte, error) {
+func (s *Store) extractBundle(ctx context.Context, b *Bundle) ([]byte, error) {
 	opts, err := b.Options.ToOracle()
 	if err != nil {
 		return nil, fmt.Errorf("store: bundle %s: %w", b.Fingerprint, err)
 	}
 	opts.Parallel = s.parallel
+	opts.Telemetry = s.xm
 	lib, err := oracle.LoadLibrary(b.Name, b.Sources)
 	if err != nil {
 		return nil, fmt.Errorf("store: bundle %s: %w", b.Fingerprint, err)
 	}
-	lib.Extract(opts)
+	if err := lib.ExtractContext(ctx, opts); err != nil {
+		return nil, fmt.Errorf("store: bundle %s: %w", b.Fingerprint, err)
+	}
 	return lib.Policies.ExportJSON()
 }
 
 // PolicySet returns the parsed policies for a fingerprint.
 func (s *Store) PolicySet(fp string) (*policy.ProgramPolicies, error) {
-	blob, err := s.Policies(fp)
+	return s.PolicySetContext(context.Background(), fp)
+}
+
+// PolicySetContext returns the parsed policies for a fingerprint.
+func (s *Store) PolicySetContext(ctx context.Context, fp string) (*policy.ProgramPolicies, error) {
+	blob, err := s.PoliciesContext(ctx, fp)
 	if err != nil {
 		return nil, err
 	}
 	return policy.ImportJSON(blob)
 }
 
-// Diff differences the policies of two fingerprints. The report is the
-// same value oracle.Diff computes on in-process libraries: the policy
-// wire format round-trips everything differencing consumes.
+// Diff differences the policies of two fingerprints with a background
+// context.
 func (s *Store) Diff(fpA, fpB string) (*diff.Report, error) {
-	pa, err := s.PolicySet(fpA)
+	return s.DiffContext(context.Background(), fpA, fpB)
+}
+
+// DiffContext differences the policies of two fingerprints. The report
+// is the same value oracle.Diff computes on in-process libraries: the
+// policy wire format round-trips everything differencing consumes.
+func (s *Store) DiffContext(ctx context.Context, fpA, fpB string) (*diff.Report, error) {
+	pa, err := s.PolicySetContext(ctx, fpA)
 	if err != nil {
 		return nil, err
 	}
-	pb, err := s.PolicySet(fpB)
+	pb, err := s.PolicySetContext(ctx, fpB)
 	if err != nil {
 		return nil, err
 	}
 	s.diffs.Add(1)
+	s.tm.Diffs.Inc()
 	return diff.Compare(pa, pb), nil
 }
 
@@ -308,6 +435,7 @@ func (s *Store) Stats() Stats {
 		CorruptBlobs: s.corruptBlobs.Load(),
 		Bundles:      s.bundles.Load(),
 		Diffs:        s.diffs.Load(),
+		Evictions:    s.evictions.Load(),
 	}
 }
 

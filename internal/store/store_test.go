@@ -2,6 +2,8 @@ package store
 
 import (
 	"bytes"
+	"context"
+	"errors"
 	"os"
 	"strings"
 	"sync"
@@ -11,6 +13,7 @@ import (
 
 	"policyoracle/internal/oracle"
 	"policyoracle/internal/policy"
+	"policyoracle/internal/telemetry"
 )
 
 const runtimeMJ = `
@@ -220,10 +223,10 @@ func TestConcurrentRequestsExtractOnce(t *testing.T) {
 	}
 	var calls atomic.Int64
 	inner := s.extract
-	s.extract = func(b *Bundle) ([]byte, error) {
+	s.extract = func(ctx context.Context, b *Bundle) ([]byte, error) {
 		calls.Add(1)
 		time.Sleep(50 * time.Millisecond)
-		return inner(b)
+		return inner(ctx, b)
 	}
 	const n = 16
 	blobs := make([][]byte, n)
@@ -340,6 +343,135 @@ func TestLRUEvictionFallsBackToDisk(t *testing.T) {
 	st := s.Stats()
 	if st.Extractions != 2 || st.DiskHits != 1 {
 		t.Errorf("after eviction: %+v", st)
+	}
+	// fpB's insert evicted fpA; fpA's disk-hit re-insert evicted fpB.
+	if st.Evictions != 2 {
+		t.Errorf("Evictions = %d, want 2", st.Evictions)
+	}
+}
+
+// A caller that abandons its read gets ctx.Err() immediately, and as the
+// last waiter it cancels the in-flight extraction. A later request must
+// start a fresh extraction, not inherit the cancelled result.
+func TestPoliciesContextCancellation(t *testing.T) {
+	s := openTestStore(t, t.TempDir())
+	fp, _, err := s.Put("a", testSources(), OptionsWire{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	inner := s.extract
+	entered := make(chan struct{})
+	sawCancel := make(chan struct{})
+	s.extract = func(ctx context.Context, b *Bundle) ([]byte, error) {
+		close(entered)
+		select {
+		case <-ctx.Done():
+			close(sawCancel)
+			return nil, ctx.Err()
+		case <-time.After(10 * time.Second):
+			return inner(ctx, b)
+		}
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	errCh := make(chan error, 1)
+	go func() {
+		_, err := s.PoliciesContext(ctx, fp)
+		errCh <- err
+	}()
+	<-entered
+	cancel()
+	if err := <-errCh; !errors.Is(err, context.Canceled) {
+		t.Fatalf("abandoned read error = %v, want context.Canceled", err)
+	}
+	select {
+	case <-sawCancel:
+	case <-time.After(5 * time.Second):
+		t.Fatal("extraction context was never cancelled")
+	}
+	s.extract = inner
+	if _, err := s.Policies(fp); err != nil {
+		t.Fatalf("fresh read after abandonment: %v", err)
+	}
+}
+
+// A cancelled coalesced waiter leaves without disturbing the extraction
+// the remaining waiter depends on.
+func TestCoalescedWaiterCancellation(t *testing.T) {
+	s := openTestStore(t, t.TempDir())
+	fp, _, err := s.Put("a", testSources(), OptionsWire{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	inner := s.extract
+	entered := make(chan struct{})
+	release := make(chan struct{})
+	s.extract = func(ctx context.Context, b *Bundle) ([]byte, error) {
+		close(entered)
+		<-release
+		return inner(ctx, b)
+	}
+	done := make(chan error, 1)
+	go func() {
+		_, err := s.Policies(fp)
+		done <- err
+	}()
+	<-entered
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := s.PoliciesContext(ctx, fp); !errors.Is(err, context.Canceled) {
+		t.Fatalf("cancelled coalesced read error = %v, want context.Canceled", err)
+	}
+	close(release)
+	if err := <-done; err != nil {
+		t.Fatalf("surviving waiter: %v", err)
+	}
+	st := s.Stats()
+	if st.Extractions != 1 || st.Coalesced != 1 {
+		t.Errorf("after coalesced cancellation: %+v", st)
+	}
+}
+
+// A store opened with a registry reports its cache, extraction, and
+// per-mode analysis series on the shared scrape surface.
+func TestStoreMetrics(t *testing.T) {
+	reg := telemetry.New()
+	s, err := Open(Config{Dir: t.TempDir(), Parallel: 1, CacheEntries: 1, Registry: reg})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fpA, _, err := s.Put("a", testSources(), OptionsWire{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fpB, _, err := s.Put("b", map[string]string{"rt.mj": runtimeMJ, "lib.mj": libMJv2}, OptionsWire{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Diff(fpA, fpB); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Policies(fpA); err != nil { // evicted by fpB: disk hit
+		t.Fatal(err)
+	}
+	text := reg.Text()
+	for _, want := range []string{
+		"polorad_store_bundles_created_total 2",
+		"polorad_store_cache_misses_total 2",
+		"polorad_store_extractions_total 2",
+		"polorad_store_diffs_total 1",
+		`polorad_store_cache_hits_total{tier="disk"} 1`,
+		"polorad_store_cache_evictions_total 2",
+		"polorad_store_cached_blobs 1",
+		"polorad_store_extract_queue_wait_seconds_count 2",
+		"polorad_store_extract_duration_seconds_count 2",
+		"policyoracle_extractions_total 2",
+		`policyoracle_extract_mode_duration_seconds_count{mode="may"} 2`,
+		`policyoracle_extract_mode_duration_seconds_count{mode="must"} 2`,
+		`policyoracle_analysis_entry_points_total{mode="may"}`,
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("scrape misses %q", want)
+		}
 	}
 }
 

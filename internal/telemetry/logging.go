@@ -1,0 +1,54 @@
+package telemetry
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"log/slog"
+	"strings"
+)
+
+// NewLogger builds the service's structured logger. Format is "text"
+// (human-readable logfmt-style, the default) or "json" (one JSON object
+// per line for log pipelines); level is parsed by ParseLevel.
+func NewLogger(w io.Writer, format string, level slog.Level) (*slog.Logger, error) {
+	opts := &slog.HandlerOptions{Level: level}
+	switch format {
+	case "", "text":
+		return slog.New(slog.NewTextHandler(w, opts)), nil
+	case "json":
+		return slog.New(slog.NewJSONHandler(w, opts)), nil
+	default:
+		return nil, fmt.Errorf("telemetry: unknown log format %q (want text or json)", format)
+	}
+}
+
+// ParseLevel maps a -log-level flag value onto a slog level.
+func ParseLevel(s string) (slog.Level, error) {
+	switch strings.ToLower(s) {
+	case "", "info":
+		return slog.LevelInfo, nil
+	case "debug":
+		return slog.LevelDebug, nil
+	case "warn":
+		return slog.LevelWarn, nil
+	case "error":
+		return slog.LevelError, nil
+	default:
+		return 0, fmt.Errorf("telemetry: unknown log level %q (want debug, info, warn, or error)", s)
+	}
+}
+
+// NopLogger returns a logger that discards everything — the default for
+// library use and tests, so instrumented packages can log
+// unconditionally through a non-nil *slog.Logger.
+func NopLogger() *slog.Logger { return slog.New(nopHandler{}) }
+
+// nopHandler is a slog.Handler that drops every record. (slog's own
+// DiscardHandler arrived after this module's minimum Go version.)
+type nopHandler struct{}
+
+func (nopHandler) Enabled(context.Context, slog.Level) bool  { return false }
+func (nopHandler) Handle(context.Context, slog.Record) error { return nil }
+func (nopHandler) WithAttrs([]slog.Attr) slog.Handler        { return nopHandler{} }
+func (nopHandler) WithGroup(string) slog.Handler             { return nopHandler{} }

@@ -1,0 +1,221 @@
+package telemetry
+
+import (
+	"fmt"
+	"strings"
+	"time"
+)
+
+// This file is the system's metric surface: every instrument the
+// extractor, the store, and the service record, with its canonical name,
+// label schema, and buckets. DESIGN.md's Observability section documents
+// the same names for operators; keep the two in sync.
+
+// DefBuckets are the default latency buckets in seconds, spanning
+// sub-millisecond intraprocedural solves to ten-second paper-scale
+// extractions.
+var DefBuckets = []float64{
+	0.0005, 0.001, 0.0025, 0.005, 0.01, 0.025, 0.05,
+	0.1, 0.25, 0.5, 1, 2.5, 5, 10,
+}
+
+// QueueBuckets resolve queue/semaphore waits, which are usually zero and
+// occasionally the full length of someone else's extraction.
+var QueueBuckets = []float64{
+	0.0001, 0.001, 0.01, 0.1, 0.5, 1, 5, 15, 60,
+}
+
+// HTTPMetrics is the service-layer instrument set.
+type HTTPMetrics struct {
+	// Requests counts completed requests:
+	// polorad_http_requests_total{method,route,code}.
+	Requests *CounterVec
+	// Duration is the request latency histogram:
+	// polorad_http_request_duration_seconds{route}.
+	Duration *HistogramVec
+	// Inflight is the number of requests currently being served:
+	// polorad_http_inflight_requests.
+	Inflight *Gauge
+}
+
+// NewHTTPMetrics registers the HTTP instrument set on r (nil-safe: a nil
+// registry yields no-op instruments).
+func NewHTTPMetrics(r *Registry) *HTTPMetrics {
+	return &HTTPMetrics{
+		Requests: r.CounterVec("polorad_http_requests_total",
+			"Completed HTTP requests by method, route, and status code.",
+			"method", "route", "code"),
+		Duration: r.HistogramVec("polorad_http_request_duration_seconds",
+			"HTTP request latency in seconds by route.",
+			DefBuckets, "route"),
+		Inflight: r.Gauge("polorad_http_inflight_requests",
+			"Requests currently being served."),
+	}
+}
+
+// StoreMetrics is the policy-store instrument set.
+type StoreMetrics struct {
+	// CacheHits counts blob reads served without extraction:
+	// polorad_store_cache_hits_total{tier="mem"|"disk"}.
+	CacheHits *CounterVec
+	// CacheMisses counts blob reads that required extraction.
+	CacheMisses *Counter
+	// Evictions counts blobs dropped from the in-memory LRU.
+	Evictions *Counter
+	// Coalesced counts requests that waited on an identical in-flight
+	// request (single-flight dedup saves).
+	Coalesced *Counter
+	// Extractions counts extractions performed; ExtractFailures the
+	// subset that errored (including cancellations).
+	Extractions     *Counter
+	ExtractFailures *Counter
+	// CorruptBlobs counts persisted blobs that failed validation and
+	// were re-extracted.
+	CorruptBlobs *Counter
+	// Bundles counts newly created bundle uploads; Diffs counts diff
+	// reports computed.
+	Bundles *Counter
+	Diffs   *Counter
+	// QueueWait is the time a cache-missing request waited for an
+	// extraction slot: polorad_store_extract_queue_wait_seconds.
+	QueueWait *Histogram
+	// ExtractDuration is wall time of one bundle extraction:
+	// polorad_store_extract_duration_seconds.
+	ExtractDuration *Histogram
+	// CachedBlobs is the current LRU occupancy.
+	CachedBlobs *Gauge
+}
+
+// NewStoreMetrics registers the store instrument set on r (nil-safe).
+func NewStoreMetrics(r *Registry) *StoreMetrics {
+	return &StoreMetrics{
+		CacheHits: r.CounterVec("polorad_store_cache_hits_total",
+			"Policy-blob reads served from cache by tier (mem, disk).", "tier"),
+		CacheMisses: r.Counter("polorad_store_cache_misses_total",
+			"Policy-blob reads that required extraction."),
+		Evictions: r.Counter("polorad_store_cache_evictions_total",
+			"Policy blobs evicted from the in-memory LRU."),
+		Coalesced: r.Counter("polorad_store_coalesced_requests_total",
+			"Requests coalesced onto an identical in-flight request."),
+		Extractions: r.Counter("polorad_store_extractions_total",
+			"Bundle extractions performed."),
+		ExtractFailures: r.Counter("polorad_store_extract_failures_total",
+			"Bundle extractions that failed or were cancelled."),
+		CorruptBlobs: r.Counter("polorad_store_corrupt_blobs_total",
+			"Persisted blobs that failed validation and were re-extracted."),
+		Bundles: r.Counter("polorad_store_bundles_created_total",
+			"Newly created bundle uploads."),
+		Diffs: r.Counter("polorad_store_diffs_total",
+			"Diff reports computed."),
+		QueueWait: r.Histogram("polorad_store_extract_queue_wait_seconds",
+			"Time spent waiting for an extraction slot.", QueueBuckets),
+		ExtractDuration: r.Histogram("polorad_store_extract_duration_seconds",
+			"Wall time of one bundle extraction.", DefBuckets),
+		CachedBlobs: r.Gauge("polorad_store_cached_blobs",
+			"Policy blobs currently in the in-memory LRU."),
+	}
+}
+
+// ExtractMetrics is the extractor instrument set, fed by oracle.Extract
+// and the analyzer. The mode label is "may" or "must".
+type ExtractMetrics struct {
+	// Extractions counts Extract calls:
+	// policyoracle_extractions_total.
+	Extractions *Counter
+	// ModeDuration is the wall time of one full analysis pass:
+	// policyoracle_extract_mode_duration_seconds{mode}.
+	ModeDuration *HistogramVec
+	// EntryDuration is the per-entry-point analysis latency:
+	// policyoracle_extract_entry_duration_seconds{mode}.
+	EntryDuration *HistogramVec
+	// WorkerBusy accumulates per-entry analysis time:
+	// policyoracle_extract_worker_busy_seconds_total{mode}. Worker-pool
+	// utilization over a window is
+	// rate(worker_busy) / (rate(mode_duration_sum) * workers).
+	WorkerBusy *CounterVec
+	// Workers is the configured per-mode worker count:
+	// policyoracle_extract_workers.
+	Workers *Gauge
+	// Per-phase analysis work counters, the telemetry form of
+	// analysis.Stats: policyoracle_analysis_*_total{mode}.
+	MethodAnalyses *CounterVec
+	MemoHits       *CounterVec
+	CPRuns         *CounterVec
+	CPHits         *CounterVec
+	EntryPoints    *CounterVec
+}
+
+// NewExtractMetrics registers the extractor instrument set on r
+// (nil-safe).
+func NewExtractMetrics(r *Registry) *ExtractMetrics {
+	return &ExtractMetrics{
+		Extractions: r.Counter("policyoracle_extractions_total",
+			"Full policy extractions performed."),
+		ModeDuration: r.HistogramVec("policyoracle_extract_mode_duration_seconds",
+			"Wall time of one analysis pass by mode.", DefBuckets, "mode"),
+		EntryDuration: r.HistogramVec("policyoracle_extract_entry_duration_seconds",
+			"Per-entry-point analysis latency by mode.", DefBuckets, "mode"),
+		WorkerBusy: r.CounterVec("policyoracle_extract_worker_busy_seconds_total",
+			"Cumulative per-entry analysis time by mode.", "mode"),
+		Workers: r.Gauge("policyoracle_extract_workers",
+			"Configured entry-point workers per analysis mode."),
+		MethodAnalyses: r.CounterVec("policyoracle_analysis_method_analyses_total",
+			"SPDA solves (summary-cache misses) by mode.", "mode"),
+		MemoHits: r.CounterVec("policyoracle_analysis_memo_hits_total",
+			"Summary-cache hits by mode.", "mode"),
+		CPRuns: r.CounterVec("policyoracle_analysis_cp_runs_total",
+			"Constant-propagation solves by mode.", "mode"),
+		CPHits: r.CounterVec("policyoracle_analysis_cp_hits_total",
+			"Constant-propagation cache hits by mode.", "mode"),
+		EntryPoints: r.CounterVec("policyoracle_analysis_entry_points_total",
+			"Entry points analyzed by mode.", "mode"),
+	}
+}
+
+// ObserveEntry records one entry-point analysis: its latency histogram
+// sample and its contribution to worker busy time. Nil-safe.
+func (m *ExtractMetrics) ObserveEntry(mode string, d time.Duration) {
+	if m == nil {
+		return
+	}
+	m.EntryDuration.With(mode).ObserveDuration(d)
+	m.WorkerBusy.With(mode).Add(d.Seconds())
+}
+
+// Summary renders the collected extraction metrics as a human-readable
+// phase-timing table, the body of the CLIs' -timings output. Nil-safe
+// (returns "").
+func (m *ExtractMetrics) Summary() string {
+	if m == nil {
+		return ""
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "phase timings (%.0f extraction(s)):\n", m.Extractions.Value())
+	for _, mode := range []string{"may", "must"} {
+		h := m.ModeDuration.With(mode)
+		if h.Count() == 0 {
+			continue
+		}
+		wall := time.Duration(h.Sum() * float64(time.Second)).Round(time.Millisecond)
+		busy := time.Duration(m.WorkerBusy.With(mode).Value() * float64(time.Second)).Round(time.Millisecond)
+		fmt.Fprintf(&b, "  %-4s passes %.0f  wall %v  busy %v  entries %.0f  solves %.0f  memo hits %.0f  cp runs %.0f  cp hits %.0f\n",
+			mode, h.Count(), wall, busy,
+			m.EntryPoints.With(mode).Value(), m.MethodAnalyses.With(mode).Value(),
+			m.MemoHits.With(mode).Value(), m.CPRuns.With(mode).Value(), m.CPHits.With(mode).Value())
+	}
+	return b.String()
+}
+
+// ObserveMode records one completed analysis pass: its wall time and the
+// per-phase work counters accumulated by the analyzer. Nil-safe.
+func (m *ExtractMetrics) ObserveMode(mode string, d time.Duration, methodAnalyses, memoHits, cpRuns, cpHits, entryPoints int) {
+	if m == nil {
+		return
+	}
+	m.ModeDuration.With(mode).ObserveDuration(d)
+	m.MethodAnalyses.With(mode).Add(float64(methodAnalyses))
+	m.MemoHits.With(mode).Add(float64(memoHits))
+	m.CPRuns.With(mode).Add(float64(cpRuns))
+	m.CPHits.With(mode).Add(float64(cpHits))
+	m.EntryPoints.With(mode).Add(float64(entryPoints))
+}

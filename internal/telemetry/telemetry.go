@@ -1,0 +1,471 @@
+// Package telemetry is the observability layer of the policy oracle:
+// a stdlib-only metrics registry (atomic counters, gauges, and
+// fixed-bucket latency histograms) with a Prometheus-text-format
+// exposition handler, plus slog-based structured logging constructors.
+//
+// The package is designed to be zero-cost when disabled. Every
+// constructor and every instrument method is nil-safe: a nil *Registry
+// yields nil instruments, and operating on a nil instrument is a no-op
+// behind a single pointer comparison. Library-mode extraction therefore
+// pays nothing unless a caller wires a registry in, and instrumented
+// code never branches on a separate "enabled" flag.
+//
+// Metric naming follows Prometheus conventions: snake_case names,
+// `_total` suffix on counters, `_seconds` unit suffixes, and labels for
+// bounded dimensions only (mode, route, status code, cache tier). The
+// canonical instrument sets for each subsystem live in sets.go so the
+// whole system's metric surface is documented in one place.
+package telemetry
+
+import (
+	"fmt"
+	"math"
+	"net/http"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// ---------------------------------------------------------------------------
+// Instruments
+
+// value is a float64 cell updated atomically via its bit pattern, the
+// representation Prometheus uses for every sample.
+type value struct{ bits atomic.Uint64 }
+
+func (v *value) add(f float64) {
+	for {
+		old := v.bits.Load()
+		new := math.Float64bits(math.Float64frombits(old) + f)
+		if v.bits.CompareAndSwap(old, new) {
+			return
+		}
+	}
+}
+
+func (v *value) set(f float64) { v.bits.Store(math.Float64bits(f)) }
+func (v *value) load() float64 { return math.Float64frombits(v.bits.Load()) }
+
+// Counter is a monotonically increasing value. All methods are nil-safe
+// no-ops, so disabled telemetry costs one pointer comparison.
+type Counter struct{ v value }
+
+// Inc adds one.
+func (c *Counter) Inc() { c.Add(1) }
+
+// Add adds n, which must be non-negative.
+func (c *Counter) Add(n float64) {
+	if c == nil || n < 0 {
+		return
+	}
+	c.v.add(n)
+}
+
+// Value returns the current count (0 on nil).
+func (c *Counter) Value() float64 {
+	if c == nil {
+		return 0
+	}
+	return c.v.load()
+}
+
+// Gauge is a value that can go up and down.
+type Gauge struct{ v value }
+
+// Set replaces the gauge value.
+func (g *Gauge) Set(n float64) {
+	if g == nil {
+		return
+	}
+	g.v.set(n)
+}
+
+// Add adjusts the gauge by n (negative to decrease).
+func (g *Gauge) Add(n float64) {
+	if g == nil {
+		return
+	}
+	g.v.add(n)
+}
+
+// Inc adds one.
+func (g *Gauge) Inc() { g.Add(1) }
+
+// Dec subtracts one.
+func (g *Gauge) Dec() { g.Add(-1) }
+
+// Value returns the current value (0 on nil).
+func (g *Gauge) Value() float64 {
+	if g == nil {
+		return 0
+	}
+	return g.v.load()
+}
+
+// Histogram accumulates observations into fixed buckets. Buckets are
+// chosen at registration and never reallocated, so Observe is lock-free:
+// one binary search plus three atomic adds.
+type Histogram struct {
+	bounds []float64 // sorted upper bounds; +Inf is implicit
+	counts []value   // len(bounds)+1; last is the overflow (+Inf) bucket
+	sum    value
+	count  value
+}
+
+// Observe records one sample.
+func (h *Histogram) Observe(v float64) {
+	if h == nil {
+		return
+	}
+	i := sort.SearchFloat64s(h.bounds, v) // first bound >= v
+	h.counts[i].add(1)
+	h.sum.add(v)
+	h.count.add(1)
+}
+
+// ObserveDuration records a duration in seconds, the Prometheus base
+// unit for time.
+func (h *Histogram) ObserveDuration(d time.Duration) { h.Observe(d.Seconds()) }
+
+// Count returns the number of observations (0 on nil).
+func (h *Histogram) Count() float64 {
+	if h == nil {
+		return 0
+	}
+	return h.count.load()
+}
+
+// Sum returns the sum of all observed values (0 on nil).
+func (h *Histogram) Sum() float64 {
+	if h == nil {
+		return 0
+	}
+	return h.sum.load()
+}
+
+// ---------------------------------------------------------------------------
+// Families and vectors
+
+// metricKind is the TYPE line of a family.
+type metricKind string
+
+const (
+	kindCounter   metricKind = "counter"
+	kindGauge     metricKind = "gauge"
+	kindHistogram metricKind = "histogram"
+)
+
+// child is one labeled instrument inside a family.
+type child struct {
+	labelValues []string
+	counter     *Counter
+	gauge       *Gauge
+	histogram   *Histogram
+}
+
+// family is one named metric with a fixed label schema and one child per
+// distinct label-value tuple (a single unlabeled child when the schema
+// is empty).
+type family struct {
+	name    string
+	help    string
+	kind    metricKind
+	labels  []string
+	buckets []float64 // histograms only
+
+	mu       sync.Mutex
+	children map[string]*child
+}
+
+func (f *family) childFor(values []string) *child {
+	if len(values) != len(f.labels) {
+		panic(fmt.Sprintf("telemetry: metric %s expects %d label values, got %d",
+			f.name, len(f.labels), len(values)))
+	}
+	key := strings.Join(values, "\x00")
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	c, ok := f.children[key]
+	if !ok {
+		c = &child{labelValues: append([]string(nil), values...)}
+		switch f.kind {
+		case kindCounter:
+			c.counter = &Counter{}
+		case kindGauge:
+			c.gauge = &Gauge{}
+		case kindHistogram:
+			c.histogram = &Histogram{
+				bounds: f.buckets,
+				counts: make([]value, len(f.buckets)+1),
+			}
+		}
+		f.children[key] = c
+	}
+	return c
+}
+
+// CounterVec is a counter family with labels; With resolves one series.
+type CounterVec struct{ fam *family }
+
+// With returns the counter for the given label values, creating it on
+// first use. Nil-safe: a nil vec yields a nil (no-op) counter.
+func (v *CounterVec) With(values ...string) *Counter {
+	if v == nil {
+		return nil
+	}
+	return v.fam.childFor(values).counter
+}
+
+// GaugeVec is a gauge family with labels.
+type GaugeVec struct{ fam *family }
+
+// With returns the gauge for the given label values.
+func (v *GaugeVec) With(values ...string) *Gauge {
+	if v == nil {
+		return nil
+	}
+	return v.fam.childFor(values).gauge
+}
+
+// HistogramVec is a histogram family with labels.
+type HistogramVec struct{ fam *family }
+
+// With returns the histogram for the given label values.
+func (v *HistogramVec) With(values ...string) *Histogram {
+	if v == nil {
+		return nil
+	}
+	return v.fam.childFor(values).histogram
+}
+
+// ---------------------------------------------------------------------------
+// Registry
+
+// Registry holds metric families and renders them in Prometheus text
+// exposition format. The zero value is not usable; call New. A nil
+// *Registry is the disabled state: its constructors return nil
+// instruments whose methods no-op.
+type Registry struct {
+	mu    sync.Mutex
+	fams  map[string]*family
+	order []string // registration order; exposition sorts by name anyway
+}
+
+// New returns an empty registry.
+func New() *Registry {
+	return &Registry{fams: make(map[string]*family)}
+}
+
+// register returns the family for name, creating it if absent. A
+// re-registration with a conflicting schema panics: metric names are a
+// global contract and silently forking one corrupts every scrape.
+func (r *Registry) register(name, help string, kind metricKind, labels []string, buckets []float64) *family {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if f, ok := r.fams[name]; ok {
+		if f.kind != kind || !equalStrings(f.labels, labels) {
+			panic(fmt.Sprintf("telemetry: metric %s re-registered with a different schema", name))
+		}
+		return f
+	}
+	f := &family{
+		name: name, help: help, kind: kind,
+		labels:   append([]string(nil), labels...),
+		buckets:  append([]float64(nil), buckets...),
+		children: make(map[string]*child),
+	}
+	sort.Float64s(f.buckets)
+	r.fams[name] = f
+	r.order = append(r.order, name)
+	return f
+}
+
+func equalStrings(a, b []string) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// Counter registers (or finds) an unlabeled counter.
+func (r *Registry) Counter(name, help string) *Counter {
+	if r == nil {
+		return nil
+	}
+	return r.register(name, help, kindCounter, nil, nil).childFor(nil).counter
+}
+
+// Gauge registers (or finds) an unlabeled gauge.
+func (r *Registry) Gauge(name, help string) *Gauge {
+	if r == nil {
+		return nil
+	}
+	return r.register(name, help, kindGauge, nil, nil).childFor(nil).gauge
+}
+
+// Histogram registers (or finds) an unlabeled histogram with the given
+// bucket upper bounds (DefBuckets if empty).
+func (r *Registry) Histogram(name, help string, buckets []float64) *Histogram {
+	if r == nil {
+		return nil
+	}
+	if len(buckets) == 0 {
+		buckets = DefBuckets
+	}
+	return r.register(name, help, kindHistogram, nil, buckets).childFor(nil).histogram
+}
+
+// CounterVec registers (or finds) a labeled counter family.
+func (r *Registry) CounterVec(name, help string, labels ...string) *CounterVec {
+	if r == nil {
+		return nil
+	}
+	return &CounterVec{fam: r.register(name, help, kindCounter, labels, nil)}
+}
+
+// GaugeVec registers (or finds) a labeled gauge family.
+func (r *Registry) GaugeVec(name, help string, labels ...string) *GaugeVec {
+	if r == nil {
+		return nil
+	}
+	return &GaugeVec{fam: r.register(name, help, kindGauge, labels, nil)}
+}
+
+// HistogramVec registers (or finds) a labeled histogram family.
+func (r *Registry) HistogramVec(name, help string, buckets []float64, labels ...string) *HistogramVec {
+	if r == nil {
+		return nil
+	}
+	if len(buckets) == 0 {
+		buckets = DefBuckets
+	}
+	return &HistogramVec{fam: r.register(name, help, kindHistogram, labels, buckets)}
+}
+
+// ---------------------------------------------------------------------------
+// Exposition
+
+// WriteText renders every family in Prometheus text exposition format
+// (version 0.0.4): families sorted by name, series sorted by label
+// values, histograms as cumulative _bucket/_sum/_count series. The
+// output is deterministic, which the golden scrape tests rely on.
+func (r *Registry) WriteText(w *strings.Builder) {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	names := make([]string, 0, len(r.fams))
+	for name := range r.fams {
+		names = append(names, name)
+	}
+	fams := make([]*family, 0, len(names))
+	sort.Strings(names)
+	for _, name := range names {
+		fams = append(fams, r.fams[name])
+	}
+	r.mu.Unlock()
+	for _, f := range fams {
+		f.writeText(w)
+	}
+}
+
+// Text renders the full exposition as a string.
+func (r *Registry) Text() string {
+	var b strings.Builder
+	r.WriteText(&b)
+	return b.String()
+}
+
+// Handler serves the exposition over HTTP, the /metricsz endpoint.
+func (r *Registry) Handler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		fmt.Fprint(w, r.Text())
+	})
+}
+
+func (f *family) writeText(b *strings.Builder) {
+	f.mu.Lock()
+	keys := make([]string, 0, len(f.children))
+	for k := range f.children {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	kids := make([]*child, 0, len(keys))
+	for _, k := range keys {
+		kids = append(kids, f.children[k])
+	}
+	f.mu.Unlock()
+	if len(kids) == 0 {
+		return
+	}
+	fmt.Fprintf(b, "# HELP %s %s\n", f.name, escapeHelp(f.help))
+	fmt.Fprintf(b, "# TYPE %s %s\n", f.name, f.kind)
+	for _, c := range kids {
+		switch f.kind {
+		case kindCounter:
+			writeSample(b, f.name, f.labels, c.labelValues, "", "", c.counter.Value())
+		case kindGauge:
+			writeSample(b, f.name, f.labels, c.labelValues, "", "", c.gauge.Value())
+		case kindHistogram:
+			h := c.histogram
+			cum := 0.0
+			for i, bound := range h.bounds {
+				cum += h.counts[i].load()
+				writeSample(b, f.name+"_bucket", f.labels, c.labelValues,
+					"le", formatFloat(bound), cum)
+			}
+			cum += h.counts[len(h.bounds)].load()
+			writeSample(b, f.name+"_bucket", f.labels, c.labelValues, "le", "+Inf", cum)
+			writeSample(b, f.name+"_sum", f.labels, c.labelValues, "", "", h.Sum())
+			writeSample(b, f.name+"_count", f.labels, c.labelValues, "", "", h.Count())
+		}
+	}
+}
+
+// writeSample emits one series line, appending an extra label pair (the
+// histogram `le` bound) when extraKey is non-empty.
+func writeSample(b *strings.Builder, name string, labels, values []string, extraKey, extraVal string, v float64) {
+	b.WriteString(name)
+	if len(labels) > 0 || extraKey != "" {
+		b.WriteByte('{')
+		for i, l := range labels {
+			if i > 0 {
+				b.WriteByte(',')
+			}
+			// %q escapes backslash, quote, and newline — exactly the
+			// Prometheus label-value escaping rules.
+			fmt.Fprintf(b, "%s=%q", l, values[i])
+		}
+		if extraKey != "" {
+			if len(labels) > 0 {
+				b.WriteByte(',')
+			}
+			fmt.Fprintf(b, "%s=%q", extraKey, extraVal)
+		}
+		b.WriteByte('}')
+	}
+	b.WriteByte(' ')
+	b.WriteString(formatFloat(v))
+	b.WriteByte('\n')
+}
+
+func formatFloat(v float64) string {
+	if math.IsInf(v, 1) {
+		return "+Inf"
+	}
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+func escapeHelp(s string) string {
+	s = strings.ReplaceAll(s, `\`, `\\`)
+	return strings.ReplaceAll(s, "\n", `\n`)
+}

@@ -1,0 +1,192 @@
+package telemetry
+
+import (
+	"bytes"
+	"io"
+	"log/slog"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestCounterGauge(t *testing.T) {
+	r := New()
+	c := r.Counter("c_total", "c")
+	c.Inc()
+	c.Add(2.5)
+	c.Add(-1) // counters reject decreases
+	if got := c.Value(); got != 3.5 {
+		t.Errorf("counter = %v, want 3.5", got)
+	}
+	g := r.Gauge("g", "g")
+	g.Set(10)
+	g.Dec()
+	g.Add(0.5)
+	if got := g.Value(); got != 9.5 {
+		t.Errorf("gauge = %v, want 9.5", got)
+	}
+}
+
+func TestHistogramBuckets(t *testing.T) {
+	r := New()
+	h := r.Histogram("h_seconds", "h", []float64{0.01, 0.1, 1})
+	for _, v := range []float64{0.005, 0.01, 0.05, 0.5, 99} {
+		h.Observe(v)
+	}
+	h.ObserveDuration(20 * time.Millisecond)
+	if got := h.Count(); got != 6 {
+		t.Errorf("count = %v, want 6", got)
+	}
+	text := r.Text()
+	for _, want := range []string{
+		`h_seconds_bucket{le="0.01"} 2`,
+		`h_seconds_bucket{le="0.1"} 4`,
+		`h_seconds_bucket{le="1"} 5`,
+		`h_seconds_bucket{le="+Inf"} 6`,
+		`h_seconds_count 6`,
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("exposition missing %q:\n%s", want, text)
+		}
+	}
+}
+
+func TestNilRegistryIsNoOp(t *testing.T) {
+	var r *Registry
+	r.Counter("x_total", "x").Inc()
+	r.Gauge("y", "y").Set(1)
+	r.Histogram("z_seconds", "z", nil).Observe(1)
+	r.CounterVec("v_total", "v", "l").With("a").Inc()
+	r.HistogramVec("w_seconds", "w", nil, "l").With("a").Observe(1)
+	r.GaugeVec("u", "u", "l").With("a").Set(1)
+	if got := r.Text(); got != "" {
+		t.Errorf("nil registry renders %q", got)
+	}
+	// The subsystem sets must be safe on a nil registry too.
+	NewHTTPMetrics(nil).Requests.With("GET", "/x", "200").Inc()
+	NewStoreMetrics(nil).QueueWait.Observe(1)
+	m := NewExtractMetrics(nil)
+	m.ObserveEntry("may", time.Second)
+	m.ObserveMode("may", time.Second, 1, 2, 3, 4, 5)
+}
+
+func TestIdempotentRegistration(t *testing.T) {
+	r := New()
+	a := r.Counter("same_total", "help")
+	b := r.Counter("same_total", "help")
+	if a != b {
+		t.Error("re-registration returned a different counter")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("conflicting re-registration did not panic")
+		}
+	}()
+	r.Gauge("same_total", "help")
+}
+
+func TestConcurrentUse(t *testing.T) {
+	r := New()
+	vec := r.CounterVec("req_total", "reqs", "code")
+	h := r.Histogram("lat_seconds", "lat", nil)
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			codes := []string{"200", "404", "500"}
+			for j := 0; j < 1000; j++ {
+				vec.With(codes[j%len(codes)]).Inc()
+				h.Observe(float64(j) / 1000)
+			}
+		}(i)
+	}
+	wg.Wait()
+	sum := 0.0
+	for _, code := range []string{"200", "404", "500"} {
+		sum += vec.With(code).Value()
+	}
+	if sum != 8000 {
+		t.Errorf("counter sum = %v, want 8000", sum)
+	}
+	if h.Count() != 8000 {
+		t.Errorf("histogram count = %v, want 8000", h.Count())
+	}
+}
+
+// TestGoldenScrape pins the exact exposition bytes: family ordering,
+// HELP/TYPE lines, label rendering, histogram series. The scrape format
+// is a wire contract — update this golden deliberately.
+func TestGoldenScrape(t *testing.T) {
+	r := New()
+	reqs := r.CounterVec("polorad_http_requests_total",
+		"Completed HTTP requests by method, route, and status code.",
+		"method", "route", "code")
+	reqs.With("POST", "/v1/extract", "200").Add(3)
+	reqs.With("POST", "/v1/diff", "404").Inc()
+	r.Gauge("polorad_http_inflight_requests", "Requests currently being served.").Set(2)
+	h := r.Histogram("polorad_store_extract_queue_wait_seconds",
+		"Time spent waiting for an extraction slot.", []float64{0.001, 0.1})
+	h.Observe(0.0005)
+	h.Observe(0.05)
+	h.Observe(3)
+
+	want := `# HELP polorad_http_inflight_requests Requests currently being served.
+# TYPE polorad_http_inflight_requests gauge
+polorad_http_inflight_requests 2
+# HELP polorad_http_requests_total Completed HTTP requests by method, route, and status code.
+# TYPE polorad_http_requests_total counter
+polorad_http_requests_total{method="POST",route="/v1/diff",code="404"} 1
+polorad_http_requests_total{method="POST",route="/v1/extract",code="200"} 3
+# HELP polorad_store_extract_queue_wait_seconds Time spent waiting for an extraction slot.
+# TYPE polorad_store_extract_queue_wait_seconds histogram
+polorad_store_extract_queue_wait_seconds_bucket{le="0.001"} 1
+polorad_store_extract_queue_wait_seconds_bucket{le="0.1"} 2
+polorad_store_extract_queue_wait_seconds_bucket{le="+Inf"} 3
+polorad_store_extract_queue_wait_seconds_sum 3.0505
+polorad_store_extract_queue_wait_seconds_count 3
+`
+	if got := r.Text(); got != want {
+		t.Errorf("golden scrape mismatch:\n--- got ---\n%s--- want ---\n%s", got, want)
+	}
+}
+
+func TestHandler(t *testing.T) {
+	r := New()
+	r.Counter("x_total", "x").Inc()
+	rec := httptest.NewRecorder()
+	r.Handler().ServeHTTP(rec, httptest.NewRequest("GET", "/metricsz", nil))
+	if rec.Code != 200 {
+		t.Fatalf("status %d", rec.Code)
+	}
+	if ct := rec.Header().Get("Content-Type"); !strings.HasPrefix(ct, "text/plain; version=0.0.4") {
+		t.Errorf("content type %q", ct)
+	}
+	if !strings.Contains(rec.Body.String(), "x_total 1") {
+		t.Errorf("body %q", rec.Body.String())
+	}
+}
+
+func TestLoggers(t *testing.T) {
+	var buf bytes.Buffer
+	lg, err := NewLogger(&buf, "json", slog.LevelInfo)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lg.Info("hello", "k", "v")
+	if !strings.Contains(buf.String(), `"k":"v"`) {
+		t.Errorf("json log output: %q", buf.String())
+	}
+	if _, err := NewLogger(io.Discard, "xml", slog.LevelInfo); err == nil {
+		t.Error("bad format accepted")
+	}
+	if _, err := ParseLevel("debug"); err != nil {
+		t.Error(err)
+	}
+	if _, err := ParseLevel("loud"); err == nil {
+		t.Error("bad level accepted")
+	}
+	NopLogger().Error("dropped") // must not panic or write anywhere visible
+}

@@ -28,7 +28,7 @@ func TestWitnessesSeededDropChecks(t *testing.T) {
 	pairs := [][2]string{{"jdk", "harmony"}, {"jdk", "classpath"}, {"classpath", "harmony"}}
 	for _, pair := range pairs {
 		a, b := libs[pair[0]], libs[pair[1]]
-		rep := oracle.Diff(a, b)
+		rep := mustDiff(t, a, b)
 		for _, g := range rep.Groups {
 			for i := range c.Issues {
 				is := &c.Issues[i]

@@ -11,6 +11,15 @@ import (
 	"policyoracle/internal/secmodel"
 )
 
+func mustDiff(t testing.TB, a, b *oracle.Library) *diff.Report {
+	t.Helper()
+	rep, err := oracle.Diff(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return rep
+}
+
 func extract(t testing.TB, name string) *oracle.Library {
 	t.Helper()
 	l, err := oracle.LoadLibrary(name, corpus.Sources(name))
@@ -32,7 +41,7 @@ func TestWitnessesHandwrittenVulnerabilities(t *testing.T) {
 	confirmedIssues := map[string]bool{}
 	for _, pair := range corpus.Pairs() {
 		a, b := libs[pair[0]], libs[pair[1]]
-		rep := oracle.Diff(a, b)
+		rep := mustDiff(t, a, b)
 		for _, g := range rep.Groups {
 			is := corpus.ClassifyGroup(g, pair, false)
 			if is == nil || is.Kind != corpus.Vulnerability {
@@ -72,7 +81,7 @@ func TestFalsePositivesNotConfirmedAsVulnerabilities(t *testing.T) {
 	// enforces a different permission — so the witness must blame each
 	// side depending on the denied check, never consistently one library.
 	jdk, harmony := extract(t, corpus.JDK), extract(t, corpus.Harmony)
-	rep := oracle.Diff(jdk, harmony)
+	rep := mustDiff(t, jdk, harmony)
 	for _, g := range rep.Groups {
 		isGetProp := false
 		for _, e := range g.Entries {

@@ -17,11 +17,14 @@ import (
 
 	"policyoracle"
 	"policyoracle/internal/secmodel"
+	"policyoracle/internal/telemetry"
 )
 
 // diffReportJSON extracts two builtin corpora with the given worker count
-// and renders the diff report as indented JSON.
-func diffReportJSON(t *testing.T, libA, libB string, parallel int, events secmodel.EventMode) []byte {
+// and renders the diff report as indented JSON. With instrument set, the
+// extraction runs with a live metrics registry — telemetry must never
+// change the report bytes.
+func diffReportJSON(t *testing.T, libA, libB string, parallel int, events secmodel.EventMode, instrument bool) []byte {
 	t.Helper()
 	load := func(name string) *policyoracle.Library {
 		lib, err := policyoracle.LoadLibrary(name, policyoracle.BuiltinCorpus(name))
@@ -33,10 +36,17 @@ func diffReportJSON(t *testing.T, libA, libB string, parallel int, events secmod
 	opts := policyoracle.DefaultOptions()
 	opts.Parallel = parallel
 	opts.Events = events
+	if instrument {
+		opts.Telemetry = telemetry.NewExtractMetrics(telemetry.New())
+	}
 	a, b := load(libA), load(libB)
 	a.Extract(opts)
 	b.Extract(opts)
-	data, err := json.MarshalIndent(policyoracle.Diff(a, b).ToJSON(), "", "  ")
+	rep, err := policyoracle.Diff(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, err := json.MarshalIndent(rep.ToJSON(), "", "  ")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -48,12 +58,14 @@ func TestParallelExtractionByteIdentical(t *testing.T) {
 	for _, events := range []secmodel.EventMode{secmodel.NarrowEvents, secmodel.BroadEvents} {
 		for _, pair := range pairs {
 			t.Run(fmt.Sprintf("%s-%s-%s", pair[0], pair[1], events), func(t *testing.T) {
-				seq := diffReportJSON(t, pair[0], pair[1], 1, events)
+				seq := diffReportJSON(t, pair[0], pair[1], 1, events, false)
 				if len(seq) == 0 {
 					t.Fatal("empty sequential report")
 				}
 				for _, parallel := range []int{4, 8} {
-					got := diffReportJSON(t, pair[0], pair[1], parallel, events)
+					// Instrument the parallel runs: byte identity must
+					// hold with telemetry enabled, per-worker.
+					got := diffReportJSON(t, pair[0], pair[1], parallel, events, true)
 					if !bytes.Equal(seq, got) {
 						t.Errorf("-parallel %d report differs from sequential:\nsequential:\n%s\nparallel:\n%s",
 							parallel, seq, got)
@@ -91,7 +103,11 @@ func TestParallelExtractionMemoModes(t *testing.T) {
 				mm.memo(&opts)
 				lib.Extract(opts)
 				other.Extract(opts)
-				data, err := json.MarshalIndent(policyoracle.Diff(lib, other).ToJSON(), "", "  ")
+				rep, err := policyoracle.Diff(lib, other)
+				if err != nil {
+					t.Fatal(err)
+				}
+				data, err := json.MarshalIndent(rep.ToJSON(), "", "  ")
 				if err != nil {
 					t.Fatal(err)
 				}

@@ -18,11 +18,13 @@
 //	srcs := map[string]string{"Socket.mj": "package java.net; ..."}
 //	a, err := policyoracle.LoadLibrary("jdk", srcs)
 //	b, err := policyoracle.LoadLibrary("harmony", srcs2)
-//	opts := policyoracle.DefaultOptions()
-//	a.Extract(opts)
-//	b.Extract(opts)
-//	report := policyoracle.Diff(a, b)
+//	report, err := policyoracle.Compare(a, b, policyoracle.DefaultOptions())
 //	fmt.Print(report)
+//
+// Compare extracts each library's policies if they are missing and then
+// differences them. Callers that manage extraction themselves use
+// Library.Extract (or ExtractContext for cancellation) followed by Diff,
+// which fails loudly when either side was never extracted.
 //
 // Extraction runs the paper's flow- and context-sensitive interprocedural
 // analysis (SPDA/ISPA) twice per entry point — a MAY pass (union meet) and
@@ -155,9 +157,22 @@ func Fingerprint(name string, sources map[string]string, opts Options) string {
 	return oracle.Fingerprint(name, sources, opts)
 }
 
-// Diff differences the extracted policies of two implementations; both
-// must have been Extracted first.
-func Diff(a, b *Library) *Report { return oracle.Diff(a, b) }
+// ErrNotExtracted reports a Diff over a library whose policies were
+// never extracted.
+var ErrNotExtracted = oracle.ErrNotExtracted
+
+// Diff differences the extracted policies of two implementations. Both
+// must have been Extracted first: differencing an un-extracted library
+// returns an error wrapping ErrNotExtracted rather than a silently
+// empty report.
+func Diff(a, b *Library) (*Report, error) { return oracle.Diff(a, b) }
+
+// Compare is the one-shot entry point: it extracts either library's
+// policies under opts if they are missing, then differences them. A
+// library that already has policies is never re-extracted.
+func Compare(a, b *Library, opts Options) (*Report, error) {
+	return oracle.Compare(a, b, opts)
+}
 
 // MatchingEntries counts entry-point signatures common to both libraries.
 func MatchingEntries(a, b *Library) int { return oracle.MatchingEntries(a, b) }

@@ -38,7 +38,10 @@ func TestPublicAPIEndToEnd(t *testing.T) {
 	jdk.Extract(opts)
 	harmony.Extract(opts)
 
-	rep := policyoracle.Diff(jdk, harmony)
+	rep, err := policyoracle.Diff(jdk, harmony)
+	if err != nil {
+		t.Fatal(err)
+	}
 	if rep.MatchingEntries == 0 || len(rep.Groups) == 0 {
 		t.Fatalf("degenerate report: %s", rep)
 	}
