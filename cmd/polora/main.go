@@ -9,6 +9,15 @@
 //	polora diff-policies <a.json> <dir>  difference shared policies against local code
 //	polora fingerprint <dir> [flags]     print the polorad content address of a library
 //	polora corpus <outdir>               write the bundled corpora to disk
+//	polora fuzz [dir...] [flags]         run a metamorphic fuzzing campaign
+//
+// The fuzz command mutates each library with seeded semantics-preserving
+// rewrites and asserts the oracle's metamorphic invariants after every
+// round: the mutant diffs clean against the original, MUST ⊆ MAY holds
+// for every entry point, parallel extraction matches serial byte for
+// byte, and export → import → export round-trips byte-identically. With
+// no directories it fuzzes the bundled corpora. Flags: -seed, -rounds,
+// -mutations (rewrites per round), -workers (concurrent rounds).
 //
 // Flags (policies, diff):
 //
@@ -37,11 +46,13 @@ import (
 	"strings"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"policyoracle"
 	"policyoracle/internal/analysis"
 	"policyoracle/internal/diff"
 	"policyoracle/internal/exceptions"
+	"policyoracle/internal/metamorph"
 	internalpolicy "policyoracle/internal/policy"
 	"policyoracle/internal/secmodel"
 	"policyoracle/internal/telemetry"
@@ -69,6 +80,8 @@ func main() {
 		err = cmdDiffPolicies(os.Args[2:])
 	case "fingerprint":
 		err = cmdFingerprint(os.Args[2:])
+	case "fuzz":
+		err = cmdFuzz(os.Args[2:])
 	case "help", "-h", "--help":
 		usage()
 	default:
@@ -91,6 +104,7 @@ func usage() {
   polora diff-policies <a.json> <dir>   difference shared policies against local code
   polora fingerprint <dir> [flags]      print the polorad content address of a library
   polora corpus <outdir>                write the bundled jdk/harmony/classpath corpora
+  polora fuzz [dir...] [flags]          run a metamorphic fuzzing campaign over libraries
 `)
 }
 
@@ -425,6 +439,68 @@ func cmdFingerprint(args []string) error {
 		*name = filepath.Base(dir)
 	}
 	fmt.Println(policyoracle.Fingerprint(*name, sources, opts))
+	return nil
+}
+
+// cmdFuzz runs the metamorphic campaign from internal/metamorph over one
+// library per directory argument, or over the bundled corpora when none
+// are given. It exits nonzero if any invariant was violated, printing
+// each violation with its replay seed.
+func cmdFuzz(args []string) error {
+	fs := flag.NewFlagSet("fuzz", flag.ExitOnError)
+	seed := fs.Int64("seed", 1, "campaign seed (each round derives its own)")
+	rounds := fs.Int("rounds", 100, "mutation rounds per library")
+	mutations := fs.Int("mutations", 8, "semantics-preserving rewrites attempted per round")
+	workers := fs.Int("workers", 0, "concurrent rounds (0 = GOMAXPROCS)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	type target struct {
+		name    string
+		sources map[string]string
+	}
+	var targets []target
+	if fs.NArg() == 0 {
+		for _, name := range policyoracle.BuiltinCorpora() {
+			targets = append(targets, target{name, policyoracle.BuiltinCorpus(name)})
+		}
+	} else {
+		for _, dir := range fs.Args() {
+			sources, err := policyoracle.ReadSourcesDir(dir)
+			if err != nil {
+				return err
+			}
+			targets = append(targets, target{filepath.Base(dir), sources})
+		}
+	}
+	metrics := telemetry.NewMetamorphMetrics(telemetry.New())
+	violations := 0
+	for _, tg := range targets {
+		rep, err := metamorph.Run(tg.name, tg.sources, metamorph.CampaignOptions{
+			Seed:      *seed,
+			Rounds:    *rounds,
+			Mutations: *mutations,
+			Workers:   *workers,
+			Metrics:   metrics,
+		})
+		if err != nil {
+			return fmt.Errorf("fuzz %s: %w", tg.name, err)
+		}
+		fmt.Printf("%s: %d rounds over %d entry points in %v\n",
+			rep.Library, rep.Rounds, rep.Entries, rep.Elapsed.Round(time.Millisecond))
+		for _, v := range rep.Violations {
+			fmt.Printf("  VIOLATION %s\n", v)
+		}
+		violations += len(rep.Violations)
+	}
+	fmt.Printf("\nrewrites applied (all libraries):\n")
+	for _, m := range metamorph.Mutators() {
+		fmt.Printf("  %-15s %.0f\n", m.Name, metrics.Mutations.With(m.Name).Value())
+	}
+	fmt.Printf("rounds %.0f, violations %d\n", metrics.Rounds.Value(), violations)
+	if violations > 0 {
+		return fmt.Errorf("%d metamorphic invariant violation(s); replay with -seed %d", violations, *seed)
+	}
 	return nil
 }
 

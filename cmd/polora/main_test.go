@@ -125,6 +125,22 @@ func TestCLIEndToEnd(t *testing.T) {
 		t.Error("fingerprint ignores -broad")
 	}
 
+	// fuzz: a short metamorphic campaign over one corpus directory must
+	// apply rewrites and report zero invariant violations.
+	out, err = runCLI(t, bin, "fuzz", "-seed", "11", "-rounds", "4",
+		filepath.Join(corpusDir, "jdk"))
+	if err != nil {
+		t.Fatalf("fuzz: %v\n%s", err, out)
+	}
+	for _, want := range []string{"4 rounds over", "rewrites applied", "violations 0"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("fuzz output missing %q:\n%s", want, out)
+		}
+	}
+	if strings.Contains(out, "VIOLATION") {
+		t.Errorf("fuzz reported violations:\n%s", out)
+	}
+
 	// exceptions: the §8 extension reports the Figure 8 difference.
 	out, err = runCLI(t, bin, "exceptions",
 		filepath.Join(corpusDir, "jdk"), filepath.Join(corpusDir, "harmony"))

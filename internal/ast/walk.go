@@ -1,0 +1,153 @@
+package ast
+
+// Inspect traverses the tree rooted at n in depth-first order, calling f
+// for every node. If f returns false for a node, its children are not
+// visited. Nil children are skipped. All AST nodes are pointers, so
+// visitors may mutate node fields in place; Inspect is the foundation of
+// the metamorphic mutators, which rewrite trees between parse and print.
+func Inspect(n Node, f func(Node) bool) {
+	if n == nil || !f(n) {
+		return
+	}
+	switch n := n.(type) {
+	case *File:
+		for _, td := range n.Types {
+			Inspect(td, f)
+		}
+	case *TypeDecl:
+		for _, fd := range n.Fields {
+			Inspect(fd, f)
+		}
+		for _, md := range n.Methods {
+			Inspect(md, f)
+		}
+	case *FieldDecl:
+		inspectExpr(n.Init, f)
+	case *MethodDecl:
+		if n.Body != nil {
+			Inspect(n.Body, f)
+		}
+	case *Block:
+		for _, s := range n.Stmts {
+			Inspect(s, f)
+		}
+	case *LocalVarDecl:
+		inspectExpr(n.Init, f)
+	case *ExprStmt:
+		inspectExpr(n.X, f)
+	case *AssignStmt:
+		inspectExpr(n.Target, f)
+		inspectExpr(n.Value, f)
+	case *IfStmt:
+		inspectExpr(n.Cond, f)
+		Inspect(n.Then, f)
+		if n.Else != nil {
+			Inspect(n.Else, f)
+		}
+	case *WhileStmt:
+		inspectExpr(n.Cond, f)
+		Inspect(n.Body, f)
+	case *DoWhileStmt:
+		Inspect(n.Body, f)
+		inspectExpr(n.Cond, f)
+	case *ForStmt:
+		if n.Init != nil {
+			Inspect(n.Init, f)
+		}
+		inspectExpr(n.Cond, f)
+		if n.Post != nil {
+			Inspect(n.Post, f)
+		}
+		Inspect(n.Body, f)
+	case *ReturnStmt:
+		inspectExpr(n.Value, f)
+	case *ThrowStmt:
+		inspectExpr(n.Value, f)
+	case *SyncStmt:
+		inspectExpr(n.Lock, f)
+		Inspect(n.Body, f)
+	case *TryStmt:
+		Inspect(n.Body, f)
+		for _, cc := range n.Catches {
+			Inspect(cc, f)
+		}
+		if n.Finally != nil {
+			Inspect(n.Finally, f)
+		}
+	case *CatchClause:
+		Inspect(n.Body, f)
+	case *SwitchStmt:
+		inspectExpr(n.Tag, f)
+		for _, c := range n.Cases {
+			Inspect(c, f)
+		}
+	case *SwitchCase:
+		inspectExpr(n.Value, f)
+		for _, s := range n.Stmts {
+			Inspect(s, f)
+		}
+	case *BreakStmt, *ContinueStmt:
+	case *Literal, *VarRef:
+	case *FieldAccess:
+		inspectExpr(n.X, f)
+	case *IndexExpr:
+		inspectExpr(n.X, f)
+		inspectExpr(n.Index, f)
+	case *CallExpr:
+		inspectExpr(n.Recv, f)
+		for _, a := range n.Args {
+			inspectExpr(a, f)
+		}
+	case *NewExpr:
+		for _, a := range n.Args {
+			inspectExpr(a, f)
+		}
+	case *NewArrayExpr:
+		inspectExpr(n.Len, f)
+		for _, a := range n.Elems {
+			inspectExpr(a, f)
+		}
+	case *UnaryExpr:
+		inspectExpr(n.X, f)
+	case *BinaryExpr:
+		inspectExpr(n.X, f)
+		inspectExpr(n.Y, f)
+	case *CondExpr:
+		inspectExpr(n.Cond, f)
+		inspectExpr(n.Then, f)
+		inspectExpr(n.Else, f)
+	case *CastExpr:
+		inspectExpr(n.X, f)
+	case *InstanceOfExpr:
+		inspectExpr(n.X, f)
+	case *IncDecExpr:
+		inspectExpr(n.X, f)
+	}
+}
+
+// inspectExpr guards against typed-nil expression fields: an Expr-typed
+// field holding a nil pointer must not be visited.
+func inspectExpr(e Expr, f func(Node) bool) {
+	if e == nil {
+		return
+	}
+	Inspect(e, f)
+}
+
+// StmtLists calls f on every statement list in the tree rooted at n —
+// method bodies, nested blocks, loop and branch bodies, catch and finally
+// clauses, and switch arms. f receives a pointer to the slice so it can
+// insert, remove, or reorder statements in place.
+func StmtLists(n Node, f func(*[]Stmt)) {
+	Inspect(n, func(n Node) bool {
+		switch n := n.(type) {
+		case *Block:
+			f(&n.Stmts)
+		case *SwitchCase:
+			f(&n.Stmts)
+		case *IfStmt:
+			// Non-block branches are single statements, not lists.
+		}
+		return true
+	})
+}

@@ -1,0 +1,46 @@
+package gen
+
+import (
+	"testing"
+
+	"policyoracle/internal/oracle"
+)
+
+// TestVerifyReportUnmutated pins the verification hook itself: on the
+// unmutated corpus the oracle's report must match the seeded ground
+// truth exactly, so VerifyReport returns no problems for any pair. The
+// metamorphic fuzzer builds on this hook to assert that seeded
+// deviations also survive mutation.
+func TestVerifyReportUnmutated(t *testing.T) {
+	c, libs := loadCorpus(t, Small())
+	for _, l := range libs {
+		l.Extract(oracle.DefaultOptions())
+	}
+	for _, pair := range c.Pairs() {
+		rep := mustDiff(t, libs[pair[0]], libs[pair[1]])
+		for _, problem := range c.VerifyReport(pair, rep) {
+			t.Error(problem)
+		}
+	}
+}
+
+// TestVerifyReportFlagsTampering makes sure the hook actually fails when
+// the report disagrees with the ground truth — a verifier that accepts
+// everything would make the survival test vacuous.
+func TestVerifyReportFlagsTampering(t *testing.T) {
+	c, libs := loadCorpus(t, Small())
+	for _, l := range libs {
+		l.Extract(oracle.DefaultOptions())
+	}
+	pair := c.Pairs()[0]
+	rep := mustDiff(t, libs[pair[0]], libs[pair[1]])
+	if len(rep.Groups) == 0 {
+		t.Fatal("no difference groups to tamper with")
+	}
+	// Dropping a real difference must be reported as an undetected issue.
+	tampered := *rep
+	tampered.Groups = rep.Groups[1:]
+	if len(c.VerifyReport(pair, &tampered)) == 0 {
+		t.Error("VerifyReport accepted a report with a seeded issue removed")
+	}
+}

@@ -1,0 +1,231 @@
+// Package metamorph implements metamorphic fuzzing for the security
+// policy oracle. It mutates MJ library implementations in ways that
+// provably preserve the extracted security policy — alpha-renaming,
+// helper extraction and inlining, wrapper interposition, dead code,
+// reordering of independent statements, file re-sharding — and checks
+// that the oracle agrees: a semantics-preserving mutant must diff clean
+// against the original. This machine-checks the paper's central claim
+// that policy differencing has no intrinsic false positives: if any
+// mutator ever produces a diff, either the mutator or the analyzer is
+// wrong, and both are bugs worth keeping.
+package metamorph
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"policyoracle/internal/ast"
+	"policyoracle/internal/lang"
+	"policyoracle/internal/parser"
+)
+
+// runtimeClasses are the security-model classes whose structure the
+// analysis keys on (check methods, doPrivileged, getSecurityManager).
+// Files declaring any of them are frozen: mutating the model itself
+// would change event identities, not just program structure.
+var runtimeClasses = map[string]bool{
+	"SecurityManager":  true,
+	"AccessController": true,
+	"PrivilegedAction": true,
+	"System":           true,
+}
+
+// File is one parsed source file of a bundle.
+type File struct {
+	Path string
+	AST  *ast.File
+	// Frozen files (the java.lang/java.security runtime prelude) are
+	// printed back verbatim and never mutated.
+	Frozen bool
+}
+
+// Bundle is a parsed, mutable library implementation plus the
+// bundle-wide name indexes the mutators consult to stay
+// capture-avoiding.
+type Bundle struct {
+	Files []*File
+
+	// classNames / fieldNames / methodCount index every declaration in
+	// the bundle (frozen files included — a mutable class may extend or
+	// call into the runtime). PrivateRead/Write events are keyed by
+	// field name and NativeCall events by method name/arity, so the
+	// mutators never rename fields or native methods and never reuse a
+	// declared name.
+	classNames  map[string]bool
+	fieldNames  map[string]bool
+	methodCount map[string]int
+	// idents holds every identifier-like string seen anywhere, the
+	// exclusion set for fresh-name generation.
+	idents map[string]bool
+	fresh  int
+}
+
+// ParseBundle parses every source in the bundle. It fails on any
+// diagnostic error: only cleanly loading bundles are mutable (the
+// invariant checker needs a well-defined baseline policy).
+func ParseBundle(sources map[string]string) (*Bundle, error) {
+	b := &Bundle{
+		classNames:  map[string]bool{},
+		fieldNames:  map[string]bool{},
+		methodCount: map[string]int{},
+		idents:      map[string]bool{},
+	}
+	paths := make([]string, 0, len(sources))
+	for p := range sources {
+		paths = append(paths, p)
+	}
+	sort.Strings(paths)
+	for _, p := range paths {
+		diags := &lang.Diagnostics{}
+		f := parser.ParseFile(p, sources[p], diags)
+		if diags.HasErrors() {
+			return nil, fmt.Errorf("metamorph: parsing %s: %w", p, diags.Err())
+		}
+		b.Files = append(b.Files, &File{Path: p, AST: f, Frozen: frozenFile(f)})
+	}
+	b.reindex()
+	return b, nil
+}
+
+// frozenFile reports whether f declares any security-model class.
+func frozenFile(f *ast.File) bool {
+	for _, td := range f.Types {
+		if runtimeClasses[td.Name] {
+			return true
+		}
+	}
+	return false
+}
+
+// reindex rebuilds the bundle-wide name indexes from the current ASTs.
+func (b *Bundle) reindex() {
+	b.classNames = map[string]bool{}
+	b.fieldNames = map[string]bool{}
+	b.methodCount = map[string]int{}
+	b.idents = map[string]bool{}
+	for _, f := range b.Files {
+		b.addIdent(f.AST.Package)
+		for _, imp := range f.AST.Imports {
+			b.addIdent(imp)
+		}
+		for _, td := range f.AST.Types {
+			b.classNames[td.Name] = true
+			b.addIdent(td.Name)
+			b.addIdent(td.Extends)
+			for _, i := range td.Implements {
+				b.addIdent(i)
+			}
+			for _, fd := range td.Fields {
+				b.fieldNames[fd.Name] = true
+				b.addIdent(fd.Name)
+				b.addIdent(fd.Type.Name)
+			}
+			for _, md := range td.Methods {
+				b.methodCount[md.Name]++
+				b.addIdent(md.Name)
+				b.addIdent(md.Ret.Name)
+				for _, p := range md.Params {
+					b.addIdent(p.Name)
+					b.addIdent(p.Type.Name)
+				}
+			}
+			ast.Inspect(td, func(n ast.Node) bool {
+				switch n := n.(type) {
+				case *ast.LocalVarDecl:
+					b.addIdent(n.Name)
+					b.addIdent(n.Type.Name)
+				case *ast.CatchClause:
+					b.addIdent(n.Name)
+					b.addIdent(n.Type.Name)
+				case *ast.VarRef:
+					b.addIdent(n.Name)
+				case *ast.FieldAccess:
+					b.addIdent(n.Name)
+				case *ast.CallExpr:
+					b.addIdent(n.Name)
+				case *ast.NewExpr:
+					b.addIdent(n.Type.Name)
+				case *ast.NewArrayExpr:
+					b.addIdent(n.Type.Name)
+				case *ast.CastExpr:
+					b.addIdent(n.Type.Name)
+				case *ast.InstanceOfExpr:
+					b.addIdent(n.Type.Name)
+				}
+				return true
+			})
+		}
+	}
+}
+
+// addIdent records every dot-separated component of s in the identifier
+// exclusion set.
+func (b *Bundle) addIdent(s string) {
+	if s == "" {
+		return
+	}
+	for _, part := range strings.Split(s, ".") {
+		if part != "" {
+			b.idents[part] = true
+		}
+	}
+}
+
+// Fresh mints an identifier not declared or referenced anywhere in the
+// bundle, derived from prefix, and reserves it.
+func (b *Bundle) Fresh(prefix string) string {
+	for {
+		cand := fmt.Sprintf("%s_mz%d", prefix, b.fresh)
+		b.fresh++
+		if !b.idents[cand] {
+			b.idents[cand] = true
+			return cand
+		}
+	}
+}
+
+// Sources prints the bundle back to a file → source map.
+func (b *Bundle) Sources() map[string]string {
+	out := make(map[string]string, len(b.Files))
+	for _, f := range b.Files {
+		out[f.Path] = ast.Print(f.AST)
+	}
+	return out
+}
+
+// methodCtx locates one method declaration inside the bundle.
+type methodCtx struct {
+	file   *File
+	class  *ast.TypeDecl
+	method *ast.MethodDecl
+}
+
+// eachClass calls f for every class (non-interface type) declared in a
+// mutable (non-frozen) file.
+func (b *Bundle) eachClass(f func(file *File, td *ast.TypeDecl)) {
+	for _, file := range b.Files {
+		if file.Frozen {
+			continue
+		}
+		for _, td := range file.AST.Types {
+			if td.IsInterface {
+				continue
+			}
+			f(file, td)
+		}
+	}
+}
+
+// methodsWithBody returns every mutable concrete method, in bundle order.
+func (b *Bundle) methodsWithBody() []methodCtx {
+	var out []methodCtx
+	b.eachClass(func(file *File, td *ast.TypeDecl) {
+		for _, md := range td.Methods {
+			if md.Body != nil {
+				out = append(out, methodCtx{file, td, md})
+			}
+		}
+	})
+	return out
+}

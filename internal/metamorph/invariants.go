@@ -1,0 +1,349 @@
+package metamorph
+
+import (
+	"bytes"
+	"fmt"
+	"math/rand"
+	"runtime"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"policyoracle/internal/diff"
+	"policyoracle/internal/oracle"
+	"policyoracle/internal/policy"
+	"policyoracle/internal/secmodel"
+	"policyoracle/internal/telemetry"
+)
+
+// The four invariants the campaign asserts for every mutant:
+//
+//	(a) diff-clean      — the mutant's policies diff clean against the
+//	                      original, in both directions, over an identical
+//	                      entry-point set;
+//	(b) must-subset-may — MUST ⊆ MAY for every entry point and event;
+//	(c) parallel        — parallel extraction is byte-identical to serial;
+//	(d) roundtrip       — export → import → export is byte-identical.
+//
+// (a) is the paper's no-intrinsic-false-positives claim run in reverse:
+// a semantics-preserving difference that produces a report is a bug in
+// either the mutator catalog or the analyzer. The load step is itself an
+// invariant — a mutant that fails to parse or type-check means a mutator
+// emitted ill-formed MJ.
+
+// CampaignOptions configures a metamorphic campaign.
+type CampaignOptions struct {
+	// Seed derives every round's mutation schedule; one (Seed, Rounds,
+	// Mutations) triple replays exactly.
+	Seed int64
+	// Rounds is the number of independent mutants (default 100).
+	Rounds int
+	// Mutations is the number of mutator applications per round
+	// (default 8).
+	Mutations int
+	// Workers fans rounds out over a worker pool; <= 0 means GOMAXPROCS.
+	Workers int
+	// Oracle overrides the semantic extraction options (nil means
+	// oracle.DefaultOptions). Parallel/Telemetry are controlled by the
+	// campaign itself. Two semantic constraints are enforced by Run:
+	// narrow events (broad mode's ParamAccess tagging is entry-frame
+	// relative, so helper extraction legitimately moves it) and
+	// unlimited MaxDepth (mutators add call frames, which shifts where
+	// a depth cutoff truncates).
+	Oracle *oracle.Options
+	// ParallelEvery checks invariant (c) — two extra extractions — every
+	// Nth round; 0 means every 8th, < 0 disables.
+	ParallelEvery int
+	// Metrics, when non-nil, receives per-round counters.
+	Metrics *telemetry.MetamorphMetrics
+}
+
+func (o CampaignOptions) withDefaults() CampaignOptions {
+	if o.Rounds <= 0 {
+		o.Rounds = 100
+	}
+	if o.Mutations <= 0 {
+		o.Mutations = 8
+	}
+	if o.Workers <= 0 {
+		o.Workers = runtime.GOMAXPROCS(0)
+	}
+	if o.ParallelEvery == 0 {
+		o.ParallelEvery = 8
+	}
+	return o
+}
+
+// Violation is one invariant failure, with the mutation schedule that
+// produced it (replayable from the campaign seed and round).
+type Violation struct {
+	Round     int
+	Invariant string // "load", "diff-clean", "must-subset-may", "parallel", "roundtrip"
+	Mutators  []string
+	Detail    string
+}
+
+func (v Violation) String() string {
+	return fmt.Sprintf("round %d [%s] after %v: %s", v.Round, v.Invariant, v.Mutators, v.Detail)
+}
+
+// Report is the outcome of one campaign.
+type Report struct {
+	Library string
+	Rounds  int
+	// Applied counts successful rewrites per mutator across all rounds.
+	Applied    map[string]int
+	Violations []Violation
+	// Entries is the original library's entry-point count.
+	Entries int
+	Elapsed time.Duration
+}
+
+// Run executes a metamorphic campaign over one library bundle: extract
+// the original's policies once, then per round derive a fresh mutant
+// from the seed, re-extract, and check every invariant. Rounds fan out
+// over a worker pool; results are aggregated deterministically (sorted
+// by round), so the report is a pure function of (sources, options).
+func Run(name string, sources map[string]string, opts CampaignOptions) (*Report, error) {
+	opts = opts.withDefaults()
+	start := time.Now()
+	serial := opts.oracleOptions()
+	if serial.Events != secmodel.NarrowEvents {
+		return nil, fmt.Errorf("metamorph: campaign requires narrow events (broad-mode ParamAccess events are entry-frame relative; helper extraction moves them)")
+	}
+	if serial.MaxDepth >= 0 {
+		return nil, fmt.Errorf("metamorph: campaign requires unlimited MaxDepth (mutators add call frames, shifting the cutoff)")
+	}
+
+	// Fail fast on input the mutators cannot handle; campaign callers
+	// must supply a cleanly loading bundle.
+	if _, err := ParseBundle(sources); err != nil {
+		return nil, err
+	}
+	base, err := oracle.LoadLibrary(name, sources)
+	if err != nil {
+		return nil, fmt.Errorf("metamorph: loading baseline: %w", err)
+	}
+	base.Extract(serial)
+
+	rep := &Report{
+		Library: name,
+		Rounds:  opts.Rounds,
+		Applied: map[string]int{},
+		Entries: len(base.EntryPoints()),
+	}
+	if v := checkMustSubsetMay(base.Policies); v != "" {
+		rep.Violations = append(rep.Violations, Violation{
+			Round: -1, Invariant: "must-subset-may", Detail: "baseline: " + v,
+		})
+	}
+
+	type roundResult struct {
+		applied    []string
+		violations []Violation
+	}
+	results := make([]roundResult, opts.Rounds)
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	workers := opts.Workers
+	if workers > opts.Rounds {
+		workers = opts.Rounds
+	}
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				r := int(next.Add(1)) - 1
+				if r >= opts.Rounds {
+					return
+				}
+				t0 := time.Now()
+				applied, violations := runRound(name, sources, base, serial, opts, r)
+				results[r] = roundResult{applied, violations}
+				if m := opts.Metrics; m != nil {
+					m.Rounds.Inc()
+					m.RoundDuration.ObserveDuration(time.Since(t0))
+					for _, a := range applied {
+						m.Mutations.With(a).Inc()
+					}
+					for _, v := range violations {
+						m.Violations.With(v.Invariant).Inc()
+					}
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	for _, rr := range results {
+		for _, a := range rr.applied {
+			rep.Applied[a]++
+		}
+		rep.Violations = append(rep.Violations, rr.violations...)
+	}
+	sort.SliceStable(rep.Violations, func(i, j int) bool {
+		return rep.Violations[i].Round < rep.Violations[j].Round
+	})
+	rep.Elapsed = time.Since(start)
+	return rep, nil
+}
+
+// oracleOptions resolves the campaign's semantic options with serial
+// extraction pinned (invariant (c) supplies its own parallel leg).
+func (o CampaignOptions) oracleOptions() oracle.Options {
+	opts := oracle.DefaultOptions()
+	if o.Oracle != nil {
+		opts = *o.Oracle
+	}
+	opts.Parallel = 1
+	opts.Telemetry = nil
+	return opts
+}
+
+// MutateSources applies a seeded schedule of n mutations and returns the
+// mutated bundle with the mutator names applied, the primitive every
+// campaign round, fuzz target, and ground-truth-survival test shares.
+func MutateSources(sources map[string]string, seed int64, n int) (map[string]string, []string, error) {
+	b, err := ParseBundle(sources)
+	if err != nil {
+		return nil, nil, err
+	}
+	rng := rand.New(rand.NewSource(seed))
+	applied := mutate(b, rng, n)
+	return b.Sources(), applied, nil
+}
+
+// mutate applies n randomly chosen mutators to b, returning the names of
+// those that changed it.
+func mutate(b *Bundle, rng *rand.Rand, n int) []string {
+	muts := Mutators()
+	var applied []string
+	for i := 0; i < n; i++ {
+		m := muts[rng.Intn(len(muts))]
+		if m.Apply(b, rng) {
+			applied = append(applied, m.Name)
+		}
+	}
+	return applied
+}
+
+// roundSeed decorrelates per-round schedules drawn from one campaign
+// seed (splitmix64-style odd-constant spacing).
+func roundSeed(seed int64, round int) int64 {
+	return seed + int64(round+1)*-0x61c8864680b583eb
+}
+
+// runRound derives mutant r, extracts it, and checks every invariant.
+func runRound(name string, sources map[string]string, base *oracle.Library, serial oracle.Options, opts CampaignOptions, r int) (applied []string, violations []Violation) {
+	fail := func(invariant, detail string) {
+		violations = append(violations, Violation{
+			Round: r, Invariant: invariant, Mutators: applied, Detail: detail,
+		})
+	}
+	// ParseBundle succeeded on these sources before the pool started, so
+	// a failure here cannot happen; treat it as a load violation anyway
+	// rather than dropping the round.
+	b, err := ParseBundle(sources)
+	if err != nil {
+		fail("load", err.Error())
+		return
+	}
+	rng := rand.New(rand.NewSource(roundSeed(opts.Seed, r)))
+	applied = mutate(b, rng, opts.Mutations)
+	mutated := b.Sources()
+
+	lib, err := oracle.LoadLibrary(fmt.Sprintf("%s+r%d", name, r), mutated)
+	if err != nil {
+		fail("load", err.Error())
+		return
+	}
+	lib.Extract(serial)
+
+	// (a) Diff clean, both directions, over an unchanged entry set.
+	if nb, nm := len(base.EntryPoints()), len(lib.EntryPoints()); nb != nm {
+		fail("diff-clean", fmt.Sprintf("entry-point count changed: %d -> %d", nb, nm))
+	} else if match := oracle.MatchingEntries(base, lib); match != nb {
+		fail("diff-clean", fmt.Sprintf("only %d of %d entry points match", match, nb))
+	}
+	for _, dr := range []*diff.Report{
+		diff.Compare(base.Policies, lib.Policies),
+		diff.Compare(lib.Policies, base.Policies),
+	} {
+		if len(dr.Groups) > 0 {
+			fail("diff-clean", describeGroups(dr))
+			break
+		}
+	}
+
+	// (b) MUST ⊆ MAY everywhere.
+	if v := checkMustSubsetMay(lib.Policies); v != "" {
+		fail("must-subset-may", v)
+	}
+
+	// (d) Export → import → export byte identity.
+	exp, err := lib.Policies.ExportJSON()
+	if err != nil {
+		fail("roundtrip", "export: "+err.Error())
+	} else if imported, err := policy.ImportJSON(exp); err != nil {
+		fail("roundtrip", "import: "+err.Error())
+	} else if exp2, err := imported.ExportJSON(); err != nil {
+		fail("roundtrip", "re-export: "+err.Error())
+	} else if !bytes.Equal(exp, exp2) {
+		fail("roundtrip", fmt.Sprintf("re-export differs (%d vs %d bytes)", len(exp), len(exp2)))
+	}
+
+	// (c) Parallel extraction byte-identical to serial (sampled: two
+	// extra full extractions per checked round).
+	if opts.ParallelEvery > 0 && r%opts.ParallelEvery == 0 && err == nil {
+		par, perr := oracle.LoadLibrary(lib.Name, mutated)
+		if perr != nil {
+			fail("parallel", "reload: "+perr.Error())
+			return
+		}
+		popts := serial
+		popts.Parallel = 4
+		par.Extract(popts)
+		pexp, perr := par.Policies.ExportJSON()
+		if perr != nil {
+			fail("parallel", "export: "+perr.Error())
+		} else if !bytes.Equal(exp, pexp) {
+			fail("parallel", fmt.Sprintf("parallel export differs from serial (%d vs %d bytes)", len(pexp), len(exp)))
+		}
+	}
+	return
+}
+
+// checkMustSubsetMay returns a description of the first MUST ⊄ MAY
+// violation in pp, or "".
+func checkMustSubsetMay(pp *policy.ProgramPolicies) string {
+	for _, sig := range pp.SortedEntries() {
+		ep := pp.Entries[sig]
+		for _, ev := range ep.SortedEvents() {
+			evp := ep.Events[ev]
+			if extra := evp.Must.Minus(evp.May); !extra.IsEmpty() {
+				return fmt.Sprintf("%s %v: MUST has %s beyond MAY", sig, ev, extra)
+			}
+		}
+	}
+	return ""
+}
+
+// describeGroups renders a spurious diff report compactly for a
+// violation detail.
+func describeGroups(dr *diff.Report) string {
+	var buf bytes.Buffer
+	fmt.Fprintf(&buf, "%d spurious group(s) between %s and %s:", len(dr.Groups), dr.LibA, dr.LibB)
+	for i, g := range dr.Groups {
+		if i == 3 {
+			fmt.Fprintf(&buf, " ... (%d more)", len(dr.Groups)-i)
+			break
+		}
+		entry := ""
+		if len(g.Entries) > 0 {
+			entry = " at " + g.Entries[0]
+		}
+		fmt.Fprintf(&buf, " [%s %s checks=%s%s]", g.Case, g.Category, g.DiffChecks, entry)
+	}
+	return buf.String()
+}

@@ -1,0 +1,206 @@
+package metamorph_test
+
+import (
+	"testing"
+
+	"policyoracle/internal/corpus"
+	"policyoracle/internal/corpus/gen"
+	"policyoracle/internal/metamorph"
+	"policyoracle/internal/oracle"
+	"policyoracle/internal/secmodel"
+	"policyoracle/internal/telemetry"
+)
+
+// campaignParams sizes a generated corpus small enough for hundreds of
+// mutate+extract rounds in unit-test time but with every structural
+// feature the mutators must handle: helper nesting, wrappers, privileged
+// blocks, guards, loops, and seeded deviations.
+func campaignParams() gen.Params {
+	return gen.Params{
+		Seed: 1723, Classes: 8, MethodsPerClass: 4, CheckFraction: 0.5,
+		MaxDepth: 3, WrapperFanout: 1,
+		DropCheck: 1, WeakenMust: 1, SwapCheck: 1, PrivWrap: 1,
+		ExtraCheck: 1, ConstGuards: 1, UniquePerLib: 1, PolymorphicNoise: 2,
+		FNConditionDivergence: 1, FNAllWrong: 1,
+	}
+}
+
+// TestMetamorphicCampaignGeneratedCorpus is the tentpole invariant run:
+// 200+ seeded mutation rounds over the generated corpus, each asserting
+// the mutant diffs clean against its original, MUST ⊆ MAY everywhere,
+// export round-trips byte-identically, and (sampled) parallel extraction
+// matches serial byte-for-byte.
+func TestMetamorphicCampaignGeneratedCorpus(t *testing.T) {
+	c := gen.Generate(campaignParams())
+	const roundsPerLib = 70 // 3 libs x 70 = 210 rounds total
+	applied := map[string]int{}
+	for _, lib := range []string{"jdk", "harmony", "classpath"} {
+		rep, err := metamorph.Run(lib, c.Sources[lib], metamorph.CampaignOptions{
+			Seed:      9000,
+			Rounds:    roundsPerLib,
+			Mutations: 8,
+		})
+		if err != nil {
+			t.Fatalf("%s: %v", lib, err)
+		}
+		for _, v := range rep.Violations {
+			t.Errorf("%s: %s", lib, v)
+		}
+		if rep.Entries == 0 {
+			t.Fatalf("%s: no entry points extracted", lib)
+		}
+		for m, n := range rep.Applied {
+			applied[m] += n
+		}
+		t.Logf("%s: %d rounds over %d entries in %v, rewrites %v",
+			lib, rep.Rounds, rep.Entries, rep.Elapsed.Round(1e6), rep.Applied)
+	}
+	// Every mutator in the catalog must have fired: a mutator that never
+	// finds a candidate is dead weight and tests nothing.
+	for _, m := range metamorph.Mutators() {
+		if applied[m.Name] == 0 {
+			t.Errorf("mutator %s never applied in %d rounds", m.Name, 3*roundsPerLib)
+		}
+	}
+}
+
+// TestMetamorphicBuiltinCorpora runs a short campaign over the three
+// hand-written corpus implementations — code the generator did not
+// shape, with its own idioms (interfaces, inheritance, switch guards).
+func TestMetamorphicBuiltinCorpora(t *testing.T) {
+	for _, lib := range corpus.Libraries() {
+		rep, err := metamorph.Run(lib, corpus.Sources(lib), metamorph.CampaignOptions{
+			Seed:   1234,
+			Rounds: 12,
+		})
+		if err != nil {
+			t.Fatalf("%s: %v", lib, err)
+		}
+		for _, v := range rep.Violations {
+			t.Errorf("%s: %s", lib, v)
+		}
+	}
+}
+
+// TestMetamorphicGroundTruthSurvival asserts mutations never mask real
+// bugs: after independently mutating all three implementations, every
+// seeded ground-truth deviation must still be reported, and nothing
+// spurious may appear — gen's VerifyReport hook run on mutated sources.
+func TestMetamorphicGroundTruthSurvival(t *testing.T) {
+	c := gen.Generate(gen.Small())
+	libs := map[string]*oracle.Library{}
+	for i, lib := range []string{"jdk", "harmony", "classpath"} {
+		mutated, applied, err := metamorph.MutateSources(c.Sources[lib], int64(100+i), 20)
+		if err != nil {
+			t.Fatalf("mutating %s: %v", lib, err)
+		}
+		if len(applied) == 0 {
+			t.Fatalf("no mutations applied to %s", lib)
+		}
+		l, err := oracle.LoadLibrary(lib, mutated)
+		if err != nil {
+			t.Fatalf("loading mutated %s (after %v): %v", lib, applied, err)
+		}
+		l.Extract(oracle.DefaultOptions())
+		libs[lib] = l
+		t.Logf("%s mutated by %v", lib, applied)
+	}
+	for _, pair := range c.Pairs() {
+		rep, err := oracle.Diff(libs[pair[0]], libs[pair[1]])
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, problem := range c.VerifyReport(pair, rep) {
+			t.Error(problem)
+		}
+	}
+}
+
+// TestMutateSourcesDeterministic pins replayability: one (seed, n) pair
+// must always produce the identical mutant.
+func TestMutateSourcesDeterministic(t *testing.T) {
+	c := gen.Generate(campaignParams())
+	a, appA, err := metamorph.MutateSources(c.Sources["jdk"], 77, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, appB, err := metamorph.MutateSources(c.Sources["jdk"], 77, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(appA) != len(appB) {
+		t.Fatalf("schedules differ: %v vs %v", appA, appB)
+	}
+	if len(a) != len(b) {
+		t.Fatalf("file sets differ: %d vs %d files", len(a), len(b))
+	}
+	for f, src := range a {
+		if b[f] != src {
+			t.Errorf("file %s differs between identical seeds", f)
+		}
+	}
+	// And a different seed must (overwhelmingly) differ somewhere.
+	d, _, err := metamorph.MutateSources(c.Sources["jdk"], 78, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	same := len(d) == len(a)
+	if same {
+		for f, src := range a {
+			if d[f] != src {
+				same = false
+				break
+			}
+		}
+	}
+	if same {
+		t.Error("seeds 77 and 78 produced byte-identical mutants")
+	}
+}
+
+// TestCampaignMetrics checks the polora-fuzz telemetry wiring: rounds,
+// per-mutator rewrites, and round latency all land in the registry.
+func TestCampaignMetrics(t *testing.T) {
+	c := gen.Generate(campaignParams())
+	reg := telemetry.New()
+	m := telemetry.NewMetamorphMetrics(reg)
+	rep, err := metamorph.Run("jdk", c.Sources["jdk"], metamorph.CampaignOptions{
+		Seed: 5, Rounds: 4, Mutations: 6, Metrics: m,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := m.Rounds.Value(); got != 4 {
+		t.Errorf("rounds counter = %v, want 4", got)
+	}
+	if m.RoundDuration.Count() != 4 {
+		t.Errorf("round duration observations = %v, want 4", m.RoundDuration.Count())
+	}
+	total := 0.0
+	for _, mu := range metamorph.Mutators() {
+		total += m.Mutations.With(mu.Name).Value()
+	}
+	if want := 0; len(rep.Applied) > 0 && total == float64(want) {
+		t.Errorf("no mutation counters recorded despite %v", rep.Applied)
+	}
+}
+
+// TestCampaignRejectsUnsoundOptions pins the two semantic constraints
+// the mutator catalog depends on.
+func TestCampaignRejectsUnsoundOptions(t *testing.T) {
+	c := gen.Generate(campaignParams())
+	broad := oracle.DefaultOptions()
+	broad.Events = secmodel.BroadEvents
+	if _, err := metamorph.Run("jdk", c.Sources["jdk"], metamorph.CampaignOptions{
+		Rounds: 1, Oracle: &broad,
+	}); err == nil {
+		t.Error("broad-events campaign accepted; ParamAccess events are entry-frame relative")
+	}
+	depth := oracle.DefaultOptions()
+	depth.MaxDepth = 3
+	if _, err := metamorph.Run("jdk", c.Sources["jdk"], metamorph.CampaignOptions{
+		Rounds: 1, Oracle: &depth,
+	}); err == nil {
+		t.Error("bounded-depth campaign accepted; mutators add call frames")
+	}
+}

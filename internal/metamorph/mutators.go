@@ -1,0 +1,934 @@
+package metamorph
+
+import (
+	"math/rand"
+
+	"policyoracle/internal/ast"
+)
+
+// A Mutator is one semantics-preserving program transformation. Apply
+// attempts a single rewrite driven by rng and reports whether it changed
+// the bundle (false when no safe candidate exists).
+//
+// Soundness contract: a mutation must never change any extracted policy.
+// The analysis keys NativeCall events on method name/arity, field events
+// on field name, and parameter events on position — so mutators never
+// rename fields, native methods, parameters, or any public/protected
+// method (entry-point identity), never move a check across an event, and
+// never add or remove API entry points (new methods are always private).
+type Mutator struct {
+	Name  string
+	Apply func(b *Bundle, rng *rand.Rand) bool
+}
+
+// Mutators returns the full mutator catalog. The order is fixed: a
+// (seed, round) pair identifies one schedule forever.
+func Mutators() []Mutator {
+	return []Mutator{
+		{"rename-local", renameLocal},
+		{"rename-helper", renameHelper},
+		{"extract-helper", extractHelper},
+		{"inline-helper", inlineHelper},
+		{"insert-wrapper", insertWrapper},
+		{"dead-stmt", deadStatements},
+		{"dead-branch", deadBranch},
+		{"reorder-stmts", reorderStatements},
+		{"reshard-files", reshardFiles},
+	}
+}
+
+// pick returns a uniformly random element index, or -1 for an empty set.
+func pick(rng *rand.Rand, n int) int {
+	if n == 0 {
+		return -1
+	}
+	return rng.Intn(n)
+}
+
+// ---------------------------------------------------------------------------
+// rename-local: alpha-rename one local variable (or catch variable) of
+// one method. Locals are invisible to the policy; the only hazard is
+// capture, so the new name is bundle-fresh and the old name must not
+// shadow or be shadowed ambiguously — we skip names that are also
+// fields, classes, or parameters.
+
+func renameLocal(b *Bundle, rng *rand.Rand) bool {
+	type cand struct {
+		m    methodCtx
+		name string
+	}
+	var cands []cand
+	for _, m := range b.methodsWithBody() {
+		params := map[string]bool{}
+		for _, p := range m.method.Params {
+			params[p.Name] = true
+		}
+		seen := map[string]bool{}
+		ast.Inspect(m.method.Body, func(n ast.Node) bool {
+			var name string
+			switch n := n.(type) {
+			case *ast.LocalVarDecl:
+				name = n.Name
+			case *ast.CatchClause:
+				name = n.Name
+			default:
+				return true
+			}
+			if seen[name] || params[name] || b.fieldNames[name] || b.classNames[name] ||
+				name == "this" || name == "super" {
+				return true
+			}
+			seen[name] = true
+			cands = append(cands, cand{m, name})
+			return true
+		})
+	}
+	i := pick(rng, len(cands))
+	if i < 0 {
+		return false
+	}
+	c := cands[i]
+	fresh := b.Fresh(c.name)
+	ast.Inspect(c.m.method.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.LocalVarDecl:
+			if n.Name == c.name {
+				n.Name = fresh
+			}
+		case *ast.CatchClause:
+			if n.Name == c.name {
+				n.Name = fresh
+			}
+		case *ast.VarRef:
+			if n.Name == c.name {
+				n.Name = fresh
+			}
+		}
+		return true
+	})
+	return true
+}
+
+// ---------------------------------------------------------------------------
+// rename-helper: alpha-rename one private concrete method. Method
+// resolution is name+arity, class-then-super, and the resolver ignores
+// visibility — so soundness needs three class-local facts rather than
+// bundle-wide name uniqueness: the class declares the name exactly once;
+// every call to the name anywhere resolves inside its own class (never
+// walking a super chain that could reach this declaration); and no
+// inheritance-related class or interface declares the name (a subclass
+// "override" of a private helper would change dynamic dispatch when the
+// declaration disappears from the hierarchy). Native methods are
+// excluded by construction (no body): their name IS the event identity.
+
+func renameHelper(b *Bundle, rng *rand.Rand) bool {
+	var cands []methodCtx
+	b.eachClass(func(file *File, td *ast.TypeDecl) {
+		for _, md := range td.Methods {
+			if !md.Mods.Has(ast.ModPrivate) || md.IsCtor || md.Body == nil {
+				continue
+			}
+			if declsNamed(td, md.Name) != 1 || b.hierarchyShares(td, md.Name) ||
+				!callsResolveLocally(b, md.Name) {
+				continue
+			}
+			cands = append(cands, methodCtx{file, td, md})
+		}
+	})
+	i := pick(rng, len(cands))
+	if i < 0 {
+		return false
+	}
+	c := cands[i]
+	old := c.method.Name
+	fresh := b.Fresh(old)
+	c.method.Name = fresh
+	for _, md := range c.class.Methods {
+		if md.Body == nil {
+			continue
+		}
+		ast.Inspect(md.Body, func(n ast.Node) bool {
+			if call, ok := n.(*ast.CallExpr); ok && call.Name == old {
+				call.Name = fresh
+			}
+			return true
+		})
+	}
+	b.methodCount[old]--
+	b.methodCount[fresh]++
+	return true
+}
+
+// callsResolveLocally reports whether every call to name in the bundle
+// (a) uses a nil, this, or own-class receiver and (b) sits in a class
+// declaring a method of that name with the call's arity — so name+arity
+// class-first resolution stops at the enclosing class, and rewriting the
+// name inside one class cannot affect any other. Field-initializer calls
+// are included.
+func callsResolveLocally(b *Bundle, name string) bool {
+	ok := true
+	for _, f := range b.Files {
+		for _, cls := range f.AST.Types {
+			check := func(n ast.Node) bool {
+				call, isCall := n.(*ast.CallExpr)
+				if !isCall || call.Name != name {
+					return true
+				}
+				if !ownReceiver(call.Recv, cls.Name) ||
+					!declaresArity(cls, name, len(call.Args)) {
+					ok = false
+				}
+				return true
+			}
+			for _, md := range cls.Methods {
+				if md.Body != nil {
+					ast.Inspect(md.Body, check)
+				}
+			}
+			for _, fd := range cls.Fields {
+				if fd.Init != nil {
+					ast.Inspect(fd.Init, check)
+				}
+			}
+		}
+	}
+	return ok
+}
+
+// declsNamed counts declarations of name in td.
+func declsNamed(td *ast.TypeDecl, name string) int {
+	n := 0
+	for _, md := range td.Methods {
+		if md.Name == name {
+			n++
+		}
+	}
+	return n
+}
+
+// declaresArity reports whether td declares a method name/arity.
+func declaresArity(td *ast.TypeDecl, name string, arity int) bool {
+	for _, md := range td.Methods {
+		if md.Name == name && len(md.Params) == arity {
+			return true
+		}
+	}
+	return false
+}
+
+// hierarchyShares reports whether any interface, ancestor, or descendant
+// of td (transitively, by simple name, across the whole bundle) also
+// declares a method called name — the configurations where changing td's
+// declaration of name could change dispatch elsewhere.
+func (b *Bundle) hierarchyShares(td *ast.TypeDecl, name string) bool {
+	decls := map[string]*ast.TypeDecl{}
+	for _, f := range b.Files {
+		for _, t := range f.AST.Types {
+			if t.IsInterface {
+				if declsNamed(t, name) > 0 {
+					return true
+				}
+				continue
+			}
+			decls[t.Name] = t
+		}
+	}
+	// chain reports whether walking extends-links from start reaches goal.
+	chain := func(start, goal string) bool {
+		seen := map[string]bool{}
+		for cur := start; cur != "" && !seen[cur]; {
+			seen[cur] = true
+			if cur == goal {
+				return true
+			}
+			t := decls[cur]
+			if t == nil {
+				return false
+			}
+			cur = t.Extends
+		}
+		return false
+	}
+	for _, t := range decls {
+		if t == td || declsNamed(t, name) == 0 {
+			continue
+		}
+		if chain(t.Name, td.Name) || chain(td.Name, t.Name) {
+			return true
+		}
+	}
+	return false
+}
+
+// ownReceiver reports whether recv is nil, `this`, or the class's own
+// simple name (a static qualifier).
+func ownReceiver(recv ast.Expr, class string) bool {
+	if recv == nil {
+		return true
+	}
+	v, ok := recv.(*ast.VarRef)
+	return ok && (v.Name == "this" || v.Name == class)
+}
+
+// ---------------------------------------------------------------------------
+// extract-helper: move a concrete method's whole body into a fresh
+// private helper with identical parameters, return type, and throws; the
+// original becomes a one-line delegation. Adds one call edge under every
+// policy the method had — check placement relative to events is
+// unchanged, and privileged scope propagates to callees, so extracting
+// inside doPrivileged run() bodies is equally sound.
+
+func extractHelper(b *Bundle, rng *rand.Rand) bool {
+	var cands []methodCtx
+	b.eachClass(func(file *File, td *ast.TypeDecl) {
+		for _, md := range td.Methods {
+			if md.IsCtor || md.Body == nil {
+				continue
+			}
+			// An always-throwing body has no Return in its lowered form,
+			// so the original entry records no APIReturn event; the
+			// delegation stub's return would add one. Skip those.
+			if !hasReturn(md.Body) && alwaysAbrupt(md.Body.Stmts) {
+				continue
+			}
+			cands = append(cands, methodCtx{file, td, md})
+		}
+	})
+	i := pick(rng, len(cands))
+	if i < 0 {
+		return false
+	}
+	c := cands[i]
+	m := c.method
+	fresh := b.Fresh(m.Name)
+	mods := ast.ModPrivate
+	if m.Mods.Has(ast.ModStatic) {
+		mods |= ast.ModStatic
+	}
+	helper := &ast.MethodDecl{
+		Mods:   mods,
+		Ret:    m.Ret,
+		Name:   fresh,
+		Params: append([]ast.Param(nil), m.Params...),
+		Throws: append([]string(nil), m.Throws...),
+		Body:   m.Body,
+	}
+	call := &ast.CallExpr{Name: fresh}
+	for _, p := range m.Params {
+		call.Args = append(call.Args, &ast.VarRef{Name: p.Name})
+	}
+	var stub ast.Stmt
+	if m.Ret.IsVoid() {
+		stub = &ast.ExprStmt{X: call}
+	} else {
+		stub = &ast.ReturnStmt{Value: call}
+	}
+	m.Body = &ast.Block{Stmts: []ast.Stmt{stub}}
+	c.class.Methods = append(c.class.Methods, helper)
+	b.methodCount[fresh]++
+	return true
+}
+
+// ---------------------------------------------------------------------------
+// inline-helper: the inverse. A private method h whose body is exactly
+// `return g(params...)` (identity forwarding, in order) is bypassed:
+// intra-class calls to it are retargeted straight at g. The helper
+// declaration stays — dead but well-formed. The h-side conditions mirror
+// rename-helper (class-locally unique, all calls resolve locally, no
+// hierarchy sharing). The g-side needs less: the retargeted site and h's
+// old body sit in the same class, so name+arity resolution walks the
+// identical chain and dynamic dispatch sees the identical receiver — we
+// only require g to be declared once in the class with matching arity
+// and staticness, so the forwarding shape is reproduced exactly.
+
+func inlineHelper(b *Bundle, rng *rand.Rand) bool {
+	type cand struct {
+		m      methodCtx
+		target string
+	}
+	var cands []cand
+	b.eachClass(func(file *File, td *ast.TypeDecl) {
+		for _, md := range td.Methods {
+			target, ok := forwardTarget(md)
+			if !ok || !md.Mods.Has(ast.ModPrivate) {
+				continue
+			}
+			if declsNamed(td, md.Name) != 1 || b.hierarchyShares(td, md.Name) ||
+				!callsResolveLocally(b, md.Name) {
+				continue
+			}
+			td2 := methodNamed(td, target)
+			if declsNamed(td, target) != 1 || td2 == nil ||
+				len(td2.Params) != len(md.Params) ||
+				td2.Mods.Has(ast.ModStatic) != md.Mods.Has(ast.ModStatic) {
+				continue
+			}
+			cands = append(cands, cand{methodCtx{file, td, md}, target})
+		}
+	})
+	i := pick(rng, len(cands))
+	if i < 0 {
+		return false
+	}
+	c := cands[i]
+	name := c.m.method.Name
+	changed := false
+	for _, md := range c.m.class.Methods {
+		if md.Body == nil || md == c.m.method {
+			continue
+		}
+		ast.Inspect(md.Body, func(n ast.Node) bool {
+			if call, ok := n.(*ast.CallExpr); ok && call.Name == name {
+				call.Name = c.target
+				changed = true
+			}
+			return true
+		})
+	}
+	return changed
+}
+
+// forwardTarget matches the identity-delegation shape: a body of exactly
+// one statement forwarding every parameter, in order, to an unqualified
+// call of some other method.
+func forwardTarget(md *ast.MethodDecl) (string, bool) {
+	if md.IsCtor || md.Body == nil || len(md.Body.Stmts) != 1 {
+		return "", false
+	}
+	var call *ast.CallExpr
+	switch s := md.Body.Stmts[0].(type) {
+	case *ast.ReturnStmt:
+		call, _ = s.Value.(*ast.CallExpr)
+	case *ast.ExprStmt:
+		call, _ = s.X.(*ast.CallExpr)
+	}
+	if call == nil || call.Recv != nil || call.Name == md.Name ||
+		call.Name == "this" || call.Name == "super" ||
+		len(call.Args) != len(md.Params) {
+		return "", false
+	}
+	for i, a := range call.Args {
+		v, ok := a.(*ast.VarRef)
+		if !ok || v.Name != md.Params[i].Name {
+			return "", false
+		}
+	}
+	return call.Name, true
+}
+
+// hasReturn reports whether any ReturnStmt appears under n.
+func hasReturn(n ast.Node) bool {
+	found := false
+	ast.Inspect(n, func(n ast.Node) bool {
+		if _, ok := n.(*ast.ReturnStmt); ok {
+			found = true
+		}
+		return !found
+	})
+	return found
+}
+
+// alwaysAbrupt reports whether the statement list definitely never
+// completes normally (every path returns or throws). Conservative:
+// false when unsure.
+func alwaysAbrupt(stmts []ast.Stmt) bool {
+	for _, s := range stmts {
+		if stmtAlwaysAbrupt(s) {
+			return true
+		}
+	}
+	return false
+}
+
+func stmtAlwaysAbrupt(s ast.Stmt) bool {
+	switch s := s.(type) {
+	case *ast.ReturnStmt, *ast.ThrowStmt:
+		return true
+	case *ast.Block:
+		return alwaysAbrupt(s.Stmts)
+	case *ast.IfStmt:
+		return s.Else != nil && stmtAlwaysAbrupt(s.Then) && stmtAlwaysAbrupt(s.Else)
+	case *ast.SyncStmt:
+		return alwaysAbrupt(s.Body.Stmts)
+	case *ast.DoWhileStmt:
+		return stmtAlwaysAbrupt(s.Body)
+	}
+	return false
+}
+
+// methodNamed returns td's first declaration of name, or nil.
+func methodNamed(td *ast.TypeDecl, name string) *ast.MethodDecl {
+	for _, md := range td.Methods {
+		if md.Name == name {
+			return md
+		}
+	}
+	return nil
+}
+
+// ---------------------------------------------------------------------------
+// insert-wrapper: interpose a fresh private delegator between one
+// unqualified call site and its same-class callee. The wrapper forwards
+// every argument unchanged, so the call chain grows one private frame —
+// invisible to entry-point identity and to event keys (wrapping a call
+// to a native method moves the NativeCall one frame down; its name/arity
+// key and dominating checks are untouched).
+
+func insertWrapper(b *Bundle, rng *rand.Rand) bool {
+	type cand struct {
+		class  *ast.TypeDecl
+		call   *ast.CallExpr
+		callee *ast.MethodDecl
+	}
+	var cands []cand
+	b.eachClass(func(file *File, td *ast.TypeDecl) {
+		byName := map[string][]*ast.MethodDecl{}
+		for _, md := range td.Methods {
+			byName[md.Name] = append(byName[md.Name], md)
+		}
+		for _, md := range td.Methods {
+			if md.Body == nil {
+				continue
+			}
+			ast.Inspect(md.Body, func(n ast.Node) bool {
+				call, ok := n.(*ast.CallExpr)
+				if !ok || call.Recv != nil || call.Name == "this" || call.Name == "super" {
+					return true
+				}
+				decls := byName[call.Name]
+				if len(decls) != 1 {
+					return true
+				}
+				callee := decls[0]
+				if callee.IsCtor || len(callee.Params) != len(call.Args) {
+					return true
+				}
+				cands = append(cands, cand{td, call, callee})
+				return true
+			})
+		}
+	})
+	i := pick(rng, len(cands))
+	if i < 0 {
+		return false
+	}
+	c := cands[i]
+	fresh := b.Fresh(c.callee.Name)
+	mods := ast.ModPrivate
+	if c.callee.Mods.Has(ast.ModStatic) {
+		mods |= ast.ModStatic
+	}
+	wrapper := &ast.MethodDecl{
+		Mods:   mods,
+		Ret:    c.callee.Ret,
+		Name:   fresh,
+		Throws: append([]string(nil), c.callee.Throws...),
+	}
+	inner := &ast.CallExpr{Name: c.callee.Name}
+	for _, p := range c.callee.Params {
+		pn := b.Fresh("a")
+		wrapper.Params = append(wrapper.Params, ast.Param{Type: p.Type, Name: pn})
+		inner.Args = append(inner.Args, &ast.VarRef{Name: pn})
+	}
+	var body ast.Stmt
+	if c.callee.Ret.IsVoid() && !c.callee.IsCtor {
+		body = &ast.ExprStmt{X: inner}
+	} else {
+		body = &ast.ReturnStmt{Value: inner}
+	}
+	wrapper.Body = &ast.Block{Stmts: []ast.Stmt{body}}
+	c.class.Methods = append(c.class.Methods, wrapper)
+	c.call.Name = fresh
+	b.methodCount[fresh]++
+	return true
+}
+
+// ---------------------------------------------------------------------------
+// dead-stmt: insert a fresh, pure local computation at a reachable point
+// of a statement list. No calls, no events, no conditions: nothing the
+// analysis tracks.
+
+func deadStatements(b *Bundle, rng *rand.Rand) bool {
+	list, idx, ok := randomInsertionPoint(b, rng)
+	if !ok {
+		return false
+	}
+	fresh := b.Fresh("v")
+	decl := &ast.LocalVarDecl{
+		Type: ast.TypeRef{Name: "int"},
+		Name: fresh,
+		Init: &ast.Literal{Kind: ast.LitInt, Int: int64(rng.Intn(1000))},
+	}
+	bump := &ast.AssignStmt{
+		Target: &ast.VarRef{Name: fresh},
+		Op:     "=",
+		Value: &ast.BinaryExpr{
+			Op: "+",
+			X:  &ast.VarRef{Name: fresh},
+			Y:  &ast.Literal{Kind: ast.LitInt, Int: 1},
+		},
+	}
+	insertStmts(list, idx, decl, bump)
+	return true
+}
+
+// dead-branch: insert `if (k < k') { ... }` with a constant-false
+// comparison. With ICP the branch folds away; without it the analysis
+// joins an empty then-path against the fallthrough path — identical
+// check sets either way, so MAY, MUST, and path policies are unchanged.
+
+func deadBranch(b *Bundle, rng *rand.Rand) bool {
+	list, idx, ok := randomInsertionPoint(b, rng)
+	if !ok {
+		return false
+	}
+	lo := int64(rng.Intn(50))
+	fresh := b.Fresh("d")
+	branch := &ast.IfStmt{
+		Cond: &ast.BinaryExpr{
+			Op: "<",
+			X:  &ast.Literal{Kind: ast.LitInt, Int: lo + 1 + int64(rng.Intn(50))},
+			Y:  &ast.Literal{Kind: ast.LitInt, Int: lo},
+		},
+		Then: &ast.Block{Stmts: []ast.Stmt{
+			&ast.LocalVarDecl{
+				Type: ast.TypeRef{Name: "int"},
+				Name: fresh,
+				Init: &ast.Literal{Kind: ast.LitInt, Int: int64(rng.Intn(1000))},
+			},
+		}},
+	}
+	insertStmts(list, idx, branch)
+	return true
+}
+
+// randomInsertionPoint picks a uniformly random (statement list, index)
+// over all mutable method bodies, with the index bounded by the list's
+// first terminator so inserted code stays reachable.
+func randomInsertionPoint(b *Bundle, rng *rand.Rand) (*[]ast.Stmt, int, bool) {
+	type point struct {
+		list *[]ast.Stmt
+		idx  int
+	}
+	var points []point
+	for _, m := range b.methodsWithBody() {
+		ast.StmtLists(m.method.Body, func(list *[]ast.Stmt) {
+			limit := len(*list)
+			for i, s := range *list {
+				if isTerminator(s) {
+					limit = i
+					break
+				}
+			}
+			for i := 0; i <= limit; i++ {
+				points = append(points, point{list, i})
+			}
+		})
+	}
+	i := pick(rng, len(points))
+	if i < 0 {
+		return nil, 0, false
+	}
+	return points[i].list, points[i].idx, true
+}
+
+// isTerminator reports whether s unconditionally leaves the enclosing
+// statement list.
+func isTerminator(s ast.Stmt) bool {
+	switch s.(type) {
+	case *ast.ReturnStmt, *ast.ThrowStmt, *ast.BreakStmt, *ast.ContinueStmt:
+		return true
+	}
+	return false
+}
+
+// insertStmts splices stmts into *list at idx.
+func insertStmts(list *[]ast.Stmt, idx int, stmts ...ast.Stmt) {
+	l := *list
+	out := make([]ast.Stmt, 0, len(l)+len(stmts))
+	out = append(out, l[:idx]...)
+	out = append(out, stmts...)
+	out = append(out, l[idx:]...)
+	*list = out
+}
+
+// ---------------------------------------------------------------------------
+// reorder-stmts: swap two adjacent statements that are both pure (no
+// calls, allocations, array accesses, casts, or division — nothing that
+// raises an event or can throw) and touch disjoint names. Name-based
+// independence is sound here because two occurrences of one name inside
+// one method body denote the same storage unless a declaration sits
+// between them — and a declaration involved in the swap always conflicts
+// on the declared name itself.
+
+func reorderStatements(b *Bundle, rng *rand.Rand) bool {
+	type swap struct {
+		list *[]ast.Stmt
+		idx  int
+	}
+	var cands []swap
+	for _, m := range b.methodsWithBody() {
+		ast.StmtLists(m.method.Body, func(list *[]ast.Stmt) {
+			l := *list
+			for i := 0; i+1 < len(l); i++ {
+				r1, w1, ok1 := stmtEffects(l[i])
+				r2, w2, ok2 := stmtEffects(l[i+1])
+				if !ok1 || !ok2 {
+					continue
+				}
+				if intersects(w1, r2) || intersects(w1, w2) || intersects(w2, r1) {
+					continue
+				}
+				cands = append(cands, swap{list, i})
+			}
+		})
+	}
+	i := pick(rng, len(cands))
+	if i < 0 {
+		return false
+	}
+	c := cands[i]
+	l := *c.list
+	l[c.idx], l[c.idx+1] = l[c.idx+1], l[c.idx]
+	return true
+}
+
+// stmtEffects classifies s as reorderable, returning the names it reads
+// and writes. Only assignment-shaped statements over pure expressions
+// qualify.
+func stmtEffects(s ast.Stmt) (reads, writes map[string]bool, ok bool) {
+	reads, writes = map[string]bool{}, map[string]bool{}
+	switch s := s.(type) {
+	case *ast.LocalVarDecl:
+		if !pureExpr(s.Init, reads) {
+			return nil, nil, false
+		}
+		writes[s.Name] = true
+	case *ast.AssignStmt:
+		v, isVar := s.Target.(*ast.VarRef)
+		if !isVar || v.Name == "this" || opCanThrow(s.Op) || !pureExpr(s.Value, reads) {
+			return nil, nil, false
+		}
+		if s.Op != "=" {
+			reads[v.Name] = true
+		}
+		writes[v.Name] = true
+	case *ast.ExprStmt:
+		inc, isInc := s.X.(*ast.IncDecExpr)
+		if !isInc {
+			return nil, nil, false
+		}
+		v, isVar := inc.X.(*ast.VarRef)
+		if !isVar {
+			return nil, nil, false
+		}
+		reads[v.Name] = true
+		writes[v.Name] = true
+	default:
+		return nil, nil, false
+	}
+	return reads, writes, true
+}
+
+// opCanThrow reports whether the compound assignment op can throw
+// (integer division by zero).
+func opCanThrow(op string) bool { return op == "/=" || op == "%=" }
+
+// pureExpr reports whether e is side-effect- and exception-free,
+// accumulating the variable names it reads. Division, casts, calls,
+// allocations, field and array accesses are all excluded: they can
+// throw, raise events, or alias state the name-based check cannot see.
+func pureExpr(e ast.Expr, reads map[string]bool) bool {
+	switch e := e.(type) {
+	case nil:
+		return true
+	case *ast.Literal:
+		return true
+	case *ast.VarRef:
+		if e.Name != "this" {
+			reads[e.Name] = true
+		}
+		return true
+	case *ast.UnaryExpr:
+		return pureExpr(e.X, reads)
+	case *ast.BinaryExpr:
+		if e.Op == "/" || e.Op == "%" {
+			return false
+		}
+		return pureExpr(e.X, reads) && pureExpr(e.Y, reads)
+	case *ast.InstanceOfExpr:
+		return pureExpr(e.X, reads)
+	default:
+		return false
+	}
+}
+
+// intersects reports whether two name sets share an element.
+func intersects(a, b map[string]bool) bool {
+	for k := range a {
+		if b[k] {
+			return true
+		}
+	}
+	return false
+}
+
+// ---------------------------------------------------------------------------
+// reshard-files: regroup type declarations across files — split a
+// multi-class file into one file per class, or merge all mutable files
+// of one package into one. File boundaries carry no semantics (policies
+// key on qualified signatures), so only the loader's file ordering is
+// exercised — exactly the determinism the byte-identity invariants pin.
+
+func reshardFiles(b *Bundle, rng *rand.Rand) bool {
+	if rng.Intn(2) == 0 && splitFile(b, rng) {
+		return true
+	}
+	return mergePackage(b, rng)
+}
+
+func splitFile(b *Bundle, rng *rand.Rand) bool {
+	var cands []int
+	for i, f := range b.Files {
+		if !f.Frozen && len(f.AST.Types) > 1 {
+			cands = append(cands, i)
+		}
+	}
+	i := pick(rng, len(cands))
+	if i < 0 {
+		return false
+	}
+	src := b.Files[cands[i]]
+	dir := pathDir(src.Path)
+	if dir != "" {
+		dir += "/"
+	}
+	var out []*File
+	for _, f := range b.Files {
+		if f != src {
+			out = append(out, f)
+		}
+	}
+	for _, td := range src.AST.Types {
+		path := b.freshPath(dir + "mzsplit_" + td.Name)
+		out = append(out, &File{
+			Path: path,
+			AST: &ast.File{
+				Package: src.AST.Package,
+				Imports: append([]string(nil), src.AST.Imports...),
+				Types:   []*ast.TypeDecl{td},
+				Name:    path,
+			},
+		})
+	}
+	b.setFiles(out)
+	return true
+}
+
+func mergePackage(b *Bundle, rng *rand.Rand) bool {
+	byPkg := map[string][]*File{}
+	var pkgs []string
+	for _, f := range b.Files {
+		if f.Frozen {
+			continue
+		}
+		if len(byPkg[f.AST.Package]) == 0 {
+			pkgs = append(pkgs, f.AST.Package)
+		}
+		byPkg[f.AST.Package] = append(byPkg[f.AST.Package], f)
+	}
+	var cands []string
+	for _, p := range pkgs {
+		if len(byPkg[p]) > 1 {
+			cands = append(cands, p)
+		}
+	}
+	i := pick(rng, len(cands))
+	if i < 0 {
+		return false
+	}
+	group := byPkg[cands[i]]
+	merged := &ast.File{Package: group[0].AST.Package}
+	seen := map[string]bool{}
+	for _, f := range group {
+		for _, imp := range f.AST.Imports {
+			if !seen[imp] {
+				seen[imp] = true
+				merged.Imports = append(merged.Imports, imp)
+			}
+		}
+		merged.Types = append(merged.Types, f.AST.Types...)
+	}
+	dir := pathDir(group[0].Path)
+	if dir != "" {
+		dir += "/"
+	}
+	path := b.freshPath(dir + "mzmerge")
+	merged.Name = path
+	inGroup := map[*File]bool{}
+	for _, f := range group {
+		inGroup[f] = true
+	}
+	var out []*File
+	for _, f := range b.Files {
+		if !inGroup[f] {
+			out = append(out, f)
+		}
+	}
+	out = append(out, &File{Path: path, AST: merged})
+	b.setFiles(out)
+	return true
+}
+
+// pathDir is the directory part of a slash path ("" for a bare name).
+func pathDir(p string) string {
+	for i := len(p) - 1; i >= 0; i-- {
+		if p[i] == '/' {
+			return p[:i]
+		}
+	}
+	return ""
+}
+
+// freshPath mints a source path not used by any current file.
+func (b *Bundle) freshPath(prefix string) string {
+	for {
+		cand := prefix + "_" + itoa(b.fresh) + ".mj"
+		b.fresh++
+		taken := false
+		for _, f := range b.Files {
+			if f.Path == cand {
+				taken = true
+				break
+			}
+		}
+		if !taken {
+			return cand
+		}
+	}
+}
+
+func itoa(n int) string {
+	if n == 0 {
+		return "0"
+	}
+	var buf [20]byte
+	i := len(buf)
+	for n > 0 {
+		i--
+		buf[i] = byte('0' + n%10)
+		n /= 10
+	}
+	return string(buf[i:])
+}
+
+// setFiles replaces the file set, keeping deterministic path order so
+// candidate enumeration stays a pure function of (seed, round).
+func (b *Bundle) setFiles(files []*File) {
+	for i := 1; i < len(files); i++ {
+		for j := i; j > 0 && files[j-1].Path > files[j].Path; j-- {
+			files[j-1], files[j] = files[j], files[j-1]
+		}
+	}
+	b.Files = files
+}
