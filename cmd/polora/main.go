@@ -6,10 +6,18 @@
 //	polora diff <dirA> <dirB> [flags]    difference two implementations
 //	polora exceptions <dirA> <dirB>      difference thrown-exception semantics (§8)
 //	polora export <dir> <out.json>       extract and export policies for sharing
+//	polora extract <dir> <out.json>      extract to a snapshot; -incremental -prev reuses one
 //	polora diff-policies <a.json> <dir>  difference shared policies against local code
 //	polora fingerprint <dir> [flags]     print the polorad content address of a library
 //	polora corpus <outdir>               write the bundled corpora to disk
 //	polora fuzz [dir...] [flags]         run a metamorphic fuzzing campaign
+//
+// The extract command writes a snapshot: the exported policies plus the
+// incremental state (per-method content hashes, per-entry dependency
+// sets) that lets a later run re-analyze only what changed. With
+// -incremental -prev <snapshot.json> it seeds from a previous snapshot
+// and splices every entry point whose dependency set is untouched; the
+// output is byte-identical to a from-scratch extraction either way.
 //
 // The fuzz command mutates each library with seeded semantics-preserving
 // rewrites and asserts the oracle's metamorphic invariants after every
@@ -76,6 +84,8 @@ func main() {
 		err = cmdExceptions(os.Args[2:])
 	case "export":
 		err = cmdExport(os.Args[2:])
+	case "extract":
+		err = cmdExtract(os.Args[2:])
 	case "diff-policies":
 		err = cmdDiffPolicies(os.Args[2:])
 	case "fingerprint":
@@ -101,6 +111,7 @@ func usage() {
   polora diff <dirA> <dirB> [flags]     difference two implementations
   polora exceptions <dirA> <dirB>       difference thrown-exception semantics (§8)
   polora export <dir> <out.json>        extract and export policies for sharing
+  polora extract <dir> <out.json>       extract to a snapshot (-incremental -prev reuses one)
   polora diff-policies <a.json> <dir>   difference shared policies against local code
   polora fingerprint <dir> [flags]      print the polorad content address of a library
   polora corpus <outdir>                write the bundled jdk/harmony/classpath corpora
@@ -368,6 +379,87 @@ func cmdExport(args []string) error {
 	}
 	fmt.Printf("exported %d entry-point policies of %s to %s\n",
 		len(lib.Policies.Entries), lib.Name, fs.Arg(1))
+	return nil
+}
+
+// cmdExtract extracts a library into a snapshot — exported policies plus
+// the incremental state a later -incremental run seeds from. With
+// -incremental it re-analyzes only entry points whose dependency set
+// intersects the methods that changed since -prev was written.
+func cmdExtract(args []string) error {
+	fs := flag.NewFlagSet("extract", flag.ExitOnError)
+	var cf commonFlags
+	cf.register(fs)
+	name := fs.String("name", "", "library name (default: base name of the directory)")
+	incremental := fs.Bool("incremental", false, "seed from a previous snapshot and re-analyze only changed entry points")
+	prevPath := fs.String("prev", "", "previous snapshot file (required with -incremental)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if fs.NArg() != 2 {
+		return fmt.Errorf("extract: expected <dir> <out.json>")
+	}
+	dir, outPath := fs.Arg(0), fs.Arg(1)
+	opts, err := cf.options()
+	if err != nil {
+		return err
+	}
+	// Snapshots persist wire-format policies, which carry no display data,
+	// so extractions feeding them never collect it — this also keeps the
+	// snapshot's option key matched however the command is flagged.
+	opts.CollectPaths, opts.CollectGuards = false, false
+	sources, err := policyoracle.ReadSourcesDir(dir)
+	if err != nil {
+		return err
+	}
+
+	var lib *policyoracle.Library
+	if *incremental {
+		if *prevPath == "" {
+			return fmt.Errorf("extract: -incremental requires -prev <snapshot.json>")
+		}
+		data, err := os.ReadFile(*prevPath)
+		if err != nil {
+			return err
+		}
+		prev, err := policyoracle.ImportSnapshot(data)
+		if err != nil {
+			return err
+		}
+		if *name != "" && *name != prev.Name {
+			return fmt.Errorf("extract: -name %q does not match snapshot library %q", *name, prev.Name)
+		}
+		var st *policyoracle.IncrementalStats
+		lib, st, err = policyoracle.ExtractIncremental(prev, sources, opts)
+		if err != nil {
+			return err
+		}
+		cf.printTimings()
+		if st.Full {
+			fmt.Fprintf(os.Stderr, "extract: snapshot options differ or carry no incremental state; fell back to a full extraction\n")
+		}
+		fmt.Printf("%s: reused %d, re-analyzed %d of %d entry points; %d methods hashed, %d changed\n",
+			lib.Name, st.Reused, st.Reanalyzed, st.Entries, st.HashedMethods, st.ChangedMethods)
+	} else {
+		if *name == "" {
+			*name = filepath.Base(dir)
+		}
+		lib, err = policyoracle.LoadLibrary(*name, sources)
+		if err != nil {
+			return err
+		}
+		lib.Extract(opts)
+		cf.printTimings()
+		fmt.Printf("%s: extracted %d entry-point policies\n", lib.Name, len(lib.Policies.Entries))
+	}
+	out, err := lib.ExportSnapshot()
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(outPath, out, 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("wrote snapshot %s\n", outPath)
 	return nil
 }
 

@@ -13,7 +13,7 @@
 //	-store dir        store directory (default polorad-store)
 //	-parallel N       oracle workers per extraction (0 = GOMAXPROCS)
 //	-max-inflight N   concurrent extractions across fingerprints (default 2)
-//	-cache N          in-memory policy-blob LRU entries (default 128)
+//	-cache N          in-memory policy-blob LRU entries (0 disables, default 128)
 //	-log-format fmt   structured log output: text or json (default text)
 //	-log-level lvl    minimum level: debug, info, warn, error (default info)
 //	-pprof            expose net/http/pprof under /debug/pprof/
@@ -50,11 +50,16 @@ func main() {
 	storeDir := flag.String("store", "polorad-store", "policy store directory")
 	parallel := flag.Int("parallel", 0, "oracle extraction workers per analysis mode (0 = GOMAXPROCS)")
 	maxInflight := flag.Int("max-inflight", 2, "concurrent extractions across distinct fingerprints")
-	cache := flag.Int("cache", 128, "in-memory policy-blob LRU entries")
+	cache := flag.Int("cache", 128, "in-memory policy-blob LRU entries (0 disables the cache)")
 	logFormat := flag.String("log-format", "text", "structured log output: text or json")
 	logLevel := flag.String("log-level", "info", "minimum log level: debug, info, warn, error")
 	pprofOn := flag.Bool("pprof", false, "expose net/http/pprof under /debug/pprof/")
 	flag.Parse()
+	if *cache == 0 {
+		// On the flag, 0 means "no cache"; the store treats 0 as "use the
+		// default" and negative as disabled, so translate.
+		*cache = -1
+	}
 	if err := run(config{
 		addr:        *addr,
 		storeDir:    *storeDir,

@@ -285,6 +285,10 @@ type EntryResult struct {
 	Method  *types.Method
 	Events  map[secmodel.Event]*EventResult
 	Origins []OriginRec
+	// Deps lists the sorted qualified signatures of every method whose
+	// body the analysis visited for this entry, the entry itself included —
+	// the entry's dependency set for incremental extraction.
+	Deps []string
 }
 
 // task is the state private to one AnalyzeEntry invocation: the recursion
@@ -324,6 +328,7 @@ func (a *Analyzer) AnalyzeEntry(m *types.Method) *EntryResult {
 			res.addEvent(secmodel.NativeEvent(m), a.entryState(), a.cfg.Mode)
 			res.addEvent(secmodel.ReturnEvent(), a.entryState(), a.cfg.Mode)
 		}
+		res.Deps = []string{m.Qualified()}
 		return res
 	}
 	sum := t.ispa(m, a.entryState(), nil, false, 0, true)
@@ -333,7 +338,20 @@ func (a *Analyzer) AnalyzeEntry(m *types.Method) *EntryResult {
 	if a.cfg.CollectOrigins {
 		res.Origins = append([]OriginRec(nil), sum.origins...)
 	}
+	res.Deps = depSigs(sum.deps)
 	return res
+}
+
+// depSigs converts a summary's dependency set to sorted qualified
+// signatures (overloads that collide on signature conflate — the IR hash
+// layer combines their hashes the same way, so reuse stays sound).
+func depSigs(deps []*types.Method) []string {
+	out := make([]string, 0, len(deps))
+	for _, d := range deps {
+		out = append(out, d.Qualified())
+	}
+	sort.Strings(out)
+	return out
 }
 
 // lookupMemo consults the summary cache appropriate to the memo mode.

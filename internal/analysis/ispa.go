@@ -32,9 +32,17 @@ type eventRec struct {
 // same method outside the cycle silently drop the checks and events cut
 // off here.
 type summary struct {
-	out       state
-	events    []eventRec
-	origins   []OriginRec
+	out     state
+	events  []eventRec
+	origins []OriginRec
+	// deps are the methods whose analyzed bodies this summary was computed
+	// from: the method itself plus the dependency sets of every callee
+	// summary merged during the recording pass. Incremental extraction
+	// re-analyzes an entry point iff any method in its dependency set
+	// changed; methods resolved but skipped (no body, unresolved, beyond
+	// MaxDepth) are covered by the caller's own IR hash, which records the
+	// resolution facts of each call site.
+	deps      []*types.Method
 	truncated bool
 }
 
@@ -42,6 +50,7 @@ type summary struct {
 type recorder struct {
 	events    []eventRec
 	origins   []OriginRec
+	deps      map[*types.Method]struct{}
 	exit      state
 	haveExit  bool
 	truncated bool
@@ -55,6 +64,29 @@ func (r *recorder) merge(s *summary) {
 	r.events = append(r.events, s.events...)
 	r.origins = append(r.origins, s.origins...)
 	r.truncated = r.truncated || s.truncated
+	if len(s.deps) > 0 {
+		if r.deps == nil {
+			r.deps = make(map[*types.Method]struct{}, len(s.deps))
+		}
+		for _, d := range s.deps {
+			r.deps[d] = struct{}{}
+		}
+	}
+}
+
+// depsWith returns the dependency set accumulated during the recording
+// pass plus m itself, sorted by method ID so summaries are deterministic
+// regardless of extraction order.
+func (r *recorder) depsWith(m *types.Method) []*types.Method {
+	out := make([]*types.Method, 0, len(r.deps)+1)
+	out = append(out, m)
+	for d := range r.deps {
+		if d != m {
+			out = append(out, d)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out
 }
 
 func (r *recorder) exitAt(a *Analyzer, st state) {
@@ -132,7 +164,7 @@ func (t *task) ispa(m *types.Method, in state, argConsts []constprop.Value, priv
 	if rec.haveExit {
 		out = rec.exit
 	}
-	s := &summary{out: out, events: rec.events, origins: dedupOrigins(rec.origins), truncated: rec.truncated}
+	s := &summary{out: out, events: rec.events, origins: dedupOrigins(rec.origins), deps: rec.depsWith(m), truncated: rec.truncated}
 	if !s.truncated {
 		// A summary computed beneath an active recursion cutoff reflects
 		// that cutoff, not the method's full behavior; memoizing it would

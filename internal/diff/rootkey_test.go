@@ -1,0 +1,124 @@
+package diff
+
+import (
+	"fmt"
+	"testing"
+
+	"policyoracle/internal/secmodel"
+)
+
+// TestRootKeyTable pins the grouping key: the case and the root methods
+// and check set distinguish errors, while the event deliberately never
+// does (one missing check perturbs several events of one root cause).
+func TestRootKeyTable(t *testing.T) {
+	cr := check(t, "checkRead", 1)
+	cw := check(t, "checkWrite", 1)
+	evA := secmodel.ReturnEvent()
+	evB := secmodel.Event{Kind: secmodel.NativeCall, Key: "read0/1"}
+
+	cases := []struct {
+		name   string
+		c1, c2 Case
+		e1, e2 secmodel.Event
+		r1, r2 []string
+		k1, k2 secmodel.CheckID
+		same   bool
+	}{
+		{"identical inputs", CaseMissingPolicy, CaseMissingPolicy, evA, evA,
+			[]string{"A.f()"}, []string{"A.f()"}, cr, cr, true},
+		{"event ignored", CaseMissingPolicy, CaseMissingPolicy, evA, evB,
+			[]string{"A.f()"}, []string{"A.f()"}, cr, cr, true},
+		{"case distinguishes", CaseMissingPolicy, CaseCheckMismatch, evA, evA,
+			[]string{"A.f()"}, []string{"A.f()"}, cr, cr, false},
+		{"origin methods distinguish", CaseMissingPolicy, CaseMissingPolicy, evA, evA,
+			[]string{"A.f()"}, []string{"A.helper()"}, cr, cr, false},
+		{"check set distinguishes", CaseMissingPolicy, CaseMissingPolicy, evA, evA,
+			[]string{"A.f()"}, []string{"A.f()"}, cr, cw, false},
+		{"root order matters after sorting upstream", CaseMissingPolicy, CaseMissingPolicy, evA, evA,
+			[]string{"A.f()", "A.g()"}, []string{"A.f()", "A.g()"}, cr, cr, true},
+		{"extra root distinguishes", CaseMissingPolicy, CaseMissingPolicy, evA, evA,
+			[]string{"A.f()"}, []string{"A.f()", "A.g()"}, cr, cr, false},
+		{"no roots still keyed by check", CaseMissingPolicy, CaseMissingPolicy, evA, evA,
+			nil, nil, cr, cw, false},
+	}
+	for _, tc := range cases {
+		k1 := rootKey(tc.c1, tc.e1, tc.r1, set(tc.k1))
+		k2 := rootKey(tc.c2, tc.e2, tc.r2, set(tc.k2))
+		if (k1 == k2) != tc.same {
+			t.Errorf("%s: rootKey %q vs %q, want same=%v", tc.name, k1, k2, tc.same)
+		}
+	}
+}
+
+func TestCategorizeTable(t *testing.T) {
+	cases := []struct {
+		name  string
+		roots []string
+		entry string
+		want  Category
+	}{
+		{"no roots", nil, "A.f()", Interprocedural},
+		{"entry only", []string{"A.f()"}, "A.f()", Intraprocedural},
+		{"helper only", []string{"A.helper()"}, "A.f()", Interprocedural},
+		{"entry plus helper", []string{"A.f()", "A.helper()"}, "A.f()", Interprocedural},
+		{"entry twice", []string{"A.f()", "A.f()"}, "A.f()", Intraprocedural},
+	}
+	for _, tc := range cases {
+		d := &Difference{RootMethods: tc.roots}
+		if got := categorize(d, tc.entry); got != tc.want {
+			t.Errorf("%s: categorize = %s, want %s", tc.name, got, tc.want)
+		}
+	}
+}
+
+// TestGroupingSplitsOnOriginMethods is the stability check behind
+// incremental splicing: two manifestations of the same missing check are
+// one group only when their origin methods agree. Entries that differ
+// solely in where the check originates must land in distinct groups with
+// deterministic root methods.
+func TestGroupingSplitsOnOriginMethods(t *testing.T) {
+	c := check(t, "checkLink", 1)
+	spec := map[string]map[secmodel.Event]evSpec{}
+	for sig, origin := range map[string]string{
+		"A.f()": "A.shared()",
+		"A.g()": "A.shared()",
+		"A.h()": "A.other()", // same missing check, different root cause
+	} {
+		spec[sig] = map[secmodel.Event]evSpec{
+			ret: {must: set(c), may: set(c), origins: map[secmodel.CheckID]string{c: origin}},
+		}
+	}
+	a := lib("a", spec)
+	bSpec := map[string]map[secmodel.Event]evSpec{}
+	for sig := range spec {
+		bSpec[sig] = map[secmodel.Event]evSpec{ret: {}}
+	}
+	b := lib("b", bSpec)
+
+	rep := Compare(a, b)
+	if len(rep.Groups) != 2 {
+		t.Fatalf("groups = %d, want 2 (distinct origin methods):\n%s", len(rep.Groups), rep)
+	}
+	byRoot := map[string]int{}
+	for _, g := range rep.Groups {
+		if len(g.RootMethods) != 1 {
+			t.Fatalf("group root methods = %v", g.RootMethods)
+		}
+		byRoot[g.RootMethods[0]] = g.Manifestations()
+	}
+	if byRoot["A.shared()"] != 2 || byRoot["A.other()"] != 1 {
+		t.Errorf("manifestations by root = %v, want A.shared():2 A.other():1", byRoot)
+	}
+	if rep.TotalManifestations() != 3 {
+		t.Errorf("total manifestations = %d, want 3", rep.TotalManifestations())
+	}
+
+	// Repeated comparison is byte-stable: map iteration upstream must not
+	// leak into group identity or ordering.
+	first := fmt.Sprint(rep)
+	for i := 0; i < 5; i++ {
+		if again := fmt.Sprint(Compare(a, b)); again != first {
+			t.Fatalf("comparison %d rendered differently:\n%s\nvs\n%s", i, again, first)
+		}
+	}
+}

@@ -1,0 +1,36 @@
+package metamorph_test
+
+import (
+	"testing"
+
+	"policyoracle/internal/corpus"
+	"policyoracle/internal/metamorph"
+)
+
+// TestIncrementalCampaignAllCorpora is the byte-identity gate CI runs
+// for incremental extraction: 25 single-rewrite rounds per builtin
+// corpus, each asserting invariant (e) — an extraction seeded from the
+// unmutated baseline matches a from-scratch extraction of the mutant
+// byte for byte, in the export wire format and in diff reports both
+// ways. Mutations stay at 1 so every round is a minimal, single-file
+// edit — the workload incremental extraction exists for.
+func TestIncrementalCampaignAllCorpora(t *testing.T) {
+	for _, lib := range corpus.Libraries() {
+		rep, err := metamorph.Run(lib, corpus.Sources(lib), metamorph.CampaignOptions{
+			Seed:             4242,
+			Rounds:           25,
+			Mutations:        1,
+			ParallelEvery:    -1, // isolate invariant (e); (c) has its own runs
+			IncrementalEvery: 1,
+		})
+		if err != nil {
+			t.Fatalf("%s: %v", lib, err)
+		}
+		for _, v := range rep.Violations {
+			t.Errorf("%s: %s", lib, v)
+		}
+		if rep.Entries == 0 {
+			t.Fatalf("%s: no entry points extracted", lib)
+		}
+	}
+}

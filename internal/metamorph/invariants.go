@@ -2,6 +2,7 @@ package metamorph
 
 import (
 	"bytes"
+	"encoding/json"
 	"fmt"
 	"math/rand"
 	"runtime"
@@ -17,14 +18,18 @@ import (
 	"policyoracle/internal/telemetry"
 )
 
-// The four invariants the campaign asserts for every mutant:
+// The five invariants the campaign asserts for every mutant:
 //
 //	(a) diff-clean      — the mutant's policies diff clean against the
 //	                      original, in both directions, over an identical
 //	                      entry-point set;
 //	(b) must-subset-may — MUST ⊆ MAY for every entry point and event;
 //	(c) parallel        — parallel extraction is byte-identical to serial;
-//	(d) roundtrip       — export → import → export is byte-identical.
+//	(d) roundtrip       — export → import → export is byte-identical;
+//	(e) incremental     — extracting the mutant incrementally from the
+//	                      unmutated baseline splices and re-analyzes its
+//	                      way to the same exported bytes (and the same
+//	                      diff -json reports) as a clean rebuild.
 //
 // (a) is the paper's no-intrinsic-false-positives claim run in reverse:
 // a semantics-preserving difference that produces a report is a bug in
@@ -55,6 +60,10 @@ type CampaignOptions struct {
 	// ParallelEvery checks invariant (c) — two extra extractions — every
 	// Nth round; 0 means every 8th, < 0 disables.
 	ParallelEvery int
+	// IncrementalEvery checks invariant (e) — one clean rebuild plus one
+	// incremental extraction — every Nth round; 0 means every 8th, < 0
+	// disables.
+	IncrementalEvery int
 	// Metrics, when non-nil, receives per-round counters.
 	Metrics *telemetry.MetamorphMetrics
 }
@@ -72,6 +81,9 @@ func (o CampaignOptions) withDefaults() CampaignOptions {
 	if o.ParallelEvery == 0 {
 		o.ParallelEvery = 8
 	}
+	if o.IncrementalEvery == 0 {
+		o.IncrementalEvery = 8
+	}
 	return o
 }
 
@@ -79,7 +91,7 @@ func (o CampaignOptions) withDefaults() CampaignOptions {
 // produced it (replayable from the campaign seed and round).
 type Violation struct {
 	Round     int
-	Invariant string // "load", "diff-clean", "must-subset-may", "parallel", "roundtrip"
+	Invariant string // "load", "diff-clean", "must-subset-may", "parallel", "roundtrip", "incremental"
 	Mutators  []string
 	Detail    string
 }
@@ -311,7 +323,70 @@ func runRound(name string, sources map[string]string, base *oracle.Library, seri
 			fail("parallel", fmt.Sprintf("parallel export differs from serial (%d vs %d bytes)", len(pexp), len(exp)))
 		}
 	}
+
+	// (e) Incremental extraction seeded from the unmutated baseline is
+	// byte-identical to a clean rebuild of the mutant (sampled: one clean
+	// rebuild plus one — mostly spliced — incremental extraction). Both
+	// run under the baseline's name so the exports embed identical
+	// metadata, isolating the splicing itself.
+	if opts.IncrementalEvery > 0 && r%opts.IncrementalEvery == 0 {
+		checkIncremental(name, mutated, base, serial, fail)
+	}
 	return
+}
+
+// checkIncremental asserts invariant (e) for one mutated bundle: the
+// incremental extraction's stats must cover every entry, its exported
+// policies must match a clean rebuild byte for byte, and the diff
+// reports both produce against the baseline must encode identically.
+func checkIncremental(name string, mutated map[string]string, base *oracle.Library, serial oracle.Options, fail func(invariant, detail string)) {
+	clean, err := oracle.LoadLibrary(name, mutated)
+	if err != nil {
+		fail("incremental", "reload: "+err.Error())
+		return
+	}
+	clean.Extract(serial)
+	inc, st, err := oracle.ExtractIncremental(base, mutated, serial)
+	if err != nil {
+		fail("incremental", "incremental extract: "+err.Error())
+		return
+	}
+	if st.Full {
+		fail("incremental", "fell back to a full extraction (option key mismatch)")
+	}
+	if st.Reused+st.Reanalyzed != st.Entries {
+		fail("incremental", fmt.Sprintf("stats do not cover the entry set: %+v", *st))
+	}
+	cexp, cerr := clean.Policies.ExportJSON()
+	iexp, ierr := inc.Policies.ExportJSON()
+	if cerr != nil || ierr != nil {
+		fail("incremental", fmt.Sprintf("export: clean=%v incremental=%v", cerr, ierr))
+		return
+	}
+	if !bytes.Equal(cexp, iexp) {
+		fail("incremental", fmt.Sprintf("incremental export differs from clean rebuild (%d vs %d bytes, %d/%d reused)",
+			len(iexp), len(cexp), st.Reused, st.Entries))
+		return
+	}
+	for _, dir := range []struct {
+		label    string
+		cleanRep *diff.Report
+		incRep   *diff.Report
+	}{
+		{"mutant vs baseline", diff.Compare(clean.Policies, base.Policies), diff.Compare(inc.Policies, base.Policies)},
+		{"baseline vs mutant", diff.Compare(base.Policies, clean.Policies), diff.Compare(base.Policies, inc.Policies)},
+	} {
+		cj, cerr := json.Marshal(dir.cleanRep.ToJSON())
+		ij, ierr := json.Marshal(dir.incRep.ToJSON())
+		if cerr != nil || ierr != nil {
+			fail("incremental", fmt.Sprintf("diff encode (%s): clean=%v incremental=%v", dir.label, cerr, ierr))
+			return
+		}
+		if !bytes.Equal(cj, ij) {
+			fail("incremental", fmt.Sprintf("diff report (%s) differs between clean and incremental", dir.label))
+			return
+		}
+	}
 }
 
 // checkMustSubsetMay returns a description of the first MUST ⊄ MAY

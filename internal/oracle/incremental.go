@@ -1,0 +1,177 @@
+package oracle
+
+import (
+	"context"
+	"errors"
+	"fmt"
+
+	"policyoracle/internal/policy"
+	"policyoracle/internal/telemetry"
+	"policyoracle/internal/types"
+)
+
+// This file implements incremental extraction: given a previous
+// extraction (policies + per-entry dependency sets + method hashes, see
+// Library), a changed source bundle is re-analyzed only for the entry
+// points whose dependency set intersects the changed methods; every
+// other entry's policy is spliced from the previous extraction
+// unchanged. Because per-entry analysis is deterministic and the policy
+// wire format is a byte fixed point under export/import, the spliced
+// result is byte-identical to a from-scratch Extract of the new sources
+// — asserted by the oracle tests and the metamorph incremental
+// invariant.
+
+// ErrNoPrevious reports an incremental extraction whose previous library
+// carries no extracted policies to splice from.
+var ErrNoPrevious = errors.New("oracle: previous library has no extracted policies to seed an incremental extraction")
+
+// IncrementalStats describes how much work one incremental extraction
+// reused versus redid.
+type IncrementalStats struct {
+	// Entries is the number of API entry points in the new program;
+	// Reused of them were spliced from the previous extraction and
+	// Reanalyzed were run through the full MAY/MUST analyses.
+	Entries    int
+	Reused     int
+	Reanalyzed int
+	// HashedMethods is the number of methods content-hashed in the new
+	// program; ChangedMethods of them are new or hash differently from
+	// the previous extraction.
+	HashedMethods  int
+	ChangedMethods int
+	// Full marks a fallback to a from-scratch extraction: the previous
+	// extraction used different options or carries no incremental state.
+	Full bool
+}
+
+// ExtractIncremental reloads sources and extracts policies for them,
+// reusing prev's per-entry policies wherever prev's dependency sets and
+// method hashes prove the analysis inputs are unchanged. The returned
+// library's policies are byte-identical (in the wire format, and in
+// diff -json reports) to a from-scratch Extract of the same sources
+// under the same options.
+//
+// prev must have been extracted under the same options (including the
+// CollectPaths/CollectGuards display flags, which shape in-memory
+// policies); otherwise the call transparently falls back to a full
+// extraction, reported via IncrementalStats.Full.
+func ExtractIncremental(prev *Library, sources map[string]string, opts Options) (*Library, *IncrementalStats, error) {
+	return ExtractIncrementalContext(context.Background(), prev, sources, opts)
+}
+
+// ExtractIncrementalContext is ExtractIncremental with cancellation,
+// observed between entry-point analyses exactly like ExtractContext.
+func ExtractIncrementalContext(ctx context.Context, prev *Library, sources map[string]string, opts Options) (*Library, *IncrementalStats, error) {
+	if prev == nil || prev.Policies == nil {
+		return nil, nil, ErrNoPrevious
+	}
+	opts = opts.Normalize()
+	lib, err := LoadLibrary(prev.Name, sources)
+	if err != nil {
+		return nil, nil, err
+	}
+	st := &IncrementalStats{}
+	hashes := MethodHashes(lib.Prog, lib.Resolver)
+	st.HashedMethods = len(hashes)
+
+	if prev.ExtractedOpts != extractKey(opts) || len(prev.MethodHashes) == 0 || len(prev.EntryDeps) == 0 {
+		// The previous extraction cannot prove anything about this one;
+		// rebuild from scratch rather than guess.
+		st.Full = true
+		if err := lib.ExtractContext(ctx, opts); err != nil {
+			return nil, nil, err
+		}
+		st.Entries = len(lib.Policies.Entries)
+		st.Reanalyzed = st.Entries
+		st.ChangedMethods = countChanged(prev.MethodHashes, hashes)
+		observeIncremental(opts.Telemetry, st, lib.EntryDeps)
+		return lib, st, nil
+	}
+	st.ChangedMethods = countChanged(prev.MethodHashes, hashes)
+
+	if tm := opts.Telemetry; tm != nil {
+		tm.Extractions.Inc()
+	}
+	entries := lib.EntryPoints()
+	st.Entries = len(entries)
+	pp := policy.NewProgramPolicies(lib.Name)
+	deps := make(map[string][]string, len(entries))
+	var fresh []*types.Method
+	for _, m := range entries {
+		sig := m.Qualified()
+		if prevEP := prev.Policies.Entries[sig]; prevEP != nil && reusableEntry(prev, hashes, sig) {
+			pp.Entries[sig] = prevEP
+			deps[sig] = prev.EntryDeps[sig]
+			st.Reused++
+			continue
+		}
+		fresh = append(fresh, m)
+	}
+	st.Reanalyzed = len(fresh)
+	if len(fresh) > 0 {
+		fdeps, err := lib.extractEntries(ctx, opts, fresh, pp)
+		if err != nil {
+			return nil, nil, err
+		}
+		for sig, d := range fdeps {
+			deps[sig] = d
+		}
+	}
+	lib.Policies = pp
+	lib.EntryDeps = deps
+	lib.MethodHashes = hashes
+	lib.ExtractedOpts = extractKey(opts)
+	observeIncremental(opts.Telemetry, st, deps)
+	return lib, st, nil
+}
+
+// reusableEntry reports whether sig's previous policy can be spliced:
+// every method in its previous dependency set must exist in the new
+// program with an identical hash. A method that disappeared, changed, or
+// was never recorded forces re-analysis.
+func reusableEntry(prev *Library, hashes map[string]string, sig string) bool {
+	ds := prev.EntryDeps[sig]
+	if len(ds) == 0 {
+		return false
+	}
+	for _, d := range ds {
+		ph, okPrev := prev.MethodHashes[d]
+		nh, okNew := hashes[d]
+		if !okPrev || !okNew || ph != nh {
+			return false
+		}
+	}
+	return true
+}
+
+func countChanged(prev, cur map[string]string) int {
+	n := 0
+	for sig, h := range cur {
+		if ph, ok := prev[sig]; !ok || ph != h {
+			n++
+		}
+	}
+	return n
+}
+
+// extractKey is the option key an incremental extraction must match to
+// splice from a previous one: the canonical semantic options plus the
+// display-collection flags. CollectPaths/CollectGuards do not affect the
+// wire format, but spliced EntryPolicy values are shared in memory, so
+// mixing flags would hand callers policies whose display data is
+// inconsistent across entries.
+func extractKey(o Options) string {
+	return fmt.Sprintf("%s paths=%t guards=%t", CanonicalOptions(o), o.CollectPaths, o.CollectGuards)
+}
+
+func observeIncremental(tm *telemetry.ExtractMetrics, st *IncrementalStats, deps map[string][]string) {
+	if tm == nil {
+		return
+	}
+	tm.IncrementalReused.Add(float64(st.Reused))
+	tm.IncrementalReanalyzed.Add(float64(st.Reanalyzed))
+	tm.IncrementalHashed.Add(float64(st.HashedMethods))
+	for _, d := range deps {
+		tm.DepSetSize.Observe(float64(len(d)))
+	}
+}

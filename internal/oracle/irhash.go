@@ -1,0 +1,134 @@
+package oracle
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+	"io"
+	"strings"
+
+	"policyoracle/internal/callgraph"
+	"policyoracle/internal/ir"
+	"policyoracle/internal/secmodel"
+	"policyoracle/internal/types"
+)
+
+// This file implements the method-level content hashing behind
+// incremental extraction. Each method hashes to a digest of everything
+// the ISPA analysis can observe about it: its signature and modifiers,
+// its IR body block by block, and — crucially — the post-resolution
+// facts of every call and field access (check identity, doPrivileged
+// run() binding, resolved target with its native/has-body status, field
+// identity and privacy). Hashing after call-graph resolution means an
+// edit anywhere that changes what a call site binds to (a new override,
+// a hierarchy change, a field made private) changes the hash of every
+// method containing such a site, so dependents are invalidated without
+// tracking the class hierarchy separately. Source positions are
+// excluded: they feed display-only data (guard positions), never the
+// policy wire format.
+
+// MethodHashes returns the IR-level content hash of every method in the
+// program, keyed by qualified signature. When two methods collide on
+// signature (overloads whose parameter types share a simple name), their
+// hashes are combined so a change to either invalidates dependents —
+// matching how the analysis dependency sets conflate them.
+func MethodHashes(prog *ir.Program, res *callgraph.Resolver) map[string]string {
+	methods := prog.Types.AllMethods()
+	out := make(map[string]string, len(methods))
+	for _, m := range methods {
+		sig := m.Qualified()
+		h := methodHash(prog, res, m)
+		if prior, ok := out[sig]; ok {
+			h = combineHashes(prior, h)
+		}
+		out[sig] = h
+	}
+	return out
+}
+
+func methodHash(prog *ir.Program, res *callgraph.Resolver, m *types.Method) string {
+	h := sha256.New()
+	fmt.Fprintf(h, "method %s\n", m.Qualified())
+	fmt.Fprintf(h, "mods native=%t abstract=%t static=%t entry=%t priv-scope=%t params=%d\n",
+		m.IsNative(), m.IsAbstract(), m.IsStatic(), m.IsEntryPoint(),
+		secmodel.IsPrivilegedScope(m), len(m.Params))
+	f := prog.FuncOf(m)
+	if f == nil {
+		io.WriteString(h, "nobody\n")
+		return hex.EncodeToString(h.Sum(nil))
+	}
+	for _, b := range f.Blocks {
+		fmt.Fprintf(h, "b%d:", b.Index)
+		for _, s := range b.Succs {
+			fmt.Fprintf(h, " b%d", s.Index)
+		}
+		io.WriteString(h, "\n")
+		for _, instr := range b.Instrs {
+			fmt.Fprintf(h, "  %s%s\n", instr.String(), instrFacts(prog, res, instr))
+		}
+	}
+	return hex.EncodeToString(h.Sum(nil))
+}
+
+func combineHashes(a, b string) string {
+	h := sha256.New()
+	fmt.Fprintf(h, "overloads %s %s", a, b)
+	return hex.EncodeToString(h.Sum(nil))
+}
+
+// instrFacts renders the resolution facts of one instruction — the part
+// of its analysis-visible behavior that its String() form (names only)
+// does not pin down.
+func instrFacts(prog *ir.Program, res *callgraph.Resolver, instr ir.Instr) string {
+	switch in := instr.(type) {
+	case *ir.Call:
+		var b strings.Builder
+		if in.Declared != nil {
+			fmt.Fprintf(&b, " [decl=%s]", in.Declared.Qualified())
+		}
+		if id, ok := secmodel.IdentifyCheck(in); ok {
+			fmt.Fprintf(&b, " [check=%d]", id)
+		}
+		if secmodel.IsGetSecurityManager(in) {
+			b.WriteString(" [gsm]")
+		}
+		if secmodel.IsDoPrivileged(in) {
+			writeRunFact(&b, prog, res, in)
+		}
+		if target := res.ResolveQuiet(in); target == nil {
+			b.WriteString(" [target=?]")
+		} else {
+			fmt.Fprintf(&b, " [target=%s native=%t body=%t]",
+				target.Qualified(), target.IsNative(), prog.FuncOf(target) != nil)
+		}
+		return b.String()
+	case *ir.FieldLoad:
+		return fieldFact(in.Field)
+	case *ir.FieldStore:
+		return fieldFact(in.Field)
+	}
+	return ""
+}
+
+// writeRunFact records which run() implementation a doPrivileged call
+// binds to (mirroring Analyzer.resolveRun), so changing an action class
+// invalidates every method that enters it via doPrivileged.
+func writeRunFact(b *strings.Builder, prog *ir.Program, res *callgraph.Resolver, c *ir.Call) {
+	if len(c.Args) > 0 {
+		if l, ok := c.Args[0].(*ir.Local); ok && l.Type.Class != nil {
+			if run := res.ResolveOn(l.Type.Class, "run", 0); run != nil {
+				fmt.Fprintf(b, " [dopriv run=%s native=%t body=%t]",
+					run.Qualified(), run.IsNative(), prog.FuncOf(run) != nil)
+				return
+			}
+		}
+	}
+	b.WriteString(" [dopriv run=?]")
+}
+
+func fieldFact(f *types.Field) string {
+	if f == nil {
+		return " [field=?]"
+	}
+	return fmt.Sprintf(" [field=%s private=%t]", f.Qualified(), f.IsPrivate())
+}

@@ -79,9 +79,20 @@ type Library struct {
 	Resolver *callgraph.Resolver
 	Policies *policy.ProgramPolicies
 
+	// Incremental-extraction state, filled by every extraction:
+	// MethodHashes maps each method signature to its IR-level content
+	// hash, EntryDeps maps each entry-point signature to the sorted
+	// signatures of the methods its analysis visited, and ExtractedOpts
+	// is the option key (see extractKey) the policies were extracted
+	// under. Together they are what ExtractIncremental consumes as prev.
+	MethodHashes  map[string]string
+	EntryDeps     map[string][]string
+	ExtractedOpts string
+
 	// NCLoC is the number of non-comment, non-blank source lines.
 	NCLoC int
-	// Extraction statistics and timings, per mode.
+	// Extraction statistics and timings, per mode. After an incremental
+	// extraction they describe only the re-analyzed entry subset.
 	MayStats, MustStats analysis.Stats
 	MayTime, MustTime   time.Duration
 	Diags               *lang.Diagnostics
@@ -178,12 +189,37 @@ func (l *Library) Extract(opts Options) {
 // analyses, so it takes effect within one entry analysis at worst.
 func (l *Library) ExtractContext(ctx context.Context, opts Options) error {
 	opts = opts.Normalize()
-	modes := opts.Modes
-	workers := opts.Parallel
-	entries := l.EntryPoints()
-	pp := policy.NewProgramPolicies(l.Name)
 	if tm := opts.Telemetry; tm != nil {
 		tm.Extractions.Inc()
+	}
+	pp := policy.NewProgramPolicies(l.Name)
+	deps, err := l.extractEntries(ctx, opts, l.EntryPoints(), pp)
+	if err != nil {
+		return err
+	}
+	l.publish(pp, deps, opts)
+	return nil
+}
+
+// publish installs one completed extraction on the library: the policies
+// plus the incremental-extraction state derived from them.
+func (l *Library) publish(pp *policy.ProgramPolicies, deps map[string][]string, opts Options) {
+	l.Policies = pp
+	l.EntryDeps = deps
+	l.MethodHashes = MethodHashes(l.Prog, l.Resolver)
+	l.ExtractedOpts = extractKey(opts)
+}
+
+// extractEntries runs the per-mode analyses for the given entry points,
+// writing the merged policies into pp and returning each entry's
+// dependency set (the MAY/MUST union). opts must already be normalized.
+// The library's per-mode stats and timings are overwritten and describe
+// exactly this run, so after an incremental extraction they cover only
+// the re-analyzed subset.
+func (l *Library) extractEntries(ctx context.Context, opts Options, entries []*types.Method, pp *policy.ProgramPolicies) (map[string][]string, error) {
+	modes := opts.Modes
+	workers := opts.Parallel
+	if tm := opts.Telemetry; tm != nil {
 		tm.Workers.Set(float64(workers))
 	}
 	results := make(map[analysis.Mode]map[string]*analysis.EntryResult, len(modes))
@@ -241,13 +277,14 @@ func (l *Library) ExtractContext(ctx context.Context, opts Options) error {
 		}
 	}
 	if err := ctx.Err(); err != nil {
-		return err
+		return nil, err
 	}
 
 	// Merge per-mode results into combined entry policies.
 	mayRes := results[analysis.May]
 	mustRes := results[analysis.Must]
-	for _, m := range l.EntryPoints() {
+	deps := make(map[string][]string, len(entries))
+	for _, m := range entries {
 		sig := m.Qualified()
 		ep := policy.NewEntryPolicy(sig)
 		events := map[secmodel.Event]bool{}
@@ -295,9 +332,33 @@ func (l *Library) ExtractContext(ctx context.Context, opts Options) error {
 			}
 		}
 		pp.Entries[sig] = ep
+		deps[sig] = mergeDeps(sig, mayRes[sig], mustRes[sig])
 	}
-	l.Policies = pp
-	return nil
+	return deps, nil
+}
+
+// mergeDeps unions the per-mode dependency sets of one entry. The sets
+// agree in practice — reachability does not depend on the meet — but the
+// union keeps reuse sound if a mode ever prunes differently.
+func mergeDeps(sig string, rs ...*analysis.EntryResult) []string {
+	seen := make(map[string]bool)
+	var out []string
+	for _, r := range rs {
+		if r == nil {
+			continue
+		}
+		for _, d := range r.Deps {
+			if !seen[d] {
+				seen[d] = true
+				out = append(out, d)
+			}
+		}
+	}
+	if len(out) == 0 {
+		return []string{sig}
+	}
+	sort.Strings(out)
+	return out
 }
 
 // analyzeEntries analyzes every entry point on a shared analyzer, fanning

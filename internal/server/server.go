@@ -6,9 +6,11 @@
 //
 // Endpoints:
 //
-//	POST /v1/libraries  {"name", "sources", "options"?} → {"fingerprint", "created"}
-//	POST /v1/extract    {"fingerprint"}                 → policy wire JSON
-//	POST /v1/diff       {"a", "b"}                      → diff report JSON
+//	POST /v1/libraries         {"name", "sources", "options"?} → {"fingerprint", "created"}
+//	PUT  /v1/libraries/{name}  {"sources", "options"?}         → {"fingerprint", "created",
+//	                           "incremental", "entries", "reused", "reanalyzed"}
+//	POST /v1/extract           {"fingerprint"}                 → policy wire JSON
+//	POST /v1/diff              {"a", "b"}                      → diff report JSON
 //	GET  /healthz                                       → "ok"
 //	GET  /statsz                                        → store counters
 //	GET  /metricsz                                      → Prometheus text exposition
@@ -114,6 +116,7 @@ func New(st *store.Store, opts Options) *Server {
 		log: opts.Logger,
 	}
 	s.handle("POST /v1/libraries", s.handleLibraries)
+	s.handle("PUT /v1/libraries/{name}", s.handleUpdate)
 	s.handle("POST /v1/extract", s.handleExtract)
 	s.handle("POST /v1/diff", s.handleDiff)
 	s.handle("GET /healthz", s.handleHealthz)
@@ -194,6 +197,16 @@ type UploadResponse struct {
 	Created     bool   `json:"created"`
 }
 
+// UpdateRequest is the body of PUT /v1/libraries/{name}: a new source
+// revision of the named library. The response is store.UpdateResult; the
+// fingerprint it returns serves /v1/extract and /v1/diff as usual, with
+// unaffected entry policies spliced from the library's previous revision
+// rather than re-analyzed.
+type UpdateRequest struct {
+	Sources map[string]string `json:"sources"`
+	Options store.OptionsWire `json:"options"`
+}
+
 // DiffRequest is the body of POST /v1/diff.
 type DiffRequest struct {
 	A string `json:"a"`
@@ -219,6 +232,23 @@ func (s *Server) handleLibraries(w http.ResponseWriter, r *http.Request) {
 		status = http.StatusCreated
 	}
 	s.writeJSON(w, status, UploadResponse{Fingerprint: fp, Created: created})
+}
+
+func (s *Server) handleUpdate(w http.ResponseWriter, r *http.Request) {
+	var req UpdateRequest
+	if !s.decode(w, r, &req) {
+		return
+	}
+	res, err := s.st.Update(r.Context(), r.PathValue("name"), req.Sources, req.Options)
+	if err != nil {
+		s.failStore(w, err)
+		return
+	}
+	status := http.StatusOK
+	if res.Created {
+		status = http.StatusCreated
+	}
+	s.writeJSON(w, status, res)
 }
 
 func (s *Server) handleExtract(w http.ResponseWriter, r *http.Request) {
@@ -285,7 +315,7 @@ func (s *Server) failStore(w http.ResponseWriter, err error) {
 	switch {
 	case errors.Is(err, store.ErrNotFound):
 		s.fail(w, http.StatusNotFound, CodeUnknownLibrary, err)
-	case errors.Is(err, store.ErrMalformed):
+	case errors.Is(err, store.ErrMalformed), errors.Is(err, store.ErrInvalid):
 		s.fail(w, http.StatusBadRequest, CodeBadRequest, err)
 	case errors.Is(err, context.Canceled), errors.Is(err, context.DeadlineExceeded):
 		s.fail(w, http.StatusServiceUnavailable, CodeShuttingDown, err)

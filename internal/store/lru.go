@@ -3,8 +3,9 @@ package store
 import "container/list"
 
 // blobLRU is a fixed-capacity LRU over policy blobs, keyed by
-// fingerprint. It is not safe for concurrent use; the Store serializes
-// access under its mutex.
+// fingerprint. A capacity <= 0 disables the cache: add stores nothing
+// (and reports no evictions) and get never hits. It is not safe for
+// concurrent use; the Store serializes access under its mutex.
 type blobLRU struct {
 	cap   int
 	order *list.List // front = most recently used
@@ -32,6 +33,13 @@ func (c *blobLRU) get(fp string) ([]byte, bool) {
 // add inserts or refreshes a blob and reports how many entries were
 // evicted to stay within capacity.
 func (c *blobLRU) add(fp string, blob []byte) (evicted int) {
+	if c.cap <= 0 {
+		// Disabled cache: without this guard the eviction loop below would
+		// immediately evict the entry just inserted while still counting an
+		// eviction, turning "no cache" into "cache with 100% miss rate plus
+		// eviction noise in the metrics".
+		return 0
+	}
 	if el, ok := c.items[fp]; ok {
 		el.Value.(*lruEntry).blob = blob
 		c.order.MoveToFront(el)

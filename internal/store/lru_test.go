@@ -1,0 +1,44 @@
+package store
+
+import "testing"
+
+func TestBlobLRUEvictsOldest(t *testing.T) {
+	c := newBlobLRU(2)
+	if n := c.add("a", []byte("A")); n != 0 {
+		t.Errorf("evicted %d on first insert", n)
+	}
+	c.add("b", []byte("B"))
+	if n := c.add("c", []byte("C")); n != 1 {
+		t.Errorf("evicted %d inserting past capacity, want 1", n)
+	}
+	if _, ok := c.get("a"); ok {
+		t.Error("oldest entry survived eviction")
+	}
+	if blob, ok := c.get("c"); !ok || string(blob) != "C" {
+		t.Error("newest entry missing")
+	}
+	// Refreshing an existing key is not an insert and evicts nothing.
+	if n := c.add("b", []byte("B2")); n != 0 || c.len() != 2 {
+		t.Errorf("refresh: evicted=%d len=%d", n, c.len())
+	}
+	if blob, _ := c.get("b"); string(blob) != "B2" {
+		t.Error("refresh did not replace the blob")
+	}
+}
+
+// A disabled cache (capacity <= 0) must store nothing — and, the bug this
+// pins: it must not report a phantom eviction for every add.
+func TestBlobLRUDisabled(t *testing.T) {
+	for _, capacity := range []int{0, -1} {
+		c := newBlobLRU(capacity)
+		if n := c.add("a", []byte("A")); n != 0 {
+			t.Errorf("cap=%d: add reported %d evictions, want 0", capacity, n)
+		}
+		if c.len() != 0 {
+			t.Errorf("cap=%d: disabled cache holds %d entries", capacity, c.len())
+		}
+		if _, ok := c.get("a"); ok {
+			t.Errorf("cap=%d: disabled cache returned a hit", capacity)
+		}
+	}
+}

@@ -10,6 +10,15 @@
 //
 //	bundles/<fingerprint>.json    uploaded bundle (name, options, sources)
 //	policies/<fingerprint>.json   extracted policies, policy wire format
+//	deps/<fingerprint>.json       incremental sidecar (oracle.Snapshot sans
+//	                              policies): method hashes + entry deps
+//	names.json                    library name → latest fingerprint
+//
+// The sidecar and name index power delta-aware updates (Update): a new
+// bundle for a known library seeds an incremental extraction from the
+// previous fingerprint's policies and sidecar, re-analyzing only entry
+// points whose dependency set changed. Both are best-effort — losing
+// them costs a full extraction, never correctness.
 //
 // Blobs read back from disk are validated by re-importing them; a
 // corrupted blob is discarded and re-extracted from its bundle, so the
@@ -56,7 +65,9 @@ type Bundle struct {
 type Config struct {
 	// Dir is the store directory, created if absent.
 	Dir string
-	// CacheEntries caps the in-memory blob LRU (default 128).
+	// CacheEntries caps the in-memory blob LRU: 0 means the default of
+	// 128, and a negative value disables the in-memory cache entirely
+	// (every read is served from disk or extraction).
 	CacheEntries int
 	// Parallel is the oracle worker count per extraction
 	// (oracle.Options.Parallel; <= 0 means GOMAXPROCS).
@@ -109,6 +120,10 @@ type Store struct {
 	cache  *blobLRU
 	flight map[string]*flightCall
 
+	// namesMu serializes read-modify-write cycles on names.json; it is
+	// separate from mu so index writes never block cache reads.
+	namesMu sync.Mutex
+
 	memHits, diskHits, misses, coalesced atomic.Uint64
 	extractions, corruptBlobs            atomic.Uint64
 	bundles, diffs, evictions            atomic.Uint64
@@ -134,12 +149,12 @@ func Open(cfg Config) (*Store, error) {
 	if cfg.Dir == "" {
 		return nil, errors.New("store: empty directory")
 	}
-	for _, sub := range []string{"bundles", "policies"} {
+	for _, sub := range []string{"bundles", "policies", "deps"} {
 		if err := os.MkdirAll(filepath.Join(cfg.Dir, sub), 0o755); err != nil {
 			return nil, fmt.Errorf("store: %w", err)
 		}
 	}
-	if cfg.CacheEntries <= 0 {
+	if cfg.CacheEntries == 0 {
 		cfg.CacheEntries = 128
 	}
 	if cfg.MaxInflight <= 0 {
@@ -170,27 +185,36 @@ func (s *Store) policyPath(fp string) string {
 	return filepath.Join(s.dir, "policies", fp+".json")
 }
 
+func (s *Store) depsPath(fp string) string {
+	return filepath.Join(s.dir, "deps", fp+".json")
+}
+
+func (s *Store) namesPath() string {
+	return filepath.Join(s.dir, "names.json")
+}
+
 // Put fingerprints and persists a bundle, returning its address. A
 // re-upload of existing content is a no-op with created == false.
 func (s *Store) Put(name string, sources map[string]string, w OptionsWire) (fp string, created bool, err error) {
 	if name == "" {
-		return "", false, errors.New("store: empty library name")
+		return "", false, fmt.Errorf("store: %w: empty library name", ErrInvalid)
 	}
 	if len(sources) == 0 {
-		return "", false, errors.New("store: empty source bundle")
+		return "", false, fmt.Errorf("store: %w: empty source bundle", ErrInvalid)
 	}
 	opts, err := w.ToOracle()
 	if err != nil {
-		return "", false, fmt.Errorf("store: %w", err)
+		return "", false, fmt.Errorf("store: %w: %v", ErrInvalid, err)
 	}
 	// Reject bundles that don't load: a broken upload should fail at Put,
 	// not poison every later extraction of its fingerprint.
 	if _, err := oracle.LoadLibrary(name, sources); err != nil {
-		return "", false, fmt.Errorf("store: bundle does not load: %w", err)
+		return "", false, fmt.Errorf("store: %w: bundle does not load: %v", ErrInvalid, err)
 	}
 	fp = oracle.Fingerprint(name, sources, opts)
 	path := s.bundlePath(fp)
 	if _, err := os.Stat(path); err == nil {
+		s.setLatestFingerprint(name, fp)
 		return fp, false, nil
 	}
 	data, err := json.MarshalIndent(&Bundle{
@@ -204,8 +228,61 @@ func (s *Store) Put(name string, sources map[string]string, w OptionsWire) (fp s
 	}
 	s.bundles.Add(1)
 	s.tm.Bundles.Inc()
+	s.setLatestFingerprint(name, fp)
 	s.log.Info("store: bundle created", "fingerprint", fp, "library", name, "files", len(sources))
 	return fp, true, nil
+}
+
+// latestFingerprint returns the most recently uploaded fingerprint for a
+// library name, the seed candidate for delta-aware updates.
+func (s *Store) latestFingerprint(name string) (string, bool) {
+	s.namesMu.Lock()
+	defer s.namesMu.Unlock()
+	names, err := s.readNames()
+	if err != nil {
+		return "", false
+	}
+	fp, ok := names[name]
+	return fp, ok
+}
+
+// setLatestFingerprint records name → fp in the name index. Best-effort:
+// a failed write only disables incremental seeding of the next update.
+func (s *Store) setLatestFingerprint(name, fp string) {
+	s.namesMu.Lock()
+	defer s.namesMu.Unlock()
+	names, err := s.readNames()
+	if err != nil {
+		s.log.Warn("store: name index unreadable, rewriting", "err", err)
+		names = map[string]string{}
+	}
+	if names[name] == fp {
+		return
+	}
+	names[name] = fp
+	data, err := json.MarshalIndent(names, "", "  ")
+	if err == nil {
+		err = writeAtomic(s.namesPath(), data)
+	}
+	if err != nil {
+		s.log.Warn("store: writing name index failed", "err", err)
+	}
+}
+
+// readNames loads the name index; callers hold namesMu.
+func (s *Store) readNames() (map[string]string, error) {
+	names := map[string]string{}
+	data, err := os.ReadFile(s.namesPath())
+	if errors.Is(err, os.ErrNotExist) {
+		return names, nil
+	}
+	if err != nil {
+		return nil, err
+	}
+	if err := json.Unmarshal(data, &names); err != nil {
+		return nil, err
+	}
+	return names, nil
 }
 
 // Bundle loads the persisted bundle addressed by fp.
@@ -293,6 +370,16 @@ func (s *Store) wait(ctx context.Context, fp string, c *flightCall) ([]byte, err
 	case <-c.done:
 		return c.blob, c.err
 	case <-ctx.Done():
+		// When the result and the cancellation race, prefer the result:
+		// callers on a non-cancellable context (the Policies/PolicySet/Diff
+		// wrappers use context.Background) must always take this path, and
+		// a context caller that loses this race would otherwise decrement a
+		// refcount the completion path has already settled.
+		select {
+		case <-c.done:
+			return c.blob, c.err
+		default:
+		}
 		s.mu.Lock()
 		c.waiters--
 		last := c.waiters == 0
@@ -341,11 +428,15 @@ func (s *Store) loadOrExtract(ctx context.Context, fp string) ([]byte, error) {
 	queued := time.Now()
 	select {
 	case s.sem <- struct{}{}:
+		// Observed only here — by the flight leader, after it actually
+		// acquired a slot. Coalesced joins never reach this function and a
+		// leader cancelled while queueing records nothing, so the histogram
+		// counts one sample per extraction slot granted, not per caller.
+		s.tm.QueueWait.ObserveDuration(time.Since(queued))
 	case <-ctx.Done():
 		return nil, ctx.Err()
 	}
 	defer func() { <-s.sem }()
-	s.tm.QueueWait.ObserveDuration(time.Since(queued))
 	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
@@ -377,6 +468,10 @@ func (s *Store) extractBundle(ctx context.Context, b *Bundle) ([]byte, error) {
 	}
 	opts.Parallel = s.parallel
 	opts.Telemetry = s.xm
+	// Display-only data (paths, guards) never reaches the wire format the
+	// store serves, and the incremental sidecar records a display-free
+	// extraction; skip collecting it server-side.
+	opts.CollectPaths, opts.CollectGuards = false, false
 	lib, err := oracle.LoadLibrary(b.Name, b.Sources)
 	if err != nil {
 		return nil, fmt.Errorf("store: bundle %s: %w", b.Fingerprint, err)
@@ -384,7 +479,26 @@ func (s *Store) extractBundle(ctx context.Context, b *Bundle) ([]byte, error) {
 	if err := lib.ExtractContext(ctx, opts); err != nil {
 		return nil, fmt.Errorf("store: bundle %s: %w", b.Fingerprint, err)
 	}
+	s.writeIncrementalState(lib, b.Fingerprint)
 	return lib.Policies.ExportJSON()
+}
+
+// writeIncrementalState persists the deps sidecar (method hashes + entry
+// dependency sets) for fp. Best-effort: the policy blob is the source of
+// truth, and a missing sidecar only forces the next update of this
+// library through a full extraction.
+func (s *Store) writeIncrementalState(lib *oracle.Library, fp string) {
+	snap, err := lib.Snapshot()
+	if err == nil {
+		snap.Policies = nil // the blob is persisted separately under policies/
+		var data []byte
+		if data, err = snap.Encode(); err == nil {
+			err = writeAtomic(s.depsPath(fp), data)
+		}
+	}
+	if err != nil {
+		s.log.Warn("store: writing incremental sidecar failed", "fingerprint", fp, "err", err)
+	}
 }
 
 // PolicySet returns the parsed policies for a fingerprint.

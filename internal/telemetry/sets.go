@@ -175,7 +175,21 @@ type ExtractMetrics struct {
 	CPRuns         *CounterVec
 	CPHits         *CounterVec
 	EntryPoints    *CounterVec
+	// Incremental-extraction instruments, fed by
+	// oracle.ExtractIncremental: entry policies spliced from the
+	// previous extraction (polora_incremental_reused_total), entries
+	// re-analyzed (polora_incremental_reanalyzed_total), methods
+	// content-hashed (polora_incremental_hash_total), and the per-entry
+	// dependency-set size (polora_incremental_depset_size).
+	IncrementalReused     *Counter
+	IncrementalReanalyzed *Counter
+	IncrementalHashed     *Counter
+	DepSetSize            *Histogram
 }
+
+// DepSetBuckets size the dependency-set histogram: most entries reach a
+// handful of methods, deep API facades reach hundreds.
+var DepSetBuckets = []float64{1, 2, 4, 8, 16, 32, 64, 128, 256, 512}
 
 // NewExtractMetrics registers the extractor instrument set on r
 // (nil-safe).
@@ -201,6 +215,15 @@ func NewExtractMetrics(r *Registry) *ExtractMetrics {
 			"Constant-propagation cache hits by mode.", "mode"),
 		EntryPoints: r.CounterVec("policyoracle_analysis_entry_points_total",
 			"Entry points analyzed by mode.", "mode"),
+		IncrementalReused: r.Counter("polora_incremental_reused_total",
+			"Entry policies spliced unchanged from the previous extraction."),
+		IncrementalReanalyzed: r.Counter("polora_incremental_reanalyzed_total",
+			"Entry points re-analyzed by incremental extractions."),
+		IncrementalHashed: r.Counter("polora_incremental_hash_total",
+			"Methods content-hashed by incremental extractions."),
+		DepSetSize: r.Histogram("polora_incremental_depset_size",
+			"Per-entry dependency-set size (methods reached by one entry analysis).",
+			DepSetBuckets),
 	}
 }
 

@@ -161,6 +161,36 @@ func Fingerprint(name string, sources map[string]string, opts Options) string {
 // never extracted.
 var ErrNotExtracted = oracle.ErrNotExtracted
 
+// ErrNoPrevious reports an incremental extraction seeded from a library
+// that carries no extracted policies.
+var ErrNoPrevious = oracle.ErrNoPrevious
+
+// IncrementalStats describes how much work one incremental extraction
+// reused versus redid.
+type IncrementalStats = oracle.IncrementalStats
+
+// Snapshot is the persisted form of one extraction — exported policies
+// plus the incremental state (method hashes, per-entry dependency sets,
+// option key) that a later ExtractIncremental seeds from. Libraries
+// produce snapshots with ExportSnapshot.
+type Snapshot = oracle.Snapshot
+
+// ExtractIncremental reloads sources and extracts their policies,
+// splicing from prev every entry point whose dependency set is untouched
+// by the changed methods. The result is byte-identical (wire format and
+// diff reports) to a from-scratch Extract of the same sources under the
+// same options; when prev was extracted under different options the call
+// transparently falls back to a full extraction (IncrementalStats.Full).
+func ExtractIncremental(prev *Library, sources map[string]string, opts Options) (*Library, *IncrementalStats, error) {
+	return oracle.ExtractIncremental(prev, sources, opts)
+}
+
+// ImportSnapshot decodes a snapshot (see Library.ExportSnapshot) into
+// the previous-extraction view ExtractIncremental seeds from.
+func ImportSnapshot(data []byte) (*Library, error) {
+	return oracle.ImportSnapshot(data)
+}
+
 // Diff differences the extracted policies of two implementations. Both
 // must have been Extracted first: differencing an un-extracted library
 // returns an error wrapping ErrNotExtracted rather than a silently
