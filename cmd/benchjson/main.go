@@ -1,0 +1,238 @@
+// Command benchjson turns `go test -bench` output into the checked-in
+// BENCH_extract.json trajectory and gates CI on it.
+//
+// Two modes:
+//
+//	benchjson -in bench.txt -json BENCH_extract.json -label "after X" [-out path]
+//	    Parse the benchmark output, append one trajectory point, and
+//	    write the updated file (to -out if given, else back to -json).
+//
+//	benchjson -check -in bench.txt -json BENCH_extract.json [-tolerance 0.10]
+//	    Parse the benchmark output and compare each variant's entries/s
+//	    against the matching variant in the LAST trajectory point of the
+//	    checked-in file. Exit nonzero if any variant regressed by more
+//	    than the tolerance (default 10%).
+//
+// The parser understands the standard testing package line format —
+// name, iteration count, then (value, unit) pairs — plus the custom
+// "entries/s" metric reported by BenchmarkExtractParallel. Only
+// benchmarks whose name starts with -bench-prefix are recorded, so the
+// same input file can carry the solver benchmarks for human eyes
+// without polluting the trajectory.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// Result holds one benchmark variant's measured metrics.
+type Result struct {
+	Variant       string  `json:"variant"`
+	NsPerOp       float64 `json:"ns_per_op"`
+	EntriesPerSec float64 `json:"entries_per_sec,omitempty"`
+	BytesPerOp    float64 `json:"bytes_per_op,omitempty"`
+	AllocsPerOp   float64 `json:"allocs_per_op,omitempty"`
+}
+
+// Point is one entry in the perf trajectory: a labeled benchmark run.
+type Point struct {
+	Label   string   `json:"label"`
+	Date    string   `json:"date,omitempty"`
+	Results []Result `json:"results"`
+}
+
+// File is the BENCH_extract.json schema.
+type File struct {
+	Benchmark   string   `json:"benchmark"`
+	Machine     string   `json:"machine,omitempty"`
+	Methodology []string `json:"methodology,omitempty"`
+	Trajectory  []Point  `json:"trajectory"`
+}
+
+func main() {
+	var (
+		in        = flag.String("in", "", "benchmark output file (default stdin)")
+		jsonPath  = flag.String("json", "BENCH_extract.json", "trajectory file")
+		out       = flag.String("out", "", "where to write the updated trajectory (default: -json path)")
+		label     = flag.String("label", "", "label for the new trajectory point")
+		date      = flag.String("date", time.Now().Format("2006-01-02"), "date for the new trajectory point")
+		check     = flag.Bool("check", false, "regression-gate mode: compare against the last trajectory point")
+		tolerance = flag.Float64("tolerance", 0.10, "allowed fractional entries/s regression in -check mode")
+		prefix    = flag.String("bench-prefix", "BenchmarkExtractParallel", "record only benchmarks with this name prefix")
+	)
+	flag.Parse()
+
+	src := os.Stdin
+	if *in != "" {
+		f, err := os.Open(*in)
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		src = f
+	}
+	results, machine, err := ParseBench(src, *prefix)
+	if err != nil {
+		fatal(err)
+	}
+	if len(results) == 0 {
+		fatal(fmt.Errorf("no %s results found in input", *prefix))
+	}
+
+	if *check {
+		bf, err := load(*jsonPath)
+		if err != nil {
+			fatal(err)
+		}
+		if err := Check(bf, results, *tolerance); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("benchjson: %d variants within %.0f%% of %q\n",
+			len(results), *tolerance*100, bf.Trajectory[len(bf.Trajectory)-1].Label)
+		return
+	}
+
+	if *label == "" {
+		fatal(fmt.Errorf("-label is required when appending a trajectory point"))
+	}
+	bf, err := load(*jsonPath)
+	if os.IsNotExist(err) {
+		bf = &File{Benchmark: *prefix}
+	} else if err != nil {
+		fatal(err)
+	}
+	if bf.Machine == "" {
+		bf.Machine = machine
+	}
+	bf.Trajectory = append(bf.Trajectory, Point{Label: *label, Date: *date, Results: results})
+	dst := *out
+	if dst == "" {
+		dst = *jsonPath
+	}
+	if err := save(dst, bf); err != nil {
+		fatal(err)
+	}
+	fmt.Printf("benchjson: appended %q (%d variants) -> %s\n", *label, len(results), dst)
+}
+
+// ParseBench extracts benchmark results whose name begins with prefix,
+// along with the "cpu:" banner line if present.
+func ParseBench(r io.Reader, prefix string) ([]Result, string, error) {
+	var results []Result
+	var machine string
+	sc := bufio.NewScanner(r)
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if rest, ok := strings.CutPrefix(line, "cpu:"); ok {
+			machine = strings.TrimSpace(rest)
+			continue
+		}
+		if !strings.HasPrefix(line, prefix) {
+			continue
+		}
+		fields := strings.Fields(line)
+		if len(fields) < 4 {
+			continue
+		}
+		name := fields[0]
+		variant := name
+		if i := strings.IndexByte(name, '/'); i >= 0 {
+			variant = name[i+1:]
+		}
+		// Strip the -cpu suffix testing appends (e.g. "workers=1-8").
+		if i := strings.LastIndexByte(variant, '-'); i >= 0 {
+			if _, err := strconv.Atoi(variant[i+1:]); err == nil {
+				variant = variant[:i]
+			}
+		}
+		res := Result{Variant: variant}
+		// fields[1] is the iteration count; the rest are (value, unit) pairs.
+		for i := 2; i+1 < len(fields); i += 2 {
+			v, err := strconv.ParseFloat(fields[i], 64)
+			if err != nil {
+				return nil, "", fmt.Errorf("bad value %q on line %q", fields[i], line)
+			}
+			switch fields[i+1] {
+			case "ns/op":
+				res.NsPerOp = v
+			case "entries/s":
+				res.EntriesPerSec = v
+			case "B/op":
+				res.BytesPerOp = v
+			case "allocs/op":
+				res.AllocsPerOp = v
+			}
+		}
+		results = append(results, res)
+	}
+	return results, machine, sc.Err()
+}
+
+// Check compares current results against the last trajectory point,
+// failing if any matching variant's entries/s dropped more than tol.
+func Check(bf *File, current []Result, tol float64) error {
+	if len(bf.Trajectory) == 0 {
+		return fmt.Errorf("trajectory file has no points to check against")
+	}
+	last := bf.Trajectory[len(bf.Trajectory)-1]
+	baseline := make(map[string]float64, len(last.Results))
+	for _, r := range last.Results {
+		if r.EntriesPerSec > 0 {
+			baseline[r.Variant] = r.EntriesPerSec
+		}
+	}
+	matched := 0
+	var failures []string
+	for _, r := range current {
+		base, ok := baseline[r.Variant]
+		if !ok || r.EntriesPerSec <= 0 {
+			continue
+		}
+		matched++
+		if r.EntriesPerSec < base*(1-tol) {
+			failures = append(failures, fmt.Sprintf(
+				"%s: %.0f entries/s vs baseline %.0f (-%.1f%%, tolerance %.0f%%)",
+				r.Variant, r.EntriesPerSec, base, 100*(1-r.EntriesPerSec/base), tol*100))
+		}
+	}
+	if matched == 0 {
+		return fmt.Errorf("no benchmark variants matched the baseline point %q", last.Label)
+	}
+	if len(failures) > 0 {
+		return fmt.Errorf("entries/s regression:\n  %s", strings.Join(failures, "\n  "))
+	}
+	return nil
+}
+
+func load(path string) (*File, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var bf File
+	if err := json.Unmarshal(data, &bf); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return &bf, nil
+}
+
+func save(path string, bf *File) error {
+	data, err := json.MarshalIndent(bf, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "benchjson:", err)
+	os.Exit(1)
+}

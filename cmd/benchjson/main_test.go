@@ -1,0 +1,71 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+const sample = `goos: linux
+goarch: amd64
+pkg: policyoracle
+cpu: Intel(R) Xeon(R) Processor @ 2.10GHz
+BenchmarkExtractParallel/workers=1         	      54	  20397347 ns/op	     59910 entries/s	 9876042 B/op	   61559 allocs/op
+BenchmarkExtractParallel/workers=2-8       	      56	  21222288 ns/op	     57581 entries/s	 9878816 B/op	   61548 allocs/op
+BenchmarkSolverReused-8                    	  152960	      7858 ns/op	       0 B/op	       0 allocs/op
+PASS
+ok  	policyoracle	7.927s
+`
+
+func TestParseBench(t *testing.T) {
+	results, machine, err := ParseBench(strings.NewReader(sample), "BenchmarkExtractParallel")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if machine != "Intel(R) Xeon(R) Processor @ 2.10GHz" {
+		t.Errorf("machine = %q", machine)
+	}
+	if len(results) != 2 {
+		t.Fatalf("got %d results, want 2 (solver bench must be filtered)", len(results))
+	}
+	r := results[0]
+	if r.Variant != "workers=1" || r.NsPerOp != 20397347 || r.EntriesPerSec != 59910 ||
+		r.BytesPerOp != 9876042 || r.AllocsPerOp != 61559 {
+		t.Errorf("workers=1 parsed as %+v", r)
+	}
+	// The -cpu suffix ("-8") must be stripped from the variant name so CI
+	// machines with different core counts match the checked-in baseline.
+	if results[1].Variant != "workers=2" {
+		t.Errorf("variant with -cpu suffix = %q, want workers=2", results[1].Variant)
+	}
+}
+
+func TestCheckGate(t *testing.T) {
+	bf := &File{Trajectory: []Point{
+		{Label: "old", Results: []Result{{Variant: "workers=1", EntriesPerSec: 10000}}},
+		{Label: "baseline", Results: []Result{
+			{Variant: "workers=1", EntriesPerSec: 60000},
+			{Variant: "workers=2", EntriesPerSec: 58000},
+		}},
+	}}
+	// Within tolerance: 10% window around the LAST point, not the first.
+	ok := []Result{{Variant: "workers=1", EntriesPerSec: 55000}}
+	if err := Check(bf, ok, 0.10); err != nil {
+		t.Errorf("within-tolerance run failed the gate: %v", err)
+	}
+	// Faster is always fine.
+	if err := Check(bf, []Result{{Variant: "workers=1", EntriesPerSec: 90000}}, 0.10); err != nil {
+		t.Errorf("faster run failed the gate: %v", err)
+	}
+	// An 11% regression on any variant must fail.
+	bad := []Result{
+		{Variant: "workers=1", EntriesPerSec: 59000},
+		{Variant: "workers=2", EntriesPerSec: 51000},
+	}
+	if err := Check(bf, bad, 0.10); err == nil {
+		t.Error("11% regression on workers=2 passed the gate")
+	}
+	// A run with no matching variants is a config error, not a pass.
+	if err := Check(bf, []Result{{Variant: "workers=64", EntriesPerSec: 1}}, 0.10); err == nil {
+		t.Error("unmatched variants passed the gate")
+	}
+}

@@ -12,15 +12,16 @@
 package analysis
 
 import (
-	"fmt"
 	"sort"
 	"sync"
 	"sync/atomic"
 	"time"
 
+	"policyoracle/internal/bitset"
 	"policyoracle/internal/callgraph"
 	"policyoracle/internal/cfg"
 	"policyoracle/internal/constprop"
+	"policyoracle/internal/dataflow"
 	"policyoracle/internal/ir"
 	"policyoracle/internal/policy"
 	"policyoracle/internal/secmodel"
@@ -104,6 +105,12 @@ type Config struct {
 	// per entry and never perturbs analysis results: telemetry observes
 	// the analyzer, it cannot steer it.
 	Telemetry *telemetry.ExtractMetrics
+	// EventInterns, when non-nil, supplies the per-program event
+	// interning table. Analyzers of one library should share one table
+	// (the oracle builds it at load time); New builds a private table
+	// when nil. Interned event ids are an internal encoding — results
+	// are reported as secmodel.Event values either way.
+	EventInterns *secmodel.ProgramEvents
 }
 
 // DefaultConfig returns the configuration used for the paper's main
@@ -176,55 +183,55 @@ type Analyzer struct {
 	prog *ir.Program
 	res  *callgraph.Resolver
 	cfg  Config
+	ev   *secmodel.ProgramEvents
 
-	memo    [cacheStripes]memoStripe
-	cp      [cacheStripes]cpStripe
-	taintMu sync.RWMutex
-	taints  map[*ir.Func]map[*ir.Local]uint64
-	sites   sync.Map // *ir.Call → siteEntry
-	domMu   sync.Mutex
-	doms    map[*ir.Func]*cfg.Dominators
-	stats   atomicStats
+	memo     [cacheStripes]memoStripe
+	cp       [cacheStripes]cpStripe
+	paths    pathsInterner
+	consts   constsInterner
+	taskPool sync.Pool
+	taintMu  sync.RWMutex
+	taints   map[*ir.Func][]uint64          // per-local param-taint masks, by Local.Index
+	sites    []atomic.Pointer[types.Method] // by Call.Site; unresolvedSite = resolved to nothing
+	domMu    sync.Mutex
+	doms     map[*ir.Func]*cfg.Dominators
+	stats    atomicStats
 }
 
+// memoKey is the ISPA summary key: the method, the privileged flag, the
+// entry flag, the inbound flow value, and interned ids for the path sets
+// and the constant parameter binding. All fields are fixed-size integers —
+// building a key allocates nothing, and the former string rendering of
+// the flow value is gone from the hot path.
 type memoKey struct {
-	method int
-	priv   bool
-	in     string
-	consts string
+	method int32
+	flags  uint8 // keyPriv | keyEntry
+	bits   policy.CheckSet
+	paths  uint32 // interned PathSets id; 0 when paths are not collected
+	consts uint32 // interned constant-binding id; 0 when none
 }
 
-// stripe maps the key onto a cache stripe with an FNV-1a mix of its
+const (
+	keyPriv  = 1 << iota // analyzed under privileged execution
+	keyEntry             // entry analyses also record return events
+)
+
+// stripe maps the key onto a cache stripe with an FNV-1a style mix of its
 // fields, spreading keys that share a method across stripes.
 func (k memoKey) stripe() int {
-	h := fnvMix(uint64(k.method)*2+boolBit(k.priv), k.in)
-	h = fnvMix(h, k.consts)
+	h := mixUint64(fnvOffset, uint64(k.method)<<8|uint64(k.flags))
+	h = mixUint64(h, uint64(k.bits))
+	h = mixUint64(h, uint64(k.paths)<<32|uint64(k.consts))
 	return int(h % cacheStripes)
 }
 
 type cpKey struct {
-	method int
-	consts string
+	method int32
+	consts uint32
 }
 
 func (k cpKey) stripe() int {
-	return int(fnvMix(uint64(k.method), k.consts) % cacheStripes)
-}
-
-func boolBit(b bool) uint64 {
-	if b {
-		return 1
-	}
-	return 0
-}
-
-func fnvMix(seed uint64, s string) uint64 {
-	const prime = 1099511628211
-	h := (14695981039346656037 ^ seed) * prime
-	for i := 0; i < len(s); i++ {
-		h = (h ^ uint64(s[i])) * prime
-	}
-	return h
+	return int(mixUint64(fnvOffset, uint64(k.method)<<32|uint64(k.consts)) % cacheStripes)
 }
 
 // New returns an analyzer for p.
@@ -232,11 +239,17 @@ func New(p *ir.Program, res *callgraph.Resolver, cfg Config) *Analyzer {
 	if cfg.CollectPaths && cfg.Mode != May {
 		cfg.CollectPaths = false
 	}
+	ev := cfg.EventInterns
+	if ev == nil {
+		ev = secmodel.BuildProgramEvents(p.Types)
+	}
 	a := &Analyzer{
 		prog:   p,
 		res:    res,
 		cfg:    cfg,
-		taints: make(map[*ir.Func]map[*ir.Local]uint64),
+		ev:     ev,
+		sites:  make([]atomic.Pointer[types.Method], p.NumSites),
+		taints: make(map[*ir.Func][]uint64),
 	}
 	for i := range a.memo {
 		a.memo[i].m = make(map[memoKey]*summary)
@@ -292,14 +305,103 @@ type EntryResult struct {
 }
 
 // task is the state private to one AnalyzeEntry invocation: the recursion
-// stack of the ISPA descent and, under MemoPerEntry/MemoNone, the
-// entry-scoped caches. Concurrent entry analyses each run on their own
-// task and share only the Analyzer's striped caches.
+// stack of the ISPA descent, a freelist of dataflow frames (each active
+// ispa nesting level holds one solver), a freelist of dependency bitsets,
+// and, under MemoPerEntry/MemoNone, the entry-scoped caches. Concurrent
+// entry analyses each run on their own task and share only the Analyzer's
+// striped caches.
+//
+// Tasks are pooled on the Analyzer: steady-state extraction reuses the
+// recursion-stack slice, the solver buffers, and the entry-local maps of
+// a previous entry instead of reallocating them.
 type task struct {
 	a      *Analyzer
-	active map[*types.Method]int
+	active []int32                     // recursion counts, by Method.ID
 	memo   map[memoKey]*summary        // entry-local summaries (MemoPerEntry)
 	cp     map[cpKey]*constprop.Result // entry-local CP results (MemoPerEntry/MemoNone)
+	frames []*frame                    // freelist of solver frames
+	sets   []bitset.Set                // freelist of dependency-set scratch
+}
+
+// frame is the per-ispa-nesting-level dataflow machinery: a reusable
+// solver plus a Problem whose closures are bound once to the frame's
+// mutable call context. ISPA recurses during Solve (Transfer descends
+// into callees), so each active nesting level needs its own frame; the
+// task freelist reuses frames across sibling calls.
+type frame struct {
+	t       *task
+	solver  dataflow.Solver[state]
+	prob    dataflow.Problem[state]
+	m       *types.Method
+	f       *ir.Func
+	cp      *constprop.Result
+	priv    bool
+	depth   int
+	isEntry bool
+}
+
+func (t *task) getFrame() *frame {
+	if n := len(t.frames); n > 0 {
+		fr := t.frames[n-1]
+		t.frames = t.frames[:n-1]
+		return fr
+	}
+	fr := &frame{t: t}
+	fr.prob.Meet = t.a.meet
+	fr.prob.Equal = t.a.stateEqual
+	fr.prob.Transfer = func(b *ir.Block, st state) state {
+		return fr.t.transferBlock(fr.m, fr.f, b, st, fr.cp, fr.priv, fr.depth, fr.isEntry, nil)
+	}
+	fr.prob.EdgeFeasible = func(b *ir.Block, i int) bool {
+		return fr.cp.EdgeFeasible(b, i)
+	}
+	return fr
+}
+
+func (t *task) putFrame(fr *frame) {
+	fr.m, fr.f, fr.cp = nil, nil, nil
+	t.frames = append(t.frames, fr)
+}
+
+// getSet returns a cleared dependency-set scratch buffer.
+func (t *task) getSet() bitset.Set {
+	if n := len(t.sets); n > 0 {
+		s := t.sets[n-1]
+		t.sets = t.sets[:n-1]
+		s.Reset()
+		return s
+	}
+	return bitset.New(len(t.a.prog.Types.AllMethods()))
+}
+
+func (t *task) putSet(s bitset.Set) {
+	if s != nil {
+		t.sets = append(t.sets, s)
+	}
+}
+
+func (a *Analyzer) getTask() *task {
+	if v := a.taskPool.Get(); v != nil {
+		return v.(*task)
+	}
+	t := &task{a: a, active: make([]int32, len(a.prog.Types.AllMethods()))}
+	if a.cfg.Memo != MemoGlobal {
+		t.memo = make(map[memoKey]*summary)
+		t.cp = make(map[cpKey]*constprop.Result)
+	}
+	return t
+}
+
+func (a *Analyzer) putTask(t *task) {
+	// active is balanced by ispa's defer, so it is all-zero here. The
+	// entry-local caches must not leak into the next entry.
+	if t.memo != nil {
+		clear(t.memo)
+	}
+	if t.cp != nil {
+		clear(t.cp)
+	}
+	a.taskPool.Put(t)
 }
 
 // AnalyzeEntry runs ISPA rooted at entry point m. It is safe to call from
@@ -310,11 +412,6 @@ func (a *Analyzer) AnalyzeEntry(m *types.Method) *EntryResult {
 		defer func() { tm.ObserveEntry(a.cfg.Mode.String(), time.Since(start)) }()
 	}
 	a.stats.entryPoints.Add(1)
-	t := &task{a: a, active: make(map[*types.Method]int)}
-	if a.cfg.Memo != MemoGlobal {
-		t.memo = make(map[memoKey]*summary)
-		t.cp = make(map[cpKey]*constprop.Result)
-	}
 	res := &EntryResult{
 		Entry:  m.Qualified(),
 		Method: m,
@@ -331,25 +428,28 @@ func (a *Analyzer) AnalyzeEntry(m *types.Method) *EntryResult {
 		res.Deps = []string{m.Qualified()}
 		return res
 	}
+	t := a.getTask()
 	sum := t.ispa(m, a.entryState(), nil, false, 0, true)
 	for _, er := range sum.events {
-		res.addEvent(er.ev, er.st, a.cfg.Mode)
+		res.addEvent(a.ev.Event(er.id), er.st, a.cfg.Mode)
 	}
 	if a.cfg.CollectOrigins {
 		res.Origins = append([]OriginRec(nil), sum.origins...)
 	}
-	res.Deps = depSigs(sum.deps)
+	res.Deps = a.depSigs(sum.deps)
+	a.putTask(t)
 	return res
 }
 
 // depSigs converts a summary's dependency set to sorted qualified
 // signatures (overloads that collide on signature conflate — the IR hash
 // layer combines their hashes the same way, so reuse stays sound).
-func depSigs(deps []*types.Method) []string {
-	out := make([]string, 0, len(deps))
-	for _, d := range deps {
-		out = append(out, d.Qualified())
-	}
+func (a *Analyzer) depSigs(deps bitset.Set) []string {
+	methods := a.prog.Types.AllMethods()
+	out := make([]string, 0, deps.Len())
+	deps.ForEach(func(id int) {
+		out = append(out, methods[id].Qualified())
+	})
 	sort.Strings(out)
 	return out
 }
@@ -464,13 +564,6 @@ func (a *Analyzer) stateEqual(x, y state) bool {
 		return false
 	}
 	return true
-}
-
-func (st state) key(paths bool) string {
-	if !paths {
-		return fmt.Sprintf("%x", uint64(st.bits))
-	}
-	return fmt.Sprintf("%x|%s", uint64(st.bits), st.paths.Key())
 }
 
 func (st state) withCheck(id secmodel.CheckID, paths bool) state {

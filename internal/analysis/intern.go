@@ -1,0 +1,156 @@
+package analysis
+
+import (
+	"sync"
+
+	"policyoracle/internal/constprop"
+	"policyoracle/internal/policy"
+)
+
+// The memoization hot path used to build string keys — a hex rendering of
+// the flow value plus a canonical encoding of the constant parameter
+// binding — on every ISPA call. The interners below replace those strings
+// with dense uint32 ids: values are hashed structurally into buckets and
+// compared exactly on collision, so an id equality is exactly a value
+// equality and the memo key becomes a small comparable struct with no
+// per-probe allocation.
+//
+// Id 0 is reserved for "none" (no paths collected / no constant binding);
+// interned ids start at 1. Interners are per-Analyzer: ids are only ever
+// compared against ids minted by the same interner.
+
+const (
+	fnvOffset = 14695981039346656037
+	fnvPrime  = 1099511628211
+)
+
+func mixUint64(h, v uint64) uint64 {
+	h ^= v
+	h *= fnvPrime
+	return h
+}
+
+func mixString(h uint64, s string) uint64 {
+	for i := 0; i < len(s); i++ {
+		h = (h ^ uint64(s[i])) * fnvPrime
+	}
+	return h
+}
+
+// pathsInterner assigns dense ids to PathSets values. Stored values are
+// treated as immutable (PathSets ops return fresh values).
+type pathsInterner struct {
+	mu      sync.RWMutex
+	buckets map[uint64][]uint32 // structural hash → candidate ids
+	vals    []policy.PathSets   // id-1 → value
+}
+
+func hashPaths(ps policy.PathSets) uint64 {
+	h := uint64(fnvOffset)
+	for _, s := range ps.Sets {
+		h = mixUint64(h, uint64(s))
+	}
+	if ps.Overflow {
+		h = mixUint64(h, 1)
+	}
+	return h
+}
+
+// id interns ps, returning its dense id (>= 1).
+func (in *pathsInterner) id(ps policy.PathSets) uint32 {
+	h := hashPaths(ps)
+	in.mu.RLock()
+	for _, id := range in.buckets[h] {
+		if in.vals[id-1].Equal(ps) {
+			in.mu.RUnlock()
+			return id
+		}
+	}
+	in.mu.RUnlock()
+
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	for _, id := range in.buckets[h] {
+		if in.vals[id-1].Equal(ps) {
+			return id
+		}
+	}
+	if in.buckets == nil {
+		in.buckets = make(map[uint64][]uint32)
+	}
+	in.vals = append(in.vals, ps)
+	id := uint32(len(in.vals))
+	in.buckets[h] = append(in.buckets[h], id)
+	return id
+}
+
+// constsInterner assigns dense ids to constant parameter bindings
+// (constprop value lists). Stored slices are treated as immutable; the
+// bindings come from constprop results, which never mutate after Analyze.
+type constsInterner struct {
+	mu      sync.RWMutex
+	buckets map[uint64][]uint32
+	vals    [][]constprop.Value
+}
+
+func hashConsts(vals []constprop.Value) uint64 {
+	h := uint64(fnvOffset)
+	for _, v := range vals {
+		h = mixUint64(h, uint64(v.Kind))
+		switch v.Kind {
+		case constprop.Int:
+			h = mixUint64(h, uint64(v.Int))
+		case constprop.Bool:
+			if v.Bool {
+				h = mixUint64(h, 1)
+			}
+		case constprop.Str:
+			h = mixString(h, v.Str)
+		}
+	}
+	return h
+}
+
+func constsEqual(a, b []constprop.Value) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// id interns vals, returning its dense id. Nil and empty bindings map to
+// 0, matching the "no constant binding" encoding of the former string key.
+func (in *constsInterner) id(vals []constprop.Value) uint32 {
+	if len(vals) == 0 {
+		return 0
+	}
+	h := hashConsts(vals)
+	in.mu.RLock()
+	for _, id := range in.buckets[h] {
+		if constsEqual(in.vals[id-1], vals) {
+			in.mu.RUnlock()
+			return id
+		}
+	}
+	in.mu.RUnlock()
+
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	for _, id := range in.buckets[h] {
+		if constsEqual(in.vals[id-1], vals) {
+			return id
+		}
+	}
+	if in.buckets == nil {
+		in.buckets = make(map[uint64][]uint32)
+	}
+	in.vals = append(in.vals, vals)
+	id := uint32(len(in.vals))
+	in.buckets[h] = append(in.buckets[h], id)
+	return id
+}

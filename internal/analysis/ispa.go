@@ -4,18 +4,20 @@ import (
 	"sort"
 	"strings"
 
+	"policyoracle/internal/bitset"
 	"policyoracle/internal/cfg"
 	"policyoracle/internal/constprop"
-	"policyoracle/internal/dataflow"
 	"policyoracle/internal/ir"
 	"policyoracle/internal/secmodel"
 	"policyoracle/internal/types"
 )
 
 // eventRec is one security-sensitive event occurrence with the analysis
-// state (checks performed) at that point.
+// state (checks performed) at that point. Events are recorded as interned
+// per-program ids (see secmodel.ProgramEvents) and rendered back to
+// secmodel.Event values only when an entry result is assembled.
 type eventRec struct {
-	ev secmodel.Event
+	id secmodel.EventID
 	st state
 }
 
@@ -35,58 +37,39 @@ type summary struct {
 	out     state
 	events  []eventRec
 	origins []OriginRec
-	// deps are the methods whose analyzed bodies this summary was computed
-	// from: the method itself plus the dependency sets of every callee
-	// summary merged during the recording pass. Incremental extraction
+	// deps is the set of methods (by Method.ID) whose analyzed bodies this
+	// summary was computed from: the method itself plus the dependency
+	// sets of every callee summary merged during the recording pass, as a
+	// bitset so callee merges are O(words) unions. Incremental extraction
 	// re-analyzes an entry point iff any method in its dependency set
 	// changed; methods resolved but skipped (no body, unresolved, beyond
 	// MaxDepth) are covered by the caller's own IR hash, which records the
 	// resolution facts of each call site.
-	deps      []*types.Method
+	deps      bitset.Set
 	truncated bool
 }
 
 // recorder accumulates events during the post-convergence recording pass.
+// deps is task-owned scratch (see task.getSet), released after the
+// summary snapshots it.
 type recorder struct {
 	events    []eventRec
 	origins   []OriginRec
-	deps      map[*types.Method]struct{}
+	deps      bitset.Set
 	exit      state
 	haveExit  bool
 	truncated bool
 }
 
-func (r *recorder) event(ev secmodel.Event, st state) {
-	r.events = append(r.events, eventRec{ev, st})
+func (r *recorder) event(id secmodel.EventID, st state) {
+	r.events = append(r.events, eventRec{id, st})
 }
 
 func (r *recorder) merge(s *summary) {
 	r.events = append(r.events, s.events...)
 	r.origins = append(r.origins, s.origins...)
 	r.truncated = r.truncated || s.truncated
-	if len(s.deps) > 0 {
-		if r.deps == nil {
-			r.deps = make(map[*types.Method]struct{}, len(s.deps))
-		}
-		for _, d := range s.deps {
-			r.deps[d] = struct{}{}
-		}
-	}
-}
-
-// depsWith returns the dependency set accumulated during the recording
-// pass plus m itself, sorted by method ID so summaries are deterministic
-// regardless of extraction order.
-func (r *recorder) depsWith(m *types.Method) []*types.Method {
-	out := make([]*types.Method, 0, len(r.deps)+1)
-	out = append(out, m)
-	for d := range r.deps {
-		if d != m {
-			out = append(out, d)
-		}
-	}
-	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
-	return out
+	r.deps.UnionWith(s.deps)
 }
 
 func (r *recorder) exitAt(a *Analyzer, st state) {
@@ -110,50 +93,49 @@ func (t *task) ispa(m *types.Method, in state, argConsts []constprop.Value, priv
 	}
 	priv = priv || secmodel.IsPrivilegedScope(m)
 
-	constsKey := ""
+	var constsID uint32
 	if a.cfg.ICP {
-		constsKey = constprop.KeyOf(argConsts)
+		constsID = a.consts.id(argConsts)
 	}
-	key := memoKey{method: m.ID, priv: priv, in: in.key(a.cfg.CollectPaths), consts: constsKey}
+	key := memoKey{method: int32(m.ID), bits: in.bits, consts: constsID}
+	if a.cfg.CollectPaths {
+		key.paths = a.paths.id(in.paths)
+	}
+	if priv {
+		key.flags |= keyPriv
+	}
 	if isEntry {
-		key.in = "entry|" + key.in // entry analyses also record return events
+		key.flags |= keyEntry // entry analyses also record return events
 	}
 	if s, ok := t.lookupMemo(key); ok {
 		a.stats.memoHits.Add(1)
 		return s
 	}
-	if t.active[m] > a.cfg.RecursionBound {
+	if t.active[m.ID] > int32(a.cfg.RecursionBound) {
 		// Recursive call beyond the bound: do not re-analyze (Section 4.2;
 		// the default bound of 0 matches the paper's implementation). The
 		// placeholder is truncated so that no summary computed from it is
 		// ever memoized.
 		return &summary{out: in, truncated: true}
 	}
-	t.active[m]++
-	defer func() {
-		t.active[m]--
-		if t.active[m] == 0 {
-			delete(t.active, m)
-		}
-	}()
+	t.active[m.ID]++
+	defer func() { t.active[m.ID]-- }()
 	a.stats.methodAnalyses.Add(1)
 
 	cp := t.constants(m, f, argConsts)
 
-	prob := &dataflow.Problem[state]{
-		Blocks:       f.Blocks,
-		EntryIn:      in,
-		Meet:         a.meet,
-		Equal:        a.stateEqual,
-		EdgeFeasible: cp.EdgeFeasible,
-		Transfer: func(b *ir.Block, st state) state {
-			return t.transferBlock(m, f, b, st, cp, priv, depth, isEntry, nil)
-		},
-	}
-	sol := dataflow.Solve(prob)
+	fr := t.getFrame()
+	fr.m, fr.f, fr.cp = m, f, cp
+	fr.priv, fr.depth, fr.isEntry = priv, depth, isEntry
+	fr.prob.Blocks = f.Blocks
+	fr.prob.EntryIn = in
+	// The solution aliases the frame's solver buffers. Nested ispa calls
+	// made by the recording pass below run on their own frames, so the
+	// buffers stay valid until putFrame.
+	sol := fr.solver.Solve(&fr.prob)
 
 	// Recording pass over the converged solution.
-	rec := &recorder{}
+	rec := &recorder{deps: t.getSet()}
 	for _, b := range f.Blocks {
 		if !sol.Reached[b.Index] {
 			continue
@@ -164,7 +146,10 @@ func (t *task) ispa(m *types.Method, in state, argConsts []constprop.Value, priv
 	if rec.haveExit {
 		out = rec.exit
 	}
-	s := &summary{out: out, events: rec.events, origins: dedupOrigins(rec.origins), deps: rec.depsWith(m), truncated: rec.truncated}
+	rec.deps.Add(m.ID)
+	s := &summary{out: out, events: rec.events, origins: dedupOrigins(rec.origins), deps: rec.deps.Clone(), truncated: rec.truncated}
+	t.putSet(rec.deps)
+	t.putFrame(fr)
 	if !s.truncated {
 		// A summary computed beneath an active recursion cutoff reflects
 		// that cutoff, not the method's full behavior; memoizing it would
@@ -194,9 +179,9 @@ func dedupOrigins(in []OriginRec) []OriginRec {
 // MemoPerEntry/MemoNone and lock-striped globally under MemoGlobal.
 func (t *task) constants(m *types.Method, f *ir.Func, argConsts []constprop.Value) *constprop.Result {
 	a := t.a
-	key := cpKey{method: m.ID}
+	key := cpKey{method: int32(m.ID)}
 	if a.cfg.ICP {
-		key.consts = constprop.KeyOf(argConsts)
+		key.consts = a.consts.id(argConsts)
 	} else {
 		argConsts = nil
 	}
@@ -231,23 +216,35 @@ func (t *task) constants(m *types.Method, f *ir.Func, argConsts []constprop.Valu
 	return r
 }
 
+// unresolvedSite marks a call site that resolved to no target, so the
+// cache can distinguish "resolved to nothing" from "not yet resolved".
+var unresolvedSite = new(types.Method)
+
 // resolveSite resolves a call site once, caching the result and counting
-// it in the resolver statistics exactly once. The cache is a sync.Map so
-// the warm path (the overwhelming majority of lookups) is lock-free; on a
-// racing cold miss both goroutines resolve (resolution is pure) but only
-// the one that publishes the entry records the statistics outcome.
+// it in the resolver statistics exactly once. The cache is a flat slice
+// of atomic pointers indexed by the site id interned at lowering, so the
+// warm path (the overwhelming majority of lookups) is one lock-free array
+// load; on a racing cold miss both goroutines resolve (resolution is
+// pure) but only the one that publishes the entry records the statistics
+// outcome.
 func (a *Analyzer) resolveSite(c *ir.Call) *types.Method {
-	if e, ok := a.sites.Load(c); ok {
-		return e.(siteEntry).target
+	slot := &a.sites[c.Site]
+	if t := slot.Load(); t != nil {
+		if t == unresolvedSite {
+			return nil
+		}
+		return t
 	}
 	t := a.res.ResolveQuiet(c)
-	if _, loaded := a.sites.LoadOrStore(c, siteEntry{target: t}); !loaded {
+	stored := t
+	if stored == nil {
+		stored = unresolvedSite
+	}
+	if slot.CompareAndSwap(nil, stored) {
 		a.res.RecordOutcome(t != nil)
 	}
 	return t
 }
-
-type siteEntry struct{ target *types.Method }
 
 // transferBlock interprets one block: checks extend the state, resolved
 // calls are analyzed recursively (ISPA), native calls and — in broad mode —
@@ -256,7 +253,7 @@ type siteEntry struct{ target *types.Method }
 func (t *task) transferBlock(m *types.Method, f *ir.Func, b *ir.Block, st state, cp *constprop.Result, priv bool, depth int, isEntry bool, rec *recorder) state {
 	a := t.a
 	broad := a.cfg.Events == secmodel.BroadEvents
-	var taint map[*ir.Local]uint64
+	var taint []uint64
 	if broad && isEntry && rec != nil {
 		taint = a.taintOf(f)
 	}
@@ -268,20 +265,20 @@ func (t *task) transferBlock(m *types.Method, f *ir.Func, b *ir.Block, st state,
 			if rec != nil {
 				rec.exitAt(a, st)
 				if isEntry {
-					rec.event(secmodel.ReturnEvent(), st)
+					rec.event(a.ev.ReturnID(), st)
 				}
 			}
 		case *ir.FieldLoad:
 			if rec != nil && broad {
 				if instr.Field != nil && instr.Field.IsPrivate() {
-					rec.event(secmodel.PrivateReadEvent(instr.Field), st)
+					rec.event(a.ev.PrivateReadID(instr.Field), st)
 				}
 				a.paramEvents(rec, taint, st, instr.Obj)
 			}
 		case *ir.FieldStore:
 			if rec != nil && broad {
 				if instr.Field != nil && instr.Field.IsPrivate() {
-					rec.event(secmodel.PrivateWriteEvent(instr.Field), st)
+					rec.event(a.ev.PrivateWriteID(instr.Field), st)
 				}
 				a.paramEvents(rec, taint, st, instr.Obj, instr.Val)
 			}
@@ -291,7 +288,7 @@ func (t *task) transferBlock(m *types.Method, f *ir.Func, b *ir.Block, st state,
 }
 
 // transferCall handles one call site.
-func (t *task) transferCall(m *types.Method, f *ir.Func, b *ir.Block, c *ir.Call, st state, cp *constprop.Result, priv bool, depth int, rec *recorder, taint map[*ir.Local]uint64) state {
+func (t *task) transferCall(m *types.Method, f *ir.Func, b *ir.Block, c *ir.Call, st state, cp *constprop.Result, priv bool, depth int, rec *recorder, taint []uint64) state {
 	a := t.a
 	// Security check invocation (Section 3): extends the flow value unless
 	// executing inside a privileged block, where checks always succeed and
@@ -338,7 +335,7 @@ func (t *task) transferCall(m *types.Method, f *ir.Func, b *ir.Block, c *ir.Call
 	}
 	if target.IsNative() {
 		if rec != nil {
-			rec.event(secmodel.NativeEvent(target), st)
+			rec.event(a.ev.NativeID(target), st)
 		}
 		return st
 	}
@@ -362,7 +359,7 @@ func (a *Analyzer) depthExceeded(depth int) bool {
 
 // paramEvents emits ParamAccess events for operands derived from entry
 // parameters (broad event mode).
-func (a *Analyzer) paramEvents(rec *recorder, taint map[*ir.Local]uint64, st state, ops ...ir.Operand) {
+func (a *Analyzer) paramEvents(rec *recorder, taint []uint64, st state, ops ...ir.Operand) {
 	if taint == nil {
 		return
 	}
@@ -371,10 +368,10 @@ func (a *Analyzer) paramEvents(rec *recorder, taint map[*ir.Local]uint64, st sta
 		if !ok || l == nil {
 			continue
 		}
-		mask := taint[l]
+		mask := taint[l.Index]
 		for i := 0; mask != 0; i++ {
 			if mask&1 != 0 {
-				rec.event(secmodel.ParamAccessEvent(i), st)
+				rec.event(a.ev.ParamID(i), st)
 			}
 			mask >>= 1
 		}
@@ -422,25 +419,26 @@ func (a *Analyzer) resolveRun(c *ir.Call) *types.Method {
 	return a.res.ResolveOn(l.Type.Class, "run", 0)
 }
 
-// taintOf computes, per local of f, the bitmask of entry parameters it is
-// data-dependent on (flow-insensitive closure over copies, arithmetic,
-// casts, and array loads — the "event tag" propagation of Section 3).
-func (a *Analyzer) taintOf(f *ir.Func) map[*ir.Local]uint64 {
+// taintOf computes, per local of f (indexed by Local.Index), the bitmask
+// of entry parameters it is data-dependent on (flow-insensitive closure
+// over copies, arithmetic, casts, and array loads — the "event tag"
+// propagation of Section 3).
+func (a *Analyzer) taintOf(f *ir.Func) []uint64 {
 	a.taintMu.RLock()
 	t, ok := a.taints[f]
 	a.taintMu.RUnlock()
 	if ok {
 		return t
 	}
-	taint := make(map[*ir.Local]uint64)
+	taint := make([]uint64, len(f.Locals))
 	for i, p := range f.Params {
 		if i < 64 {
-			taint[p] = 1 << uint(i)
+			taint[p.Index] = 1 << uint(i)
 		}
 	}
 	maskOf := func(op ir.Operand) uint64 {
 		if l, ok := op.(*ir.Local); ok && l != nil {
-			return taint[l]
+			return taint[l.Index]
 		}
 		return 0
 	}
@@ -451,8 +449,8 @@ func (a *Analyzer) taintOf(f *ir.Func) map[*ir.Local]uint64 {
 			if dst == nil || mask == 0 {
 				return
 			}
-			if taint[dst]&mask != mask {
-				taint[dst] |= mask
+			if taint[dst.Index]&mask != mask {
+				taint[dst.Index] |= mask
 				changed = true
 			}
 		}

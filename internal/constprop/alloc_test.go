@@ -1,0 +1,52 @@
+package constprop
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+)
+
+// loopyBody builds a function body of n sequential loops, each with a
+// data-dependent branch, so the worklist revisits blocks repeatedly.
+func loopyBody(n int) string {
+	var sb strings.Builder
+	sb.WriteString("int acc; acc = 0;\n")
+	for i := 0; i < n; i++ {
+		fmt.Fprintf(&sb, "int i%d; i%d = 0; while (i%d < k) { if (acc > %d) { acc = acc + 1; } else { acc = acc + 2; } i%d = i%d + 1; }\n", i, i, i, i, i, i)
+	}
+	sb.WriteString("return;")
+	return sb.String()
+}
+
+// TestAnalyzeAllocationFlat is the allocation regression test for the
+// arena rework: Analyze's allocation count must stay a small constant
+// independent of CFG size. The former implementation allocated one map
+// per block environment plus a re-grown worklist slice, so allocations
+// scaled with blocks × locals.
+func TestAnalyzeAllocationFlat(t *testing.T) {
+	small := lowerFunc(t, loopyBody(2), "int k")
+	large := lowerFunc(t, loopyBody(20), "int k")
+	nSmall := testing.AllocsPerRun(50, func() { Analyze(small, nil, Config{}) })
+	nLarge := testing.AllocsPerRun(50, func() { Analyze(large, nil, Config{}) })
+	// The arena design allocates O(1) slices per call (result, bool
+	// arena, value arena, in-table, worklist); block count must not leak
+	// into the count. Allow a word of slack for map sizing of callArgs.
+	if nSmall > 12 {
+		t.Errorf("small function: %v allocs per Analyze, want <= 12", nSmall)
+	}
+	if nLarge > nSmall+4 {
+		t.Errorf("allocation scales with CFG size: %v (small) -> %v (large)", nSmall, nLarge)
+	}
+}
+
+// BenchmarkAnalyze measures one constant-propagation solve of a
+// loop-heavy function, the analysis the ISPA hot path runs per
+// (method, constant-binding) pair.
+func BenchmarkAnalyze(b *testing.B) {
+	f := lowerFunc(b, loopyBody(8), "int k")
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Analyze(f, nil, Config{})
+	}
+}

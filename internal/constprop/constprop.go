@@ -145,12 +145,17 @@ type Config struct {
 type Result struct {
 	fn        *ir.Func
 	blockLive []bool
-	edgeLive  map[edgeKey]bool
-	callArgs  map[*ir.Call][]Value
-}
-
-type edgeKey struct {
-	block, succ int
+	// edgeLive is the per-successor-edge feasibility, flattened over all
+	// blocks: the i'th successor edge of block b lives at
+	// succOff[b.Index]+i. A flat slice replaces the former map keyed on
+	// (block, succ) pairs — edge indices are dense once block indices are.
+	edgeLive []bool
+	succOff  []int
+	callArgs map[*ir.Call][]Value
+	// argArena backs every callArgs slice; argOff is the carve cursor.
+	// One allocation for all live call sites instead of one per call.
+	argArena []Value
+	argOff   int
 }
 
 // BlockLive reports whether b is reachable under the parameter binding.
@@ -158,61 +163,108 @@ func (r *Result) BlockLive(b *ir.Block) bool { return r.blockLive[b.Index] }
 
 // EdgeFeasible reports whether the i'th successor edge of b can execute.
 func (r *Result) EdgeFeasible(b *ir.Block, i int) bool {
-	return r.edgeLive[edgeKey{b.Index, i}]
+	return r.edgeLive[r.succOff[b.Index]+i]
 }
 
 // CallArgs returns the abstract values of the call's arguments at the call
 // site, or nil when the call is unreachable.
 func (r *Result) CallArgs(c *ir.Call) []Value { return r.callArgs[c] }
 
+// absent marks a local with no binding yet in an environment — the
+// analogue of a missing map key in a map-based environment. It is
+// distinct from Undef: a local can legitimately be bound to Undef while
+// operands settle, whereas reading an absent local yields Varies.
+const absent ValueKind = -1
+
+// clearEnv marks every local in env absent.
+func clearEnv(env []Value) {
+	for i := range env {
+		env[i] = Value{Kind: absent}
+	}
+}
+
 // Analyze runs conditional constant propagation on f. params provides the
 // abstract values of f.Params (missing entries default to Varies).
+//
+// Environments are flat slices indexed by Local.Index (dense per
+// function), so block transfer and meet are O(locals) array walks with no
+// hashing; the worklist pops with an index cursor instead of re-slicing.
 func Analyze(f *ir.Func, params []Value, cfg Config) *Result {
+	nb := len(f.Blocks)
 	r := &Result{
 		fn:        f,
-		blockLive: make([]bool, len(f.Blocks)),
-		edgeLive:  make(map[edgeKey]bool),
-		callArgs:  make(map[*ir.Call][]Value),
+		blockLive: make([]bool, nb),
+		succOff:   make([]int, nb+1),
 	}
-	if len(f.Blocks) == 0 {
+	if nb == 0 {
 		return r
 	}
+	maxSuccs := 0
+	for i, b := range f.Blocks {
+		r.succOff[i+1] = r.succOff[i] + len(b.Succs)
+		if len(b.Succs) > maxSuccs {
+			maxSuccs = len(b.Succs)
+		}
+	}
+	// One []bool arena backs edge liveness, the in-worklist flags, and the
+	// per-edge feasibility scratch; one []Value arena backs the scratch
+	// environment and every block's inbound environment. Environments are
+	// carved from the arena on a block's first visit, so an Analyze call
+	// makes a constant number of allocations regardless of CFG size.
+	ne := r.succOff[nb]
+	bools := make([]bool, ne+nb+maxSuccs)
+	r.edgeLive = bools[:ne:ne]
+	inList := bools[ne : ne+nb]
+	scratch := bools[ne+nb:]
 
-	env0 := make(map[*ir.Local]Value)
+	nl := len(f.Locals)
+	arena := make([]Value, (nb+1)*nl)
+	env := arena[:nl] // scratch, overwritten per block visit
+	clearEnv(env)
+
+	in := make([][]Value, nb)
+	env0 := arena[nl : 2*nl]
+	clearEnv(env0)
 	if f.This != nil {
-		env0[f.This] = NonNullVal()
+		env0[f.This.Index] = NonNullVal()
 	}
 	for i, p := range f.Params {
 		v := VariesVal()
 		if i < len(params) && params[i].Kind != Undef {
 			v = params[i]
 		}
-		env0[p] = v
+		env0[p.Index] = v
 	}
-
-	in := make([]map[*ir.Local]Value, len(f.Blocks))
 	in[0] = env0
 	r.blockLive[0] = true
 
-	worklist := []*ir.Block{f.Blocks[0]}
-	inList := make([]bool, len(f.Blocks))
+	worklist := make([]*ir.Block, 1, nb)
+	worklist[0] = f.Blocks[0]
+	head := 0
 	inList[0] = true
 
-	for len(worklist) > 0 {
-		b := worklist[0]
-		worklist = worklist[1:]
+	for head < len(worklist) {
+		b := worklist[head]
+		worklist[head] = nil
+		head++
+		if head == len(worklist) {
+			worklist = worklist[:0]
+			head = 0
+		}
 		inList[b.Index] = false
 
-		env := cloneEnv(in[b.Index])
-		feasible := transferBlock(b, env, cfg, nil)
+		copy(env, in[b.Index])
+		feasible := transferBlock(b, env, cfg, nil, scratch)
 		for i, s := range b.Succs {
 			if !feasible[i] {
 				continue
 			}
-			r.edgeLive[edgeKey{b.Index, i}] = true
+			r.edgeLive[r.succOff[b.Index]+i] = true
 			changed := false
 			if in[s.Index] == nil {
-				in[s.Index] = cloneEnv(env)
+				slot := arena[(1+s.Index)*nl : (2+s.Index)*nl]
+				copy(slot, env)
+				in[s.Index] = slot
 				changed = true
 			} else {
 				changed = meetInto(in[s.Index], env)
@@ -228,35 +280,53 @@ func Analyze(f *ir.Func, params []Value, cfg Config) *Result {
 	}
 
 	// Final pass: record abstract argument values at every live call site.
+	// Size the argument arena and the callArgs map first so recording
+	// allocates nothing per call.
+	nCalls, nArgs := 0, 0
 	for _, b := range f.Blocks {
 		if !r.blockLive[b.Index] || in[b.Index] == nil {
 			continue
 		}
-		env := cloneEnv(in[b.Index])
-		transferBlock(b, env, cfg, r.callArgs)
+		for _, instr := range b.Instrs {
+			if c, ok := instr.(*ir.Call); ok {
+				nCalls++
+				nArgs += len(c.Args)
+			}
+		}
+	}
+	if nCalls > 0 {
+		r.callArgs = make(map[*ir.Call][]Value, nCalls)
+		r.argArena = make([]Value, nArgs)
+		for _, b := range f.Blocks {
+			if !r.blockLive[b.Index] || in[b.Index] == nil {
+				continue
+			}
+			copy(env, in[b.Index])
+			transferBlock(b, env, cfg, r, scratch)
+		}
 	}
 	return r
 }
 
-func cloneEnv(env map[*ir.Local]Value) map[*ir.Local]Value {
-	out := make(map[*ir.Local]Value, len(env))
-	for k, v := range env {
-		out[k] = v
-	}
-	return out
-}
-
 // meetInto merges src into dst pointwise, reporting whether dst changed.
-// Locals missing from one side are treated as Undef.
-func meetInto(dst, src map[*ir.Local]Value) bool {
+// Absent locals on the destination side are treated as Undef for the
+// meet (and always count as a change, mirroring map insertion); absent
+// locals on the source side are skipped.
+func meetInto(dst, src []Value) bool {
 	changed := false
-	for k, sv := range src {
-		dv, ok := dst[k]
-		if !ok {
-			dv = UndefVal()
+	for k := range src {
+		sv := src[k]
+		if sv.Kind == absent {
+			continue
+		}
+		dv := dst[k]
+		if dv.Kind == absent {
+			dst[k] = sv // Meet(Undef, sv) == sv
+			changed = true
+			continue
 		}
 		nv := Meet(dv, sv)
-		if nv != dv || !ok {
+		if nv != dv {
 			dst[k] = nv
 			changed = true
 		}
@@ -265,51 +335,53 @@ func meetInto(dst, src map[*ir.Local]Value) bool {
 }
 
 // transferBlock interprets b's instructions over env, returning per-edge
-// feasibility for its successors. When record is non-nil, call-site
-// argument values are stored into it.
-func transferBlock(b *ir.Block, env map[*ir.Local]Value, cfg Config, record map[*ir.Call][]Value) []bool {
-	feasible := make([]bool, len(b.Succs))
+// feasibility for its successors (aliasing the scratch buffer). When rec
+// is non-nil, call-site argument values are carved from rec.argArena and
+// stored into rec.callArgs.
+func transferBlock(b *ir.Block, env []Value, cfg Config, rec *Result, scratch []bool) []bool {
+	feasible := scratch[:len(b.Succs)]
 	for i := range feasible {
 		feasible[i] = true
 	}
 	for _, instr := range b.Instrs {
 		switch instr := instr.(type) {
 		case *ir.Assign:
-			env[instr.Dst] = operandVal(instr.Src, env)
+			env[instr.Dst.Index] = operandVal(instr.Src, env)
 		case *ir.Binary:
-			env[instr.Dst] = evalBinary(instr.Op, operandVal(instr.X, env), operandVal(instr.Y, env))
+			env[instr.Dst.Index] = evalBinary(instr.Op, operandVal(instr.X, env), operandVal(instr.Y, env))
 		case *ir.Unary:
-			env[instr.Dst] = evalUnary(instr.Op, operandVal(instr.X, env))
+			env[instr.Dst.Index] = evalUnary(instr.Op, operandVal(instr.X, env))
 		case *ir.FieldLoad:
-			env[instr.Dst] = VariesVal() // not field-sensitive (Section 6.4)
+			env[instr.Dst.Index] = VariesVal() // not field-sensitive (Section 6.4)
 		case *ir.ArrayLoad:
-			env[instr.Dst] = VariesVal()
+			env[instr.Dst.Index] = VariesVal()
 		case *ir.New:
-			env[instr.Dst] = NonNullVal()
+			env[instr.Dst.Index] = NonNullVal()
 		case *ir.NewArray:
-			env[instr.Dst] = NonNullVal()
+			env[instr.Dst.Index] = NonNullVal()
 		case *ir.Cast:
-			env[instr.Dst] = operandVal(instr.X, env) // value-preserving
+			env[instr.Dst.Index] = operandVal(instr.X, env) // value-preserving
 		case *ir.InstanceOf:
 			v := operandVal(instr.X, env)
 			if v.Kind == Null {
-				env[instr.Dst] = BoolVal(false) // null instanceof T == false
+				env[instr.Dst.Index] = BoolVal(false) // null instanceof T == false
 			} else {
-				env[instr.Dst] = VariesVal()
+				env[instr.Dst.Index] = VariesVal()
 			}
 		case *ir.Call:
-			if record != nil {
-				args := make([]Value, len(instr.Args))
+			if rec != nil {
+				args := rec.argArena[rec.argOff : rec.argOff+len(instr.Args) : rec.argOff+len(instr.Args)]
+				rec.argOff += len(instr.Args)
 				for i, a := range instr.Args {
 					args[i] = operandVal(a, env)
 				}
-				record[instr] = args
+				rec.callArgs[instr] = args
 			}
 			if instr.Dst != nil {
 				if cfg.AssumeSecurityManager && cfg.IsGetSecurityManager != nil && cfg.IsGetSecurityManager(instr) {
-					env[instr.Dst] = NonNullVal()
+					env[instr.Dst.Index] = NonNullVal()
 				} else {
-					env[instr.Dst] = VariesVal()
+					env[instr.Dst.Index] = VariesVal()
 				}
 			}
 		case *ir.If:
@@ -328,12 +400,12 @@ func transferBlock(b *ir.Block, env map[*ir.Local]Value, cfg Config, record map[
 	return feasible
 }
 
-func operandVal(op ir.Operand, env map[*ir.Local]Value) Value {
+func operandVal(op ir.Operand, env []Value) Value {
 	switch op := op.(type) {
 	case nil:
 		return VariesVal()
 	case *ir.Local:
-		if v, ok := env[op]; ok {
+		if v := env[op.Index]; v.Kind != absent {
 			return v
 		}
 		return VariesVal() // use before def (should not happen in lowered IR)

@@ -11,7 +11,7 @@ import (
 	"policyoracle/internal/types"
 )
 
-func lowerFunc(t *testing.T, body string, params string) *ir.Func {
+func lowerFunc(t testing.TB, body string, params string) *ir.Func {
 	t.Helper()
 	src := "package p; class C { int f; void m(" + params + ") { " + body + " } void callee(Object x, int y) { } }"
 	var diags lang.Diagnostics

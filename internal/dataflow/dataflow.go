@@ -32,42 +32,79 @@ type Solution[T any] struct {
 	Reached []bool
 }
 
-// Solve runs the worklist algorithm to a fixed point. Blocks with no
-// feasible path from the entry are left unreached; their In/Out values are
-// meaningless and Reached reports false.
-func Solve[T any](p *Problem[T]) *Solution[T] {
+// Solver is a reusable worklist solver. Its buffers are retained between
+// calls, so a Solver amortises all per-Solve allocations across the many
+// functions an interprocedural analysis visits. The Solution returned by
+// Solve aliases the solver's internal buffers: it is valid only until the
+// next Solve call on the same Solver.
+//
+// The zero value is ready to use. A Solver is not safe for concurrent use.
+type Solver[T any] struct {
+	sol      Solution[T]
+	worklist []*ir.Block
+	inList   []bool
+}
+
+// Solve runs the worklist algorithm to a fixed point, reusing the
+// solver's buffers. Blocks with no feasible path from the entry are left
+// unreached; their In/Out values are meaningless and Reached reports
+// false. Worklist order is FIFO, identical to the one-shot Solve.
+func (s *Solver[T]) Solve(p *Problem[T]) *Solution[T] {
 	n := len(p.Blocks)
-	sol := &Solution[T]{In: make([]T, n), Out: make([]T, n), Reached: make([]bool, n)}
+	if cap(s.sol.In) < n {
+		s.sol.In = make([]T, n)
+		s.sol.Out = make([]T, n)
+		s.sol.Reached = make([]bool, n)
+		s.inList = make([]bool, n)
+	}
+	sol := &s.sol
+	sol.In = sol.In[:n]
+	sol.Out = sol.Out[:n]
+	sol.Reached = sol.Reached[:n]
+	inList := s.inList[:n]
+	var zero T
+	for i := 0; i < n; i++ {
+		sol.In[i] = zero
+		sol.Out[i] = zero
+		sol.Reached[i] = false
+		inList[i] = false
+	}
 	if n == 0 {
 		return sol
 	}
 	feasible := p.EdgeFeasible
-	if feasible == nil {
-		feasible = func(*ir.Block, int) bool { return true }
-	}
 
 	entry := p.Blocks[0]
 	sol.In[entry.Index] = p.EntryIn
 	sol.Out[entry.Index] = p.Transfer(entry, p.EntryIn)
 	sol.Reached[entry.Index] = true
 
-	worklist := make([]*ir.Block, 0, n)
-	inList := make([]bool, n)
+	// FIFO worklist with an index-cursor pop: popping advances head
+	// instead of re-slicing, which would pin the backing array's head and
+	// force a re-grow on every push cycle. The buffer is compacted once
+	// drained and reused across Solve calls.
+	worklist := s.worklist[:0]
+	head := 0
 	push := func(b *ir.Block) {
 		if !inList[b.Index] {
 			worklist = append(worklist, b)
 			inList[b.Index] = true
 		}
 	}
-	for i, s := range entry.Succs {
-		if feasible(entry, i) {
-			push(s)
+	for i, succ := range entry.Succs {
+		if feasible == nil || feasible(entry, i) {
+			push(succ)
 		}
 	}
 
-	for len(worklist) > 0 {
-		b := worklist[0]
-		worklist = worklist[1:]
+	for head < len(worklist) {
+		b := worklist[head]
+		worklist[head] = nil
+		head++
+		if head == len(worklist) {
+			worklist = worklist[:0]
+			head = 0
+		}
 		inList[b.Index] = false
 
 		// IN(b) = meet over feasible, reached predecessor edges.
@@ -77,8 +114,8 @@ func Solve[T any](p *Problem[T]) *Solution[T] {
 			if !sol.Reached[pred.Index] {
 				continue
 			}
-			for i, s := range pred.Succs {
-				if s != b || !feasible(pred, i) {
+			for i, succ := range pred.Succs {
+				if succ != b || !(feasible == nil || feasible(pred, i)) {
 					continue
 				}
 				if !have {
@@ -100,12 +137,22 @@ func Solve[T any](p *Problem[T]) *Solution[T] {
 			sol.In[b.Index] = in
 			sol.Out[b.Index] = out
 			sol.Reached[b.Index] = true
-			for i, s := range b.Succs {
-				if feasible(b, i) {
-					push(s)
+			for i, succ := range b.Succs {
+				if feasible == nil || feasible(b, i) {
+					push(succ)
 				}
 			}
 		}
 	}
+	s.worklist = worklist[:0]
 	return sol
+}
+
+// Solve runs the worklist algorithm to a fixed point with fresh buffers.
+// The returned Solution is independently owned by the caller. Long-lived
+// analyses should prefer a reused Solver.
+func Solve[T any](p *Problem[T]) *Solution[T] {
+	var s Solver[T]
+	sol := s.Solve(p)
+	return &Solution[T]{In: sol.In, Out: sol.Out, Reached: sol.Reached}
 }

@@ -19,6 +19,11 @@ import (
 type Program struct {
 	Types *types.Program
 	Funcs map[*types.Method]*Func
+	// NumSites is the number of call sites in the program. Every Call
+	// instruction carries a dense Site id in [0, NumSites), assigned in
+	// deterministic lowering order, so per-site analysis caches can be flat
+	// arrays instead of maps keyed on instruction pointers.
+	NumSites int
 }
 
 // FuncOf returns the IR for m, or nil when m has no body (native/abstract).
@@ -268,6 +273,7 @@ type Call struct {
 	Declared   *types.Method
 	Name       string
 	Args       []Operand
+	Site       int // dense program-wide call-site id (see Program.NumSites)
 }
 
 // If branches on a boolean operand. Succs[0] is the true edge and

@@ -15,7 +15,18 @@ func LowerProgram(tp *types.Program, diags *lang.Diagnostics) *Program {
 		if m.Decl == nil || m.Decl.Body == nil {
 			continue
 		}
-		p.Funcs[m] = lowerMethod(tp, m, diags)
+		f := lowerMethod(tp, m, diags)
+		p.Funcs[m] = f
+		// Intern call sites: AllMethods order is deterministic, so site
+		// ids are stable for identical sources.
+		for _, b := range f.Blocks {
+			for _, instr := range b.Instrs {
+				if c, ok := instr.(*Call); ok {
+					c.Site = p.NumSites
+					p.NumSites++
+				}
+			}
+		}
 	}
 	return p
 }

@@ -82,6 +82,35 @@ func TestMetamorphicBuiltinCorpora(t *testing.T) {
 	}
 }
 
+// TestMetamorphicSummaryCacheCampaign is the summary-cache leg of the
+// campaign: 25 rounds where every extraction — baseline, mutants, and
+// the parallel/incremental invariant re-extractions — shares one
+// cross-library summary cache. Mutants change method bodies, so the
+// cache serves a mix of valid splices (untouched entries) and
+// invalidated pins every round; any unsound reuse surfaces as an
+// invariant (a)-(e) violation, since those all compare extraction
+// outputs byte-for-byte.
+func TestMetamorphicSummaryCacheCampaign(t *testing.T) {
+	c := gen.Generate(campaignParams())
+	opts := oracle.DefaultOptions()
+	opts.Summaries = oracle.NewSummaryCache(0)
+	rep, err := metamorph.Run("jdk", c.Sources["jdk"], metamorph.CampaignOptions{
+		Seed:      4321,
+		Rounds:    25,
+		Mutations: 8,
+		Oracle:    &opts,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, v := range rep.Violations {
+		t.Errorf("summary-cache campaign: %s", v)
+	}
+	if hits, misses := opts.Summaries.Stats(); hits == 0 || misses == 0 {
+		t.Errorf("campaign exercised no cache mix: hits=%d misses=%d", hits, misses)
+	}
+}
+
 // TestMetamorphicGroundTruthSurvival asserts mutations never mask real
 // bugs: after independently mutating all three implementations, every
 // seeded ground-truth deviation must still be reported, and nothing

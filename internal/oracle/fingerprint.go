@@ -44,9 +44,9 @@ func (o Options) Normalize() Options {
 //
 // Only fields that can change the exported policy bytes participate:
 // Events, ICP, AssumeSecurityManager, MaxDepth, and Modes. Parallel,
-// Memo, and Telemetry are execution strategy — extraction is
+// Memo, Telemetry, and Summaries are execution strategy — extraction is
 // byte-identical across worker counts, memoization modes, and with or
-// without instrumentation — and CollectPaths/CollectGuards enrich
+// without instrumentation or summary caching — and CollectPaths/CollectGuards enrich
 // display only (neither paths nor guards are part of the policy wire
 // format), so including any of them would split the cache between
 // identical blobs.

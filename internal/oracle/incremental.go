@@ -71,7 +71,7 @@ func ExtractIncrementalContext(ctx context.Context, prev *Library, sources map[s
 		return nil, nil, err
 	}
 	st := &IncrementalStats{}
-	hashes := MethodHashes(lib.Prog, lib.Resolver)
+	hashes := lib.methodHashes()
 	st.HashedMethods = len(hashes)
 
 	if prev.ExtractedOpts != extractKey(opts) || len(prev.MethodHashes) == 0 || len(prev.EntryDeps) == 0 {

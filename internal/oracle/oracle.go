@@ -56,6 +56,14 @@ type Options struct {
 	// Memo it is execution strategy, never part of the fingerprint, and
 	// it cannot perturb the extracted policy bytes.
 	Telemetry *telemetry.ExtractMetrics
+	// Summaries, when non-nil, is a process-wide cross-library cache of
+	// per-entry results: entries whose full dependency cone hashes
+	// identically to a previous extraction under the same options are
+	// spliced from the cache instead of re-analyzed. Like Telemetry it is
+	// execution strategy — never part of the fingerprint — and cannot
+	// perturb the extracted policy bytes (cache validity is the
+	// incremental-extraction soundness argument, see SummaryCache).
+	Summaries *SummaryCache
 }
 
 // DefaultOptions returns the configuration used for the paper's main
@@ -96,6 +104,31 @@ type Library struct {
 	MayStats, MustStats analysis.Stats
 	MayTime, MustTime   time.Duration
 	Diags               *lang.Diagnostics
+
+	// hashOnce/hashCache memoize MethodHashes: the program is immutable
+	// after load, so its content hashes are computed at most once per
+	// Library no matter how many extractions run on it.
+	hashOnce  sync.Once
+	hashCache map[string]string
+
+	// events is the per-program event interning table, built on first use
+	// and shared by every analyzer of this library.
+	eventsOnce sync.Once
+	events     *secmodel.ProgramEvents
+}
+
+// methodHashes returns the library's IR content hashes, computing them on
+// first use.
+func (l *Library) methodHashes() map[string]string {
+	l.hashOnce.Do(func() { l.hashCache = MethodHashes(l.Prog, l.Resolver) })
+	return l.hashCache
+}
+
+// eventInterns returns the library's event interning table, building it
+// on first use.
+func (l *Library) eventInterns() *secmodel.ProgramEvents {
+	l.eventsOnce.Do(func() { l.events = secmodel.BuildProgramEvents(l.Prog.Types) })
+	return l.events
 }
 
 // LoadLibrary parses and builds one implementation from named sources
@@ -206,7 +239,7 @@ func (l *Library) ExtractContext(ctx context.Context, opts Options) error {
 func (l *Library) publish(pp *policy.ProgramPolicies, deps map[string][]string, opts Options) {
 	l.Policies = pp
 	l.EntryDeps = deps
-	l.MethodHashes = MethodHashes(l.Prog, l.Resolver)
+	l.MethodHashes = l.methodHashes()
 	l.ExtractedOpts = extractKey(opts)
 }
 
@@ -222,6 +255,36 @@ func (l *Library) extractEntries(ctx context.Context, opts Options, entries []*t
 	if tm := opts.Telemetry; tm != nil {
 		tm.Workers.Set(float64(workers))
 	}
+	deps := make(map[string][]string, len(entries))
+
+	// Summary-cache splice: entries whose dependency cone is pinned in the
+	// cache skip analysis entirely; only the remainder reaches the
+	// analyzers. extractKey and the hash table are only computed when a
+	// cache is attached.
+	analyzed := entries
+	var sumKey string
+	var sumHashes map[string]string
+	if opts.Summaries != nil {
+		sumKey = extractKey(opts)
+		sumHashes = l.methodHashes()
+		analyzed = make([]*types.Method, 0, len(entries))
+		hits := 0
+		for _, m := range entries {
+			sig := m.Qualified()
+			if ep, d, ok := opts.Summaries.lookup(sumKey, sig, sumHashes); ok {
+				pp.Entries[sig] = ep
+				deps[sig] = d
+				hits++
+			} else {
+				analyzed = append(analyzed, m)
+			}
+		}
+		if tm := opts.Telemetry; tm != nil {
+			tm.SummaryCacheHits.Add(float64(hits))
+			tm.SummaryCacheMisses.Add(float64(len(analyzed)))
+		}
+	}
+
 	results := make(map[analysis.Mode]map[string]*analysis.EntryResult, len(modes))
 	runMode := func(mode analysis.Mode) map[string]*analysis.EntryResult {
 		cfg := analysis.Config{
@@ -235,13 +298,14 @@ func (l *Library) extractEntries(ctx context.Context, opts Options, entries []*t
 			CollectOrigins:        mode == analysis.May,
 			CollectGuards:         opts.CollectGuards && mode == analysis.May,
 			Telemetry:             opts.Telemetry,
+			EventInterns:          l.eventInterns(),
 		}
 		a := analysis.New(l.Prog, l.Resolver, cfg)
 		start := time.Now()
-		perEntry := analyzeEntries(ctx, a, entries, workers)
+		perEntry := analyzeEntries(ctx, a, analyzed, workers)
 		elapsed := time.Since(start)
-		byEntry := make(map[string]*analysis.EntryResult, len(entries))
-		for i, m := range entries {
+		byEntry := make(map[string]*analysis.EntryResult, len(analyzed))
+		for i, m := range analyzed {
 			byEntry[m.Qualified()] = perEntry[i]
 		}
 		stats := a.Stats()
@@ -283,8 +347,7 @@ func (l *Library) extractEntries(ctx context.Context, opts Options, entries []*t
 	// Merge per-mode results into combined entry policies.
 	mayRes := results[analysis.May]
 	mustRes := results[analysis.Must]
-	deps := make(map[string][]string, len(entries))
-	for _, m := range entries {
+	for _, m := range analyzed {
 		sig := m.Qualified()
 		ep := policy.NewEntryPolicy(sig)
 		events := map[secmodel.Event]bool{}
@@ -333,31 +396,66 @@ func (l *Library) extractEntries(ctx context.Context, opts Options, entries []*t
 		}
 		pp.Entries[sig] = ep
 		deps[sig] = mergeDeps(sig, mayRes[sig], mustRes[sig])
+		if opts.Summaries != nil {
+			opts.Summaries.insert(sumKey, sig, deps[sig], sumHashes, ep)
+		}
 	}
 	return deps, nil
 }
 
 // mergeDeps unions the per-mode dependency sets of one entry. The sets
 // agree in practice — reachability does not depend on the meet — but the
-// union keeps reuse sound if a mode ever prunes differently.
+// union keeps reuse sound if a mode ever prunes differently. Each
+// per-mode list is already sorted (see analysis.EntryResult.Deps), so
+// the union is a linear two-pointer merge with no re-sort.
 func mergeDeps(sig string, rs ...*analysis.EntryResult) []string {
-	seen := make(map[string]bool)
-	var out []string
+	var a, b []string
 	for _, r := range rs {
-		if r == nil {
+		if r == nil || len(r.Deps) == 0 {
 			continue
 		}
-		for _, d := range r.Deps {
-			if !seen[d] {
-				seen[d] = true
-				out = append(out, d)
-			}
+		if a == nil {
+			a = r.Deps
+		} else {
+			b = mergeSorted(a, b)
+			a = r.Deps
 		}
 	}
+	out := mergeSorted(a, b)
 	if len(out) == 0 {
 		return []string{sig}
 	}
-	sort.Strings(out)
+	return out
+}
+
+// mergeSorted unions two sorted string lists, deduplicating. A nil second
+// list returns the first unchanged (no copy — callers treat dep lists as
+// immutable).
+func mergeSorted(a, b []string) []string {
+	if len(b) == 0 {
+		return a
+	}
+	if len(a) == 0 {
+		return b
+	}
+	out := make([]string, 0, len(a)+len(b))
+	i, j := 0, 0
+	for i < len(a) && j < len(b) {
+		switch {
+		case a[i] < b[j]:
+			out = append(out, a[i])
+			i++
+		case a[i] > b[j]:
+			out = append(out, b[j])
+			j++
+		default:
+			out = append(out, a[i])
+			i++
+			j++
+		}
+	}
+	out = append(out, a[i:]...)
+	out = append(out, b[j:]...)
 	return out
 }
 

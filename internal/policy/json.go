@@ -3,7 +3,6 @@ package policy
 import (
 	"encoding/json"
 	"fmt"
-	"sort"
 
 	"policyoracle/internal/secmodel"
 )
@@ -129,12 +128,12 @@ func (pp *ProgramPolicies) ExportJSON() ([]byte, error) {
 				Must: must,
 				May:  may,
 			}
-			var ids []secmodel.CheckID
-			for id := range evp.Origins {
-				ids = append(ids, id)
-			}
-			sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
-			for _, id := range ids {
+			// Check ids are dense and small (< NumChecks), so ascending
+			// order falls out of a linear scan — no sort needed.
+			for id := secmodel.CheckID(0); int(id) < secmodel.NumChecks; id++ {
+				if _, ok := evp.Origins[id]; !ok {
+					continue
+				}
 				check, err := checkToWire(id)
 				if err != nil {
 					return nil, err

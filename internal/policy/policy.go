@@ -82,7 +82,14 @@ func PathEmpty() PathSets { return PathSets{Sets: []CheckSet{Empty}} }
 
 // normalize sorts, dedups, and applies the cap.
 func (p PathSets) normalize() PathSets {
-	sort.Slice(p.Sets, func(i, j int) bool { return p.Sets[i] < p.Sets[j] })
+	// Alternative lists are tiny (≤ PathCap, ≤ PathCap² transiently in
+	// Cross); insertion sort beats sort.Slice here and avoids the
+	// interface/Swapper allocations on the solver hot path.
+	for i := 1; i < len(p.Sets); i++ {
+		for j := i; j > 0 && p.Sets[j] < p.Sets[j-1]; j-- {
+			p.Sets[j], p.Sets[j-1] = p.Sets[j-1], p.Sets[j]
+		}
+	}
 	out := p.Sets[:0]
 	var prev CheckSet
 	for i, s := range p.Sets {
@@ -104,26 +111,86 @@ func (p PathSets) normalize() PathSets {
 	return p
 }
 
+// subsetOf reports whether every set in sub appears in sup. Both slices
+// must be sorted and deduplicated (the PathSets invariant).
+func subsetOf(sub, sup []CheckSet) bool {
+	j := 0
+	for _, s := range sub {
+		for j < len(sup) && sup[j] < s {
+			j++
+		}
+		if j == len(sup) || sup[j] != s {
+			return false
+		}
+		j++
+	}
+	return true
+}
+
 // Join merges the alternatives of two predecessors.
 func (p PathSets) Join(q PathSets) PathSets {
+	// Fast paths: at the solver fixed point most joins are no-ops. Both
+	// operands hold the sorted/deduplicated invariant, so subset checks
+	// and the general merge are linear, and a no-op join returns the
+	// existing (immutable) value without allocating.
+	if q.Overflow == (p.Overflow || q.Overflow) && subsetOf(p.Sets, q.Sets) {
+		return q
+	}
+	if p.Overflow == (p.Overflow || q.Overflow) && subsetOf(q.Sets, p.Sets) {
+		return p
+	}
 	merged := PathSets{
-		Sets:     append(append([]CheckSet(nil), p.Sets...), q.Sets...),
+		Sets:     make([]CheckSet, 0, len(p.Sets)+len(q.Sets)),
 		Overflow: p.Overflow || q.Overflow,
 	}
-	return merged.normalize()
+	i, j := 0, 0
+	for i < len(p.Sets) && j < len(q.Sets) {
+		switch {
+		case p.Sets[i] < q.Sets[j]:
+			merged.Sets = append(merged.Sets, p.Sets[i])
+			i++
+		case p.Sets[i] > q.Sets[j]:
+			merged.Sets = append(merged.Sets, q.Sets[j])
+			j++
+		default:
+			merged.Sets = append(merged.Sets, p.Sets[i])
+			i, j = i+1, j+1
+		}
+	}
+	merged.Sets = append(merged.Sets, p.Sets[i:]...)
+	merged.Sets = append(merged.Sets, q.Sets[j:]...)
+	if len(merged.Sets) > PathCap {
+		var u CheckSet
+		for _, s := range merged.Sets {
+			u = u.Union(s)
+		}
+		merged.Sets = merged.Sets[:1]
+		merged.Sets[0] = u
+		merged.Overflow = true
+	}
+	return merged
 }
 
 // AddCheck adds a check to every alternative.
 func (p PathSets) AddCheck(id secmodel.CheckID) PathSets {
-	out := PathSets{Sets: make([]CheckSet, len(p.Sets)), Overflow: p.Overflow}
-	for i, s := range p.Sets {
-		out.Sets[i] = s.With(id)
-	}
-	return out.normalize()
+	return p.AddAll(Empty.With(id))
 }
 
 // AddAll unions cs into every alternative (used for callee effects).
 func (p PathSets) AddAll(cs CheckSet) PathSets {
+	all := true
+	for _, s := range p.Sets {
+		if s.Union(cs) != s {
+			all = false
+			break
+		}
+	}
+	if all {
+		// Every alternative already contains cs (always true for cs ==
+		// Empty); the result is p itself, which is immutable by
+		// convention, so return it without copying.
+		return p
+	}
 	out := PathSets{Sets: make([]CheckSet, len(p.Sets)), Overflow: p.Overflow}
 	for i, s := range p.Sets {
 		out.Sets[i] = s.Union(cs)

@@ -76,6 +76,13 @@ type Config struct {
 	// (default 2). Single-flight already collapses same-fingerprint
 	// requests; this bounds distinct ones.
 	MaxInflight int
+	// SummaryCacheEntries caps the cross-library summary cache shared by
+	// every extraction this store performs: entry policies whose full
+	// dependency cone hashes identically across bundles (forks, vendored
+	// copies, re-uploads under new options) are spliced instead of
+	// re-analyzed. 0 uses oracle.DefaultSummaryCacheCap; a negative value
+	// disables the cache.
+	SummaryCacheEntries int
 	// Registry receives the store's and the extractor's metrics. Nil
 	// disables instrumentation (the instruments become no-ops).
 	Registry *telemetry.Registry
@@ -114,6 +121,7 @@ type Store struct {
 	sem      chan struct{} // bounds concurrent extractions
 	tm       *telemetry.StoreMetrics
 	xm       *telemetry.ExtractMetrics
+	sums     *oracle.SummaryCache // nil when disabled
 	log      *slog.Logger
 
 	mu     sync.Mutex
@@ -172,6 +180,9 @@ func Open(cfg Config) (*Store, error) {
 		log:      cfg.Logger,
 		cache:    newBlobLRU(cfg.CacheEntries),
 		flight:   make(map[string]*flightCall),
+	}
+	if cfg.SummaryCacheEntries >= 0 {
+		s.sums = oracle.NewSummaryCache(cfg.SummaryCacheEntries)
 	}
 	s.extract = s.extractBundle
 	return s, nil
@@ -468,6 +479,7 @@ func (s *Store) extractBundle(ctx context.Context, b *Bundle) ([]byte, error) {
 	}
 	opts.Parallel = s.parallel
 	opts.Telemetry = s.xm
+	opts.Summaries = s.sums
 	// Display-only data (paths, guards) never reaches the wire format the
 	// store serves, and the incremental sidecar records a display-free
 	// extraction; skip collecting it server-side.

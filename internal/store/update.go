@@ -98,6 +98,7 @@ func (s *Store) extractUpdate(ctx context.Context, fp, name string, sources map[
 	}
 	opts.Parallel = s.parallel
 	opts.Telemetry = s.xm
+	opts.Summaries = s.sums
 	// Same reasoning as extractBundle: the store serves wire-format bytes
 	// and seeds from wire-format snapshots, so display data is never
 	// collected server-side (and must not be, or the option keys would

@@ -1,0 +1,130 @@
+package telemetry
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"testing"
+)
+
+// referenceBucket is the specification Observe must match: the index of
+// the first bucket bound >= v (len(bounds) = the +Inf bucket), found by
+// linear scan.
+func referenceBucket(bounds []float64, v float64) int {
+	for i, b := range bounds {
+		if v <= b {
+			return i
+		}
+	}
+	return len(bounds)
+}
+
+// TestObserveMatchesLinearReference drives the binary-search bucket
+// selection against the linear-scan specification over bound-straddling
+// samples: below, exactly on, and above every bound, plus extremes.
+func TestObserveMatchesLinearReference(t *testing.T) {
+	bounds := []float64{0.001, 0.01, 0.1, 0.5, 1, 2.5, 5, 10}
+	samples := []float64{-1, 0, 1e9}
+	for _, b := range bounds {
+		samples = append(samples, b*0.999, b, b*1.001)
+	}
+	for _, v := range samples {
+		r := New()
+		h := r.Histogram("t_total", "t", bounds)
+		h.Observe(v)
+		want := referenceBucket(bounds, v)
+		for i := 0; i <= len(bounds); i++ {
+			wantCount := 0.0
+			if i == want {
+				wantCount = 1
+			}
+			if got := h.counts[i].load(); got != wantCount {
+				t.Errorf("Observe(%v): bucket[%d] = %v, want %v", v, i, got, wantCount)
+			}
+		}
+	}
+}
+
+// TestObserveGoldenScrape locks the exposition bytes of a histogram fed a
+// fixed sample stream: the bucket counts (cumulative, le-labelled), sum,
+// and count must be exactly what the linear-scan reference produces.
+func TestObserveGoldenScrape(t *testing.T) {
+	bounds := []float64{1, 2, 4, 8}
+	r := New()
+	h := r.Histogram("golden_seconds", "golden", bounds)
+	stream := []float64{0.5, 1, 1.5, 2, 3, 4, 5, 8, 9, 100}
+	cum := make([]float64, len(bounds)+1)
+	sum := 0.0
+	for _, v := range stream {
+		h.Observe(v)
+		for i := referenceBucket(bounds, v); i <= len(bounds); i++ {
+			cum[i]++
+		}
+		sum += v
+	}
+	text := r.Text()
+	for i, b := range bounds {
+		want := fmt.Sprintf("golden_seconds_bucket{le=%q} %v", formatFloat(b), cum[i])
+		if !strings.Contains(text, want) {
+			t.Errorf("scrape missing %q:\n%s", want, text)
+		}
+	}
+	for _, want := range []string{
+		fmt.Sprintf("golden_seconds_bucket{le=\"+Inf\"} %v", cum[len(bounds)]),
+		fmt.Sprintf("golden_seconds_sum %v", sum),
+		fmt.Sprintf("golden_seconds_count %v", float64(len(stream))),
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("scrape missing %q:\n%s", want, text)
+		}
+	}
+}
+
+// TestObserveAllocFree asserts the Observe hot path performs no heap
+// allocations.
+func TestObserveAllocFree(t *testing.T) {
+	r := New()
+	h := r.Histogram("t_total", "t", DefBuckets)
+	if n := testing.AllocsPerRun(1000, func() { h.Observe(0.42) }); n != 0 {
+		t.Errorf("Observe allocates %v objects per call", n)
+	}
+}
+
+// BenchmarkHistogramObserve measures bucket selection across bucket
+// counts. The ns/op growth from 20 to 320 buckets should track log2(n)
+// (≈4 extra probes), not n — a linear scan would grow ~16×.
+func BenchmarkHistogramObserve(b *testing.B) {
+	for _, n := range []int{20, 80, 320} {
+		b.Run(fmt.Sprintf("buckets=%d", n), func(b *testing.B) {
+			bounds := make([]float64, n)
+			for i := range bounds {
+				bounds[i] = float64(i + 1)
+			}
+			r := New()
+			h := r.Histogram("t_total", "t", bounds)
+			// Worst case for a linear scan: the sample lands in the
+			// last finite bucket.
+			v := float64(n)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				h.Observe(v)
+			}
+		})
+	}
+}
+
+var sortSearchSink int
+
+// BenchmarkHistogramObserveSortSearch is the baseline the inline search
+// replaced: the same lookup through sort.SearchFloat64s.
+func BenchmarkHistogramObserveSortSearch(b *testing.B) {
+	bounds := make([]float64, 20)
+	for i := range bounds {
+		bounds[i] = float64(i + 1)
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		sortSearchSink = sort.SearchFloat64s(bounds, 20)
+	}
+}

@@ -185,6 +185,13 @@ type ExtractMetrics struct {
 	IncrementalReanalyzed *Counter
 	IncrementalHashed     *Counter
 	DepSetSize            *Histogram
+	// Cross-library summary-cache instruments, fed by extraction when an
+	// oracle.SummaryCache is attached: entry policies spliced from a
+	// previous extraction of any library in the process
+	// (polora_summary_cache_hit_total) and entries that had to be
+	// analyzed (polora_summary_cache_miss_total).
+	SummaryCacheHits   *Counter
+	SummaryCacheMisses *Counter
 }
 
 // DepSetBuckets size the dependency-set histogram: most entries reach a
@@ -224,6 +231,10 @@ func NewExtractMetrics(r *Registry) *ExtractMetrics {
 		DepSetSize: r.Histogram("polora_incremental_depset_size",
 			"Per-entry dependency-set size (methods reached by one entry analysis).",
 			DepSetBuckets),
+		SummaryCacheHits: r.Counter("polora_summary_cache_hit_total",
+			"Entry policies spliced from the cross-library summary cache."),
+		SummaryCacheMisses: r.Counter("polora_summary_cache_miss_total",
+			"Entry points analyzed because no valid summary-cache entry existed."),
 	}
 }
 

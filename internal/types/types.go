@@ -11,6 +11,7 @@ import (
 	"fmt"
 	"sort"
 	"strings"
+	"sync"
 
 	"policyoracle/internal/ast"
 	"policyoracle/internal/lang"
@@ -23,6 +24,15 @@ type Program struct {
 	simple  map[string][]*Class
 	methods []*Method // all methods, indexed by Method.ID
 	Diags   *lang.Diagnostics
+
+	// Sorted views are computed once: the class set is fixed after Build's
+	// registration pass and entry-point status never changes, so repeated
+	// AllClasses/EntryPoints calls share one slice. Callers must not
+	// mutate the returned slices.
+	classOnce sync.Once
+	classList []*Class
+	epOnce    sync.Once
+	eps       []*Method
 }
 
 // Class is one class or interface.
@@ -42,6 +52,8 @@ type Class struct {
 	File        *ast.File
 
 	fieldsByName map[string]*Field
+	subsOnce     sync.Once
+	subs         []*Class
 }
 
 // Field is one declared field.
@@ -70,6 +82,12 @@ type Method struct {
 	IsCtor     bool
 	Decl       *ast.MethodDecl
 	ID         int // dense program-wide index
+
+	// sig and qualified are cached by Build once parameter types are
+	// resolved; the analysis hot path reads them on every memo probe and
+	// dependency record, so they must not be rebuilt per call.
+	sig       string
+	qualified string
 }
 
 // Type is a resolved MJ type: a primitive (Prim != ""), a class reference
@@ -113,6 +131,13 @@ func simpleOf(name string) string {
 // Sig returns the method's matching signature: name(paramSimpleNames).
 // Constructors use the name "<init>".
 func (m *Method) Sig() string {
+	if m.sig != "" {
+		return m.sig
+	}
+	return m.computeSig()
+}
+
+func (m *Method) computeSig() string {
 	name := m.Name
 	if m.IsCtor {
 		name = "<init>"
@@ -124,8 +149,21 @@ func (m *Method) Sig() string {
 	return name + "(" + strings.Join(parts, ",") + ")"
 }
 
+// cacheNames memoizes Sig and Qualified. Build calls it once per method
+// after parameter types resolve; hand-built Methods that skip Build fall
+// back to recomputing on every call.
+func (m *Method) cacheNames() {
+	m.sig = m.computeSig()
+	m.qualified = m.Class.Name + "." + m.sig
+}
+
 // Qualified returns ClassFQN.Sig — the entry-point key.
-func (m *Method) Qualified() string { return m.Class.Name + "." + m.Sig() }
+func (m *Method) Qualified() string {
+	if m.qualified != "" {
+		return m.qualified
+	}
+	return m.Class.Name + "." + m.Sig()
+}
 
 func (m *Method) String() string { return m.Qualified() }
 
@@ -201,16 +239,23 @@ func Build(name string, files []*ast.File, diags *lang.Diagnostics) *Program {
 			i.Subclasses = append(i.Subclasses, c)
 		}
 	}
+	// Pass 4: memoize signature strings now that parameter types resolved.
+	for _, m := range p.methods {
+		m.cacheNames()
+	}
 	return p
 }
 
 func (p *Program) sortedClasses() []*Class {
-	out := make([]*Class, 0, len(p.Classes))
-	for _, c := range p.Classes {
-		out = append(out, c)
-	}
-	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
-	return out
+	p.classOnce.Do(func() {
+		out := make([]*Class, 0, len(p.Classes))
+		for _, c := range p.Classes {
+			out = append(out, c)
+		}
+		sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+		p.classList = out
+	})
+	return p.classList
 }
 
 // AllClasses returns the classes sorted by fully qualified name.
@@ -403,39 +448,47 @@ func (c *Class) SubtypeOf(t *Class) bool {
 }
 
 // AllSubtypes returns c plus every transitive subclass/implementor,
-// sorted by name.
+// sorted by name. The hierarchy is immutable once Build returns, so the
+// slice is computed once and shared; callers must not mutate it.
 func (c *Class) AllSubtypes() []*Class {
-	seen := map[*Class]bool{}
-	var out []*Class
-	var walk func(*Class)
-	walk = func(k *Class) {
-		if seen[k] {
-			return
+	c.subsOnce.Do(func() {
+		seen := map[*Class]bool{}
+		var out []*Class
+		var walk func(*Class)
+		walk = func(k *Class) {
+			if seen[k] {
+				return
+			}
+			seen[k] = true
+			out = append(out, k)
+			for _, s := range k.Subclasses {
+				walk(s)
+			}
 		}
-		seen[k] = true
-		out = append(out, k)
-		for _, s := range k.Subclasses {
-			walk(s)
-		}
-	}
-	walk(c)
-	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
-	return out
+		walk(c)
+		sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+		c.subs = out
+	})
+	return c.subs
 }
 
 // EntryPoints returns all API entry points of the program, sorted by
-// qualified signature.
+// qualified signature. The slice is computed once and shared; callers
+// must not mutate it.
 func (p *Program) EntryPoints() []*Method {
-	var out []*Method
-	for _, c := range p.sortedClasses() {
-		for _, m := range c.Methods {
-			if m.IsEntryPoint() {
-				out = append(out, m)
+	p.epOnce.Do(func() {
+		var out []*Method
+		for _, c := range p.sortedClasses() {
+			for _, m := range c.Methods {
+				if m.IsEntryPoint() {
+					out = append(out, m)
+				}
 			}
 		}
-	}
-	sort.Slice(out, func(i, j int) bool { return out[i].Qualified() < out[j].Qualified() })
-	return out
+		sort.Slice(out, func(i, j int) bool { return out[i].Qualified() < out[j].Qualified() })
+		p.eps = out
+	})
+	return p.eps
 }
 
 // String summarizes the program.
