@@ -7,11 +7,12 @@
 //	    Parse the benchmark output, append one trajectory point, and
 //	    write the updated file (to -out if given, else back to -json).
 //
-//	benchjson -check -in bench.txt -json BENCH_extract.json [-tolerance 0.10]
-//	    Parse the benchmark output and compare each variant's entries/s
-//	    against the matching variant in the LAST trajectory point of the
-//	    checked-in file. Exit nonzero if any variant regressed by more
-//	    than the tolerance (default 10%).
+//	benchjson -check -in bench.txt -json BENCH_extract.json [-tolerance 0.10] [-allocs-tolerance 0.25]
+//	    Parse the benchmark output and compare each variant against the
+//	    matching variant in the LAST trajectory point of the checked-in
+//	    file. Exit nonzero if any variant's entries/s regressed by more
+//	    than -tolerance (default 10%) or its allocs/op grew by more than
+//	    -allocs-tolerance (default 25%; 0 disables the allocation gate).
 //
 // The parser understands the standard testing package line format —
 // name, iteration count, then (value, unit) pairs — plus the custom
@@ -66,6 +67,7 @@ func main() {
 		date      = flag.String("date", time.Now().Format("2006-01-02"), "date for the new trajectory point")
 		check     = flag.Bool("check", false, "regression-gate mode: compare against the last trajectory point")
 		tolerance = flag.Float64("tolerance", 0.10, "allowed fractional entries/s regression in -check mode")
+		allocsTol = flag.Float64("allocs-tolerance", 0.25, "allowed fractional allocs/op growth in -check mode (0 disables)")
 		prefix    = flag.String("bench-prefix", "BenchmarkExtractParallel", "record only benchmarks with this name prefix")
 	)
 	flag.Parse()
@@ -92,11 +94,11 @@ func main() {
 		if err != nil {
 			fatal(err)
 		}
-		if err := Check(bf, results, *tolerance); err != nil {
+		if err := Check(bf, results, *tolerance, *allocsTol); err != nil {
 			fatal(err)
 		}
-		fmt.Printf("benchjson: %d variants within %.0f%% of %q\n",
-			len(results), *tolerance*100, bf.Trajectory[len(bf.Trajectory)-1].Label)
+		fmt.Printf("benchjson: %d variants within %.0f%% entries/s and %.0f%% allocs/op of %q\n",
+			len(results), *tolerance*100, *allocsTol*100, bf.Trajectory[len(bf.Trajectory)-1].Label)
 		return
 	}
 
@@ -177,37 +179,51 @@ func ParseBench(r io.Reader, prefix string) ([]Result, string, error) {
 }
 
 // Check compares current results against the last trajectory point,
-// failing if any matching variant's entries/s dropped more than tol.
-func Check(bf *File, current []Result, tol float64) error {
+// failing if any matching variant's entries/s dropped more than tol or
+// its allocs/op grew more than allocsTol (0 disables the allocation
+// gate). Throughput noise and allocation counts regress independently —
+// an allocation-heavy change can keep entries/s inside the window while
+// tripling GC pressure — so both gates run over the same baseline.
+func Check(bf *File, current []Result, tol, allocsTol float64) error {
 	if len(bf.Trajectory) == 0 {
 		return fmt.Errorf("trajectory file has no points to check against")
 	}
 	last := bf.Trajectory[len(bf.Trajectory)-1]
-	baseline := make(map[string]float64, len(last.Results))
+	baseline := make(map[string]Result, len(last.Results))
 	for _, r := range last.Results {
-		if r.EntriesPerSec > 0 {
-			baseline[r.Variant] = r.EntriesPerSec
-		}
+		baseline[r.Variant] = r
 	}
 	matched := 0
 	var failures []string
 	for _, r := range current {
 		base, ok := baseline[r.Variant]
-		if !ok || r.EntriesPerSec <= 0 {
+		if !ok {
 			continue
 		}
-		matched++
-		if r.EntriesPerSec < base*(1-tol) {
-			failures = append(failures, fmt.Sprintf(
-				"%s: %.0f entries/s vs baseline %.0f (-%.1f%%, tolerance %.0f%%)",
-				r.Variant, r.EntriesPerSec, base, 100*(1-r.EntriesPerSec/base), tol*100))
+		if base.EntriesPerSec > 0 && r.EntriesPerSec > 0 {
+			matched++
+			if r.EntriesPerSec < base.EntriesPerSec*(1-tol) {
+				failures = append(failures, fmt.Sprintf(
+					"%s: %.0f entries/s vs baseline %.0f (-%.1f%%, tolerance %.0f%%)",
+					r.Variant, r.EntriesPerSec, base.EntriesPerSec,
+					100*(1-r.EntriesPerSec/base.EntriesPerSec), tol*100))
+			}
+		}
+		if allocsTol > 0 && base.AllocsPerOp > 0 && r.AllocsPerOp > 0 {
+			matched++
+			if r.AllocsPerOp > base.AllocsPerOp*(1+allocsTol) {
+				failures = append(failures, fmt.Sprintf(
+					"%s: %.0f allocs/op vs baseline %.0f (+%.1f%%, tolerance %.0f%%)",
+					r.Variant, r.AllocsPerOp, base.AllocsPerOp,
+					100*(r.AllocsPerOp/base.AllocsPerOp-1), allocsTol*100))
+			}
 		}
 	}
 	if matched == 0 {
 		return fmt.Errorf("no benchmark variants matched the baseline point %q", last.Label)
 	}
 	if len(failures) > 0 {
-		return fmt.Errorf("entries/s regression:\n  %s", strings.Join(failures, "\n  "))
+		return fmt.Errorf("benchmark regression:\n  %s", strings.Join(failures, "\n  "))
 	}
 	return nil
 }

@@ -49,11 +49,11 @@ func TestCheckGate(t *testing.T) {
 	}}
 	// Within tolerance: 10% window around the LAST point, not the first.
 	ok := []Result{{Variant: "workers=1", EntriesPerSec: 55000}}
-	if err := Check(bf, ok, 0.10); err != nil {
+	if err := Check(bf, ok, 0.10, 0.25); err != nil {
 		t.Errorf("within-tolerance run failed the gate: %v", err)
 	}
 	// Faster is always fine.
-	if err := Check(bf, []Result{{Variant: "workers=1", EntriesPerSec: 90000}}, 0.10); err != nil {
+	if err := Check(bf, []Result{{Variant: "workers=1", EntriesPerSec: 90000}}, 0.10, 0.25); err != nil {
 		t.Errorf("faster run failed the gate: %v", err)
 	}
 	// An 11% regression on any variant must fail.
@@ -61,11 +61,49 @@ func TestCheckGate(t *testing.T) {
 		{Variant: "workers=1", EntriesPerSec: 59000},
 		{Variant: "workers=2", EntriesPerSec: 51000},
 	}
-	if err := Check(bf, bad, 0.10); err == nil {
+	if err := Check(bf, bad, 0.10, 0.25); err == nil {
 		t.Error("11% regression on workers=2 passed the gate")
 	}
 	// A run with no matching variants is a config error, not a pass.
-	if err := Check(bf, []Result{{Variant: "workers=64", EntriesPerSec: 1}}, 0.10); err == nil {
+	if err := Check(bf, []Result{{Variant: "workers=64", EntriesPerSec: 1}}, 0.10, 0.25); err == nil {
 		t.Error("unmatched variants passed the gate")
+	}
+}
+
+func TestCheckAllocsGate(t *testing.T) {
+	bf := &File{Trajectory: []Point{
+		{Label: "baseline", Results: []Result{
+			{Variant: "workers=1", EntriesPerSec: 60000, AllocsPerOp: 60000},
+		}},
+	}}
+	// Allocation growth inside the 25% window passes.
+	ok := []Result{{Variant: "workers=1", EntriesPerSec: 60000, AllocsPerOp: 70000}}
+	if err := Check(bf, ok, 0.10, 0.25); err != nil {
+		t.Errorf("within-tolerance allocs failed the gate: %v", err)
+	}
+	// Throughput can stay flat while allocations blow past 25%: the
+	// allocation gate must catch it on its own.
+	bad := []Result{{Variant: "workers=1", EntriesPerSec: 60000, AllocsPerOp: 80000}}
+	err := Check(bf, bad, 0.10, 0.25)
+	if err == nil {
+		t.Fatal("33% allocs/op growth passed the gate")
+	}
+	if !strings.Contains(err.Error(), "allocs/op") {
+		t.Errorf("failure does not name allocs/op: %v", err)
+	}
+	// Fewer allocations are always fine; tolerance 0 disables the gate.
+	if err := Check(bf, []Result{{Variant: "workers=1", EntriesPerSec: 60000, AllocsPerOp: 100}}, 0.10, 0.25); err != nil {
+		t.Errorf("reduced allocs failed the gate: %v", err)
+	}
+	if err := Check(bf, bad, 0.10, 0); err != nil {
+		t.Errorf("disabled allocs gate still fired: %v", err)
+	}
+	// A baseline without allocation data never matches the allocs gate
+	// (older trajectory points predate allocs/op recording).
+	old := &File{Trajectory: []Point{
+		{Label: "old", Results: []Result{{Variant: "workers=1", EntriesPerSec: 60000}}},
+	}}
+	if err := Check(old, bad, 0.10, 0.25); err != nil {
+		t.Errorf("allocs gate fired against a baseline without allocs data: %v", err)
 	}
 }

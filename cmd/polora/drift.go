@@ -1,0 +1,152 @@
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"net/http"
+	"net/url"
+	"os"
+	"strconv"
+	"strings"
+	"time"
+
+	"policyoracle/internal/reconcile"
+	"policyoracle/internal/server"
+)
+
+// cmdDrift queries a `polorad -watch` daemon's drift timeline — the only
+// polora command that talks to the service rather than analyzing
+// sources locally. With -json it prints the server's response bytes
+// verbatim, so scripts see exactly the GET /v1/drift wire format.
+func cmdDrift(args []string) error {
+	fs := flag.NewFlagSet("drift", flag.ExitOnError)
+	addr := fs.String("addr", "http://localhost:8075", "polorad base URL")
+	pair := fs.String("pair", "", "show one library pair (either name order; e.g. jdk~harmony)")
+	limit := fs.Int("limit", 0, "newest timeline entries to fetch (0 = all)")
+	jsonOut := fs.Bool("json", false, "print the server response verbatim")
+	timeout := fs.Duration("timeout", 30*time.Second, "request timeout")
+	fs.Parse(args)
+	if fs.NArg() != 0 {
+		return fmt.Errorf("drift takes no positional arguments (got %q)", fs.Args())
+	}
+	client := &http.Client{Timeout: *timeout}
+
+	if *pair != "" {
+		a, b, ok := reconcile.SplitPair(*pair)
+		if !ok {
+			return fmt.Errorf("pair %q is not of the form a~b", *pair)
+		}
+		body, err := driftGet(client, *addr+"/v1/drift/"+url.PathEscape(reconcile.PairKey(a, b)))
+		if err != nil {
+			return err
+		}
+		if *jsonOut {
+			os.Stdout.Write(body)
+			return nil
+		}
+		var st reconcile.PairStatus
+		if err := json.Unmarshal(body, &st); err != nil {
+			return fmt.Errorf("decoding pair status: %w", err)
+		}
+		printPairStatus(&st)
+		return nil
+	}
+
+	u := *addr + "/v1/drift"
+	if *limit > 0 {
+		u += "?limit=" + strconv.Itoa(*limit)
+	}
+	body, err := driftGet(client, u)
+	if err != nil {
+		return err
+	}
+	if *jsonOut {
+		os.Stdout.Write(body)
+		return nil
+	}
+	var wire reconcile.TimelineWire
+	if err := json.Unmarshal(body, &wire); err != nil {
+		return fmt.Errorf("decoding drift timeline: %w", err)
+	}
+	if len(wire.Entries) == 0 {
+		fmt.Println("drift timeline is empty (no reconciled pairs yet)")
+		return nil
+	}
+	for _, e := range wire.Entries {
+		line := fmt.Sprintf("#%d %s %s  %s: %d deviation(s), %d manifestation(s)",
+			e.Seq, e.ObservedAt.Format(time.RFC3339), e.Pair, shortFps(e), e.Deviations, e.Manifestations)
+		if len(e.New) > 0 {
+			line += fmt.Sprintf(", %d new", len(e.New))
+		}
+		if len(e.Resolved) > 0 {
+			line += fmt.Sprintf(", %d resolved", len(e.Resolved))
+		}
+		if e.Alert != "" {
+			line += "  [alert " + e.Alert + "]"
+		}
+		fmt.Println(line)
+	}
+	return nil
+}
+
+func printPairStatus(st *reconcile.PairStatus) {
+	fmt.Printf("pair %s (%s vs %s)\n", st.Pair, st.LibA, st.LibB)
+	fmt.Printf("  observed    %s\n", st.ObservedAt.Format(time.RFC3339))
+	fmt.Printf("  snapshots   %s / %s\n", shortFp(st.FpA), shortFp(st.FpB))
+	fmt.Printf("  deviations  %d (%d manifestations) over %d observation(s)\n",
+		st.Deviations, st.Manifestations, st.TimelineLen)
+	for _, k := range st.New {
+		fmt.Printf("  new         %s\n", k)
+	}
+	for _, k := range st.Resolved {
+		fmt.Printf("  resolved    %s\n", k)
+	}
+	alert := "off"
+	if st.AlertThreshold > 0 {
+		alert = fmt.Sprintf("clear (threshold %d)", st.AlertThreshold)
+		if st.AlertFiring {
+			alert = fmt.Sprintf("FIRING (threshold %d)", st.AlertThreshold)
+		}
+	}
+	fmt.Printf("  alert       %s\n", alert)
+	fmt.Printf("  diff sha256 %s\n", st.DiffSHA256)
+}
+
+func shortFps(e *reconcile.Entry) string {
+	return shortFp(e.FpA) + "/" + shortFp(e.FpB)
+}
+
+func shortFp(fp string) string {
+	if len(fp) > 12 {
+		return fp[:12]
+	}
+	return fp
+}
+
+// driftGet fetches one drift URL, turning the server's error envelope
+// into a readable failure (including the hint when -watch is off).
+func driftGet(client *http.Client, u string) ([]byte, error) {
+	resp, err := client.Get(u)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return nil, err
+	}
+	if resp.StatusCode == http.StatusOK {
+		return body, nil
+	}
+	var er server.ErrorResponse
+	if json.Unmarshal(body, &er) == nil && er.Code != "" {
+		detail := er.Detail
+		if detail == "" {
+			detail = er.Message
+		}
+		return nil, fmt.Errorf("%s: %s (%s)", u, detail, er.Code)
+	}
+	return nil, fmt.Errorf("%s: HTTP %d: %s", u, resp.StatusCode, strings.TrimSpace(string(body)))
+}

@@ -11,6 +11,7 @@
 //	polora fingerprint <dir> [flags]     print the polorad content address of a library
 //	polora corpus <outdir>               write the bundled corpora to disk
 //	polora fuzz [dir...] [flags]         run a metamorphic fuzzing campaign
+//	polora drift [flags]                 query a polorad -watch daemon's drift timeline
 //
 // The extract command writes a snapshot: the exported policies plus the
 // incremental state (per-method content hashes, per-entry dependency
@@ -92,6 +93,8 @@ func main() {
 		err = cmdFingerprint(os.Args[2:])
 	case "fuzz":
 		err = cmdFuzz(os.Args[2:])
+	case "drift":
+		err = cmdDrift(os.Args[2:])
 	case "help", "-h", "--help":
 		usage()
 	default:
@@ -116,6 +119,7 @@ func usage() {
   polora fingerprint <dir> [flags]      print the polorad content address of a library
   polora corpus <outdir>                write the bundled jdk/harmony/classpath corpora
   polora fuzz [dir...] [flags]          run a metamorphic fuzzing campaign over libraries
+  polora drift [flags]                  query a polorad -watch daemon's drift timeline
 `)
 }
 

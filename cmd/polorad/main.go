@@ -17,6 +17,12 @@
 //	-log-format fmt   structured log output: text or json (default text)
 //	-log-level lvl    minimum level: debug, info, warn, error (default info)
 //	-pprof            expose net/http/pprof under /debug/pprof/
+//	-watch            run the reconcile controller: every PUT (and every
+//	                  -interval tick) re-diffs all registered library
+//	                  pairs and appends drift observations to -drift-store
+//	-interval d       full reconcile rescan period (default 30s)
+//	-drift-store f    drift-timeline file (default <store>/drift.json)
+//	-drift-threshold N fire a pair's drift alert at N deviations (0 = off)
 //
 // Metrics are always served at GET /metricsz in Prometheus text format;
 // DESIGN.md's Observability section documents the series.
@@ -37,9 +43,11 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"path/filepath"
 	"syscall"
 	"time"
 
+	"policyoracle/internal/reconcile"
 	"policyoracle/internal/server"
 	"policyoracle/internal/store"
 	"policyoracle/internal/telemetry"
@@ -54,6 +62,10 @@ func main() {
 	logFormat := flag.String("log-format", "text", "structured log output: text or json")
 	logLevel := flag.String("log-level", "info", "minimum log level: debug, info, warn, error")
 	pprofOn := flag.Bool("pprof", false, "expose net/http/pprof under /debug/pprof/")
+	watch := flag.Bool("watch", false, "run the reconcile controller (continuous policy-drift monitoring)")
+	interval := flag.Duration("interval", 30*time.Second, "full reconcile rescan period (with -watch)")
+	driftStore := flag.String("drift-store", "", "drift-timeline file (default <store>/drift.json)")
+	driftThreshold := flag.Int("drift-threshold", 0, "fire a pair's drift alert at this many deviations (0 disables)")
 	flag.Parse()
 	if *cache == 0 {
 		// On the flag, 0 means "no cache"; the store treats 0 as "use the
@@ -61,14 +73,18 @@ func main() {
 		*cache = -1
 	}
 	if err := run(config{
-		addr:        *addr,
-		storeDir:    *storeDir,
-		parallel:    *parallel,
-		maxInflight: *maxInflight,
-		cache:       *cache,
-		logFormat:   *logFormat,
-		logLevel:    *logLevel,
-		pprof:       *pprofOn,
+		addr:           *addr,
+		storeDir:       *storeDir,
+		parallel:       *parallel,
+		maxInflight:    *maxInflight,
+		cache:          *cache,
+		logFormat:      *logFormat,
+		logLevel:       *logLevel,
+		pprof:          *pprofOn,
+		watch:          *watch,
+		interval:       *interval,
+		driftStore:     *driftStore,
+		driftThreshold: *driftThreshold,
 	}); err != nil {
 		fmt.Fprintf(os.Stderr, "polorad: %v\n", err)
 		os.Exit(1)
@@ -81,6 +97,10 @@ type config struct {
 	cache                 int
 	logFormat, logLevel   string
 	pprof                 bool
+	watch                 bool
+	interval              time.Duration
+	driftStore            string
+	driftThreshold        int
 }
 
 func run(cfg config) error {
@@ -106,6 +126,27 @@ func run(cfg config) error {
 	if err != nil {
 		return err
 	}
+	var ctrl *reconcile.Controller
+	var drift server.DriftProvider
+	if cfg.watch {
+		path := cfg.driftStore
+		if path == "" {
+			path = filepath.Join(cfg.storeDir, "drift.json")
+		}
+		ctrl, err = reconcile.New(reconcile.Config{
+			Store:          st,
+			Path:           path,
+			Interval:       cfg.interval,
+			AlertThreshold: cfg.driftThreshold,
+			Registry:       registry,
+			Logger:         logger,
+		})
+		if err != nil {
+			return err
+		}
+		drift = ctrl
+	}
+
 	// Request contexts derive from baseCtx: cancelling it after a failed
 	// drain aborts whatever extractions are still running.
 	baseCtx, cancelBase := context.WithCancel(context.Background())
@@ -116,6 +157,7 @@ func run(cfg config) error {
 			Registry: registry,
 			Logger:   logger,
 			Pprof:    cfg.pprof,
+			Drift:    drift,
 		}),
 		ReadHeaderTimeout: 10 * time.Second,
 		BaseContext:       func(net.Listener) context.Context { return baseCtx },
@@ -124,10 +166,24 @@ func run(cfg config) error {
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 
+	// The reconcile loop stops with the server; its timeline is persisted
+	// on every append, so a kill at any point resumes cleanly.
+	watchCtx, stopWatch := context.WithCancel(context.Background())
+	defer stopWatch()
+	watchDone := make(chan struct{})
+	if ctrl != nil {
+		go func() {
+			defer close(watchDone)
+			ctrl.Run(watchCtx)
+		}()
+	} else {
+		close(watchDone)
+	}
+
 	errc := make(chan error, 1)
 	go func() {
 		logger.Info("polorad: serving", "addr", cfg.addr, "store", cfg.storeDir,
-			"max_inflight", cfg.maxInflight, "pprof", cfg.pprof)
+			"max_inflight", cfg.maxInflight, "pprof", cfg.pprof, "watch", cfg.watch)
 		errc <- srv.ListenAndServe()
 	}()
 
@@ -138,6 +194,8 @@ func run(cfg config) error {
 	}
 	stop()
 	logger.Info("polorad: shutting down")
+	stopWatch()
+	<-watchDone
 	shutdownCtx, cancel := context.WithTimeout(context.Background(), 15*time.Second)
 	defer cancel()
 	if err := srv.Shutdown(shutdownCtx); err != nil {

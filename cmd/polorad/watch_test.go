@@ -1,0 +1,346 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"policyoracle/internal/corpus/gen"
+	"policyoracle/internal/reconcile"
+)
+
+const watchRuntimeMJ = `
+package java.lang;
+public class Object { }
+public class String { }
+public class SecurityManager {
+  public void checkRead(String file) { }
+  public void checkWrite(String file) { }
+}
+`
+
+const watchLibV1MJ = `
+package api;
+import java.lang.*;
+public class Store {
+  private SecurityManager sm;
+  public void put(String key) {
+    sm.checkWrite(key);
+    write0(key);
+  }
+  public String get(String key) {
+    sm.checkRead(key);
+    return read0(key);
+  }
+  native void write0(String key);
+  native String read0(String key);
+}
+`
+
+// watchLibV2MJ drops the write check: the seeded deviation.
+const watchLibV2MJ = `
+package api;
+import java.lang.*;
+public class Store {
+  private SecurityManager sm;
+  public void put(String key) {
+    write0(key);
+  }
+  public String get(String key) {
+    sm.checkRead(key);
+    return read0(key);
+  }
+  native void write0(String key);
+  native String read0(String key);
+}
+`
+
+func buildBinary(t *testing.T, dir, name, pkg string) string {
+	t.Helper()
+	bin := filepath.Join(dir, name)
+	out, err := exec.Command("go", "build", "-o", bin, pkg).CombinedOutput()
+	if err != nil {
+		t.Fatalf("building %s: %v\n%s", pkg, err, out)
+	}
+	return bin
+}
+
+// freeAddr reserves a listen address. The listener is closed just before
+// the daemon starts, so a parallel test could steal the port; polorad
+// failing to bind shows up immediately as a failed /healthz wait.
+func freeAddr(t *testing.T) string {
+	t.Helper()
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := l.Addr().String()
+	l.Close()
+	return addr
+}
+
+type daemon struct {
+	cmd  *exec.Cmd
+	logs *bytes.Buffer
+}
+
+func startDaemon(t *testing.T, bin, addr, storeDir, driftPath string) *daemon {
+	t.Helper()
+	d := &daemon{logs: &bytes.Buffer{}}
+	d.cmd = exec.Command(bin,
+		"-addr", addr, "-store", storeDir,
+		"-watch", "-interval", "100ms",
+		"-drift-store", driftPath, "-drift-threshold", "1",
+		"-parallel", "1")
+	d.cmd.Stdout = d.logs
+	d.cmd.Stderr = d.logs
+	if err := d.cmd.Start(); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() {
+		if d.cmd.Process != nil {
+			d.cmd.Process.Kill()
+			d.cmd.Wait()
+		}
+	})
+	deadline := time.Now().Add(30 * time.Second)
+	for {
+		resp, err := http.Get("http://" + addr + "/healthz")
+		if err == nil {
+			resp.Body.Close()
+			if resp.StatusCode == http.StatusOK {
+				return d
+			}
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("polorad never became healthy:\n%s", d.logs)
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+}
+
+func putLibrary(t *testing.T, addr, name, lib string) {
+	t.Helper()
+	putSources(t, addr, name, map[string]string{"rt.mj": watchRuntimeMJ, "lib.mj": lib})
+}
+
+func putSources(t *testing.T, addr, name string, sources map[string]string) {
+	t.Helper()
+	body, err := json.Marshal(map[string]any{"sources": sources})
+	if err != nil {
+		t.Fatal(err)
+	}
+	req, err := http.NewRequest(http.MethodPut,
+		"http://"+addr+"/v1/libraries/"+name, bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode >= 300 {
+		t.Fatalf("PUT %s: %d: %s", name, resp.StatusCode, out)
+	}
+}
+
+func fetchTimeline(t *testing.T, addr string) reconcile.TimelineWire {
+	t.Helper()
+	resp, err := http.Get("http://" + addr + "/v1/drift")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var wire reconcile.TimelineWire
+	if err := json.NewDecoder(resp.Body).Decode(&wire); err != nil {
+		t.Fatal(err)
+	}
+	return wire
+}
+
+func waitTimeline(t *testing.T, addr string, n int, logs *bytes.Buffer) reconcile.TimelineWire {
+	t.Helper()
+	deadline := time.Now().Add(60 * time.Second)
+	for {
+		wire := fetchTimeline(t, addr)
+		if len(wire.Entries) >= n {
+			return wire
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("timeline stuck below %d entries\n%s", n, logs)
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+}
+
+// assertNoDuplicates fails if any (pair, fpA, fpB) was observed twice —
+// the signature of a restart replaying persisted history.
+func assertNoDuplicates(t *testing.T, wire reconcile.TimelineWire) {
+	t.Helper()
+	seen := map[string]int{}
+	for i, e := range wire.Entries {
+		if e.Seq != i+1 {
+			t.Errorf("entry %d has seq %d, want contiguous", i, e.Seq)
+		}
+		key := e.Pair + "|" + e.FpA + "|" + e.FpB
+		if prev, dup := seen[key]; dup {
+			t.Errorf("observation %s duplicated at seq %d and %d", key, prev, e.Seq)
+		}
+		seen[key] = e.Seq
+	}
+}
+
+// TestWatchKillRestartResumes drives the full continuous-watch story
+// through real processes: seeded drift is observed and alerts, SIGKILL
+// mid-watch loses nothing, the restarted daemon resumes from the
+// persisted timeline without duplicating observations, and the polora
+// drift CLI reads the same state.
+func TestWatchKillRestartResumes(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	binDir := t.TempDir()
+	polorad := buildBinary(t, binDir, "polorad", ".")
+	polora := buildBinary(t, binDir, "polora", "policyoracle/cmd/polora")
+	stateDir := t.TempDir()
+	storeDir := filepath.Join(stateDir, "store")
+	driftPath := filepath.Join(stateDir, "drift.json")
+	addr := freeAddr(t)
+
+	d := startDaemon(t, polorad, addr, storeDir, driftPath)
+	putLibrary(t, addr, "ref", watchLibV1MJ)
+	putLibrary(t, addr, "impl", watchLibV2MJ)
+
+	wire := waitTimeline(t, addr, 1, d.logs)
+	pair := reconcile.PairKey("ref", "impl")
+	e := wire.Entries[0]
+	if e.Pair != pair || e.Deviations == 0 || e.Alert != "fired" {
+		t.Fatalf("first observation: %+v", e)
+	}
+
+	// The reconcile series are live on /metricsz.
+	resp, err := http.Get("http://" + addr + "/metricsz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	metrics, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	for _, series := range []string{
+		"polora_reconcile_runs_total",
+		"polora_reconcile_duration_seconds_bucket",
+		fmt.Sprintf(`polora_drift_deviations{pair=%q} %d`, pair, e.Deviations),
+		fmt.Sprintf(`polora_drift_alert{pair=%q} 1`, pair),
+	} {
+		if !strings.Contains(string(metrics), series) {
+			t.Errorf("metricsz missing %s", series)
+		}
+	}
+
+	// SIGKILL mid-watch: enqueue fresh work so the loop is active, then
+	// kill without any drain.
+	putLibrary(t, addr, "impl", watchLibV2MJ)
+	if err := d.cmd.Process.Kill(); err != nil {
+		t.Fatal(err)
+	}
+	d.cmd.Wait()
+
+	// Restart over the same store and drift file: the persisted entry is
+	// still there, and steady state appends no duplicates.
+	d2 := startDaemon(t, polorad, addr, storeDir, driftPath)
+	wire = waitTimeline(t, addr, 1, d2.logs)
+	time.Sleep(500 * time.Millisecond) // several 100ms reconcile intervals
+	wire = fetchTimeline(t, addr)
+	if len(wire.Entries) != 1 {
+		t.Fatalf("restart changed history: %d entries, want 1", len(wire.Entries))
+	}
+	assertNoDuplicates(t, wire)
+
+	// The fix lands after the restart: the resumed controller observes it,
+	// continues the sequence, and clears the alert.
+	putLibrary(t, addr, "impl", watchLibV1MJ)
+	wire = waitTimeline(t, addr, 2, d2.logs)
+	assertNoDuplicates(t, wire)
+	last := wire.Entries[len(wire.Entries)-1]
+	if last.Deviations != 0 || last.Alert != "cleared" {
+		t.Fatalf("post-fix observation: %+v", last)
+	}
+
+	// polora drift reads the same state over the wire.
+	out, err := exec.Command(polora, "drift", "-addr", "http://"+addr).CombinedOutput()
+	if err != nil {
+		t.Fatalf("polora drift: %v\n%s", err, out)
+	}
+	if !strings.Contains(string(out), pair) || !strings.Contains(string(out), "[alert cleared]") {
+		t.Errorf("polora drift output:\n%s", out)
+	}
+	out, err = exec.Command(polora, "drift", "-addr", "http://"+addr, "-pair", "ref~impl").CombinedOutput()
+	if err != nil {
+		t.Fatalf("polora drift -pair: %v\n%s", err, out)
+	}
+	for _, want := range []string{"pair " + pair, "deviations  0", "alert       clear"} {
+		if !strings.Contains(string(out), want) {
+			t.Errorf("polora drift -pair output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+// TestWatchSeededCorpusDrift uploads two corpus-generator implementations
+// with known seeded deviations to a watching daemon and asserts the drift
+// timeline and /metricsz report them — the CI reconcile e2e.
+func TestWatchSeededCorpusDrift(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	polorad := buildBinary(t, t.TempDir(), "polorad", ".")
+	stateDir := t.TempDir()
+	driftPath := filepath.Join(stateDir, "drift.json")
+	addr := freeAddr(t)
+	d := startDaemon(t, polorad, addr, filepath.Join(stateDir, "store"), driftPath)
+
+	c := gen.Generate(gen.Small())
+	putSources(t, addr, "jdk", c.Sources["jdk"])
+	putSources(t, addr, "harmony", c.Sources["harmony"])
+
+	wire := waitTimeline(t, addr, 1, d.logs)
+	e := wire.Entries[0]
+	if e.Pair != reconcile.PairKey("jdk", "harmony") {
+		t.Fatalf("observed pair %q", e.Pair)
+	}
+	// The generator seeded deviations between every implementation pair;
+	// the watch loop must surface a non-trivial number of them (the exact
+	// count is the diff oracle's business, asserted in its own suites).
+	if e.Deviations < 2 {
+		t.Errorf("seeded corpus produced %d deviations, want >= 2 (%d issues seeded)",
+			e.Deviations, len(c.Issues))
+	}
+	if e.Alert != "fired" {
+		t.Errorf("alert = %q with threshold 1 and %d deviations", e.Alert, e.Deviations)
+	}
+
+	resp, err := http.Get("http://" + addr + "/metricsz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	metrics, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	for _, series := range []string{
+		fmt.Sprintf(`polora_drift_deviations{pair=%q} %d`, e.Pair, e.Deviations),
+		"polora_reconcile_pairs_total 1",
+		"polora_drift_timeline_entries 1",
+	} {
+		if !strings.Contains(string(metrics), series) {
+			t.Errorf("metricsz missing %s", series)
+		}
+	}
+}

@@ -1,6 +1,7 @@
 package diff
 
 import (
+	"bytes"
 	"encoding/json"
 
 	"policyoracle/internal/secmodel"
@@ -78,4 +79,18 @@ func (r *Report) ToJSON() *JSONReport {
 // MarshalJSON encodes the report via its serializable form.
 func (r *Report) MarshalJSON() ([]byte, error) {
 	return json.Marshal(r.ToJSON())
+}
+
+// EncodeJSON renders the report in the canonical wire form shared by
+// `polora diff -json`, POST /v1/diff, and the drift timeline: two-space
+// indentation with a trailing newline. Every consumer that needs
+// byte-identity encodes through here.
+func (r *Report) EncodeJSON() ([]byte, error) {
+	var buf bytes.Buffer
+	enc := json.NewEncoder(&buf)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(r.ToJSON()); err != nil {
+		return nil, err
+	}
+	return buf.Bytes(), nil
 }

@@ -1,0 +1,92 @@
+package reconcile
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestPairKeyCanonicalAndSplit(t *testing.T) {
+	if PairKey("b", "a") != "a~b" || PairKey("a", "b") != "a~b" {
+		t.Errorf("PairKey not canonical: %q %q", PairKey("b", "a"), PairKey("a", "b"))
+	}
+	a, b, ok := SplitPair("a~b")
+	if !ok || a != "a" || b != "b" {
+		t.Errorf("SplitPair = %q %q %v", a, b, ok)
+	}
+	for _, bad := range []string{"", "a", "~b", "a~"} {
+		if _, _, ok := SplitPair(bad); ok {
+			t.Errorf("SplitPair(%q) accepted", bad)
+		}
+	}
+}
+
+func TestTimelineAppendPersistsBeforeExposure(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "drift.json")
+	tl, err := loadTimeline(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, pair := range []string{"a~b", "a~b", "a~c"} {
+		e := &Entry{Pair: pair, LibA: "a", LibB: "b", FpA: "f1", FpB: "f2", Deviations: i}
+		if err := tl.append(e); err != nil {
+			t.Fatal(err)
+		}
+		// After every append the on-disk file is whole and parses: a crash
+		// at any point between appends leaves a valid resume state.
+		data, err := os.ReadFile(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var wire TimelineWire
+		if err := json.Unmarshal(data, &wire); err != nil {
+			t.Fatalf("after append %d: %v", i, err)
+		}
+		if len(wire.Entries) != i+1 || wire.Entries[i].Seq != i+1 {
+			t.Fatalf("after append %d: %d entries, last seq %d", i, len(wire.Entries), wire.Entries[len(wire.Entries)-1].Seq)
+		}
+	}
+	if tl.latestFor("a~b").Deviations != 1 {
+		t.Errorf("latestFor returns stale entry")
+	}
+	if got := tl.pairs(); len(got) != 2 || got[0] != "a~b" || got[1] != "a~c" {
+		t.Errorf("pairs = %v", got)
+	}
+	if got := tl.snapshot(2); len(got) != 2 || got[0].Seq != 2 {
+		t.Errorf("snapshot(2) = %+v", got)
+	}
+
+	// Reload round-trips.
+	tl2, err := loadTimeline(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tl2.entries) != 3 || tl2.latestFor("a~c") == nil {
+		t.Errorf("reload lost entries: %d", len(tl2.entries))
+	}
+}
+
+// The timeline is the controller's resume state: corruption must be a
+// loud error, never a silent empty start that would duplicate history.
+func TestTimelineLoadRejectsBadStores(t *testing.T) {
+	dir := t.TempDir()
+	cases := map[string]string{
+		"corrupt":       `{"version":1,"entries":[{`,
+		"wrong version": `{"version":99,"entries":[]}`,
+		"seq gap":       `{"version":1,"entries":[{"seq":1,"pair":"a~b"},{"seq":3,"pair":"a~b"}]}`,
+	}
+	for name, content := range cases {
+		path := filepath.Join(dir, strings.ReplaceAll(name, " ", "-")+".json")
+		if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := loadTimeline(path); err == nil {
+			t.Errorf("%s: loaded without error", name)
+		}
+	}
+	if _, err := loadTimeline(""); err == nil {
+		t.Error("empty path accepted")
+	}
+}

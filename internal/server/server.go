@@ -11,6 +11,8 @@
 //	                           "incremental", "entries", "reused", "reanalyzed"}
 //	POST /v1/extract           {"fingerprint"}                 → policy wire JSON
 //	POST /v1/diff              {"a", "b"}                      → diff report JSON
+//	GET  /v1/drift             drift timeline (?limit=N)      → reconcile.TimelineWire
+//	GET  /v1/drift/{pair}      latest pair delta + alert      → reconcile.PairStatus
 //	GET  /healthz                                       → "ok"
 //	GET  /statsz                                        → store counters
 //	GET  /metricsz                                      → Prometheus text exposition
@@ -37,6 +39,7 @@ import (
 	"strings"
 	"time"
 
+	"policyoracle/internal/reconcile"
 	"policyoracle/internal/store"
 	"policyoracle/internal/telemetry"
 )
@@ -58,6 +61,12 @@ const (
 	// CodeShuttingDown: the request was cancelled by client disconnect or
 	// server drain before it completed.
 	CodeShuttingDown = "shutting_down"
+	// CodeWatchDisabled: /v1/drift was queried but the server is not
+	// running the reconcile controller (polorad started without -watch).
+	CodeWatchDisabled = "watch_disabled"
+	// CodeUnknownPair: the drift timeline has never observed this library
+	// pair.
+	CodeUnknownPair = "unknown_pair"
 )
 
 // ErrorResponse is the error envelope every non-2xx API response carries.
@@ -76,6 +85,25 @@ var codeMessages = map[string]string{
 	CodeUnknownLibrary:  "no library bundle with this fingerprint",
 	CodeExtractFailed:   "policy extraction failed",
 	CodeShuttingDown:    "the request was cancelled before completion",
+	CodeWatchDisabled:   "the reconcile controller is not running (start polorad with -watch)",
+	CodeUnknownPair:     "no drift observations for this library pair",
+}
+
+// DriftProvider is the reconcile-controller surface the drift endpoints
+// serve from; *reconcile.Controller implements it. An interface so tests
+// can stub it and so the server compiles the watch feature out to a 501
+// when polorad runs without -watch.
+type DriftProvider interface {
+	// Enqueue marks a library as needing reconciliation (called after
+	// every successful PUT).
+	Enqueue(name string)
+	// Timeline snapshots the newest limit entries (all when limit <= 0).
+	Timeline(limit int) reconcile.TimelineWire
+	// Pairs lists the latest status of every observed pair.
+	Pairs() []*reconcile.PairStatus
+	// Pair returns one pair's latest status including the reconciled diff
+	// report; reconcile.ErrUnknownPair when never observed.
+	Pair(ctx context.Context, key string) (*reconcile.PairStatus, error)
 }
 
 // Options configures the optional subsystems of a Server.
@@ -91,14 +119,19 @@ type Options struct {
 	// profiles expose internals and cost CPU, so enabling is a deliberate
 	// operator action (polorad -pprof).
 	Pprof bool
+	// Drift connects the reconcile controller: PUTs enqueue
+	// reconciliation and /v1/drift serves its timeline. Nil (no -watch)
+	// answers drift queries with 501 watch_disabled.
+	Drift DriftProvider
 }
 
 // Server serves the policy-oracle API over one Store.
 type Server struct {
-	st  *store.Store
-	mux *http.ServeMux
-	hm  *telemetry.HTTPMetrics
-	log *slog.Logger
+	st    *store.Store
+	mux   *http.ServeMux
+	hm    *telemetry.HTTPMetrics
+	log   *slog.Logger
+	drift DriftProvider
 }
 
 // New returns a Server over st.
@@ -110,15 +143,18 @@ func New(st *store.Store, opts Options) *Server {
 		opts.Logger = telemetry.NopLogger()
 	}
 	s := &Server{
-		st:  st,
-		mux: http.NewServeMux(),
-		hm:  telemetry.NewHTTPMetrics(opts.Registry),
-		log: opts.Logger,
+		st:    st,
+		mux:   http.NewServeMux(),
+		hm:    telemetry.NewHTTPMetrics(opts.Registry),
+		log:   opts.Logger,
+		drift: opts.Drift,
 	}
 	s.handle("POST /v1/libraries", s.handleLibraries)
 	s.handle("PUT /v1/libraries/{name}", s.handleUpdate)
 	s.handle("POST /v1/extract", s.handleExtract)
 	s.handle("POST /v1/diff", s.handleDiff)
+	s.handle("GET /v1/drift", s.handleDrift)
+	s.handle("GET /v1/drift/{pair}", s.handleDriftPair)
 	s.handle("GET /healthz", s.handleHealthz)
 	s.handle("GET /statsz", s.handleStatsz)
 	s.handle("GET /metricsz", opts.Registry.Handler().ServeHTTP)
@@ -244,6 +280,12 @@ func (s *Server) handleUpdate(w http.ResponseWriter, r *http.Request) {
 		s.failStore(w, err)
 		return
 	}
+	if s.drift != nil {
+		// The controller coalesces per name, so enqueueing every revision
+		// (even no-op re-uploads: Created false still moves the index) is
+		// cheap and keeps the drift timeline level with the store.
+		s.drift.Enqueue(r.PathValue("name"))
+	}
 	status := http.StatusOK
 	if res.Created {
 		status = http.StatusCreated
@@ -277,12 +319,63 @@ func (s *Server) handleDiff(w http.ResponseWriter, r *http.Request) {
 		s.failStore(w, err)
 		return
 	}
-	// Encoded exactly as `polora diff -json` prints the report.
+	// The canonical wire bytes: identical to `polora diff -json` output
+	// and to the report the drift timeline records a digest of.
+	wire, err := rep.EncodeJSON()
+	if err != nil {
+		s.fail(w, http.StatusInternalServerError, CodeExtractFailed, err)
+		return
+	}
 	w.Header().Set("Content-Type", "application/json")
 	w.WriteHeader(http.StatusOK)
-	enc := json.NewEncoder(w)
-	enc.SetIndent("", "  ")
-	enc.Encode(rep.ToJSON())
+	w.Write(wire)
+}
+
+// handleDrift serves the drift timeline: the newest ?limit=N entries
+// (all by default), exactly the wire `polora drift -json` prints.
+func (s *Server) handleDrift(w http.ResponseWriter, r *http.Request) {
+	if s.drift == nil {
+		s.fail(w, http.StatusNotImplemented, CodeWatchDisabled,
+			errors.New("drift timeline requires -watch"))
+		return
+	}
+	limit := 0
+	if v := r.URL.Query().Get("limit"); v != "" {
+		n, err := strconv.Atoi(v)
+		if err != nil || n < 0 {
+			s.fail(w, http.StatusBadRequest, CodeBadRequest,
+				fmt.Errorf("limit %q is not a non-negative integer", v))
+			return
+		}
+		limit = n
+	}
+	s.writeJSON(w, http.StatusOK, s.drift.Timeline(limit))
+}
+
+// handleDriftPair serves one pair's latest observation, including the
+// full reconciled diff report and the current alert state.
+func (s *Server) handleDriftPair(w http.ResponseWriter, r *http.Request) {
+	if s.drift == nil {
+		s.fail(w, http.StatusNotImplemented, CodeWatchDisabled,
+			errors.New("drift timeline requires -watch"))
+		return
+	}
+	key := r.PathValue("pair")
+	if _, _, ok := reconcile.SplitPair(key); !ok {
+		s.fail(w, http.StatusBadRequest, CodeBadRequest,
+			fmt.Errorf("pair %q is not of the form a~b", key))
+		return
+	}
+	st, err := s.drift.Pair(r.Context(), key)
+	if err != nil {
+		if errors.Is(err, reconcile.ErrUnknownPair) {
+			s.fail(w, http.StatusNotFound, CodeUnknownPair, err)
+			return
+		}
+		s.failStore(w, err)
+		return
+	}
+	s.writeJSON(w, http.StatusOK, st)
 }
 
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {

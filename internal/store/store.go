@@ -17,8 +17,12 @@
 // The sidecar and name index power delta-aware updates (Update): a new
 // bundle for a known library seeds an incremental extraction from the
 // previous fingerprint's policies and sidecar, re-analyzing only entry
-// points whose dependency set changed. Both are best-effort — losing
-// them costs a full extraction, never correctness.
+// points whose dependency set changed. The sidecar is best-effort —
+// losing it costs a full extraction, never correctness. The name index
+// is not: the reconcile controller treats it as the registry of watched
+// libraries, so writes go through fsync + atomic rename, index-write
+// failures are returned to the caller, and a corrupt index is rebuilt
+// from the bundles directory instead of being discarded.
 //
 // Blobs read back from disk are validated by re-importing them; a
 // corrupted blob is discarded and re-extracted from its bundle, so the
@@ -37,6 +41,7 @@ import (
 	"log/slog"
 	"os"
 	"path/filepath"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -132,6 +137,12 @@ type Store struct {
 	// separate from mu so index writes never block cache reads.
 	namesMu sync.Mutex
 
+	// updateMu guards updateLocks, the per-library-name mutexes that
+	// serialize Update so concurrent PUTs of one name cannot interleave
+	// their read-previous/extract/advance-index sequences.
+	updateMu    sync.Mutex
+	updateLocks map[string]*sync.Mutex
+
 	memHits, diskHits, misses, coalesced atomic.Uint64
 	extractions, corruptBlobs            atomic.Uint64
 	bundles, diffs, evictions            atomic.Uint64
@@ -172,14 +183,15 @@ func Open(cfg Config) (*Store, error) {
 		cfg.Logger = telemetry.NopLogger()
 	}
 	s := &Store{
-		dir:      cfg.Dir,
-		parallel: cfg.Parallel,
-		sem:      make(chan struct{}, cfg.MaxInflight),
-		tm:       telemetry.NewStoreMetrics(cfg.Registry),
-		xm:       telemetry.NewExtractMetrics(cfg.Registry),
-		log:      cfg.Logger,
-		cache:    newBlobLRU(cfg.CacheEntries),
-		flight:   make(map[string]*flightCall),
+		dir:         cfg.Dir,
+		parallel:    cfg.Parallel,
+		sem:         make(chan struct{}, cfg.MaxInflight),
+		tm:          telemetry.NewStoreMetrics(cfg.Registry),
+		xm:          telemetry.NewExtractMetrics(cfg.Registry),
+		log:         cfg.Logger,
+		cache:       newBlobLRU(cfg.CacheEntries),
+		flight:      make(map[string]*flightCall),
+		updateLocks: make(map[string]*sync.Mutex),
 	}
 	if cfg.SummaryCacheEntries >= 0 {
 		s.sums = oracle.NewSummaryCache(cfg.SummaryCacheEntries)
@@ -225,7 +237,9 @@ func (s *Store) Put(name string, sources map[string]string, w OptionsWire) (fp s
 	fp = oracle.Fingerprint(name, sources, opts)
 	path := s.bundlePath(fp)
 	if _, err := os.Stat(path); err == nil {
-		s.setLatestFingerprint(name, fp)
+		if err := s.setLatestFingerprint(name, fp); err != nil {
+			return "", false, err
+		}
 		return fp, false, nil
 	}
 	data, err := json.MarshalIndent(&Bundle{
@@ -239,7 +253,9 @@ func (s *Store) Put(name string, sources map[string]string, w OptionsWire) (fp s
 	}
 	s.bundles.Add(1)
 	s.tm.Bundles.Inc()
-	s.setLatestFingerprint(name, fp)
+	if err := s.setLatestFingerprint(name, fp); err != nil {
+		return "", false, err
+	}
 	s.log.Info("store: bundle created", "fingerprint", fp, "library", name, "files", len(sources))
 	return fp, true, nil
 }
@@ -249,26 +265,34 @@ func (s *Store) Put(name string, sources map[string]string, w OptionsWire) (fp s
 func (s *Store) latestFingerprint(name string) (string, bool) {
 	s.namesMu.Lock()
 	defer s.namesMu.Unlock()
-	names, err := s.readNames()
-	if err != nil {
-		return "", false
-	}
-	fp, ok := names[name]
+	fp, ok := s.readNames()[name]
 	return fp, ok
 }
 
-// setLatestFingerprint records name → fp in the name index. Best-effort:
-// a failed write only disables incremental seeding of the next update.
-func (s *Store) setLatestFingerprint(name, fp string) {
+// Names snapshots the library registry: every uploaded library name
+// mapped to its latest fingerprint. This is the source the reconcile
+// controller watches, so it never fails soft — a corrupt index is
+// rebuilt from the bundles directory before returning.
+func (s *Store) Names() map[string]string {
 	s.namesMu.Lock()
 	defer s.namesMu.Unlock()
-	names, err := s.readNames()
-	if err != nil {
-		s.log.Warn("store: name index unreadable, rewriting", "err", err)
-		names = map[string]string{}
+	names := s.readNames()
+	out := make(map[string]string, len(names))
+	for n, fp := range names {
+		out[n] = fp
 	}
+	return out
+}
+
+// setLatestFingerprint records name → fp in the name index. The index is
+// the reconcile controller's registry, so failures surface to the caller
+// instead of silently dropping the newest revision.
+func (s *Store) setLatestFingerprint(name, fp string) error {
+	s.namesMu.Lock()
+	defer s.namesMu.Unlock()
+	names := s.readNames()
 	if names[name] == fp {
-		return
+		return nil
 	}
 	names[name] = fp
 	data, err := json.MarshalIndent(names, "", "  ")
@@ -276,24 +300,71 @@ func (s *Store) setLatestFingerprint(name, fp string) {
 		err = writeAtomic(s.namesPath(), data)
 	}
 	if err != nil {
-		s.log.Warn("store: writing name index failed", "err", err)
+		return fmt.Errorf("store: writing name index: %w", err)
 	}
+	return nil
 }
 
-// readNames loads the name index; callers hold namesMu.
-func (s *Store) readNames() (map[string]string, error) {
+// readNames loads the name index; callers hold namesMu. A missing file
+// is an empty registry; a torn or corrupt file is rebuilt from the
+// bundles on disk (latest bundle per name by mtime), so one bad write
+// can never erase the registry of every other library.
+func (s *Store) readNames() map[string]string {
 	names := map[string]string{}
 	data, err := os.ReadFile(s.namesPath())
 	if errors.Is(err, os.ErrNotExist) {
-		return names, nil
+		return names
+	}
+	if err == nil {
+		err = json.Unmarshal(data, &names)
 	}
 	if err != nil {
-		return nil, err
+		s.log.Warn("store: name index unreadable, rebuilding from bundles", "err", err)
+		return s.rebuildNames()
 	}
-	if err := json.Unmarshal(data, &names); err != nil {
-		return nil, err
+	return names
+}
+
+// rebuildNames reconstructs the name index from the persisted bundles,
+// keeping the most recently written bundle per library name. Callers
+// hold namesMu.
+func (s *Store) rebuildNames() map[string]string {
+	names := map[string]string{}
+	latest := map[string]time.Time{}
+	entries, err := os.ReadDir(filepath.Join(s.dir, "bundles"))
+	if err != nil {
+		return names
 	}
-	return names, nil
+	for _, e := range entries {
+		if e.IsDir() || !strings.HasSuffix(e.Name(), ".json") {
+			continue
+		}
+		data, err := os.ReadFile(filepath.Join(s.dir, "bundles", e.Name()))
+		if err != nil {
+			continue
+		}
+		var b Bundle
+		if json.Unmarshal(data, &b) != nil || b.Name == "" || !oracle.IsFingerprint(b.Fingerprint) {
+			continue
+		}
+		info, err := e.Info()
+		if err != nil {
+			continue
+		}
+		if t, ok := latest[b.Name]; !ok || info.ModTime().After(t) {
+			names[b.Name] = b.Fingerprint
+			latest[b.Name] = info.ModTime()
+		}
+	}
+	if len(names) > 0 {
+		if data, err := json.MarshalIndent(names, "", "  "); err == nil {
+			if err := writeAtomic(s.namesPath(), data); err != nil {
+				s.log.Warn("store: persisting rebuilt name index failed", "err", err)
+			}
+		}
+	}
+	s.log.Info("store: name index rebuilt", "libraries", len(names))
+	return names
 }
 
 // Bundle loads the persisted bundle addressed by fp.
@@ -572,8 +643,9 @@ func (s *Store) CachedEntries() int {
 	return s.cache.len()
 }
 
-// writeAtomic writes data via a temp file + rename so readers never see
-// a partial blob.
+// writeAtomic writes data via a temp file + fsync + rename so readers
+// never see a partial blob, and a crash immediately after the rename
+// cannot leave an empty or truncated file behind it.
 func writeAtomic(path string, data []byte) error {
 	tmp, err := os.CreateTemp(filepath.Dir(path), "."+filepath.Base(path)+".tmp-")
 	if err != nil {
@@ -581,6 +653,10 @@ func writeAtomic(path string, data []byte) error {
 	}
 	defer os.Remove(tmp.Name())
 	if _, err := tmp.Write(data); err != nil {
+		tmp.Close()
+		return err
+	}
+	if err := tmp.Sync(); err != nil {
 		tmp.Close()
 		return err
 	}

@@ -5,6 +5,7 @@ import (
 	"errors"
 	"fmt"
 	"os"
+	"sync"
 	"time"
 
 	"policyoracle/internal/oracle"
@@ -38,6 +39,14 @@ type UpdateResult struct {
 // persisted blob is byte-identical to what a cold Policies extraction of
 // the same fingerprint would produce.
 func (s *Store) Update(ctx context.Context, name string, sources map[string]string, w OptionsWire) (*UpdateResult, error) {
+	// Serialize updates per library name: two concurrent PUTs of one name
+	// must not both seed from the same "previous" revision and then race
+	// their index writes. Under the lock each update reads the latest
+	// index state, extracts, and advances the index before the next one
+	// starts, so the index always ends at the last writer's fingerprint.
+	s.nameLock(name).Lock()
+	defer s.nameLock(name).Unlock()
+
 	prevFP, _ := s.latestFingerprint(name) // before Put moves the index
 	fp, created, err := s.Put(name, sources, w)
 	if err != nil {
@@ -60,6 +69,20 @@ func (s *Store) Update(ctx context.Context, name string, sources map[string]stri
 		return nil, err
 	}
 	return res, nil
+}
+
+// nameLock returns the mutex serializing updates of one library name.
+// Locks are never deleted; the map is bounded by the number of distinct
+// library names the process has updated.
+func (s *Store) nameLock(name string) *sync.Mutex {
+	s.updateMu.Lock()
+	defer s.updateMu.Unlock()
+	mu, ok := s.updateLocks[name]
+	if !ok {
+		mu = &sync.Mutex{}
+		s.updateLocks[name] = mu
+	}
+	return mu
 }
 
 // loadIncrementalSeed reconstructs the previous extraction (policies +

@@ -148,6 +148,67 @@ func NewMetamorphMetrics(r *Registry) *MetamorphMetrics {
 	}
 }
 
+// ReconcileMetrics is the continuous-watch controller's instrument set,
+// fed by internal/reconcile behind `polorad -watch`. The pair label is
+// the canonical drift pair key ("a~b", names sorted), bounded by the
+// number of registered library pairs.
+type ReconcileMetrics struct {
+	// Runs counts completed reconcile cycles (source→plan→apply):
+	// polora_reconcile_runs_total.
+	Runs *Counter
+	// Errors counts pair reconciliations that failed (and cycle-level
+	// failures such as an unreadable registry):
+	// polora_reconcile_errors_total.
+	Errors *Counter
+	// Requeues counts enqueues coalesced onto an already-pending
+	// reconciliation of the same library:
+	// polora_reconcile_requeues_total.
+	Requeues *Counter
+	// PairsReconciled counts per-pair timeline appends:
+	// polora_reconcile_pairs_total.
+	PairsReconciled *Counter
+	// Duration is the wall time of one reconcile cycle:
+	// polora_reconcile_duration_seconds.
+	Duration *Histogram
+	// Pending is the number of libraries currently awaiting
+	// reconciliation: polora_reconcile_pending_libraries.
+	Pending *Gauge
+	// Drift is the latest distinct-deviation count per pair:
+	// polora_drift_deviations{pair}.
+	Drift *GaugeVec
+	// Alert is 1 while a pair's drift alert is firing:
+	// polora_drift_alert{pair}.
+	Alert *GaugeVec
+	// TimelineEntries is the persisted drift-timeline length:
+	// polora_drift_timeline_entries.
+	TimelineEntries *Gauge
+}
+
+// NewReconcileMetrics registers the reconcile instrument set on r
+// (nil-safe).
+func NewReconcileMetrics(r *Registry) *ReconcileMetrics {
+	return &ReconcileMetrics{
+		Runs: r.Counter("polora_reconcile_runs_total",
+			"Completed reconcile cycles (source, plan, apply)."),
+		Errors: r.Counter("polora_reconcile_errors_total",
+			"Reconcile failures (per pair, plus cycle-level errors)."),
+		Requeues: r.Counter("polora_reconcile_requeues_total",
+			"Enqueues coalesced onto an already-pending reconciliation."),
+		PairsReconciled: r.Counter("polora_reconcile_pairs_total",
+			"Pair reconciliations that appended a drift-timeline entry."),
+		Duration: r.Histogram("polora_reconcile_duration_seconds",
+			"Wall time of one reconcile cycle.", DefBuckets),
+		Pending: r.Gauge("polora_reconcile_pending_libraries",
+			"Libraries currently awaiting reconciliation."),
+		Drift: r.GaugeVec("polora_drift_deviations",
+			"Latest distinct policy deviations by library pair.", "pair"),
+		Alert: r.GaugeVec("polora_drift_alert",
+			"1 while the pair's drift alert is firing.", "pair"),
+		TimelineEntries: r.Gauge("polora_drift_timeline_entries",
+			"Persisted drift-timeline entries."),
+	}
+}
+
 // ExtractMetrics is the extractor instrument set, fed by oracle.Extract
 // and the analyzer. The mode label is "may" or "must".
 type ExtractMetrics struct {
