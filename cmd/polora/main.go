@@ -25,12 +25,14 @@
 // round: the mutant diffs clean against the original, MUST ⊆ MAY holds
 // for every entry point, parallel extraction matches serial byte for
 // byte, and export → import → export round-trips byte-identically. With
-// no directories it fuzzes the bundled corpora. Flags: -seed, -rounds,
-// -mutations (rewrites per round), -workers (concurrent rounds).
+// no directories it fuzzes the bundled corpora — under -domain cryptoapi,
+// a generated crypto-misuse corpus. Flags: -seed, -rounds, -mutations
+// (rewrites per round), -workers (concurrent rounds), -domain.
 //
 // Flags (policies, diff):
 //
 //	-entry substr   restrict output to entry points containing substr
+//	-domain id      check domain to extract under (default: securitymanager)
 //	-broad          use broad security-sensitive events (Section 3)
 //	-no-icp         disable interprocedural constant propagation
 //	-memo mode      summary reuse: global (default), per-entry, none
@@ -59,11 +61,11 @@ import (
 
 	"policyoracle"
 	"policyoracle/internal/analysis"
+	"policyoracle/internal/corpus/gen"
 	"policyoracle/internal/diff"
 	"policyoracle/internal/exceptions"
 	"policyoracle/internal/metamorph"
 	internalpolicy "policyoracle/internal/policy"
-	"policyoracle/internal/secmodel"
 	"policyoracle/internal/telemetry"
 	"policyoracle/internal/witness"
 )
@@ -125,6 +127,7 @@ func usage() {
 
 type commonFlags struct {
 	entry      string
+	domain     string
 	broad      bool
 	noICP      bool
 	memo       string
@@ -140,6 +143,7 @@ type commonFlags struct {
 
 func (cf *commonFlags) register(fs *flag.FlagSet) {
 	fs.StringVar(&cf.entry, "entry", "", "restrict to entry points containing this substring")
+	fs.StringVar(&cf.domain, "domain", "", "check domain to extract under (default: "+policyoracle.DefaultDomainID+")")
 	fs.BoolVar(&cf.broad, "broad", false, "use broad security-sensitive events")
 	fs.BoolVar(&cf.noICP, "no-icp", false, "disable interprocedural constant propagation")
 	fs.StringVar(&cf.memo, "memo", "global", "summary reuse: global, per-entry, none")
@@ -153,8 +157,16 @@ func (cf *commonFlags) register(fs *flag.FlagSet) {
 
 func (cf *commonFlags) options() (policyoracle.Options, error) {
 	opts := policyoracle.DefaultOptions()
+	// The CLI consumes the domain API through the top-level policyoracle
+	// re-exports; importing internal/secmodel directly from cmd/ is
+	// deprecated.
+	dom, err := policyoracle.ResolveDomain(cf.domain)
+	if err != nil {
+		return opts, fmt.Errorf("-domain: %w", err)
+	}
+	opts.Domain = dom
 	if cf.broad {
-		opts.Events = secmodel.BroadEvents
+		opts.Events = policyoracle.BroadEvents
 	}
 	opts.ICP = !cf.noICP
 	opts.AssumeSecurityManager = !cf.noAssumeSM
@@ -220,14 +232,14 @@ func cmdPolicies(args []string) error {
 		fmt.Printf("%s\n", sig)
 		for _, ev := range ep.SortedEvents() {
 			evp := ep.Events[ev]
-			fmt.Printf("  MUST check: %s  Event: %s\n", evp.Must, ev)
-			fmt.Printf("  MAY  check: %s  Event: %s\n", evp.May, ev)
+			fmt.Printf("  MUST check: %s  Event: %s\n", evp.Must.StringIn(opts.Domain), ev)
+			fmt.Printf("  MAY  check: %s  Event: %s\n", evp.May.StringIn(opts.Domain), ev)
 			if len(evp.Paths.Sets) > 1 {
-				fmt.Printf("  MAY  paths: %s\n", evp.Paths)
+				fmt.Printf("  MAY  paths: %s\n", evp.Paths.StringIn(opts.Domain))
 			}
 		}
 		if cf.guards {
-			ids := make([]secmodel.CheckID, 0, len(ep.Guards))
+			ids := make([]policyoracle.CheckID, 0, len(ep.Guards))
 			for id := range ep.Guards {
 				ids = append(ids, id)
 			}
@@ -235,9 +247,9 @@ func cmdPolicies(args []string) error {
 			for _, id := range ids {
 				for _, g := range ep.GuardsOf(id) {
 					if g == "" {
-						fmt.Printf("  guard: %s is unconditional on some path\n", secmodel.CheckName(id))
+						fmt.Printf("  guard: %s is unconditional on some path\n", opts.Domain.CheckName(id))
 					} else {
-						fmt.Printf("  guard: %s conditional on branches at %s\n", secmodel.CheckName(id), g)
+						fmt.Printf("  guard: %s conditional on branches at %s\n", opts.Domain.CheckName(id), g)
 					}
 				}
 			}
@@ -293,7 +305,7 @@ func cmdDiff(args []string) error {
 				continue
 			}
 		}
-		printGroup(g)
+		printGroup(g, opts.Domain)
 		if cf.witness {
 			for _, r := range witness.Confirm(libs[0].Prog.Types, libs[1].Prog.Types, libs[0].Name, libs[1].Name, g) {
 				fmt.Printf("  witness: %s\n", r)
@@ -304,20 +316,20 @@ func cmdDiff(args []string) error {
 	return nil
 }
 
-func printGroup(g *policyoracle.Group) {
+func printGroup(g *policyoracle.Group, dom *policyoracle.Domain) {
 	missing := g.MissingIn
 	if missing == "" {
 		missing = "(both sides differ)"
 	}
 	fmt.Printf("[%s, %s] checks %s missing in %s — %d manifestation(s)\n",
-		g.Case, g.Category, g.DiffChecks, missing, g.Manifestations())
+		g.Case, g.Category, g.DiffChecks.StringIn(dom), missing, g.Manifestations())
 	if len(g.RootMethods) > 0 {
 		fmt.Printf("  root cause in: %s\n", strings.Join(g.RootMethods, ", "))
 	}
 	d := g.Diffs[0]
 	fmt.Printf("  event %s\n", d.Event)
-	fmt.Printf("    %-12s MUST %s MAY %s\n", d.A.Library+":", d.A.Must, d.A.May)
-	fmt.Printf("    %-12s MUST %s MAY %s\n", d.B.Library+":", d.B.Must, d.B.May)
+	fmt.Printf("    %-12s MUST %s MAY %s\n", d.A.Library+":", d.A.Must.StringIn(dom), d.A.May.StringIn(dom))
+	fmt.Printf("    %-12s MUST %s MAY %s\n", d.B.Library+":", d.B.Must.StringIn(dom), d.B.May.StringIn(dom))
 	for _, e := range g.Entries {
 		fmt.Printf("  manifests at %s\n", e)
 	}
@@ -497,12 +509,16 @@ func cmdDiffPolicies(args []string) error {
 	}
 	lib.Extract(opts)
 	cf.printTimings()
+	if shared.Domain != lib.Policies.Domain {
+		return fmt.Errorf("%w: %s was exported under -domain %q", policyoracle.ErrDomainMismatch,
+			fs.Arg(0), shared.Domain)
+	}
 	rep := diff.Compare(shared, lib.Policies)
 	fmt.Printf("%s (shared) vs %s (local): %d matching entry points\n",
 		rep.LibA, rep.LibB, rep.MatchingEntries)
 	fmt.Printf("%d distinct differences, %d manifestations\n\n", len(rep.Groups), rep.TotalManifestations())
 	for _, g := range rep.Groups {
-		printGroup(g)
+		printGroup(g, opts.Domain)
 	}
 	return nil
 }
@@ -548,19 +564,23 @@ func cmdFuzz(args []string) error {
 	rounds := fs.Int("rounds", 100, "mutation rounds per library")
 	mutations := fs.Int("mutations", 8, "semantics-preserving rewrites attempted per round")
 	workers := fs.Int("workers", 0, "concurrent rounds (0 = GOMAXPROCS)")
+	domain := fs.String("domain", "", "check domain to fuzz under (default: "+policyoracle.DefaultDomainID+")")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
+	dom, err := policyoracle.ResolveDomain(*domain)
+	if err != nil {
+		return err
+	}
+	opts := policyoracle.DefaultOptions()
+	opts.Domain = dom
 	type target struct {
 		name    string
 		sources map[string]string
 	}
 	var targets []target
-	if fs.NArg() == 0 {
-		for _, name := range policyoracle.BuiltinCorpora() {
-			targets = append(targets, target{name, policyoracle.BuiltinCorpus(name)})
-		}
-	} else {
+	switch {
+	case fs.NArg() > 0:
 		for _, dir := range fs.Args() {
 			sources, err := policyoracle.ReadSourcesDir(dir)
 			if err != nil {
@@ -568,6 +588,24 @@ func cmdFuzz(args []string) error {
 			}
 			targets = append(targets, target{filepath.Base(dir), sources})
 		}
+	case dom.ID() == policyoracle.DefaultDomainID:
+		for _, name := range policyoracle.BuiltinCorpora() {
+			targets = append(targets, target{name, policyoracle.BuiltinCorpus(name)})
+		}
+	case dom.ID() == policyoracle.CryptoDomainID:
+		// The crypto domain has no hand-written corpus; fuzz the
+		// generated one, which carries the seeded misuse population.
+		c := gen.Generate(gen.CryptoSmall())
+		var names []string
+		for name := range c.Sources {
+			names = append(names, name)
+		}
+		sort.Strings(names)
+		for _, name := range names {
+			targets = append(targets, target{name, c.Sources[name]})
+		}
+	default:
+		return fmt.Errorf("fuzz: no bundled corpus for domain %s; pass library directories", dom.ID())
 	}
 	metrics := telemetry.NewMetamorphMetrics(telemetry.New())
 	violations := 0
@@ -577,6 +615,7 @@ func cmdFuzz(args []string) error {
 			Rounds:    *rounds,
 			Mutations: *mutations,
 			Workers:   *workers,
+			Oracle:    &opts,
 			Metrics:   metrics,
 		})
 		if err != nil {

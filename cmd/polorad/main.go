@@ -14,6 +14,9 @@
 //	-parallel N       oracle workers per extraction (0 = GOMAXPROCS)
 //	-max-inflight N   concurrent extractions across fingerprints (default 2)
 //	-cache N          in-memory policy-blob LRU entries (0 disables, default 128)
+//	-domains ids      comma-separated check-domain IDs to serve (default:
+//	                  every registered domain); requests naming another
+//	                  domain fail with the stable unknown_domain code
 //	-log-format fmt   structured log output: text or json (default text)
 //	-log-level lvl    minimum level: debug, info, warn, error (default info)
 //	-pprof            expose net/http/pprof under /debug/pprof/
@@ -44,9 +47,11 @@ import (
 	"os"
 	"os/signal"
 	"path/filepath"
+	"strings"
 	"syscall"
 	"time"
 
+	"policyoracle"
 	"policyoracle/internal/reconcile"
 	"policyoracle/internal/server"
 	"policyoracle/internal/store"
@@ -59,6 +64,7 @@ func main() {
 	parallel := flag.Int("parallel", 0, "oracle extraction workers per analysis mode (0 = GOMAXPROCS)")
 	maxInflight := flag.Int("max-inflight", 2, "concurrent extractions across distinct fingerprints")
 	cache := flag.Int("cache", 128, "in-memory policy-blob LRU entries (0 disables the cache)")
+	domains := flag.String("domains", "", "comma-separated check-domain IDs to serve (empty = all registered)")
 	logFormat := flag.String("log-format", "text", "structured log output: text or json")
 	logLevel := flag.String("log-level", "info", "minimum log level: debug, info, warn, error")
 	pprofOn := flag.Bool("pprof", false, "expose net/http/pprof under /debug/pprof/")
@@ -78,6 +84,7 @@ func main() {
 		parallel:       *parallel,
 		maxInflight:    *maxInflight,
 		cache:          *cache,
+		domains:        *domains,
 		logFormat:      *logFormat,
 		logLevel:       *logLevel,
 		pprof:          *pprofOn,
@@ -95,6 +102,7 @@ type config struct {
 	addr, storeDir        string
 	parallel, maxInflight int
 	cache                 int
+	domains               string
 	logFormat, logLevel   string
 	pprof                 bool
 	watch                 bool
@@ -107,6 +115,19 @@ func run(cfg config) error {
 	level, err := telemetry.ParseLevel(cfg.logLevel)
 	if err != nil {
 		return err
+	}
+	// Validate -domains up front: serving an unregistered domain ID would
+	// otherwise only surface as unknown_domain on every request.
+	var domainIDs []string
+	if cfg.domains != "" {
+		for _, id := range strings.Split(cfg.domains, ",") {
+			id = strings.TrimSpace(id)
+			d, err := policyoracle.ResolveDomain(id)
+			if err != nil {
+				return fmt.Errorf("-domains: %w", err)
+			}
+			domainIDs = append(domainIDs, d.ID())
+		}
 	}
 	logger, err := telemetry.NewLogger(os.Stderr, cfg.logFormat, level)
 	if err != nil {
@@ -158,6 +179,7 @@ func run(cfg config) error {
 			Logger:   logger,
 			Pprof:    cfg.pprof,
 			Drift:    drift,
+			Domains:  domainIDs,
 		}),
 		ReadHeaderTimeout: 10 * time.Second,
 		BaseContext:       func(net.Listener) context.Context { return baseCtx },

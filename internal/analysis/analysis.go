@@ -70,6 +70,11 @@ func (m MemoMode) String() string {
 type Config struct {
 	Mode   Mode
 	Events secmodel.EventMode
+	// Domain is the check domain analyzed: which class owns the security
+	// checks, which calls enter privileged scope, and which call is the
+	// guard-state accessor. Nil means the default SecurityManager domain
+	// (secmodel.SecurityManager()).
+	Domain *secmodel.Domain
 	// ICP enables interprocedural constant propagation (binding constant
 	// arguments into callees). Intraprocedural constant propagation is
 	// always on, as in Soot.
@@ -238,6 +243,9 @@ func (k cpKey) stripe() int {
 func New(p *ir.Program, res *callgraph.Resolver, cfg Config) *Analyzer {
 	if cfg.CollectPaths && cfg.Mode != May {
 		cfg.CollectPaths = false
+	}
+	if cfg.Domain == nil {
+		cfg.Domain = secmodel.SecurityManager()
 	}
 	ev := cfg.EventInterns
 	if ev == nil {
@@ -409,7 +417,7 @@ func (a *Analyzer) putTask(t *task) {
 func (a *Analyzer) AnalyzeEntry(m *types.Method) *EntryResult {
 	if tm := a.cfg.Telemetry; tm != nil {
 		start := time.Now()
-		defer func() { tm.ObserveEntry(a.cfg.Mode.String(), time.Since(start)) }()
+		defer func() { tm.ObserveEntry(a.cfg.Mode.String(), a.cfg.Domain.ID(), time.Since(start)) }()
 	}
 	a.stats.entryPoints.Add(1)
 	res := &EntryResult{
@@ -501,7 +509,9 @@ func (r *EntryResult) addEvent(ev secmodel.Event, st state, mode Mode) {
 	if er == nil {
 		er = &EventResult{}
 		if mode == Must {
-			er.Checks = policy.Full
+			// ⊤ of the MUST lattice in any domain: all 64 bits, immediately
+			// intersected with the first occurrence's state below.
+			er.Checks = ^policy.CheckSet(0)
 		}
 		r.Events[ev] = er
 	}

@@ -91,7 +91,7 @@ func (t *task) ispa(m *types.Method, in state, argConsts []constprop.Value, priv
 	if f == nil {
 		return &summary{out: in}
 	}
-	priv = priv || secmodel.IsPrivilegedScope(m)
+	priv = priv || a.cfg.Domain.IsPrivilegedScope(m)
 
 	var constsID uint32
 	if a.cfg.ICP {
@@ -204,7 +204,7 @@ func (t *task) constants(m *types.Method, f *ir.Func, argConsts []constprop.Valu
 	a.stats.cpRuns.Add(1)
 	r := constprop.Analyze(f, argConsts, constprop.Config{
 		AssumeSecurityManager: a.cfg.AssumeSecurityManager,
-		IsGetSecurityManager:  secmodel.IsGetSecurityManager,
+		IsGetSecurityManager:  a.cfg.Domain.IsGetSecurityManager,
 	})
 	if t.cp != nil {
 		t.cp[key] = r
@@ -293,7 +293,7 @@ func (t *task) transferCall(m *types.Method, f *ir.Func, b *ir.Block, c *ir.Call
 	// Security check invocation (Section 3): extends the flow value unless
 	// executing inside a privileged block, where checks always succeed and
 	// are semantic no-ops (Section 6.2).
-	if id, ok := secmodel.IdentifyCheck(c); ok {
+	if id, ok := a.cfg.Domain.IdentifyCheck(c); ok {
 		if priv {
 			return st
 		}
@@ -317,7 +317,7 @@ func (t *task) transferCall(m *types.Method, f *ir.Func, b *ir.Block, c *ir.Call
 
 	// Privileged block entry: analyze the action's run() with checks
 	// suppressed; events inside remain observable.
-	if secmodel.IsDoPrivileged(c) {
+	if a.cfg.Domain.IsDoPrivileged(c) {
 		run := a.resolveRun(c)
 		if run != nil && a.prog.FuncOf(run) != nil && !a.depthExceeded(depth) {
 			sum := t.ispa(run, st, nil, true, depth+1, false)

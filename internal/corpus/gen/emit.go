@@ -3,15 +3,13 @@ package gen
 import (
 	"fmt"
 	"strings"
-
-	"policyoracle/internal/corpus"
 )
 
 // emitLibrary renders the skeleton as MJ source for one implementation.
 // The three dialects differ in helper structure and check placement, which
 // must not change the extracted policies; only seeded deviations do.
-func emitLibrary(spec []*classSpec, lib string) map[string]string {
-	files := corpus.RuntimeSources()
+func emitLibrary(spec []*classSpec, lib string, prof *domainProfile) map[string]string {
+	files := prof.prelude()
 	byPkg := map[string]*strings.Builder{}
 	pkgOf := func(pkg string) *strings.Builder {
 		sb := byPkg[pkg]
@@ -31,7 +29,7 @@ func emitLibrary(spec []*classSpec, lib string) map[string]string {
 			emitPolyClass(pkgOf(cs.pkg), cs)
 			continue
 		}
-		emitClass(pkgOf(cs.pkg), cs, lib)
+		emitClass(pkgOf(cs.pkg), cs, lib, prof)
 	}
 	for pkg, sb := range byPkg {
 		path := strings.ReplaceAll(pkg, ".", "/") + "/gen.mj"
@@ -96,16 +94,16 @@ func emitPolyClass(sb *strings.Builder, cs *classSpec) {
 	fmt.Fprintf(sb, "}\n\n")
 }
 
-func emitClass(sb *strings.Builder, cs *classSpec, lib string) {
+func emitClass(sb *strings.Builder, cs *classSpec, lib string, prof *domainProfile) {
 	fmt.Fprintf(sb, "public class %s {\n", cs.name)
-	fmt.Fprintf(sb, "  private SecurityManager securityManager;\n")
+	fmt.Fprintf(sb, "  private %s %s;\n", prof.guardClass, prof.guardField)
 	fmt.Fprintf(sb, "  private int state;\n")
 	fmt.Fprintf(sb, "  private int cacheSize;\n")
 	fmt.Fprintf(sb, "  private int hits;\n")
 	fmt.Fprintf(sb, "  private String label;\n")
 	var actions []string
 	for _, ms := range cs.methods {
-		emitMethod(sb, cs, ms, lib, &actions)
+		emitMethod(sb, cs, ms, lib, &actions, prof)
 	}
 	fmt.Fprintf(sb, "}\n\n")
 	for _, a := range actions {
@@ -115,37 +113,37 @@ func emitClass(sb *strings.Builder, cs *classSpec, lib string) {
 
 // checkCall renders one security-check invocation with arity-appropriate
 // arguments drawn from the method's (String a, int b) parameters.
-func checkCall(poolIdx int) string {
-	c := checkPool[poolIdx]
+func (dp *domainProfile) checkCall(poolIdx int) string {
+	c := dp.pool[poolIdx]
 	switch {
 	case c.Arity == 0:
-		return fmt.Sprintf("securityManager.%s();", c.Name)
+		return fmt.Sprintf("%s.%s();", dp.guardField, c.Name)
 	case c.Arity == 2:
-		return fmt.Sprintf("securityManager.%s(a, b);", c.Name)
-	case c.Name == "checkExit" || c.Name == "checkListen":
-		return fmt.Sprintf("securityManager.%s(b);", c.Name)
+		return fmt.Sprintf("%s.%s(a, b);", dp.guardField, c.Name)
+	case c.IntArg:
+		return fmt.Sprintf("%s.%s(b);", dp.guardField, c.Name)
 	default:
-		return fmt.Sprintf("securityManager.%s(a);", c.Name)
+		return fmt.Sprintf("%s.%s(a);", dp.guardField, c.Name)
 	}
 }
 
 // altCheck returns a different pool index with the swap deterministic.
-func altCheck(idx int) int { return (idx + 1) % len(checkPool) }
+func (dp *domainProfile) altCheck(idx int) int { return (idx + 1) % len(dp.pool) }
 
-func extraCheck(idx int) int { return (idx + 3) % len(checkPool) }
+func (dp *domainProfile) extraCheck(idx int) int { return (idx + 3) % len(dp.pool) }
 
 // emitMethod renders one entry method, its helper chain, its native leaf,
 // its wrappers, and any deviation for lib.
-func emitMethod(sb *strings.Builder, cs *classSpec, ms *methodSpec, lib string, actions *[]string) {
+func emitMethod(sb *strings.Builder, cs *classSpec, ms *methodSpec, lib string, actions *[]string, prof *domainProfile) {
 	d := dialectOf(lib)
 	dev, deviates := ms.deviation[lib]
 
 	if ms.pattern == pGuard {
-		emitGuard(sb, cs, ms, lib, dev, deviates)
+		emitGuard(sb, cs, ms, lib, dev, deviates, prof)
 		return
 	}
 	if ms.fn != FNNone {
-		emitFalseNegative(sb, ms, lib)
+		emitFalseNegative(sb, ms, lib, prof)
 		return
 	}
 
@@ -157,10 +155,10 @@ func emitMethod(sb *strings.Builder, cs *classSpec, ms *methodSpec, lib string, 
 	// Entry point.
 	fmt.Fprintf(sb, "  public int %s(String a, int b) {\n", ms.name)
 	if pos == 0 {
-		emitChecks(sb, ms, dev, deviates, actions, cs, lib)
+		emitChecks(sb, ms, dev, deviates, prof)
 	}
 	if depth == 0 {
-		emitLeaf(sb, cs, ms, lib, dev == PrivWrap && deviates, actions)
+		emitLeaf(sb, cs, ms, dev == PrivWrap && deviates, actions, prof)
 	} else {
 		fmt.Fprintf(sb, "    return %s%s1(a, b);\n  }\n", ms.name, d.helperSuffix)
 	}
@@ -168,10 +166,10 @@ func emitMethod(sb *strings.Builder, cs *classSpec, ms *methodSpec, lib string, 
 	for h := 1; h <= depth; h++ {
 		fmt.Fprintf(sb, "  private int %s%s%d(String a, int b) {\n", ms.name, d.helperSuffix, h)
 		if pos == h {
-			emitChecks(sb, ms, dev, deviates, actions, cs, lib)
+			emitChecks(sb, ms, dev, deviates, prof)
 		}
 		if h == depth {
-			emitLeaf(sb, cs, ms, lib, dev == PrivWrap && deviates, actions)
+			emitLeaf(sb, cs, ms, dev == PrivWrap && deviates, actions, prof)
 		} else {
 			fmt.Fprintf(sb, "    return %s%s%d(a, b);\n  }\n", ms.name, d.helperSuffix, h+1)
 		}
@@ -187,7 +185,7 @@ func emitMethod(sb *strings.Builder, cs *classSpec, ms *methodSpec, lib string, 
 
 // emitChecks renders the pattern's check statements, applying the
 // deviation when this library is the deviant.
-func emitChecks(sb *strings.Builder, ms *methodSpec, dev IssueKind, deviates bool, actions *[]string, cs *classSpec, lib string) {
+func emitChecks(sb *strings.Builder, ms *methodSpec, dev IssueKind, deviates bool, prof *domainProfile) {
 	if deviates && dev == PrivWrap {
 		// Checks move inside the privileged action emitted by emitLeaf.
 		return
@@ -201,29 +199,29 @@ func emitChecks(sb *strings.Builder, ms *methodSpec, dev IssueKind, deviates boo
 				case dev == DropCheck && i == len(checks)-1:
 					continue
 				case dev == SwapCheck && i == 0:
-					c = altCheck(c)
+					c = prof.altCheck(c)
 				case dev == WeakenMust && i == 0:
-					fmt.Fprintf(sb, "    if (b != 7) {\n      %s\n    }\n", checkCall(c))
+					fmt.Fprintf(sb, "    if (b != 7) {\n      %s\n    }\n", prof.checkCall(c))
 					continue
 				}
 			}
-			fmt.Fprintf(sb, "    %s\n", checkCall(c))
+			fmt.Fprintf(sb, "    %s\n", prof.checkCall(c))
 		}
 		if deviates && dev == ExtraCheck {
-			fmt.Fprintf(sb, "    %s\n", checkCall(extraCheck(checks[0])))
+			fmt.Fprintf(sb, "    %s\n", prof.checkCall(prof.extraCheck(checks[0])))
 		}
 	case pMay:
 		c0, c1 := checks[0], checks[1]
 		if deviates && dev == SwapCheck {
-			c0 = altCheck(c0)
+			c0 = prof.altCheck(c0)
 		}
-		fmt.Fprintf(sb, "    if (b > 0) {\n      %s\n", checkCall(c0))
+		fmt.Fprintf(sb, "    if (b > 0) {\n      %s\n", prof.checkCall(c0))
 		fmt.Fprintf(sb, "    } else {\n")
 		if !(deviates && dev == DropCheck) {
-			fmt.Fprintf(sb, "      %s\n", checkCall(c1))
+			fmt.Fprintf(sb, "      %s\n", prof.checkCall(c1))
 		}
 		if deviates && dev == ExtraCheck {
-			fmt.Fprintf(sb, "      %s\n", checkCall(extraCheck(c1)))
+			fmt.Fprintf(sb, "      %s\n", prof.checkCall(prof.extraCheck(c1)))
 		}
 		fmt.Fprintf(sb, "    }\n")
 		if deviates && dev == WeakenMust {
@@ -233,15 +231,15 @@ func emitChecks(sb *strings.Builder, ms *methodSpec, dev IssueKind, deviates boo
 	case pLoop:
 		c0 := checks[0]
 		if deviates && dev == SwapCheck {
-			c0 = altCheck(c0)
+			c0 = prof.altCheck(c0)
 		}
 		if deviates && dev == DropCheck {
 			fmt.Fprintf(sb, "    for (int i = 0; i < b; i++) {\n      state = state + 1;\n    }\n")
 		} else {
-			fmt.Fprintf(sb, "    for (int i = 0; i < b; i++) {\n      %s\n    }\n", checkCall(c0))
+			fmt.Fprintf(sb, "    for (int i = 0; i < b; i++) {\n      %s\n    }\n", prof.checkCall(c0))
 		}
 		if deviates && dev == ExtraCheck {
-			fmt.Fprintf(sb, "    %s\n", checkCall(extraCheck(c0)))
+			fmt.Fprintf(sb, "    %s\n", prof.checkCall(prof.extraCheck(c0)))
 		}
 	}
 }
@@ -249,7 +247,7 @@ func emitChecks(sb *strings.Builder, ms *methodSpec, dev IssueKind, deviates boo
 // emitLeaf renders the security-sensitive tail: either a direct native
 // call or (for pPrivInner, and for PrivWrap deviations) a doPrivileged
 // action wrapping the native call.
-func emitLeaf(sb *strings.Builder, cs *classSpec, ms *methodSpec, lib string, privWrapped bool, actions *[]string) {
+func emitLeaf(sb *strings.Builder, cs *classSpec, ms *methodSpec, privWrapped bool, actions *[]string, prof *domainProfile) {
 	needAction := ms.pattern == pPrivInner || privWrapped
 	if !needAction {
 		fmt.Fprintf(sb, "    state = state + 1;\n")
@@ -267,14 +265,14 @@ func emitLeaf(sb *strings.Builder, cs *classSpec, ms *methodSpec, lib string, pr
 	var ab strings.Builder
 	fmt.Fprintf(&ab, "class %s implements PrivilegedAction {\n", actionName)
 	fmt.Fprintf(&ab, "  private String a;\n  private int b;\n")
-	fmt.Fprintf(&ab, "  private SecurityManager securityManager;\n")
+	fmt.Fprintf(&ab, "  private %s %s;\n", prof.guardClass, prof.guardField)
 	fmt.Fprintf(&ab, "  %s(String a, int b) {\n    this.a = a;\n    this.b = b;\n  }\n", actionName)
 	fmt.Fprintf(&ab, "  public Object run() {\n")
 	if privWrapped {
 		// The deviant library performs its checks here, where they are
 		// semantic no-ops.
 		for _, c := range ms.checks {
-			fmt.Fprintf(&ab, "    %s\n", checkCall(c))
+			fmt.Fprintf(&ab, "    %s\n", prof.checkCall(c))
 		}
 	}
 	fmt.Fprintf(&ab, "    int v = %s.%sP0(a);\n    return null;\n  }\n", cs.name, ms.name)
@@ -291,7 +289,7 @@ func emitLeaf(sb *strings.Builder, cs *classSpec, ms *methodSpec, lib string, pr
 // even though the implementations genuinely disagree about when to check.
 // FNAllWrongKind omits the check in every library: all policies agree on
 // the (wrong) empty policy.
-func emitFalseNegative(sb *strings.Builder, ms *methodSpec, lib string) {
+func emitFalseNegative(sb *strings.Builder, ms *methodSpec, lib string, prof *domainProfile) {
 	fmt.Fprintf(sb, "  public int %s(String a, int b) {\n", ms.name)
 	if ms.fn == FNCondDivergence {
 		cond := map[string]string{
@@ -299,7 +297,7 @@ func emitFalseNegative(sb *strings.Builder, ms *methodSpec, lib string) {
 			"harmony":   "b < 0",
 			"classpath": "b == 0",
 		}[lib]
-		fmt.Fprintf(sb, "    if (%s) {\n      %s\n    }\n", cond, checkCall(ms.checks[0]))
+		fmt.Fprintf(sb, "    if (%s) {\n      %s\n    }\n", cond, prof.checkCall(ms.checks[0]))
 	}
 	fmt.Fprintf(sb, "    return %sN(a);\n  }\n", ms.name)
 	fmt.Fprintf(sb, "  native int %sN(String a);\n", ms.name)
@@ -309,17 +307,17 @@ func emitFalseNegative(sb *strings.Builder, ms *methodSpec, lib string) {
 // a delegating entry that passes a constant null. Identical across
 // libraries; only interprocedural constant propagation keeps the delegate's
 // policy empty.
-func emitGuard(sb *strings.Builder, cs *classSpec, ms *methodSpec, lib string, dev IssueKind, deviates bool) {
+func emitGuard(sb *strings.Builder, cs *classSpec, ms *methodSpec, lib string, dev IssueKind, deviates bool, prof *domainProfile) {
 	c0 := ms.checks[0]
 	if deviates && dev == SwapCheck {
-		c0 = altCheck(c0)
+		c0 = prof.altCheck(c0)
 	}
 	fmt.Fprintf(sb, "  public int %s(String a, int b, Object handler) {\n", ms.name)
 	if !(deviates && dev == DropCheck) {
-		fmt.Fprintf(sb, "    if (handler != null) {\n      %s\n    }\n", checkCall(c0))
+		fmt.Fprintf(sb, "    if (handler != null) {\n      %s\n    }\n", prof.checkCall(c0))
 	}
 	if deviates && dev == ExtraCheck {
-		fmt.Fprintf(sb, "    %s\n", checkCall(extraCheck(c0)))
+		fmt.Fprintf(sb, "    %s\n", prof.checkCall(prof.extraCheck(c0)))
 	}
 	fmt.Fprintf(sb, "    return %sN(a);\n  }\n", ms.name)
 	fmt.Fprintf(sb, "  public int %sDefault(String a) {\n", ms.name)

@@ -17,11 +17,24 @@ import (
 	"fmt"
 	"math/rand"
 	"strings"
+
+	"policyoracle/internal/corpus"
+	"policyoracle/internal/secmodel"
 )
 
 // Params sizes the generated corpus.
 type Params struct {
 	Seed int64
+	// Domain selects the check domain the corpus is generated for: the
+	// guard class emitted into the runtime prelude, the check pool
+	// deviations draw from, and whether privileged-block patterns exist.
+	// Empty means the default SecurityManager domain; CryptoDomainID
+	// selects the crypto-API misuse domain, whose checks (IV freshness,
+	// cipher mode, key size, RNG seeding, ...) guard the native
+	// cipher-call leaves the way SecurityManager checks guard JNI calls.
+	// Domains without privileged-block semantics force PrivWrap to 0 and
+	// fold the pPrivInner pattern onto a plain MUST check.
+	Domain string
 	// Classes is the number of generated API classes per implementation.
 	Classes int
 	// MethodsPerClass is the number of public entry methods per class.
@@ -74,6 +87,20 @@ func Small() Params {
 		ExtraCheck: 2, ConstGuards: 3, UniquePerLib: 4, PolymorphicNoise: 6,
 		FNConditionDivergence: 2, FNAllWrong: 2,
 	}
+}
+
+// CryptoSmall returns Small-sized parameters for the crypto-API misuse
+// domain: the same skeleton shape, with deviations drawn from the
+// CryptoGuard check pool. The seeded kinds read as the classic misuse
+// population — a dropped checkIvFresh is a constant/reused IV, a dropped
+// checkCipherMode an unvetted ECB mode, a weakened checkKeySize a short
+// key, a dropped checkSeeded an unseeded RNG. PrivWrap is zero because
+// the crypto domain has no privileged-block semantics.
+func CryptoSmall() Params {
+	p := Small()
+	p.Domain = secmodel.CryptoDomainID
+	p.PrivWrap = 0
+	return p
 }
 
 // PaperScale returns parameters sized to the paper's Table 1 shape:
@@ -156,7 +183,12 @@ func (si *SeededIssue) MatchesEntry(sig string) bool {
 
 // Corpus is one generated three-implementation workload.
 type Corpus struct {
-	Params  Params
+	Params Params
+	// Domain is the resolved check-domain ID the corpus was generated
+	// for (never empty; the default resolves to DefaultDomainID).
+	// Extract the sources under this domain or every seeded check reads
+	// as plain code.
+	Domain  string
 	Sources map[string]map[string]string // lib → file → source
 	Issues  []SeededIssue
 	// ConstGuardEntries lists entry signatures that are spuriously
@@ -167,17 +199,87 @@ type Corpus struct {
 	FalseNegatives []SeededFN
 }
 
-// checkPool is the set of check methods the generator draws from
-// (name, arity) pairs matching the secmodel table.
-var checkPool = []struct {
+// poolCheck is one check method of a generation profile's pool.
+type poolCheck struct {
 	Name  string
 	Arity int
-}{
-	{"checkRead", 1}, {"checkWrite", 1}, {"checkConnect", 2}, {"checkAccept", 2},
-	{"checkLink", 1}, {"checkExit", 1}, {"checkListen", 1}, {"checkDelete", 1},
-	{"checkExec", 1}, {"checkPropertyAccess", 1}, {"checkPermission", 1},
-	{"checkMulticast", 1}, {"checkSetFactory", 0}, {"checkCreateClassLoader", 0},
-	{"checkPackageAccess", 1}, {"checkSecurityAccess", 1},
+	// IntArg renders an arity-1 check's argument as the int parameter b
+	// rather than the String a.
+	IntArg bool
+}
+
+// checkPool is the set of check methods the default-domain generator
+// draws from: (name, arity) pairs matching the secmodel table.
+var checkPool = []poolCheck{
+	{Name: "checkRead", Arity: 1}, {Name: "checkWrite", Arity: 1},
+	{Name: "checkConnect", Arity: 2}, {Name: "checkAccept", Arity: 2},
+	{Name: "checkLink", Arity: 1}, {Name: "checkExit", Arity: 1, IntArg: true},
+	{Name: "checkListen", Arity: 1, IntArg: true}, {Name: "checkDelete", Arity: 1},
+	{Name: "checkExec", Arity: 1}, {Name: "checkPropertyAccess", Arity: 1},
+	{Name: "checkPermission", Arity: 1}, {Name: "checkMulticast", Arity: 1},
+	{Name: "checkSetFactory", Arity: 0}, {Name: "checkCreateClassLoader", Arity: 0},
+	{Name: "checkPackageAccess", Arity: 1}, {Name: "checkSecurityAccess", Arity: 1},
+}
+
+// cryptoPool is the crypto-domain check pool, matching the secmodel
+// crypto table. Length/size checks take the int parameter.
+var cryptoPool = []poolCheck{
+	{Name: "checkCertChain", Arity: 1},
+	{Name: "checkCipherMode", Arity: 1},
+	{Name: "checkDigestStrength", Arity: 1},
+	{Name: "checkEntropySource", Arity: 0},
+	{Name: "checkHostnameVerified", Arity: 2},
+	{Name: "checkIvFresh", Arity: 1},
+	{Name: "checkIvLength", Arity: 1, IntArg: true},
+	{Name: "checkKeyAlgorithm", Arity: 2},
+	{Name: "checkKeySize", Arity: 1, IntArg: true},
+	{Name: "checkPadding", Arity: 1},
+	{Name: "checkSeeded", Arity: 0},
+	{Name: "checkTagLength", Arity: 1, IntArg: true},
+}
+
+// domainProfile carries the per-domain generation knobs: the guard class
+// and field the emitted sources check through, the pool deviations draw
+// from, whether the domain has privileged-block semantics (the pPrivInner
+// pattern and PrivWrap deviation need them), and the runtime prelude.
+type domainProfile struct {
+	id         string
+	guardClass string
+	guardField string
+	pool       []poolCheck
+	privileged bool
+	prelude    func() map[string]string
+}
+
+var securityManagerProfile = domainProfile{
+	id:         secmodel.DefaultDomainID,
+	guardClass: "SecurityManager",
+	guardField: "securityManager",
+	pool:       checkPool,
+	privileged: true,
+	prelude:    corpus.RuntimeSources,
+}
+
+var cryptoProfile = domainProfile{
+	id:         secmodel.CryptoDomainID,
+	guardClass: secmodel.CryptoGuardClass,
+	guardField: "cryptoGuard",
+	pool:       cryptoPool,
+	privileged: false,
+	prelude:    corpus.CryptoRuntimeSources,
+}
+
+// profileOf resolves the generation profile for a Params.Domain value.
+// Unknown IDs panic: gen is an internal corpus package, so a domain with
+// no generation profile is a programming error, not an input error.
+func profileOf(id string) *domainProfile {
+	switch id {
+	case "", secmodel.DefaultDomainID:
+		return &securityManagerProfile
+	case secmodel.CryptoDomainID:
+		return &cryptoProfile
+	}
+	panic(fmt.Sprintf("gen: no generation profile for domain %q", id))
 }
 
 // patternKind selects an entry-method body template.
@@ -262,20 +364,27 @@ type classSpec struct {
 	poly bool
 }
 
-// Generate builds the corpus for p.
+// Generate builds the corpus for p. It panics when p.Domain names a
+// domain without a generation profile.
 func Generate(p Params) *Corpus {
+	prof := profileOf(p.Domain)
+	if !prof.privileged {
+		// No privileged-block semantics: the PrivWrap deviation does not
+		// exist in this domain.
+		p.PrivWrap = 0
+	}
 	rng := rand.New(rand.NewSource(p.Seed))
-	spec := buildSpec(p, rng)
-	c := &Corpus{Params: p, Sources: make(map[string]map[string]string)}
-	collectGroundTruth(c, spec)
+	spec := buildSpec(p, rng, prof)
+	c := &Corpus{Params: p, Domain: prof.id, Sources: make(map[string]map[string]string)}
+	collectGroundTruth(c, spec, prof)
 	for _, lib := range libNames {
-		c.Sources[lib] = emitLibrary(spec, lib)
+		c.Sources[lib] = emitLibrary(spec, lib, prof)
 	}
 	return c
 }
 
 // buildSpec derives the shared skeleton and plants the inconsistencies.
-func buildSpec(p Params, rng *rand.Rand) []*classSpec {
+func buildSpec(p Params, rng *rand.Rand, prof *domainProfile) []*classSpec {
 	var classes []*classSpec
 	var checked []*methodSpec // methods eligible for deviations
 
@@ -293,11 +402,17 @@ func buildSpec(p Params, rng *rand.Rand) []*classSpec {
 			}
 			if rng.Float64() < p.CheckFraction {
 				ms.pattern = patternKind(1 + rng.Intn(6)) // pMustOne..pPrivInner
+				if !prof.privileged && ms.pattern == pPrivInner {
+					// No privileged blocks in this domain; fold onto a
+					// plain MUST check. The rng draw above still happens,
+					// so the default-domain stream is unaffected.
+					ms.pattern = pMustOne
+				}
 				switch ms.pattern {
 				case pMustTwo, pMay:
-					ms.checks = pickChecks(rng, 2)
+					ms.checks = pickChecks(rng, 2, len(prof.pool))
 				default:
-					ms.checks = pickChecks(rng, 1)
+					ms.checks = pickChecks(rng, 1, len(prof.pool))
 				}
 				ms.wrappers = rng.Intn(p.WrapperFanout + 1)
 				checked = append(checked, ms)
@@ -408,10 +523,10 @@ func buildSpec(p Params, rng *rand.Rand) []*classSpec {
 	return classes
 }
 
-func pickChecks(rng *rand.Rand, n int) []int {
+func pickChecks(rng *rand.Rand, n, poolSize int) []int {
 	out := make([]int, 0, n)
 	for len(out) < n {
-		c := rng.Intn(len(checkPool))
+		c := rng.Intn(poolSize)
 		dup := false
 		for _, o := range out {
 			if o == c {
@@ -425,7 +540,7 @@ func pickChecks(rng *rand.Rand, n int) []int {
 	return out
 }
 
-func collectGroundTruth(c *Corpus, spec []*classSpec) {
+func collectGroundTruth(c *Corpus, spec []*classSpec, prof *domainProfile) {
 	for _, cs := range spec {
 		for _, ms := range cs.methods {
 			for lib, kind := range ms.deviation {
@@ -435,7 +550,7 @@ func collectGroundTruth(c *Corpus, spec []*classSpec) {
 					Responsible:    lib,
 					EntryClass:     cs.name,
 					EntryMethod:    ms.name,
-					Check:          checkPool[ms.checks[0]].Name,
+					Check:          prof.pool[ms.checks[0]].Name,
 					Manifestations: 1 + ms.wrappers,
 				})
 			}
@@ -450,7 +565,7 @@ func collectGroundTruth(c *Corpus, spec []*classSpec) {
 					Kind:        ms.fn,
 					EntryClass:  cs.name,
 					EntryMethod: ms.name,
-					Check:       checkPool[ms.checks[0]].Name,
+					Check:       prof.pool[ms.checks[0]].Name,
 				})
 			}
 		}

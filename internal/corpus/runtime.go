@@ -141,3 +141,38 @@ func RuntimeSources() map[string]string {
 		"java/security/accesscontrol.mj": accessControlSource,
 	}
 }
+
+// cryptoGuardSource declares the crypto-API misuse domain's guard class.
+// It mirrors the SecurityManager prelude: every method matching the
+// secmodel crypto check table (name + arity) is a security check, bodies
+// are opaque to the analysis. The class lives in java.security so the
+// generated packages' existing imports resolve it.
+const cryptoGuardSource = `
+package java.security;
+
+import java.lang.*;
+
+public class CryptoGuard {
+  public void checkCertChain(String chain) { }
+  public void checkCipherMode(String mode) { }
+  public void checkDigestStrength(String algorithm) { }
+  public void checkEntropySource() { }
+  public void checkHostnameVerified(String host, int port) { }
+  public void checkIvFresh(String iv) { }
+  public void checkIvLength(int length) { }
+  public void checkKeyAlgorithm(String algorithm, int size) { }
+  public void checkKeySize(int bits) { }
+  public void checkPadding(String padding) { }
+  public void checkSeeded() { }
+  public void checkTagLength(int bits) { }
+}
+`
+
+// CryptoRuntimeSources returns the runtime prelude for crypto-domain
+// workloads: the shared java.lang/java.security files plus the
+// CryptoGuard check class.
+func CryptoRuntimeSources() map[string]string {
+	files := RuntimeSources()
+	files["java/security/cryptoguard.mj"] = cryptoGuardSource
+	return files
+}

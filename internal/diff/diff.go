@@ -114,6 +114,11 @@ func (g *Group) Manifestations() int { return len(g.Entries) }
 // Report is the outcome of differencing two implementations.
 type Report struct {
 	LibA, LibB string
+	// Domain is the check-domain ID the compared policies were extracted
+	// under; empty means the default (SecurityManager) domain, keeping
+	// default-domain reports byte-identical to the pre-domain format.
+	// Check sets in the report render against this domain.
+	Domain string
 	// MatchingEntries is the number of entry-point signatures shared by
 	// both implementations (Table 3's "Matching APIs").
 	MatchingEntries int
@@ -142,8 +147,11 @@ func (r *Report) GroupsByCategory(c Category) []*Group {
 }
 
 // Compare differences the policies of two implementations of one API.
+// Both sides must carry policies of the same check domain — oracle.Diff
+// and the store enforce that with typed errors before calling here — and
+// the report renders check sets under that domain (a's, by convention).
 func Compare(a, b *policy.ProgramPolicies) *Report {
-	rep := &Report{LibA: a.Library, LibB: b.Library}
+	rep := &Report{LibA: a.Library, LibB: b.Library, Domain: a.Domain}
 	for _, entry := range a.SortedEntries() {
 		pa := a.Entries[entry]
 		pb, ok := b.Entries[entry]
@@ -368,14 +376,25 @@ func (r *Report) group() {
 	}
 }
 
+// domainModel resolves the report's check domain for rendering, falling
+// back to the default domain when the ID is not registered (only
+// possible for hand-built reports; Compare inputs are validated).
+func (r *Report) domainModel() *secmodel.Domain {
+	if d, ok := secmodel.DomainByID(r.Domain); ok {
+		return d
+	}
+	return secmodel.SecurityManager()
+}
+
 // String renders a compact human-readable report.
 func (r *Report) String() string {
+	dom := r.domainModel()
 	var sb strings.Builder
 	fmt.Fprintf(&sb, "%s vs %s: %d matching entry points, %d distinct differences (%d manifestations)\n",
 		r.LibA, r.LibB, r.MatchingEntries, len(r.Groups), r.TotalManifestations())
 	for _, g := range r.Groups {
 		fmt.Fprintf(&sb, "  [%s/%s] event %s checks %s missing-in=%s (%d manifestations)\n",
-			g.Case, g.Category, g.Diffs[0].Event, g.DiffChecks, orBoth(g.MissingIn), g.Manifestations())
+			g.Case, g.Category, g.Diffs[0].Event, g.DiffChecks.StringIn(dom), orBoth(g.MissingIn), g.Manifestations())
 		for _, e := range g.Entries {
 			fmt.Fprintf(&sb, "    %s\n", e)
 		}

@@ -11,8 +11,12 @@ import (
 // archival. Check sets render as sorted name lists and events as their
 // string form.
 type JSONReport struct {
-	LibA            string      `json:"libA"`
-	LibB            string      `json:"libB"`
+	LibA string `json:"libA"`
+	LibB string `json:"libB"`
+	// Domain is the check-domain ID of the compared policies, omitted
+	// for the default (SecurityManager) domain so default-domain reports
+	// keep their pre-domain bytes.
+	Domain          string      `json:"domain,omitempty"`
 	MatchingEntries int         `json:"matchingEntries"`
 	Groups          []JSONGroup `json:"groups"`
 }
@@ -39,23 +43,25 @@ type JSONDiff struct {
 	BMay  []string `json:"bMay"`
 }
 
-func checkNames(s interface{ IDs() []secmodel.CheckID }) []string {
+func checkNames(d *secmodel.Domain, s interface{ IDs() []secmodel.CheckID }) []string {
 	ids := s.IDs()
 	out := make([]string, 0, len(ids))
 	for _, id := range ids {
-		out = append(out, secmodel.CheckName(id))
+		out = append(out, d.CheckName(id))
 	}
 	return out
 }
 
-// ToJSON converts the report to its serializable form.
+// ToJSON converts the report to its serializable form. Check names are
+// rendered against the report's check domain.
 func (r *Report) ToJSON() *JSONReport {
-	jr := &JSONReport{LibA: r.LibA, LibB: r.LibB, MatchingEntries: r.MatchingEntries}
+	dom := r.domainModel()
+	jr := &JSONReport{LibA: r.LibA, LibB: r.LibB, Domain: r.Domain, MatchingEntries: r.MatchingEntries}
 	for _, g := range r.Groups {
 		jg := JSONGroup{
 			Case:           g.Case.String(),
 			Category:       g.Category.String(),
-			DiffChecks:     checkNames(g.DiffChecks),
+			DiffChecks:     checkNames(dom, g.DiffChecks),
 			MissingIn:      g.MissingIn,
 			RootMethods:    g.RootMethods,
 			Manifestations: g.Manifestations(),
@@ -65,10 +71,10 @@ func (r *Report) ToJSON() *JSONReport {
 			jg.Diffs = append(jg.Diffs, JSONDiff{
 				Entry: d.Entry,
 				Event: d.Event.String(),
-				AMust: checkNames(d.A.Must),
-				AMay:  checkNames(d.A.May),
-				BMust: checkNames(d.B.Must),
-				BMay:  checkNames(d.B.May),
+				AMust: checkNames(dom, d.A.Must),
+				AMay:  checkNames(dom, d.A.May),
+				BMust: checkNames(dom, d.B.Must),
+				BMay:  checkNames(dom, d.B.May),
 			})
 		}
 		jr.Groups = append(jr.Groups, jg)

@@ -18,6 +18,7 @@ import (
 	"policyoracle/internal/ast"
 	"policyoracle/internal/lang"
 	"policyoracle/internal/parser"
+	"policyoracle/internal/secmodel"
 )
 
 // runtimeClasses are the security-model classes whose structure the
@@ -29,6 +30,23 @@ var runtimeClasses = map[string]bool{
 	"AccessController": true,
 	"PrivilegedAction": true,
 	"System":           true,
+}
+
+// isModelClass reports whether name belongs to the security model: the
+// static runtime set above or the guard class of any registered check
+// domain (e.g. CryptoGuard). The registry is consulted at parse time
+// rather than baked into a table, so campaigns over late-registered
+// domains freeze their guard classes too.
+func isModelClass(name string) bool {
+	if runtimeClasses[name] {
+		return true
+	}
+	for _, id := range secmodel.Domains() {
+		if d, ok := secmodel.DomainByID(id); ok && d.GuardClass() == name {
+			return true
+		}
+	}
+	return false
 }
 
 // File is one parsed source file of a bundle.
@@ -91,7 +109,7 @@ func ParseBundle(sources map[string]string) (*Bundle, error) {
 // frozenFile reports whether f declares any security-model class.
 func frozenFile(f *ast.File) bool {
 	for _, td := range f.Types {
-		if runtimeClasses[td.Name] {
+		if isModelClass(td.Name) {
 			return true
 		}
 	}

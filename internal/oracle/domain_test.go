@@ -1,0 +1,146 @@
+package oracle
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+
+	"policyoracle/internal/corpus"
+	"policyoracle/internal/policy"
+	"policyoracle/internal/secmodel"
+	"policyoracle/internal/telemetry"
+)
+
+// cryptoLibMJ is a tiny crypto-domain API: two entry points guarded by
+// CryptoGuard checks in front of native cipher calls.
+const cryptoLibMJ = `
+package capi;
+import java.lang.*;
+import java.security.*;
+public class Cipher {
+  private CryptoGuard guard;
+  public void encrypt(String iv) {
+    guard.checkIvFresh(iv);
+    encrypt0(iv);
+  }
+  public void setKey(int bits) {
+    guard.checkKeySize(bits);
+    setKey0(bits);
+  }
+  native void encrypt0(String iv);
+  native void setKey0(int bits);
+}
+`
+
+func cryptoTestSources() map[string]string {
+	srcs := corpus.CryptoRuntimeSources()
+	srcs["capi/cipher.mj"] = cryptoLibMJ
+	return srcs
+}
+
+func cryptoTestOptions() Options {
+	opts := DefaultOptions()
+	opts.Domain = secmodel.CryptoAPI()
+	return opts
+}
+
+// TestCrossDomainFingerprints pins that the domain ID participates in
+// the bundle fingerprint: the same name and sources addressed under two
+// domains must never collide (a store serving both would otherwise hand
+// one domain's policies to the other), while the default domain spelled
+// explicitly stays the same address as the empty spelling.
+func TestCrossDomainFingerprints(t *testing.T) {
+	srcs := cryptoTestSources()
+	def := Fingerprint("lib", srcs, DefaultOptions())
+	crypto := Fingerprint("lib", srcs, cryptoTestOptions())
+	if def == crypto {
+		t.Fatalf("default and crypto fingerprints collide: %s", def)
+	}
+	explicit := DefaultOptions()
+	explicit.Domain = secmodel.SecurityManager()
+	if got := Fingerprint("lib", srcs, explicit); got != def {
+		t.Errorf("explicit default domain changes the fingerprint: %s vs %s", got, def)
+	}
+}
+
+// TestDiffDomainMismatch diffs two policy sets extracted under
+// different domains: the comparison must fail with the typed
+// ErrDomainMismatch instead of silently comparing unrelated check
+// tables.
+func TestDiffDomainMismatch(t *testing.T) {
+	srcs := cryptoTestSources()
+	a := loadTestLib(t, "a", srcs)
+	a.Extract(DefaultOptions())
+	b := loadTestLib(t, "b", srcs)
+	b.Extract(cryptoTestOptions())
+	if _, err := Diff(a, b); !errors.Is(err, ErrDomainMismatch) {
+		t.Fatalf("Diff across domains: err = %v, want ErrDomainMismatch", err)
+	}
+	// Same domain on both sides diffs fine.
+	c := loadTestLib(t, "c", srcs)
+	c.Extract(cryptoTestOptions())
+	if _, err := Diff(b, c); err != nil {
+		t.Fatalf("same-domain diff: %v", err)
+	}
+}
+
+// TestDomainRoundTrip exports a crypto-domain policy set and imports it
+// back: the domain ID must survive the wire format and the re-export
+// must be byte-identical.
+func TestDomainRoundTrip(t *testing.T) {
+	l := loadTestLib(t, "lib", cryptoTestSources())
+	l.Extract(cryptoTestOptions())
+	if got := l.Policies.Domain; got != secmodel.CryptoDomainID {
+		t.Fatalf("extracted policy domain = %q, want %q", got, secmodel.CryptoDomainID)
+	}
+	blob, err := l.Policies.ExportJSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	pp, err := policy.ImportJSON(blob)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pp.Domain != secmodel.CryptoDomainID {
+		t.Errorf("imported domain = %q, want %q", pp.Domain, secmodel.CryptoDomainID)
+	}
+	again, err := pp.ExportJSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(blob, again) {
+		t.Error("crypto-domain export is not byte-stable across import")
+	}
+}
+
+// TestSummaryCacheDomainIsolation shares one summary cache across
+// extractions of the same sources under two domains: the second domain
+// must see only misses (its extract key differs), while a same-domain
+// re-extraction splices everything. The per-domain hit/miss counters
+// attribute each lookup.
+func TestSummaryCacheDomainIsolation(t *testing.T) {
+	srcs := cryptoTestSources()
+	cache := NewSummaryCache(0)
+	tm := telemetry.NewExtractMetrics(telemetry.New())
+
+	def := DefaultOptions()
+	def.Summaries = cache
+	def.Telemetry = tm
+	loadTestLib(t, "x", srcs).Extract(def)
+
+	crypto := cryptoTestOptions()
+	crypto.Summaries = cache
+	crypto.Telemetry = tm
+	loadTestLib(t, "x", srcs).Extract(crypto)
+	if n := tm.SummaryCacheHits.With(secmodel.CryptoDomainID).Value(); n != 0 {
+		t.Errorf("crypto extraction spliced %v entries from the default domain's cache", n)
+	}
+	if n := tm.SummaryCacheMisses.With(secmodel.CryptoDomainID).Value(); n == 0 {
+		t.Error("crypto extraction recorded no misses")
+	}
+
+	loadTestLib(t, "x", srcs).Extract(crypto)
+	if n := tm.SummaryCacheHits.With(secmodel.CryptoDomainID).Value(); n == 0 {
+		t.Error("warm same-domain extraction recorded no hits")
+	}
+}

@@ -10,6 +10,7 @@ import (
 	"strings"
 
 	"policyoracle/internal/analysis"
+	"policyoracle/internal/secmodel"
 )
 
 // This file defines the content addressing used by the polorad service
@@ -25,11 +26,15 @@ const FingerprintPrefix = "po1"
 const fingerprintVersion = "polora/bundle/v1"
 
 // Normalize resolves the defaulted Options fields to their effective
-// values: Parallel <= 0 becomes the GOMAXPROCS worker count and an empty
-// Modes list becomes the explicit [May, Must] pair. Extract and
+// values: a nil Domain becomes the registered default (SecurityManager)
+// domain, Parallel <= 0 becomes the GOMAXPROCS worker count, and an
+// empty Modes list becomes the explicit [May, Must] pair. Extract and
 // Fingerprint both normalize first, so the options that drive extraction
 // and the options that address its result never disagree.
 func (o Options) Normalize() Options {
+	if o.Domain == nil {
+		o.Domain = secmodel.SecurityManager()
+	}
 	if o.Parallel <= 0 {
 		o.Parallel = runtime.GOMAXPROCS(0)
 	}
@@ -43,7 +48,10 @@ func (o Options) Normalize() Options {
 // string, the options component of a bundle fingerprint.
 //
 // Only fields that can change the exported policy bytes participate:
-// Events, ICP, AssumeSecurityManager, MaxDepth, and Modes. Parallel,
+// Domain, Events, ICP, AssumeSecurityManager, MaxDepth, and Modes. A
+// non-default domain is rendered as a trailing " domain=<id>"; the
+// default domain appends nothing, so every pre-domain fingerprint,
+// option key, and snapshot option string is unchanged. Parallel,
 // Memo, Telemetry, and Summaries are execution strategy — extraction is
 // byte-identical across worker counts, memoization modes, and with or
 // without instrumentation or summary caching — and CollectPaths/CollectGuards enrich
@@ -63,8 +71,12 @@ func CanonicalOptions(o Options) string {
 			dedup = append(dedup, m)
 		}
 	}
-	return fmt.Sprintf("events=%s icp=%t assume-sm=%t max-depth=%d modes=%s",
+	s := fmt.Sprintf("events=%s icp=%t assume-sm=%t max-depth=%d modes=%s",
 		o.Events, o.ICP, o.AssumeSecurityManager, o.MaxDepth, strings.Join(dedup, ","))
+	if o.Domain != secmodel.SecurityManager() {
+		s += " domain=" + o.Domain.ID()
+	}
+	return s
 }
 
 // Fingerprint returns the content address of a library bundle: a

@@ -6,6 +6,7 @@ import (
 	"fmt"
 
 	"policyoracle/internal/policy"
+	"policyoracle/internal/secmodel"
 	"policyoracle/internal/telemetry"
 	"policyoracle/internal/types"
 )
@@ -71,7 +72,7 @@ func ExtractIncrementalContext(ctx context.Context, prev *Library, sources map[s
 		return nil, nil, err
 	}
 	st := &IncrementalStats{}
-	hashes := lib.methodHashes()
+	hashes := lib.methodHashes(opts.Domain)
 	st.HashedMethods = len(hashes)
 
 	if prev.ExtractedOpts != extractKey(opts) || len(prev.MethodHashes) == 0 || len(prev.EntryDeps) == 0 {
@@ -90,11 +91,14 @@ func ExtractIncrementalContext(ctx context.Context, prev *Library, sources map[s
 	st.ChangedMethods = countChanged(prev.MethodHashes, hashes)
 
 	if tm := opts.Telemetry; tm != nil {
-		tm.Extractions.Inc()
+		tm.Extractions.With(opts.Domain.ID()).Inc()
 	}
 	entries := lib.EntryPoints()
 	st.Entries = len(entries)
 	pp := policy.NewProgramPolicies(lib.Name)
+	if opts.Domain != secmodel.SecurityManager() {
+		pp.Domain = opts.Domain.ID()
+	}
 	deps := make(map[string][]string, len(entries))
 	var fresh []*types.Method
 	for _, m := range entries {

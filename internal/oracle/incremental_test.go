@@ -8,6 +8,7 @@ import (
 	"testing"
 
 	"policyoracle/internal/diff"
+	"policyoracle/internal/secmodel"
 	"policyoracle/internal/telemetry"
 )
 
@@ -110,7 +111,7 @@ func TestIncrementalNoChangeReusesEverything(t *testing.T) {
 	// The analyzer never ran: per-mode entry counters stay zero while the
 	// incremental instruments record the splices.
 	tm := opts.Telemetry
-	if n := tm.EntryPoints.With("may").Value(); n != 0 {
+	if n := tm.EntryPoints.With("may", secmodel.DefaultDomainID).Value(); n != 0 {
 		t.Errorf("may entry-point counter = %v after pure splice", n)
 	}
 	if n := tm.IncrementalReused.Value(); n != float64(st.Entries) {
@@ -157,7 +158,7 @@ func TestIncrementalSingleMethodEdit(t *testing.T) {
 		t.Errorf("ChangedMethods = %d, want 1 (B.doB)", st.ChangedMethods)
 	}
 	for _, mode := range []string{"may", "must"} {
-		if n := opts.Telemetry.EntryPoints.With(mode).Value(); n != float64(st.Reanalyzed) {
+		if n := opts.Telemetry.EntryPoints.With(mode, secmodel.DefaultDomainID).Value(); n != float64(st.Reanalyzed) {
 			t.Errorf("analyzer ran %v %s entries, want exactly the re-analyzed %d", n, mode, st.Reanalyzed)
 		}
 	}
@@ -289,8 +290,8 @@ func TestMethodHashesTrackEdits(t *testing.T) {
 	srcs := twoClassSources()
 	a := loadTestLib(t, "lib", srcs)
 	b := loadTestLib(t, "lib", srcs)
-	ha := MethodHashes(a.Prog, a.Resolver)
-	hb := MethodHashes(b.Prog, b.Resolver)
+	ha := MethodHashes(a.Prog, a.Resolver, secmodel.SecurityManager())
+	hb := MethodHashes(b.Prog, b.Resolver, secmodel.SecurityManager())
 	if len(ha) == 0 {
 		t.Fatal("no methods hashed")
 	}
@@ -303,7 +304,7 @@ func TestMethodHashesTrackEdits(t *testing.T) {
 	edited := twoClassSources()
 	edited["b.mj"] = classBMJv2
 	c := loadTestLib(t, "lib", edited)
-	hc := MethodHashes(c.Prog, c.Resolver)
+	hc := MethodHashes(c.Prog, c.Resolver, secmodel.SecurityManager())
 	for sig, h := range ha {
 		changed := hc[sig] != h
 		if sig == "api.B.doB(String)" && !changed {

@@ -28,16 +28,21 @@ import (
 // policy wire format.
 
 // MethodHashes returns the IR-level content hash of every method in the
-// program, keyed by qualified signature. When two methods collide on
-// signature (overloads whose parameter types share a simple name), their
-// hashes are combined so a change to either invalidates dependents —
-// matching how the analysis dependency sets conflate them.
-func MethodHashes(prog *ir.Program, res *callgraph.Resolver) map[string]string {
+// program under check domain d, keyed by qualified signature. The hashes
+// are domain-dependent: check identity, guard-state reads, doPrivileged
+// bindings, and privileged-scope modifiers are all resolved against d's
+// tables, so the same program hashes differently under different
+// domains — exactly the property that keeps incremental reuse and
+// summary-cache splicing from crossing domains. When two methods collide
+// on signature (overloads whose parameter types share a simple name),
+// their hashes are combined so a change to either invalidates dependents
+// — matching how the analysis dependency sets conflate them.
+func MethodHashes(prog *ir.Program, res *callgraph.Resolver, d *secmodel.Domain) map[string]string {
 	methods := prog.Types.AllMethods()
 	out := make(map[string]string, len(methods))
 	for _, m := range methods {
 		sig := m.Qualified()
-		h := methodHash(prog, res, m)
+		h := methodHash(prog, res, d, m)
 		if prior, ok := out[sig]; ok {
 			h = combineHashes(prior, h)
 		}
@@ -46,12 +51,12 @@ func MethodHashes(prog *ir.Program, res *callgraph.Resolver) map[string]string {
 	return out
 }
 
-func methodHash(prog *ir.Program, res *callgraph.Resolver, m *types.Method) string {
+func methodHash(prog *ir.Program, res *callgraph.Resolver, d *secmodel.Domain, m *types.Method) string {
 	h := sha256.New()
 	fmt.Fprintf(h, "method %s\n", m.Qualified())
 	fmt.Fprintf(h, "mods native=%t abstract=%t static=%t entry=%t priv-scope=%t params=%d\n",
 		m.IsNative(), m.IsAbstract(), m.IsStatic(), m.IsEntryPoint(),
-		secmodel.IsPrivilegedScope(m), len(m.Params))
+		d.IsPrivilegedScope(m), len(m.Params))
 	f := prog.FuncOf(m)
 	if f == nil {
 		io.WriteString(h, "nobody\n")
@@ -64,7 +69,7 @@ func methodHash(prog *ir.Program, res *callgraph.Resolver, m *types.Method) stri
 		}
 		io.WriteString(h, "\n")
 		for _, instr := range b.Instrs {
-			fmt.Fprintf(h, "  %s%s\n", instr.String(), instrFacts(prog, res, instr))
+			fmt.Fprintf(h, "  %s%s\n", instr.String(), instrFacts(prog, res, d, instr))
 		}
 	}
 	return hex.EncodeToString(h.Sum(nil))
@@ -79,20 +84,20 @@ func combineHashes(a, b string) string {
 // instrFacts renders the resolution facts of one instruction — the part
 // of its analysis-visible behavior that its String() form (names only)
 // does not pin down.
-func instrFacts(prog *ir.Program, res *callgraph.Resolver, instr ir.Instr) string {
+func instrFacts(prog *ir.Program, res *callgraph.Resolver, d *secmodel.Domain, instr ir.Instr) string {
 	switch in := instr.(type) {
 	case *ir.Call:
 		var b strings.Builder
 		if in.Declared != nil {
 			fmt.Fprintf(&b, " [decl=%s]", in.Declared.Qualified())
 		}
-		if id, ok := secmodel.IdentifyCheck(in); ok {
+		if id, ok := d.IdentifyCheck(in); ok {
 			fmt.Fprintf(&b, " [check=%d]", id)
 		}
-		if secmodel.IsGetSecurityManager(in) {
+		if d.IsGetSecurityManager(in) {
 			b.WriteString(" [gsm]")
 		}
-		if secmodel.IsDoPrivileged(in) {
+		if d.IsDoPrivileged(in) {
 			writeRunFact(&b, prog, res, in)
 		}
 		if target := res.ResolveQuiet(in); target == nil {

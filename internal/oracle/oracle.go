@@ -29,6 +29,13 @@ import (
 
 // Options configures policy extraction.
 type Options struct {
+	// Domain selects the check domain the extraction runs under: the
+	// guard class, check table, and privileged-block semantics the ISPA
+	// analysis recognizes. nil means the registered default
+	// (SecurityManager) domain. The domain participates in bundle
+	// fingerprints and incremental option keys — as an empty suffix for
+	// the default domain, so pre-domain addresses are unchanged.
+	Domain                *secmodel.Domain
 	Events                secmodel.EventMode
 	ICP                   bool
 	AssumeSecurityManager bool
@@ -105,11 +112,13 @@ type Library struct {
 	MayTime, MustTime   time.Duration
 	Diags               *lang.Diagnostics
 
-	// hashOnce/hashCache memoize MethodHashes: the program is immutable
-	// after load, so its content hashes are computed at most once per
-	// Library no matter how many extractions run on it.
-	hashOnce  sync.Once
-	hashCache map[string]string
+	// hashMu/hashCache memoize MethodHashes per domain ID: the program
+	// is immutable after load, so its content hashes are computed at
+	// most once per (library, domain) no matter how many extractions run
+	// on it. The cache is keyed by domain because check identity,
+	// guard-state and privileged-scope facts feed the digests.
+	hashMu    sync.Mutex
+	hashCache map[string]map[string]string
 
 	// events is the per-program event interning table, built on first use
 	// and shared by every analyzer of this library.
@@ -117,11 +126,20 @@ type Library struct {
 	events     *secmodel.ProgramEvents
 }
 
-// methodHashes returns the library's IR content hashes, computing them on
-// first use.
-func (l *Library) methodHashes() map[string]string {
-	l.hashOnce.Do(func() { l.hashCache = MethodHashes(l.Prog, l.Resolver) })
-	return l.hashCache
+// methodHashes returns the library's IR content hashes under domain d,
+// computing them on first use per domain.
+func (l *Library) methodHashes(d *secmodel.Domain) map[string]string {
+	l.hashMu.Lock()
+	defer l.hashMu.Unlock()
+	if l.hashCache == nil {
+		l.hashCache = make(map[string]map[string]string, 1)
+	}
+	h, ok := l.hashCache[d.ID()]
+	if !ok {
+		h = MethodHashes(l.Prog, l.Resolver, d)
+		l.hashCache[d.ID()] = h
+	}
+	return h
 }
 
 // eventInterns returns the library's event interning table, building it
@@ -223,9 +241,12 @@ func (l *Library) Extract(opts Options) {
 func (l *Library) ExtractContext(ctx context.Context, opts Options) error {
 	opts = opts.Normalize()
 	if tm := opts.Telemetry; tm != nil {
-		tm.Extractions.Inc()
+		tm.Extractions.With(opts.Domain.ID()).Inc()
 	}
 	pp := policy.NewProgramPolicies(l.Name)
+	if opts.Domain != secmodel.SecurityManager() {
+		pp.Domain = opts.Domain.ID()
+	}
 	deps, err := l.extractEntries(ctx, opts, l.EntryPoints(), pp)
 	if err != nil {
 		return err
@@ -239,7 +260,7 @@ func (l *Library) ExtractContext(ctx context.Context, opts Options) error {
 func (l *Library) publish(pp *policy.ProgramPolicies, deps map[string][]string, opts Options) {
 	l.Policies = pp
 	l.EntryDeps = deps
-	l.MethodHashes = l.methodHashes()
+	l.MethodHashes = l.methodHashes(opts.Domain)
 	l.ExtractedOpts = extractKey(opts)
 }
 
@@ -266,7 +287,7 @@ func (l *Library) extractEntries(ctx context.Context, opts Options, entries []*t
 	var sumHashes map[string]string
 	if opts.Summaries != nil {
 		sumKey = extractKey(opts)
-		sumHashes = l.methodHashes()
+		sumHashes = l.methodHashes(opts.Domain)
 		analyzed = make([]*types.Method, 0, len(entries))
 		hits := 0
 		for _, m := range entries {
@@ -280,8 +301,8 @@ func (l *Library) extractEntries(ctx context.Context, opts Options, entries []*t
 			}
 		}
 		if tm := opts.Telemetry; tm != nil {
-			tm.SummaryCacheHits.Add(float64(hits))
-			tm.SummaryCacheMisses.Add(float64(len(analyzed)))
+			tm.SummaryCacheHits.With(opts.Domain.ID()).Add(float64(hits))
+			tm.SummaryCacheMisses.With(opts.Domain.ID()).Add(float64(len(analyzed)))
 		}
 	}
 
@@ -289,6 +310,7 @@ func (l *Library) extractEntries(ctx context.Context, opts Options, entries []*t
 	runMode := func(mode analysis.Mode) map[string]*analysis.EntryResult {
 		cfg := analysis.Config{
 			Mode:                  mode,
+			Domain:                opts.Domain,
 			Events:                opts.Events,
 			ICP:                   opts.ICP,
 			AssumeSecurityManager: opts.AssumeSecurityManager,
@@ -314,7 +336,7 @@ func (l *Library) extractEntries(ctx context.Context, opts Options, entries []*t
 		} else {
 			l.MustStats, l.MustTime = stats, elapsed
 		}
-		opts.Telemetry.ObserveMode(mode.String(), elapsed,
+		opts.Telemetry.ObserveMode(mode.String(), opts.Domain.ID(), elapsed,
 			stats.MethodAnalyses, stats.MemoHits, stats.CPRuns, stats.CPHits, stats.EntryPoints)
 		return byEntry
 	}
@@ -503,16 +525,35 @@ func analyzeEntries(ctx context.Context, a *analysis.Analyzer, entries []*types.
 // never extracted.
 var ErrNotExtracted = errors.New("oracle: library has no extracted policies (call Extract first)")
 
+// ErrDomainMismatch reports a Diff whose two policy sets were extracted
+// under different check domains. Their check sets index different
+// tables, so the comparison fails loudly instead of producing nonsense.
+var ErrDomainMismatch = errors.New("oracle: cannot diff policies from different check domains")
+
 // Diff differences the extracted policies of two implementations. It
 // fails loudly — never an empty report — when either side was not
-// Extracted first; use Compare for the extract-if-needed path.
+// Extracted first or the sides were extracted under different check
+// domains; use Compare for the extract-if-needed path.
 func Diff(a, b *Library) (*diff.Report, error) {
 	for _, l := range []*Library{a, b} {
 		if l.Policies == nil {
 			return nil, fmt.Errorf("%w: %s", ErrNotExtracted, l.Name)
 		}
 	}
+	if a.Policies.Domain != b.Policies.Domain {
+		return nil, fmt.Errorf("%w: %s has %q, %s has %q", ErrDomainMismatch,
+			a.Name, domainOr(a.Policies.Domain), b.Name, domainOr(b.Policies.Domain))
+	}
 	return diff.Compare(a.Policies, b.Policies), nil
+}
+
+// domainOr spells the default domain's canonical empty string as its
+// registered ID for error messages.
+func domainOr(id string) string {
+	if id == "" {
+		return secmodel.DefaultDomainID
+	}
+	return id
 }
 
 // Compare is the one-shot entry point: it extracts either library's

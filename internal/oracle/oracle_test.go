@@ -155,22 +155,22 @@ func TestTelemetryDoesNotPerturbExtraction(t *testing.T) {
 		t.Error("telemetry-instrumented extraction is not byte-identical")
 	}
 
-	if n := opts.Telemetry.Extractions.Value(); n != 1 {
+	if n := opts.Telemetry.Extractions.With(secmodel.DefaultDomainID).Value(); n != 1 {
 		t.Errorf("extractions counter = %v, want 1", n)
 	}
 	entries := float64(len(instrumented.EntryPoints()))
 	for _, mode := range []string{"may", "must"} {
-		if n := opts.Telemetry.EntryPoints.With(mode).Value(); n != entries {
+		if n := opts.Telemetry.EntryPoints.With(mode, secmodel.DefaultDomainID).Value(); n != entries {
 			t.Errorf("entry-point counter[%s] = %v, want %v", mode, n, entries)
 		}
-		if n := opts.Telemetry.EntryDuration.With(mode).Count(); n != entries {
+		if n := opts.Telemetry.EntryDuration.With(mode, secmodel.DefaultDomainID).Count(); n != entries {
 			t.Errorf("entry-duration samples[%s] = %v, want %v", mode, n, entries)
 		}
-		if n := opts.Telemetry.ModeDuration.With(mode).Count(); n != 1 {
+		if n := opts.Telemetry.ModeDuration.With(mode, secmodel.DefaultDomainID).Count(); n != 1 {
 			t.Errorf("mode-duration samples[%s] = %v, want 1", mode, n)
 		}
 	}
-	if got := int(opts.Telemetry.MethodAnalyses.With("may").Value()); got != instrumented.MayStats.MethodAnalyses {
+	if got := int(opts.Telemetry.MethodAnalyses.With("may", secmodel.DefaultDomainID).Value()); got != instrumented.MayStats.MethodAnalyses {
 		t.Errorf("method-analyses counter = %d, want %d", got, instrumented.MayStats.MethodAnalyses)
 	}
 }

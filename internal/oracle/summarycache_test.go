@@ -6,6 +6,7 @@ import (
 	"testing"
 
 	"policyoracle/internal/corpus"
+	"policyoracle/internal/secmodel"
 	"policyoracle/internal/telemetry"
 )
 
@@ -115,10 +116,10 @@ func TestSummaryCacheTelemetry(t *testing.T) {
 		!strings.Contains(text, "polora_summary_cache_miss_total") {
 		t.Fatalf("summary-cache counters missing from exposition:\n%s", text)
 	}
-	if opts.Telemetry.SummaryCacheHits.Value() == 0 {
+	if opts.Telemetry.SummaryCacheHits.With(secmodel.DefaultDomainID).Value() == 0 {
 		t.Error("warm extraction recorded no hits")
 	}
-	if opts.Telemetry.SummaryCacheMisses.Value() == 0 {
+	if opts.Telemetry.SummaryCacheMisses.With(secmodel.DefaultDomainID).Value() == 0 {
 		t.Error("cold extraction recorded no misses")
 	}
 }

@@ -13,9 +13,13 @@ import (
 // for that exchange: ExportJSON writes a ProgramPolicies snapshot;
 // ImportJSON reads one back into a ProgramPolicies usable by diff.Compare.
 
-// jsonPolicies is the wire form of ProgramPolicies.
+// jsonPolicies is the wire form of ProgramPolicies. Domain is omitted
+// for the default (SecurityManager) domain, so default-domain exports
+// are byte-identical to the pre-domain wire format and old blobs import
+// cleanly.
 type jsonPolicies struct {
 	Library string      `json:"library"`
+	Domain  string      `json:"domain,omitempty"`
 	Version int         `json:"version"`
 	Entries []jsonEntry `json:"entries"`
 }
@@ -40,19 +44,19 @@ type jsonOrigin struct {
 
 const wireVersion = 1
 
-// checkToWire renders a check as name/arity, the stable wire identity.
-// The arity comes straight from the secmodel check table, and an ID
-// outside the table is a loud error rather than a "check/-1" token that
-// checkFromWire would reject only on re-import.
-func checkToWire(id secmodel.CheckID) (string, error) {
-	arity := secmodel.CheckArity(id)
+// checkToWire renders a check as name/arity, the stable wire identity
+// within domain d. The arity comes straight from the domain's check
+// table, and an ID outside the table is a loud error rather than a
+// "check/-1" token that checkFromWire would reject only on re-import.
+func checkToWire(d *secmodel.Domain, id secmodel.CheckID) (string, error) {
+	arity := d.CheckArity(id)
 	if arity < 0 {
-		return "", fmt.Errorf("policy export: check ID %d is not in the security model", int(id))
+		return "", fmt.Errorf("policy export: check ID %d is not in domain %s", int(id), d.ID())
 	}
-	return secmodel.CheckName(id) + "/" + fmt.Sprint(arity), nil
+	return d.CheckName(id) + "/" + fmt.Sprint(arity), nil
 }
 
-func checkFromWire(s string) (secmodel.CheckID, error) {
+func checkFromWire(d *secmodel.Domain, s string) (secmodel.CheckID, error) {
 	var name string
 	var arity int
 	if _, err := fmt.Sscanf(s, "%31s", &name); err != nil {
@@ -66,9 +70,9 @@ func checkFromWire(s string) (secmodel.CheckID, error) {
 	} else {
 		return 0, fmt.Errorf("check %q lacks arity", s)
 	}
-	id, ok := secmodel.CheckByName(name, arity)
+	id, ok := d.CheckByName(name, arity)
 	if !ok {
-		return 0, fmt.Errorf("unknown check %q", s)
+		return 0, fmt.Errorf("unknown check %q in domain %s", s, d.ID())
 	}
 	return id, nil
 }
@@ -82,10 +86,10 @@ func indexByte(s string, c byte) int {
 	return -1
 }
 
-func setToWire(s CheckSet) ([]string, error) {
+func setToWire(d *secmodel.Domain, s CheckSet) ([]string, error) {
 	out := make([]string, 0, s.Len())
 	for _, id := range s.IDs() {
-		w, err := checkToWire(id)
+		w, err := checkToWire(d, id)
 		if err != nil {
 			return nil, err
 		}
@@ -94,10 +98,10 @@ func setToWire(s CheckSet) ([]string, error) {
 	return out, nil
 }
 
-func setFromWire(names []string) (CheckSet, error) {
+func setFromWire(d *secmodel.Domain, names []string) (CheckSet, error) {
 	var s CheckSet
 	for _, n := range names {
-		id, err := checkFromWire(n)
+		id, err := checkFromWire(d, n)
 		if err != nil {
 			return 0, err
 		}
@@ -106,19 +110,29 @@ func setFromWire(names []string) (CheckSet, error) {
 	return s, nil
 }
 
-// ExportJSON serializes the policies for sharing.
+// ExportJSON serializes the policies for sharing. The checks are
+// rendered against the policies' domain; the domain ID travels on the
+// wire (omitted for the default domain, keeping those bytes unchanged).
 func (pp *ProgramPolicies) ExportJSON() ([]byte, error) {
-	out := jsonPolicies{Library: pp.Library, Version: wireVersion}
+	dom, err := pp.DomainModel()
+	if err != nil {
+		return nil, fmt.Errorf("policy export: %w", err)
+	}
+	domID := pp.Domain
+	if domID == secmodel.DefaultDomainID {
+		domID = "" // canonical spelling of the default domain on the wire
+	}
+	out := jsonPolicies{Library: pp.Library, Domain: domID, Version: wireVersion}
 	for _, sig := range pp.SortedEntries() {
 		ep := pp.Entries[sig]
 		je := jsonEntry{Entry: sig}
 		for _, ev := range ep.SortedEvents() {
 			evp := ep.Events[ev]
-			must, err := setToWire(evp.Must)
+			must, err := setToWire(dom, evp.Must)
 			if err != nil {
 				return nil, err
 			}
-			may, err := setToWire(evp.May)
+			may, err := setToWire(dom, evp.May)
 			if err != nil {
 				return nil, err
 			}
@@ -128,13 +142,13 @@ func (pp *ProgramPolicies) ExportJSON() ([]byte, error) {
 				Must: must,
 				May:  may,
 			}
-			// Check ids are dense and small (< NumChecks), so ascending
-			// order falls out of a linear scan — no sort needed.
-			for id := secmodel.CheckID(0); int(id) < secmodel.NumChecks; id++ {
+			// Check ids are dense and small (< the domain's table size), so
+			// ascending order falls out of a linear scan — no sort needed.
+			for id := secmodel.CheckID(0); int(id) < dom.NumChecks(); id++ {
 				if _, ok := evp.Origins[id]; !ok {
 					continue
 				}
-				check, err := checkToWire(id)
+				check, err := checkToWire(dom, id)
 				if err != nil {
 					return nil, err
 				}
@@ -163,23 +177,30 @@ func ImportJSON(data []byte) (*ProgramPolicies, error) {
 	if in.Library == "" {
 		return nil, fmt.Errorf("policy import: missing library name")
 	}
+	dom, err := secmodel.ResolveDomain(in.Domain)
+	if err != nil {
+		return nil, fmt.Errorf("policy import: %w", err)
+	}
 	pp := NewProgramPolicies(in.Library)
+	if dom != secmodel.SecurityManager() {
+		pp.Domain = dom.ID()
+	}
 	for _, je := range in.Entries {
 		ep := NewEntryPolicy(je.Entry)
 		for _, jev := range je.Events {
 			ev := secmodel.Event{Kind: secmodel.EventKind(jev.Kind), Key: jev.Key}
 			evp := ep.EventPolicyFor(ev)
-			must, err := setFromWire(jev.Must)
+			must, err := setFromWire(dom, jev.Must)
 			if err != nil {
 				return nil, err
 			}
-			may, err := setFromWire(jev.May)
+			may, err := setFromWire(dom, jev.May)
 			if err != nil {
 				return nil, err
 			}
 			evp.Must, evp.May = must, may
 			for _, o := range jev.Origins {
-				id, err := checkFromWire(o.Check)
+				id, err := checkFromWire(dom, o.Check)
 				if err != nil {
 					return nil, err
 				}

@@ -86,8 +86,8 @@ func TestImportRejectsBadInput(t *testing.T) {
 func TestWireDistinguishesOverloads(t *testing.T) {
 	conn2, _ := secmodel.CheckByName("checkConnect", 2)
 	conn3, _ := secmodel.CheckByName("checkConnect", 3)
-	w2, err2 := checkToWire(conn2)
-	w3, err3 := checkToWire(conn3)
+	w2, err2 := checkToWire(secmodel.SecurityManager(), conn2)
+	w3, err3 := checkToWire(secmodel.SecurityManager(), conn3)
 	if err2 != nil || err3 != nil {
 		t.Fatalf("checkToWire errors: %v, %v", err2, err3)
 	}
@@ -97,11 +97,11 @@ func TestWireDistinguishesOverloads(t *testing.T) {
 	if !strings.HasPrefix(w2, "checkConnect/") {
 		t.Errorf("wire form = %q", w2)
 	}
-	r2, err := checkFromWire(w2)
+	r2, err := checkFromWire(secmodel.SecurityManager(), w2)
 	if err != nil || r2 != conn2 {
 		t.Errorf("roundtrip = %v, %v", r2, err)
 	}
-	r3, err := checkFromWire(w3)
+	r3, err := checkFromWire(secmodel.SecurityManager(), w3)
 	if err != nil || r3 != conn3 {
 		t.Errorf("roundtrip = %v, %v", r3, err)
 	}
@@ -112,11 +112,11 @@ func TestWireDistinguishesOverloads(t *testing.T) {
 // serialize to a form the importer rejects.
 func TestWireRoundTripAllChecks(t *testing.T) {
 	for id := secmodel.CheckID(0); id < secmodel.NumChecks; id++ {
-		w, err := checkToWire(id)
+		w, err := checkToWire(secmodel.SecurityManager(), id)
 		if err != nil {
 			t.Fatalf("check %s (id %d): export: %v", secmodel.CheckName(id), id, err)
 		}
-		got, err := checkFromWire(w)
+		got, err := checkFromWire(secmodel.SecurityManager(), w)
 		if err != nil {
 			t.Fatalf("check %s (wire %q): import: %v", secmodel.CheckName(id), w, err)
 		}
@@ -131,8 +131,8 @@ func TestWireRoundTripAllChecks(t *testing.T) {
 // over.
 func TestWireRejectsUnknownCheckID(t *testing.T) {
 	for _, id := range []secmodel.CheckID{-1, secmodel.NumChecks, 999} {
-		if w, err := checkToWire(id); err == nil {
-			t.Errorf("checkToWire(%d) = %q, want error", id, w)
+		if w, err := checkToWire(secmodel.SecurityManager(), id); err == nil {
+			t.Errorf("checkToWire(secmodel.SecurityManager(), %d) = %q, want error", id, w)
 		}
 	}
 }

@@ -12,13 +12,16 @@ import (
 	"policyoracle/internal/secmodel"
 )
 
-// CheckSet is a bitset over the 31 security checks.
+// CheckSet is a bitset over a domain's security checks (at most 64; the
+// default SecurityManager domain has 31).
 type CheckSet uint64
 
 // Empty is the empty check set.
 const Empty CheckSet = 0
 
-// Full is the set of all checks (the MUST analysis' initial value ⊤).
+// Full is the set of all checks of the default (SecurityManager) domain —
+// the MUST analysis' initial value ⊤ there. Domain-generic code uses
+// CheckSet(d.FullMask()) instead.
 var Full = CheckSet((uint64(1) << uint(secmodel.NumChecks)) - 1)
 
 // With returns s with check id added.
@@ -48,10 +51,11 @@ func (s CheckSet) Len() int {
 	return n
 }
 
-// IDs returns the check IDs in s in ascending order.
+// IDs returns the check IDs in s in ascending order. The scan covers the
+// full 64-bit word so it is correct for every domain's table size.
 func (s CheckSet) IDs() []secmodel.CheckID {
 	var out []secmodel.CheckID
-	for i := 0; i < secmodel.NumChecks; i++ {
+	for i := 0; i < 64; i++ {
 		if s.Has(secmodel.CheckID(i)) {
 			out = append(out, secmodel.CheckID(i))
 		}
@@ -59,8 +63,18 @@ func (s CheckSet) IDs() []secmodel.CheckID {
 	return out
 }
 
-// String renders the set as sorted check names.
+// String renders the set as sorted check names of the default
+// (SecurityManager) domain. Domain-aware rendering uses StringIn.
 func (s CheckSet) String() string { return secmodel.CheckSetString(uint64(s)) }
+
+// StringIn renders the set as sorted check names of domain d (nil means
+// the default domain).
+func (s CheckSet) StringIn(d *secmodel.Domain) string {
+	if d == nil {
+		d = secmodel.SecurityManager()
+	}
+	return d.CheckSetString(uint64(s))
+}
 
 // ---------------------------------------------------------------------------
 // Path policies (Figure 2's sets of alternative check conjunctions)
@@ -245,6 +259,20 @@ func (p PathSets) String() string {
 	return "{" + strings.Join(parts, ", ") + suffix + "}"
 }
 
+// StringIn renders the path alternatives with check names resolved in
+// domain d (nil means the default domain, matching String).
+func (p PathSets) StringIn(d *secmodel.Domain) string {
+	parts := make([]string, len(p.Sets))
+	for i, s := range p.Sets {
+		parts[i] = s.StringIn(d)
+	}
+	suffix := ""
+	if p.Overflow {
+		suffix = "…"
+	}
+	return "{" + strings.Join(parts, ", ") + suffix + "}"
+}
+
 // Key renders a canonical string usable as a memoization key component.
 func (p PathSets) Key() string {
 	var sb strings.Builder
@@ -410,7 +438,21 @@ func (p *EntryPolicy) NumPolicies() int { return len(p.Events) }
 // library implementation.
 type ProgramPolicies struct {
 	Library string
+	// Domain is the ID of the check domain the policies were extracted
+	// under. The empty string means the default (SecurityManager) domain,
+	// which is what keeps pre-domain exports readable and default-domain
+	// export bytes unchanged.
+	Domain  string
 	Entries map[string]*EntryPolicy
+}
+
+// DomainModel resolves the check domain the policies belong to.
+func (pp *ProgramPolicies) DomainModel() (*secmodel.Domain, error) {
+	d, ok := secmodel.DomainByID(pp.Domain)
+	if !ok {
+		return nil, fmt.Errorf("%w %q", secmodel.ErrUnknownDomain, pp.Domain)
+	}
+	return d, nil
 }
 
 // NewProgramPolicies returns an empty policy table.

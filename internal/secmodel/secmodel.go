@@ -7,8 +7,6 @@ package secmodel
 
 import (
 	"fmt"
-	"sort"
-	"strings"
 
 	"policyoracle/internal/ir"
 	"policyoracle/internal/types"
@@ -71,50 +69,24 @@ func init() {
 	}
 }
 
-var checkIndex = func() map[checkDesc]CheckID {
-	m := make(map[checkDesc]CheckID, len(checkTable))
-	for i, d := range checkTable {
-		m[d] = CheckID(i)
-	}
-	return m
-}()
+// CheckName returns the method name of a check ID in the default
+// (SecurityManager) domain. Domain-generic callers use Domain.CheckName.
+func CheckName(id CheckID) string { return defDomain.CheckName(id) }
 
-// CheckName returns the method name of a check ID.
-func CheckName(id CheckID) string {
-	if int(id) < 0 || int(id) >= len(checkTable) {
-		return fmt.Sprintf("check#%d", int(id))
-	}
-	return checkTable[id].Name
-}
+// CheckArity returns the parameter count of a check ID in the default
+// (SecurityManager) domain, or -1 for an ID outside the table.
+// Domain-generic callers use Domain.CheckArity.
+func CheckArity(id CheckID) int { return defDomain.CheckArity(id) }
 
-// CheckArity returns the parameter count of a check ID directly from the
-// check table, or -1 for an ID outside the table.
-func CheckArity(id CheckID) int {
-	if int(id) < 0 || int(id) >= len(checkTable) {
-		return -1
-	}
-	return checkTable[id].Arity
-}
-
-// CheckByName returns the check ID for a name and arity.
+// CheckByName returns the check ID for a name and arity in the default
+// (SecurityManager) domain. Domain-generic callers use Domain.CheckByName.
 func CheckByName(name string, arity int) (CheckID, bool) {
-	id, ok := checkIndex[checkDesc{name, arity}]
-	return id, ok
+	return defDomain.CheckByName(name, arity)
 }
 
-// AllCheckNames returns the distinct check method names, sorted.
-func AllCheckNames() []string {
-	set := map[string]bool{}
-	for _, d := range checkTable {
-		set[d.Name] = true
-	}
-	var out []string
-	for n := range set {
-		out = append(out, n)
-	}
-	sort.Strings(out)
-	return out
-}
+// AllCheckNames returns the distinct check method names of the default
+// (SecurityManager) domain, sorted.
+func AllCheckNames() []string { return defDomain.AllCheckNames() }
 
 // SecurityManagerClass is the simple name of the class whose check*
 // methods are security checks.
@@ -126,20 +98,12 @@ const (
 	DoPrivilegedMethod    = "doPrivileged"
 )
 
-// IdentifyCheck reports whether call invokes a security check, and which.
-// A call is a check when its resolved declaration (or, failing that, its
-// static receiver type) belongs to SecurityManager or a subtype, and the
-// name+arity matches the check table.
-func IdentifyCheck(call *ir.Call) (CheckID, bool) {
-	owner := ownerClass(call)
-	if owner == nil || !isSecurityManager(owner) {
-		return 0, false
-	}
-	if id, ok := CheckByName(call.Name, len(call.Args)); ok {
-		return id, true
-	}
-	return 0, false
-}
+// IdentifyCheck reports whether call invokes a default-domain security
+// check, and which. A call is a check when its resolved declaration (or,
+// failing that, its static receiver type) belongs to SecurityManager or
+// a subtype, and the name+arity matches the check table. Domain-generic
+// callers use Domain.IdentifyCheck.
+func IdentifyCheck(call *ir.Call) (CheckID, bool) { return defDomain.IdentifyCheck(call) }
 
 func ownerClass(call *ir.Call) *types.Class {
 	if call.Declared != nil {
@@ -148,42 +112,22 @@ func ownerClass(call *ir.Call) *types.Class {
 	return call.StaticType
 }
 
-func isSecurityManager(c *types.Class) bool {
-	for k := c; k != nil; k = k.Super {
-		if k.Simple == SecurityManagerClass {
-			return true
-		}
-	}
-	return false
-}
-
-// IsDoPrivileged reports whether call enters a privileged block:
-// AccessController.doPrivileged(action).
-func IsDoPrivileged(call *ir.Call) bool {
-	if call.Name != DoPrivilegedMethod {
-		return false
-	}
-	owner := ownerClass(call)
-	return owner != nil && owner.Simple == AccessControllerClass
-}
+// IsDoPrivileged reports whether call enters a privileged block in the
+// default domain: AccessController.doPrivileged(action). Domain-generic
+// callers use Domain.IsDoPrivileged.
+func IsDoPrivileged(call *ir.Call) bool { return defDomain.IsDoPrivileged(call) }
 
 // IsPrivilegedScope reports whether m's body executes in privileged scope:
 // AccessController.doPrivileged itself (and anything it calls) runs with
 // the library's own permissions, so checks inside are semantic no-ops even
-// when doPrivileged is analyzed as an API entry point.
-func IsPrivilegedScope(m *types.Method) bool {
-	return m.Name == DoPrivilegedMethod && m.Class.Simple == AccessControllerClass
-}
+// when doPrivileged is analyzed as an API entry point. Domain-generic
+// callers use Domain.IsPrivilegedScope.
+func IsPrivilegedScope(m *types.Method) bool { return defDomain.IsPrivilegedScope(m) }
 
 // IsGetSecurityManager reports whether call is System.getSecurityManager(),
 // whose result is assumed non-null under Config.AssumeSecurityManager.
-func IsGetSecurityManager(call *ir.Call) bool {
-	if call.Name != "getSecurityManager" || len(call.Args) != 0 {
-		return false
-	}
-	owner := ownerClass(call)
-	return owner != nil && owner.Simple == "System"
-}
+// Domain-generic callers use Domain.IsGetSecurityManager.
+func IsGetSecurityManager(call *ir.Call) bool { return defDomain.IsGetSecurityManager(call) }
 
 // ---------------------------------------------------------------------------
 // Events
@@ -278,17 +222,6 @@ func (m EventMode) String() string {
 	return "narrow"
 }
 
-// CheckSetString renders a bitset of checks as sorted names (for reports).
-func CheckSetString(bits uint64) string {
-	if bits == 0 {
-		return "{}"
-	}
-	var names []string
-	for i := 0; i < NumChecks; i++ {
-		if bits&(1<<uint(i)) != 0 {
-			names = append(names, CheckName(CheckID(i)))
-		}
-	}
-	sort.Strings(names)
-	return "{" + strings.Join(names, ", ") + "}"
-}
+// CheckSetString renders a bitset of default-domain checks as sorted
+// names (for reports). Domain-generic callers use Domain.CheckSetString.
+func CheckSetString(bits uint64) string { return defDomain.CheckSetString(bits) }

@@ -1,0 +1,180 @@
+package server_test
+
+import (
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+
+	"policyoracle/internal/corpus"
+	"policyoracle/internal/secmodel"
+	"policyoracle/internal/server"
+	"policyoracle/internal/store"
+)
+
+// cryptoServerLibMJ is a minimal crypto-domain API for service tests.
+const cryptoServerLibMJ = `
+package capi;
+import java.lang.*;
+import java.security.*;
+public class Cipher {
+  private CryptoGuard guard;
+  public void encrypt(String iv) {
+    guard.checkIvFresh(iv);
+    encrypt0(iv);
+  }
+  native void encrypt0(String iv);
+}
+`
+
+func cryptoServerSources() map[string]string {
+	srcs := corpus.CryptoRuntimeSources()
+	srcs["capi/cipher.mj"] = cryptoServerLibMJ
+	return srcs
+}
+
+// decodeError unmarshals the stable error envelope of a non-2xx response.
+func decodeError(t *testing.T, body []byte) server.ErrorResponse {
+	t.Helper()
+	var er server.ErrorResponse
+	if err := json.Unmarshal(body, &er); err != nil {
+		t.Fatalf("error body is not the envelope: %v: %s", err, body)
+	}
+	return er
+}
+
+// TestServerUnknownDomain pins the stable unknown_domain error code on
+// every endpoint that accepts a domain: upload options, the /v1/extract
+// assertion, and the /v1/diff assertion.
+func TestServerUnknownDomain(t *testing.T) {
+	ts, _ := startServer(t)
+
+	resp, body := postJSON(t, ts.URL+"/v1/libraries", server.UploadRequest{
+		Name:    "lib",
+		Sources: cryptoServerSources(),
+		Options: store.OptionsWire{Domain: "no-such-domain"},
+	})
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("upload: status %d, want 400: %s", resp.StatusCode, body)
+	}
+	if er := decodeError(t, body); er.Code != server.CodeUnknownDomain {
+		t.Errorf("upload error code = %q, want %q", er.Code, server.CodeUnknownDomain)
+	}
+
+	resp, body = postJSON(t, ts.URL+"/v1/extract", map[string]string{
+		"fingerprint": "pol1-deadbeef", "domain": "no-such-domain",
+	})
+	if er := decodeError(t, body); resp.StatusCode != http.StatusBadRequest || er.Code != server.CodeUnknownDomain {
+		t.Errorf("extract: status %d code %q, want 400 %q", resp.StatusCode, er.Code, server.CodeUnknownDomain)
+	}
+
+	resp, body = postJSON(t, ts.URL+"/v1/diff", server.DiffRequest{
+		A: "pol1-deadbeef", B: "pol1-deadbeef", Domain: "no-such-domain",
+	})
+	if er := decodeError(t, body); resp.StatusCode != http.StatusBadRequest || er.Code != server.CodeUnknownDomain {
+		t.Errorf("diff: status %d code %q, want 400 %q", resp.StatusCode, er.Code, server.CodeUnknownDomain)
+	}
+}
+
+// TestServerDomainAssertions uploads the same sources under the default
+// and crypto domains and exercises the request-level domain assertions:
+// a matching assertion passes, a mismatched one fails with bad_request,
+// and a crypto diff round-trips its domain in the report.
+func TestServerDomainAssertions(t *testing.T) {
+	ts, _ := startServer(t)
+	srcs := cryptoServerSources()
+
+	put := func(name string, w store.OptionsWire) string {
+		t.Helper()
+		resp, body := postJSON(t, ts.URL+"/v1/libraries", server.UploadRequest{
+			Name: name, Sources: srcs, Options: w,
+		})
+		if resp.StatusCode != http.StatusCreated {
+			t.Fatalf("upload %s: status %d: %s", name, resp.StatusCode, body)
+		}
+		var ur server.UploadResponse
+		if err := json.Unmarshal(body, &ur); err != nil {
+			t.Fatal(err)
+		}
+		return ur.Fingerprint
+	}
+	fpDef := put("a", store.OptionsWire{})
+	fpCryptoA := put("b", store.OptionsWire{Domain: secmodel.CryptoDomainID})
+	fpCryptoB := put("c", store.OptionsWire{Domain: secmodel.CryptoDomainID})
+	if fpDef == fpCryptoA {
+		t.Fatal("default and crypto uploads share a fingerprint")
+	}
+
+	// Matching assertion serves the blob.
+	resp, body := postJSON(t, ts.URL+"/v1/extract", map[string]string{
+		"fingerprint": fpCryptoA, "domain": secmodel.CryptoDomainID,
+	})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("asserted extract: status %d: %s", resp.StatusCode, body)
+	}
+	var hdr struct {
+		Domain string `json:"domain"`
+	}
+	if err := json.Unmarshal(body, &hdr); err != nil || hdr.Domain != secmodel.CryptoDomainID {
+		t.Errorf("served blob domain = %q (err %v), want %q", hdr.Domain, err, secmodel.CryptoDomainID)
+	}
+
+	// Mismatched assertion on a default-domain blob.
+	resp, body = postJSON(t, ts.URL+"/v1/extract", map[string]string{
+		"fingerprint": fpDef, "domain": secmodel.CryptoDomainID,
+	})
+	if er := decodeError(t, body); resp.StatusCode != http.StatusBadRequest || er.Code != server.CodeBadRequest {
+		t.Errorf("mismatched extract: status %d code %q, want 400 %q", resp.StatusCode, er.Code, server.CodeBadRequest)
+	}
+
+	// Crypto diff with a matching assertion carries its domain.
+	resp, body = postJSON(t, ts.URL+"/v1/diff", server.DiffRequest{
+		A: fpCryptoA, B: fpCryptoB, Domain: secmodel.CryptoDomainID,
+	})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("crypto diff: status %d: %s", resp.StatusCode, body)
+	}
+	var rep struct {
+		Domain string `json:"domain"`
+	}
+	if err := json.Unmarshal(body, &rep); err != nil || rep.Domain != secmodel.CryptoDomainID {
+		t.Errorf("diff report domain = %q (err %v), want %q", rep.Domain, err, secmodel.CryptoDomainID)
+	}
+
+	// Cross-domain diff fails loudly even without an assertion.
+	resp, body = postJSON(t, ts.URL+"/v1/diff", server.DiffRequest{A: fpDef, B: fpCryptoA})
+	if er := decodeError(t, body); resp.StatusCode != http.StatusBadRequest || er.Code != server.CodeBadRequest {
+		t.Errorf("cross-domain diff: status %d code %q, want 400 %q", resp.StatusCode, er.Code, server.CodeBadRequest)
+	}
+}
+
+// TestServerDomainAllowlist starts the server with an explicit domain
+// allowlist (the polorad -domains flag) and checks requests outside it
+// fail with unknown_domain while allowed ones succeed — including the
+// empty spelling of the default domain when the default is allowed.
+func TestServerDomainAllowlist(t *testing.T) {
+	st, err := store.Open(store.Config{Dir: t.TempDir()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(server.New(st, server.Options{
+		Domains: []string{secmodel.DefaultDomainID},
+	}))
+	defer ts.Close()
+
+	srcs := cryptoServerSources()
+	resp, body := postJSON(t, ts.URL+"/v1/libraries", server.UploadRequest{
+		Name: "lib", Sources: srcs,
+		Options: store.OptionsWire{Domain: secmodel.CryptoDomainID},
+	})
+	if er := decodeError(t, body); resp.StatusCode != http.StatusBadRequest || er.Code != server.CodeUnknownDomain {
+		t.Errorf("disallowed domain: status %d code %q, want 400 %q", resp.StatusCode, er.Code, server.CodeUnknownDomain)
+	}
+
+	resp, body = postJSON(t, ts.URL+"/v1/libraries", server.UploadRequest{
+		Name: "lib", Sources: srcs,
+	})
+	if resp.StatusCode != http.StatusCreated {
+		t.Errorf("default-domain upload under allowlist: status %d: %s", resp.StatusCode, body)
+	}
+}

@@ -414,10 +414,12 @@ func TestMetricsEndpoint(t *testing.T) {
 		"polorad_store_extractions_total 2",
 		"polorad_store_diffs_total 1",
 		`polorad_store_cache_hits_total{tier="mem"} 1`,
-		// Phase timers from inside the extractor.
-		`policyoracle_extract_mode_duration_seconds_count{mode="may"} 2`,
-		`policyoracle_extract_mode_duration_seconds_count{mode="must"} 2`,
-		`policyoracle_analysis_entry_points_total{mode="may"}`,
+		// Phase timers from inside the extractor, attributed to the
+		// check domain the extraction ran under.
+		`policyoracle_extract_mode_duration_seconds_count{mode="may",domain="securitymanager"} 2`,
+		`policyoracle_extract_mode_duration_seconds_count{mode="must",domain="securitymanager"} 2`,
+		`policyoracle_analysis_entry_points_total{mode="may",domain="securitymanager"}`,
+		`policyoracle_extractions_total{domain="securitymanager"} 2`,
 	} {
 		if !strings.Contains(text, want) {
 			t.Errorf("metricsz misses %q", want)

@@ -9,8 +9,8 @@
 //	POST /v1/libraries         {"name", "sources", "options"?} → {"fingerprint", "created"}
 //	PUT  /v1/libraries/{name}  {"sources", "options"?}         → {"fingerprint", "created",
 //	                           "incremental", "entries", "reused", "reanalyzed"}
-//	POST /v1/extract           {"fingerprint"}                 → policy wire JSON
-//	POST /v1/diff              {"a", "b"}                      → diff report JSON
+//	POST /v1/extract           {"fingerprint", "domain"?}      → policy wire JSON
+//	POST /v1/diff              {"a", "b", "domain"?}           → diff report JSON
 //	GET  /v1/drift             drift timeline (?limit=N)      → reconcile.TimelineWire
 //	GET  /v1/drift/{pair}      latest pair delta + alert      → reconcile.PairStatus
 //	GET  /healthz                                       → "ok"
@@ -39,7 +39,9 @@ import (
 	"strings"
 	"time"
 
+	"policyoracle/internal/oracle"
 	"policyoracle/internal/reconcile"
+	"policyoracle/internal/secmodel"
 	"policyoracle/internal/store"
 	"policyoracle/internal/telemetry"
 )
@@ -67,6 +69,9 @@ const (
 	// CodeUnknownPair: the drift timeline has never observed this library
 	// pair.
 	CodeUnknownPair = "unknown_pair"
+	// CodeUnknownDomain: the request named a check domain that is not
+	// registered, or one this server does not serve (polorad -domains).
+	CodeUnknownDomain = "unknown_domain"
 )
 
 // ErrorResponse is the error envelope every non-2xx API response carries.
@@ -87,6 +92,7 @@ var codeMessages = map[string]string{
 	CodeShuttingDown:    "the request was cancelled before completion",
 	CodeWatchDisabled:   "the reconcile controller is not running (start polorad with -watch)",
 	CodeUnknownPair:     "no drift observations for this library pair",
+	CodeUnknownDomain:   "no check domain with this ID is served here",
 }
 
 // DriftProvider is the reconcile-controller surface the drift endpoints
@@ -123,15 +129,22 @@ type Options struct {
 	// reconciliation and /v1/drift serves its timeline. Nil (no -watch)
 	// answers drift queries with 501 watch_disabled.
 	Drift DriftProvider
+	// Domains restricts the check domains this server accepts (polorad
+	// -domains): uploads and domain assertions naming a domain outside
+	// the list fail with the stable unknown_domain code. Empty serves
+	// every registered domain. IDs are as registered; an empty string in
+	// the list means the default domain.
+	Domains []string
 }
 
 // Server serves the policy-oracle API over one Store.
 type Server struct {
-	st    *store.Store
-	mux   *http.ServeMux
-	hm    *telemetry.HTTPMetrics
-	log   *slog.Logger
-	drift DriftProvider
+	st      *store.Store
+	mux     *http.ServeMux
+	hm      *telemetry.HTTPMetrics
+	log     *slog.Logger
+	drift   DriftProvider
+	domains map[string]bool // nil = every registered domain
 }
 
 // New returns a Server over st.
@@ -148,6 +161,15 @@ func New(st *store.Store, opts Options) *Server {
 		hm:    telemetry.NewHTTPMetrics(opts.Registry),
 		log:   opts.Logger,
 		drift: opts.Drift,
+	}
+	if len(opts.Domains) > 0 {
+		s.domains = make(map[string]bool, len(opts.Domains))
+		for _, id := range opts.Domains {
+			if id == "" {
+				id = secmodel.DefaultDomainID
+			}
+			s.domains[id] = true
+		}
 	}
 	s.handle("POST /v1/libraries", s.handleLibraries)
 	s.handle("PUT /v1/libraries/{name}", s.handleUpdate)
@@ -247,15 +269,27 @@ type UpdateRequest struct {
 type DiffRequest struct {
 	A string `json:"a"`
 	B string `json:"b"`
+	// Domain, when set, asserts the check domain of both compared policy
+	// sets: an unregistered or disallowed ID fails with unknown_domain
+	// and a report of a different domain with bad_request. Empty asserts
+	// nothing (assert the default domain with its registered ID).
+	Domain string `json:"domain,omitempty"`
 }
 
 type extractRequest struct {
 	Fingerprint string `json:"fingerprint"`
+	// Domain, when set, asserts the check domain of the served policy
+	// blob, with the same semantics as DiffRequest.Domain.
+	Domain string `json:"domain,omitempty"`
 }
 
 func (s *Server) handleLibraries(w http.ResponseWriter, r *http.Request) {
 	var req UploadRequest
 	if !s.decode(w, r, &req) {
+		return
+	}
+	if _, err := s.resolveDomain(req.Options.Domain); err != nil {
+		s.fail(w, http.StatusBadRequest, CodeUnknownDomain, err)
 		return
 	}
 	fp, created, err := s.st.Put(req.Name, req.Sources, req.Options)
@@ -273,6 +307,10 @@ func (s *Server) handleLibraries(w http.ResponseWriter, r *http.Request) {
 func (s *Server) handleUpdate(w http.ResponseWriter, r *http.Request) {
 	var req UpdateRequest
 	if !s.decode(w, r, &req) {
+		return
+	}
+	if _, err := s.resolveDomain(req.Options.Domain); err != nil {
+		s.fail(w, http.StatusBadRequest, CodeUnknownDomain, err)
 		return
 	}
 	res, err := s.st.Update(r.Context(), r.PathValue("name"), req.Sources, req.Options)
@@ -298,10 +336,27 @@ func (s *Server) handleExtract(w http.ResponseWriter, r *http.Request) {
 	if !s.decode(w, r, &req) {
 		return
 	}
+	want, err := s.assertDomain(w, req.Domain)
+	if err != nil {
+		return
+	}
 	blob, err := s.st.PoliciesContext(r.Context(), req.Fingerprint)
 	if err != nil {
 		s.failStore(w, err)
 		return
+	}
+	if want != nil {
+		// The blob's domain header is its first field; decode just that
+		// rather than re-importing the whole policy set.
+		var hdr struct {
+			Domain string `json:"domain"`
+		}
+		if json.Unmarshal(blob, &hdr) == nil && !domainMatches(want, hdr.Domain) {
+			s.fail(w, http.StatusBadRequest, CodeBadRequest,
+				fmt.Errorf("policies of %s are in domain %q, not the asserted %q",
+					req.Fingerprint, domainLabel(hdr.Domain), want.ID()))
+			return
+		}
 	}
 	// Raw persisted bytes: byte-identical to `polora export` output.
 	w.Header().Set("Content-Type", "application/json")
@@ -314,9 +369,19 @@ func (s *Server) handleDiff(w http.ResponseWriter, r *http.Request) {
 	if !s.decode(w, r, &req) {
 		return
 	}
+	want, err := s.assertDomain(w, req.Domain)
+	if err != nil {
+		return
+	}
 	rep, err := s.st.DiffContext(r.Context(), req.A, req.B)
 	if err != nil {
 		s.failStore(w, err)
+		return
+	}
+	if want != nil && !domainMatches(want, rep.Domain) {
+		s.fail(w, http.StatusBadRequest, CodeBadRequest,
+			fmt.Errorf("compared policies are in domain %q, not the asserted %q",
+				domainLabel(rep.Domain), want.ID()))
 		return
 	}
 	// The canonical wire bytes: identical to `polora diff -json` output
@@ -404,10 +469,59 @@ func (s *Server) decode(w http.ResponseWriter, r *http.Request, dst any) bool {
 	return true
 }
 
+// resolveDomain validates a domain ID against the registry and the
+// server's allowlist. Empty means the default domain (always allowed by
+// an empty allowlist, like every other registered domain).
+func (s *Server) resolveDomain(id string) (*secmodel.Domain, error) {
+	d, err := secmodel.ResolveDomain(id)
+	if err != nil {
+		return nil, err
+	}
+	if s.domains != nil && !s.domains[d.ID()] {
+		return nil, fmt.Errorf("%w: %q is not served here (polorad -domains)",
+			secmodel.ErrUnknownDomain, d.ID())
+	}
+	return d, nil
+}
+
+// assertDomain resolves a request's optional domain assertion. An empty
+// field asserts nothing and returns (nil, nil); an invalid one writes
+// the unknown_domain error and returns it so the handler stops.
+func (s *Server) assertDomain(w http.ResponseWriter, id string) (*secmodel.Domain, error) {
+	if id == "" {
+		return nil, nil
+	}
+	d, err := s.resolveDomain(id)
+	if err != nil {
+		s.fail(w, http.StatusBadRequest, CodeUnknownDomain, err)
+		return nil, err
+	}
+	return d, nil
+}
+
+// domainMatches reports whether a wire-format domain ID (empty = the
+// default domain) names the asserted domain.
+func domainMatches(want *secmodel.Domain, wireID string) bool {
+	return domainLabel(wireID) == want.ID()
+}
+
+// domainLabel spells the wire format's empty default-domain ID as the
+// registered one for error messages and comparisons.
+func domainLabel(id string) string {
+	if id == "" {
+		return secmodel.DefaultDomainID
+	}
+	return id
+}
+
 func (s *Server) failStore(w http.ResponseWriter, err error) {
 	switch {
 	case errors.Is(err, store.ErrNotFound):
 		s.fail(w, http.StatusNotFound, CodeUnknownLibrary, err)
+	case errors.Is(err, secmodel.ErrUnknownDomain):
+		s.fail(w, http.StatusBadRequest, CodeUnknownDomain, err)
+	case errors.Is(err, oracle.ErrDomainMismatch):
+		s.fail(w, http.StatusBadRequest, CodeBadRequest, err)
 	case errors.Is(err, store.ErrMalformed), errors.Is(err, store.ErrInvalid):
 		s.fail(w, http.StatusBadRequest, CodeBadRequest, err)
 	case errors.Is(err, context.Canceled), errors.Is(err, context.DeadlineExceeded):

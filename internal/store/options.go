@@ -17,6 +17,11 @@ import (
 // it belongs to the server (-parallel), never to the bundle, because it
 // cannot change the extracted bytes.
 type OptionsWire struct {
+	// Domain is the check-domain ID the extraction runs under; empty
+	// means the registered default (SecurityManager) domain. An unknown
+	// ID fails with secmodel.ErrUnknownDomain, which the server maps to
+	// its stable unknown_domain error code.
+	Domain string `json:"domain,omitempty"`
 	// Events is "narrow" (default) or "broad" (Section 3 events).
 	Events string `json:"events,omitempty"`
 	// NoICP disables interprocedural constant propagation.
@@ -33,6 +38,11 @@ type OptionsWire struct {
 // normalizes the result.
 func (w OptionsWire) ToOracle() (oracle.Options, error) {
 	opts := oracle.DefaultOptions()
+	dom, err := secmodel.ResolveDomain(w.Domain)
+	if err != nil {
+		return opts, err
+	}
+	opts.Domain = dom
 	switch w.Events {
 	case "", "narrow":
 	case "broad":

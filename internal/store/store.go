@@ -49,6 +49,7 @@ import (
 	"policyoracle/internal/diff"
 	"policyoracle/internal/oracle"
 	"policyoracle/internal/policy"
+	"policyoracle/internal/secmodel"
 	"policyoracle/internal/telemetry"
 )
 
@@ -227,7 +228,9 @@ func (s *Store) Put(name string, sources map[string]string, w OptionsWire) (fp s
 	}
 	opts, err := w.ToOracle()
 	if err != nil {
-		return "", false, fmt.Errorf("store: %w: %v", ErrInvalid, err)
+		// Double-wrap so callers can match both ErrInvalid and typed
+		// option errors like secmodel.ErrUnknownDomain.
+		return "", false, fmt.Errorf("store: %w: %w", ErrInvalid, err)
 	}
 	// Reject bundles that don't load: a broken upload should fail at Put,
 	// not poison every later extraction of its fingerprint.
@@ -546,7 +549,7 @@ func (s *Store) loadOrExtract(ctx context.Context, fp string) ([]byte, error) {
 func (s *Store) extractBundle(ctx context.Context, b *Bundle) ([]byte, error) {
 	opts, err := b.Options.ToOracle()
 	if err != nil {
-		return nil, fmt.Errorf("store: bundle %s: %w", b.Fingerprint, err)
+		return nil, fmt.Errorf("store: bundle %s: %w: %w", b.Fingerprint, ErrInvalid, err)
 	}
 	opts.Parallel = s.parallel
 	opts.Telemetry = s.xm
@@ -607,6 +610,9 @@ func (s *Store) Diff(fpA, fpB string) (*diff.Report, error) {
 // DiffContext differences the policies of two fingerprints. The report
 // is the same value oracle.Diff computes on in-process libraries: the
 // policy wire format round-trips everything differencing consumes.
+// Fingerprints whose policies were extracted under different check
+// domains fail loudly with oracle.ErrDomainMismatch — their check sets
+// index different tables and comparing them would be nonsense.
 func (s *Store) DiffContext(ctx context.Context, fpA, fpB string) (*diff.Report, error) {
 	pa, err := s.PolicySetContext(ctx, fpA)
 	if err != nil {
@@ -616,9 +622,22 @@ func (s *Store) DiffContext(ctx context.Context, fpA, fpB string) (*diff.Report,
 	if err != nil {
 		return nil, err
 	}
+	if pa.Domain != pb.Domain {
+		return nil, fmt.Errorf("%w: %s has %q, %s has %q",
+			oracle.ErrDomainMismatch, fpA, domainLabel(pa.Domain), fpB, domainLabel(pb.Domain))
+	}
 	s.diffs.Add(1)
 	s.tm.Diffs.Inc()
 	return diff.Compare(pa, pb), nil
+}
+
+// domainLabel spells the default domain's canonical empty string as its
+// registered ID for error messages.
+func domainLabel(id string) string {
+	if id == "" {
+		return secmodel.DefaultDomainID
+	}
+	return id
 }
 
 // Stats snapshots the store counters.

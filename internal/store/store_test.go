@@ -464,10 +464,10 @@ func TestStoreMetrics(t *testing.T) {
 		"polorad_store_cached_blobs 1",
 		"polorad_store_extract_queue_wait_seconds_count 2",
 		"polorad_store_extract_duration_seconds_count 2",
-		"policyoracle_extractions_total 2",
-		`policyoracle_extract_mode_duration_seconds_count{mode="may"} 2`,
-		`policyoracle_extract_mode_duration_seconds_count{mode="must"} 2`,
-		`policyoracle_analysis_entry_points_total{mode="may"}`,
+		`policyoracle_extractions_total{domain="securitymanager"} 2`,
+		`policyoracle_extract_mode_duration_seconds_count{mode="may",domain="securitymanager"} 2`,
+		`policyoracle_extract_mode_duration_seconds_count{mode="must",domain="securitymanager"} 2`,
+		`policyoracle_analysis_entry_points_total{mode="may",domain="securitymanager"}`,
 	} {
 		if !strings.Contains(text, want) {
 			t.Errorf("scrape misses %q", want)

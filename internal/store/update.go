@@ -117,7 +117,7 @@ func (s *Store) loadIncrementalSeed(prevFP string) *oracle.Library {
 func (s *Store) extractUpdate(ctx context.Context, fp, name string, sources map[string]string, w OptionsWire, prev *oracle.Library, res *UpdateResult) error {
 	opts, err := w.ToOracle()
 	if err != nil {
-		return fmt.Errorf("store: %w: %v", ErrInvalid, err)
+		return fmt.Errorf("store: %w: %w", ErrInvalid, err)
 	}
 	opts.Parallel = s.parallel
 	opts.Telemetry = s.xm

@@ -2,6 +2,7 @@ package telemetry
 
 import (
 	"fmt"
+	"sort"
 	"strings"
 	"time"
 )
@@ -210,27 +211,30 @@ func NewReconcileMetrics(r *Registry) *ReconcileMetrics {
 }
 
 // ExtractMetrics is the extractor instrument set, fed by oracle.Extract
-// and the analyzer. The mode label is "may" or "must".
+// and the analyzer. The mode label is "may" or "must"; the domain label
+// is the ID of the check domain the extraction ran under (e.g.
+// "securitymanager", "cryptoapi"), so one process serving several
+// domains exposes per-domain extraction series.
 type ExtractMetrics struct {
-	// Extractions counts Extract calls:
-	// policyoracle_extractions_total.
-	Extractions *Counter
+	// Extractions counts Extract calls by check domain:
+	// policyoracle_extractions_total{domain}.
+	Extractions *CounterVec
 	// ModeDuration is the wall time of one full analysis pass:
-	// policyoracle_extract_mode_duration_seconds{mode}.
+	// policyoracle_extract_mode_duration_seconds{mode,domain}.
 	ModeDuration *HistogramVec
 	// EntryDuration is the per-entry-point analysis latency:
-	// policyoracle_extract_entry_duration_seconds{mode}.
+	// policyoracle_extract_entry_duration_seconds{mode,domain}.
 	EntryDuration *HistogramVec
 	// WorkerBusy accumulates per-entry analysis time:
-	// policyoracle_extract_worker_busy_seconds_total{mode}. Worker-pool
-	// utilization over a window is
+	// policyoracle_extract_worker_busy_seconds_total{mode,domain}.
+	// Worker-pool utilization over a window is
 	// rate(worker_busy) / (rate(mode_duration_sum) * workers).
 	WorkerBusy *CounterVec
 	// Workers is the configured per-mode worker count:
 	// policyoracle_extract_workers.
 	Workers *Gauge
 	// Per-phase analysis work counters, the telemetry form of
-	// analysis.Stats: policyoracle_analysis_*_total{mode}.
+	// analysis.Stats: policyoracle_analysis_*_total{mode,domain}.
 	MethodAnalyses *CounterVec
 	MemoHits       *CounterVec
 	CPRuns         *CounterVec
@@ -249,10 +253,12 @@ type ExtractMetrics struct {
 	// Cross-library summary-cache instruments, fed by extraction when an
 	// oracle.SummaryCache is attached: entry policies spliced from a
 	// previous extraction of any library in the process
-	// (polora_summary_cache_hit_total) and entries that had to be
-	// analyzed (polora_summary_cache_miss_total).
-	SummaryCacheHits   *Counter
-	SummaryCacheMisses *Counter
+	// (polora_summary_cache_hit_total{domain}) and entries that had to be
+	// analyzed (polora_summary_cache_miss_total{domain}). Cache keys
+	// include the domain ID, so hits never cross domains and the label
+	// attributes each lookup to the domain whose key it used.
+	SummaryCacheHits   *CounterVec
+	SummaryCacheMisses *CounterVec
 }
 
 // DepSetBuckets size the dependency-set histogram: most entries reach a
@@ -263,26 +269,26 @@ var DepSetBuckets = []float64{1, 2, 4, 8, 16, 32, 64, 128, 256, 512}
 // (nil-safe).
 func NewExtractMetrics(r *Registry) *ExtractMetrics {
 	return &ExtractMetrics{
-		Extractions: r.Counter("policyoracle_extractions_total",
-			"Full policy extractions performed."),
+		Extractions: r.CounterVec("policyoracle_extractions_total",
+			"Full policy extractions performed by check domain.", "domain"),
 		ModeDuration: r.HistogramVec("policyoracle_extract_mode_duration_seconds",
-			"Wall time of one analysis pass by mode.", DefBuckets, "mode"),
+			"Wall time of one analysis pass by mode and check domain.", DefBuckets, "mode", "domain"),
 		EntryDuration: r.HistogramVec("policyoracle_extract_entry_duration_seconds",
-			"Per-entry-point analysis latency by mode.", DefBuckets, "mode"),
+			"Per-entry-point analysis latency by mode and check domain.", DefBuckets, "mode", "domain"),
 		WorkerBusy: r.CounterVec("policyoracle_extract_worker_busy_seconds_total",
-			"Cumulative per-entry analysis time by mode.", "mode"),
+			"Cumulative per-entry analysis time by mode and check domain.", "mode", "domain"),
 		Workers: r.Gauge("policyoracle_extract_workers",
 			"Configured entry-point workers per analysis mode."),
 		MethodAnalyses: r.CounterVec("policyoracle_analysis_method_analyses_total",
-			"SPDA solves (summary-cache misses) by mode.", "mode"),
+			"SPDA solves (summary-cache misses) by mode and check domain.", "mode", "domain"),
 		MemoHits: r.CounterVec("policyoracle_analysis_memo_hits_total",
-			"Summary-cache hits by mode.", "mode"),
+			"Summary-cache hits by mode and check domain.", "mode", "domain"),
 		CPRuns: r.CounterVec("policyoracle_analysis_cp_runs_total",
-			"Constant-propagation solves by mode.", "mode"),
+			"Constant-propagation solves by mode and check domain.", "mode", "domain"),
 		CPHits: r.CounterVec("policyoracle_analysis_cp_hits_total",
-			"Constant-propagation cache hits by mode.", "mode"),
+			"Constant-propagation cache hits by mode and check domain.", "mode", "domain"),
 		EntryPoints: r.CounterVec("policyoracle_analysis_entry_points_total",
-			"Entry points analyzed by mode.", "mode"),
+			"Entry points analyzed by mode and check domain.", "mode", "domain"),
 		IncrementalReused: r.Counter("polora_incremental_reused_total",
 			"Entry policies spliced unchanged from the previous extraction."),
 		IncrementalReanalyzed: r.Counter("polora_incremental_reanalyzed_total",
@@ -292,57 +298,81 @@ func NewExtractMetrics(r *Registry) *ExtractMetrics {
 		DepSetSize: r.Histogram("polora_incremental_depset_size",
 			"Per-entry dependency-set size (methods reached by one entry analysis).",
 			DepSetBuckets),
-		SummaryCacheHits: r.Counter("polora_summary_cache_hit_total",
-			"Entry policies spliced from the cross-library summary cache."),
-		SummaryCacheMisses: r.Counter("polora_summary_cache_miss_total",
-			"Entry points analyzed because no valid summary-cache entry existed."),
+		SummaryCacheHits: r.CounterVec("polora_summary_cache_hit_total",
+			"Entry policies spliced from the cross-library summary cache, by check domain.", "domain"),
+		SummaryCacheMisses: r.CounterVec("polora_summary_cache_miss_total",
+			"Entry points analyzed because no valid summary-cache entry existed, by check domain.", "domain"),
 	}
 }
 
 // ObserveEntry records one entry-point analysis: its latency histogram
 // sample and its contribution to worker busy time. Nil-safe.
-func (m *ExtractMetrics) ObserveEntry(mode string, d time.Duration) {
+func (m *ExtractMetrics) ObserveEntry(mode, domain string, d time.Duration) {
 	if m == nil {
 		return
 	}
-	m.EntryDuration.With(mode).ObserveDuration(d)
-	m.WorkerBusy.With(mode).Add(d.Seconds())
+	m.EntryDuration.With(mode, domain).ObserveDuration(d)
+	m.WorkerBusy.With(mode, domain).Add(d.Seconds())
 }
 
 // Summary renders the collected extraction metrics as a human-readable
-// phase-timing table, the body of the CLIs' -timings output. Nil-safe
+// phase-timing table, the body of the CLIs' -timings output. Rows are
+// per mode; when passes ran under more than one check domain the mode is
+// qualified as "mode@domain" so the rows stay attributable. Nil-safe
 // (returns "").
 func (m *ExtractMetrics) Summary() string {
 	if m == nil {
 		return ""
 	}
 	var b strings.Builder
-	fmt.Fprintf(&b, "phase timings (%.0f extraction(s)):\n", m.Extractions.Value())
-	for _, mode := range []string{"may", "must"} {
-		h := m.ModeDuration.With(mode)
-		if h.Count() == 0 {
-			continue
+	fmt.Fprintf(&b, "phase timings (%.0f extraction(s)):\n", m.Extractions.Sum())
+	var domains []string
+	for _, ls := range m.ModeDuration.LabelSets() {
+		if len(ls) == 2 && !contains(domains, ls[1]) {
+			domains = append(domains, ls[1])
 		}
-		wall := time.Duration(h.Sum() * float64(time.Second)).Round(time.Millisecond)
-		busy := time.Duration(m.WorkerBusy.With(mode).Value() * float64(time.Second)).Round(time.Millisecond)
-		fmt.Fprintf(&b, "  %-4s passes %.0f  wall %v  busy %v  entries %.0f  solves %.0f  memo hits %.0f  cp runs %.0f  cp hits %.0f\n",
-			mode, h.Count(), wall, busy,
-			m.EntryPoints.With(mode).Value(), m.MethodAnalyses.With(mode).Value(),
-			m.MemoHits.With(mode).Value(), m.CPRuns.With(mode).Value(), m.CPHits.With(mode).Value())
+	}
+	sort.Strings(domains)
+	for _, domain := range domains {
+		for _, mode := range []string{"may", "must"} {
+			h := m.ModeDuration.With(mode, domain)
+			if h.Count() == 0 {
+				continue
+			}
+			row := mode
+			if len(domains) > 1 {
+				row = mode + "@" + domain
+			}
+			wall := time.Duration(h.Sum() * float64(time.Second)).Round(time.Millisecond)
+			busy := time.Duration(m.WorkerBusy.With(mode, domain).Value() * float64(time.Second)).Round(time.Millisecond)
+			fmt.Fprintf(&b, "  %-4s passes %.0f  wall %v  busy %v  entries %.0f  solves %.0f  memo hits %.0f  cp runs %.0f  cp hits %.0f\n",
+				row, h.Count(), wall, busy,
+				m.EntryPoints.With(mode, domain).Value(), m.MethodAnalyses.With(mode, domain).Value(),
+				m.MemoHits.With(mode, domain).Value(), m.CPRuns.With(mode, domain).Value(), m.CPHits.With(mode, domain).Value())
+		}
 	}
 	return b.String()
 }
 
+func contains(ss []string, s string) bool {
+	for _, v := range ss {
+		if v == s {
+			return true
+		}
+	}
+	return false
+}
+
 // ObserveMode records one completed analysis pass: its wall time and the
 // per-phase work counters accumulated by the analyzer. Nil-safe.
-func (m *ExtractMetrics) ObserveMode(mode string, d time.Duration, methodAnalyses, memoHits, cpRuns, cpHits, entryPoints int) {
+func (m *ExtractMetrics) ObserveMode(mode, domain string, d time.Duration, methodAnalyses, memoHits, cpRuns, cpHits, entryPoints int) {
 	if m == nil {
 		return
 	}
-	m.ModeDuration.With(mode).ObserveDuration(d)
-	m.MethodAnalyses.With(mode).Add(float64(methodAnalyses))
-	m.MemoHits.With(mode).Add(float64(memoHits))
-	m.CPRuns.With(mode).Add(float64(cpRuns))
-	m.CPHits.With(mode).Add(float64(cpHits))
-	m.EntryPoints.With(mode).Add(float64(entryPoints))
+	m.ModeDuration.With(mode, domain).ObserveDuration(d)
+	m.MethodAnalyses.With(mode, domain).Add(float64(methodAnalyses))
+	m.MemoHits.With(mode, domain).Add(float64(memoHits))
+	m.CPRuns.With(mode, domain).Add(float64(cpRuns))
+	m.CPHits.With(mode, domain).Add(float64(cpHits))
+	m.EntryPoints.With(mode, domain).Add(float64(entryPoints))
 }

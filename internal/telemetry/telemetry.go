@@ -230,6 +230,21 @@ func (v *CounterVec) With(values ...string) *Counter {
 	return v.fam.childFor(values).counter
 }
 
+// Sum returns the summed value of every series in the family. Nil-safe
+// (a nil vec sums to 0).
+func (v *CounterVec) Sum() float64 {
+	if v == nil {
+		return 0
+	}
+	v.fam.mu.Lock()
+	defer v.fam.mu.Unlock()
+	var s float64
+	for _, c := range v.fam.children {
+		s += c.counter.Value()
+	}
+	return s
+}
+
 // GaugeVec is a gauge family with labels.
 type GaugeVec struct{ fam *family }
 
@@ -250,6 +265,26 @@ func (v *HistogramVec) With(values ...string) *Histogram {
 		return nil
 	}
 	return v.fam.childFor(values).histogram
+}
+
+// LabelSets returns the label-value tuple of every series observed so
+// far, sorted lexicographically. Nil-safe (a nil vec has no series).
+func (v *HistogramVec) LabelSets() [][]string {
+	if v == nil {
+		return nil
+	}
+	v.fam.mu.Lock()
+	keys := make([]string, 0, len(v.fam.children))
+	for k := range v.fam.children {
+		keys = append(keys, k)
+	}
+	v.fam.mu.Unlock()
+	sort.Strings(keys)
+	out := make([][]string, 0, len(keys))
+	for _, k := range keys {
+		out = append(out, strings.Split(k, "\x00"))
+	}
+	return out
 }
 
 // ---------------------------------------------------------------------------

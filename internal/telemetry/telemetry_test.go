@@ -68,8 +68,9 @@ func TestNilRegistryIsNoOp(t *testing.T) {
 	NewHTTPMetrics(nil).Requests.With("GET", "/x", "200").Inc()
 	NewStoreMetrics(nil).QueueWait.Observe(1)
 	m := NewExtractMetrics(nil)
-	m.ObserveEntry("may", time.Second)
-	m.ObserveMode("may", time.Second, 1, 2, 3, 4, 5)
+	m.ObserveEntry("may", "securitymanager", time.Second)
+	m.ObserveMode("may", "securitymanager", time.Second, 1, 2, 3, 4, 5)
+	_ = m.Summary()
 }
 
 func TestIdempotentRegistration(t *testing.T) {

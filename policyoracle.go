@@ -72,8 +72,71 @@ type EventPolicy = policy.EventPolicy
 // CheckSet is a set of security checks.
 type CheckSet = policy.CheckSet
 
+// CheckID is the dense identifier of one check within its domain.
+type CheckID = secmodel.CheckID
+
 // Event identifies a security-sensitive event.
 type Event = secmodel.Event
+
+// Domain is a first-class check domain: the guard class, check table,
+// event definitions, and privileged-block semantics one extraction runs
+// under. The SecurityManager model of the paper is the registered
+// default; additional domains (e.g. the bundled crypto-API misuse
+// domain) plug in via RegisterDomain. Domains are immutable after
+// construction and safe for concurrent use.
+type Domain = secmodel.Domain
+
+// CheckDesc describes one security check of a domain: its method name
+// and parameter count.
+type CheckDesc = secmodel.CheckDesc
+
+// DomainSpec is the construction-time description NewDomain validates
+// into a Domain.
+type DomainSpec = secmodel.DomainSpec
+
+// Check-domain IDs of the two bundled domains.
+const (
+	// DefaultDomainID is the SecurityManager domain of the paper —
+	// what every Options with a nil Domain extracts under.
+	DefaultDomainID = secmodel.DefaultDomainID
+	// CryptoDomainID is the bundled crypto-API misuse domain: IV
+	// freshness, cipher mode, key size, and RNG seeding checks guarding
+	// cipher-call events.
+	CryptoDomainID = secmodel.CryptoDomainID
+)
+
+// EventMode values for Options.Events.
+const (
+	// NarrowEvents observes native calls and API returns (the paper's
+	// main configuration).
+	NarrowEvents = secmodel.NarrowEvents
+	// BroadEvents adds private-field and parameter accesses (Section 3).
+	BroadEvents = secmodel.BroadEvents
+)
+
+// ErrUnknownDomain reports a domain ID that is not registered; resolve
+// IDs with ResolveDomain.
+var ErrUnknownDomain = secmodel.ErrUnknownDomain
+
+// NewDomain validates a DomainSpec into an immutable Domain. The domain
+// is usable immediately; register it to make it addressable by ID.
+func NewDomain(spec DomainSpec) (*Domain, error) { return secmodel.NewDomain(spec) }
+
+// RegisterDomain adds a domain to the process-wide registry, making it
+// addressable by ID in options, wire formats, and the polorad API. A
+// duplicate ID is an error.
+func RegisterDomain(d *Domain) error { return secmodel.RegisterDomain(d) }
+
+// DomainByID looks up a registered domain; the empty ID resolves to the
+// default (SecurityManager) domain.
+func DomainByID(id string) (*Domain, bool) { return secmodel.DomainByID(id) }
+
+// ResolveDomain is DomainByID with a typed error: unknown IDs wrap
+// ErrUnknownDomain and name the registered domains.
+func ResolveDomain(id string) (*Domain, error) { return secmodel.ResolveDomain(id) }
+
+// Domains lists the IDs of every registered domain, sorted.
+func Domains() []string { return secmodel.Domains() }
 
 // Event kinds, re-exported for matching report events.
 const (
@@ -164,6 +227,10 @@ var ErrNotExtracted = oracle.ErrNotExtracted
 // ErrNoPrevious reports an incremental extraction seeded from a library
 // that carries no extracted policies.
 var ErrNoPrevious = oracle.ErrNoPrevious
+
+// ErrDomainMismatch reports a Diff whose two policy sets were extracted
+// under different check domains.
+var ErrDomainMismatch = oracle.ErrDomainMismatch
 
 // IncrementalStats describes how much work one incremental extraction
 // reused versus redid.
