@@ -20,14 +20,22 @@
 // and splices every entry point whose dependency set is untouched; the
 // output is byte-identical to a from-scratch extraction either way.
 //
-// The fuzz command mutates each library with seeded semantics-preserving
-// rewrites and asserts the oracle's metamorphic invariants after every
-// round: the mutant diffs clean against the original, MUST ⊆ MAY holds
-// for every entry point, parallel extraction matches serial byte for
-// byte, and export → import → export round-trips byte-identically. With
-// no directories it fuzzes the bundled corpora — under -domain cryptoapi,
-// a generated crypto-misuse corpus. Flags: -seed, -rounds, -mutations
-// (rewrites per round), -workers (concurrent rounds), -domain.
+// The fuzz command runs a coverage-guided metamorphic campaign
+// (internal/campaign) over each library: seeded semantics-preserving
+// rewrites, scheduled by per-mutator energy that feedback from per-round
+// coverage keys boosts, with every invariant violation triaged — the
+// mutation trace minimized to a smallest reproducer and deduplicated by
+// a stable fingerprint. With no directories it fuzzes the bundled
+// corpora — under -domain cryptoapi, a generated crypto-misuse corpus.
+// Flags: -seed, -rounds, -mutations (rewrites per round), -workers
+// (concurrent shards), -domain, -schedule guided|uniform, -shard-rounds,
+// -out (write reproducer bundles), -json (machine-readable report on
+// stdout), -remote addr1,addr2 (shard across polorad -campaigns
+// workers).
+//
+// Fuzz exit codes are part of the CLI contract: 0 means every invariant
+// held, 1 an operational error, 2 a usage error, and 3 means the
+// campaign found invariant violations (the crashers are in the report).
 //
 // Flags (policies, diff):
 //
@@ -47,7 +55,9 @@
 package main
 
 import (
+	"context"
 	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
@@ -61,6 +71,7 @@ import (
 
 	"policyoracle"
 	"policyoracle/internal/analysis"
+	"policyoracle/internal/campaign"
 	"policyoracle/internal/corpus/gen"
 	"policyoracle/internal/diff"
 	"policyoracle/internal/exceptions"
@@ -106,9 +117,19 @@ func main() {
 	}
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "polora: %v\n", err)
+		if errors.Is(err, errViolations) {
+			// Documented fuzz contract: exit 3 distinguishes "the oracle
+			// is broken" from operational failures (exit 1), so CI can
+			// dispatch without scraping output.
+			os.Exit(3)
+		}
 		os.Exit(1)
 	}
 }
+
+// errViolations marks a fuzz campaign that completed but found
+// metamorphic invariant violations.
+var errViolations = errors.New("metamorphic invariant violations")
 
 func usage() {
 	fmt.Fprint(os.Stderr, `usage:
@@ -554,19 +575,43 @@ func cmdFingerprint(args []string) error {
 	return nil
 }
 
-// cmdFuzz runs the metamorphic campaign from internal/metamorph over one
-// library per directory argument, or over the bundled corpora when none
-// are given. It exits nonzero if any invariant was violated, printing
-// each violation with its replay seed.
+// fuzzReport is the -json report: one machine-readable object on
+// stdout with everything CI consumes — per-library coverage keys,
+// crasher fingerprints, and reproducer-bundle paths — so workflow legs
+// dispatch on structure and exit codes, never on human text.
+type fuzzReport struct {
+	Schedule   string             `json:"schedule"`
+	Seed       int64              `json:"seed"`
+	Rounds     int                `json:"rounds_per_library"`
+	Violations int                `json:"violations"`
+	Libraries  []*campaign.Result `json:"libraries"`
+}
+
+// cmdFuzz runs the coverage-guided campaign from internal/campaign over
+// one library per directory argument, or over the bundled corpora when
+// none are given. Violations make it return errViolations (exit 3).
 func cmdFuzz(args []string) error {
 	fs := flag.NewFlagSet("fuzz", flag.ExitOnError)
-	seed := fs.Int64("seed", 1, "campaign seed (each round derives its own)")
+	seed := fs.Int64("seed", 1, "campaign seed (each shard and round derives its own)")
 	rounds := fs.Int("rounds", 100, "mutation rounds per library")
 	mutations := fs.Int("mutations", 8, "semantics-preserving rewrites attempted per round")
-	workers := fs.Int("workers", 0, "concurrent rounds (0 = GOMAXPROCS)")
+	workers := fs.Int("workers", 0, "concurrent shards (0 = GOMAXPROCS)")
 	domain := fs.String("domain", "", "check domain to fuzz under (default: "+policyoracle.DefaultDomainID+")")
+	schedule := fs.String("schedule", "guided", "mutator schedule: guided (coverage feedback) or uniform")
+	shardRounds := fs.Int("shard-rounds", 0, "rounds per deterministic feedback shard (0 = default 32)")
+	outDir := fs.String("out", "", "write deduped minimized reproducer bundles and summaries under this directory")
+	jsonOut := fs.Bool("json", false, "emit one machine-readable JSON report on stdout")
+	remote := fs.String("remote", "", "comma-separated polorad -campaigns addresses to shard the campaign across")
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	var uniform bool
+	switch *schedule {
+	case "guided":
+	case "uniform":
+		uniform = true
+	default:
+		return fmt.Errorf("fuzz: unknown -schedule %q (guided or uniform)", *schedule)
 	}
 	dom, err := policyoracle.ResolveDomain(*domain)
 	if err != nil {
@@ -607,36 +652,84 @@ func cmdFuzz(args []string) error {
 	default:
 		return fmt.Errorf("fuzz: no bundled corpus for domain %s; pass library directories", dom.ID())
 	}
-	metrics := telemetry.NewMetamorphMetrics(telemetry.New())
-	violations := 0
+	metrics := telemetry.NewCampaignMetrics(telemetry.New())
+	copts := campaign.Options{
+		Seed:        *seed,
+		Rounds:      *rounds,
+		Mutations:   *mutations,
+		Workers:     *workers,
+		ShardRounds: *shardRounds,
+		Uniform:     uniform,
+		Oracle:      &opts,
+		OutDir:      *outDir,
+		Metrics:     metrics,
+	}
+	report := fuzzReport{Schedule: copts.Schedule(), Seed: *seed, Rounds: *rounds}
 	for _, tg := range targets {
-		rep, err := metamorph.Run(tg.name, tg.sources, metamorph.CampaignOptions{
-			Seed:      *seed,
-			Rounds:    *rounds,
-			Mutations: *mutations,
-			Workers:   *workers,
-			Oracle:    &opts,
-			Metrics:   metrics,
-		})
+		var res *campaign.Result
+		var err error
+		if *remote != "" {
+			res, err = campaign.RunRemote(context.Background(), tg.name, tg.sources, copts,
+				strings.Split(*remote, ","))
+		} else {
+			res, err = campaign.Run(tg.name, tg.sources, copts)
+		}
 		if err != nil {
 			return fmt.Errorf("fuzz %s: %w", tg.name, err)
 		}
-		fmt.Printf("%s: %d rounds over %d entry points in %v\n",
-			rep.Library, rep.Rounds, rep.Entries, rep.Elapsed.Round(time.Millisecond))
-		for _, v := range rep.Violations {
-			fmt.Printf("  VIOLATION %s\n", v)
+		report.Libraries = append(report.Libraries, res)
+		report.Violations += res.RawViolations
+		if !*jsonOut {
+			fmt.Printf("%s: %d rounds over %d entry points in %v (%d coverage keys, %d new-coverage rounds)\n",
+				res.Library, res.Rounds, res.Entries, res.Elapsed.Round(time.Millisecond),
+				len(res.CoverageKeys), res.NewCoverageRounds)
+			for _, c := range res.Crashers {
+				where := ""
+				if c.Bundle != "" {
+					where = " bundle=" + c.Bundle
+				}
+				fmt.Printf("  CRASHER %s [%s] first round %d, seen %d, trace %d step(s), minimized=%v%s\n",
+					c.Fingerprint, c.Invariant, c.FirstRound, c.Seen, len(c.Trace), c.Minimized, where)
+			}
 		}
-		violations += len(rep.Violations)
 	}
-	fmt.Printf("\nrewrites applied (all libraries):\n")
-	for _, m := range metamorph.Mutators() {
-		fmt.Printf("  %-15s %.0f\n", m.Name, metrics.Mutations.With(m.Name).Value())
+	if *jsonOut {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(report); err != nil {
+			return err
+		}
+	} else {
+		applied, attempted := map[string]int{}, map[string]int{}
+		rounds := 0
+		for _, res := range report.Libraries {
+			rounds += res.Rounds
+			for m, n := range res.Applied {
+				applied[m] += n
+			}
+			for m, n := range res.Attempted {
+				attempted[m] += n
+			}
+		}
+		fmt.Printf("\nrewrites applied (all libraries):\n")
+		for _, m := range metamorph.Mutators() {
+			fmt.Printf("  %-15s %6d applied / %6d attempted\n", m.Name, applied[m.Name], attempted[m.Name])
+		}
+		fmt.Printf("rounds %d, violations %d\n", rounds, report.Violations)
 	}
-	fmt.Printf("rounds %.0f, violations %d\n", metrics.Rounds.Value(), violations)
-	if violations > 0 {
-		return fmt.Errorf("%d metamorphic invariant violation(s); replay with -seed %d", violations, *seed)
+	if report.Violations > 0 {
+		return fmt.Errorf("%w: %d raw violation(s) across %d unique crasher(s); replay with -seed %d",
+			errViolations, report.Violations, countCrashers(report.Libraries), *seed)
 	}
 	return nil
+}
+
+func countCrashers(results []*campaign.Result) int {
+	n := 0
+	for _, res := range results {
+		n += len(res.Crashers)
+	}
+	return n
 }
 
 func cmdCorpus(args []string) error {

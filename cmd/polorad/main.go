@@ -20,6 +20,10 @@
 //	-log-format fmt   structured log output: text or json (default text)
 //	-log-level lvl    minimum level: debug, info, warn, error (default info)
 //	-pprof            expose net/http/pprof under /debug/pprof/
+//	-campaigns        execute coverage-guided campaign shards posted to
+//	                  /v1/campaign (the worker side of `polora fuzz
+//	                  -remote`); off by default since a shard is
+//	                  CPU-minutes driven by a request body
 //	-watch            run the reconcile controller: every PUT (and every
 //	                  -interval tick) re-diffs all registered library
 //	                  pairs and appends drift observations to -drift-store
@@ -68,6 +72,7 @@ func main() {
 	logFormat := flag.String("log-format", "text", "structured log output: text or json")
 	logLevel := flag.String("log-level", "info", "minimum log level: debug, info, warn, error")
 	pprofOn := flag.Bool("pprof", false, "expose net/http/pprof under /debug/pprof/")
+	campaigns := flag.Bool("campaigns", false, "execute campaign shards posted to /v1/campaign")
 	watch := flag.Bool("watch", false, "run the reconcile controller (continuous policy-drift monitoring)")
 	interval := flag.Duration("interval", 30*time.Second, "full reconcile rescan period (with -watch)")
 	driftStore := flag.String("drift-store", "", "drift-timeline file (default <store>/drift.json)")
@@ -88,6 +93,7 @@ func main() {
 		logFormat:      *logFormat,
 		logLevel:       *logLevel,
 		pprof:          *pprofOn,
+		campaigns:      *campaigns,
 		watch:          *watch,
 		interval:       *interval,
 		driftStore:     *driftStore,
@@ -105,6 +111,7 @@ type config struct {
 	domains               string
 	logFormat, logLevel   string
 	pprof                 bool
+	campaigns             bool
 	watch                 bool
 	interval              time.Duration
 	driftStore            string
@@ -175,11 +182,12 @@ func run(cfg config) error {
 	srv := &http.Server{
 		Addr: cfg.addr,
 		Handler: server.New(st, server.Options{
-			Registry: registry,
-			Logger:   logger,
-			Pprof:    cfg.pprof,
-			Drift:    drift,
-			Domains:  domainIDs,
+			Registry:  registry,
+			Logger:    logger,
+			Pprof:     cfg.pprof,
+			Drift:     drift,
+			Domains:   domainIDs,
+			Campaigns: cfg.campaigns,
 		}),
 		ReadHeaderTimeout: 10 * time.Second,
 		BaseContext:       func(net.Listener) context.Context { return baseCtx },
@@ -205,7 +213,8 @@ func run(cfg config) error {
 	errc := make(chan error, 1)
 	go func() {
 		logger.Info("polorad: serving", "addr", cfg.addr, "store", cfg.storeDir,
-			"max_inflight", cfg.maxInflight, "pprof", cfg.pprof, "watch", cfg.watch)
+			"max_inflight", cfg.maxInflight, "pprof", cfg.pprof, "watch", cfg.watch,
+			"campaigns", cfg.campaigns)
 		errc <- srv.ListenAndServe()
 	}()
 

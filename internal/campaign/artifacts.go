@@ -1,0 +1,83 @@
+package campaign
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"policyoracle/internal/metamorph"
+)
+
+// Reproducer bundles are the campaign's durable output: one directory
+// per unique crasher, self-contained — original sources, the minimized
+// seeded mutation trace, and the domain — so a bundle reproduces with
+// no access to the campaign that found it. CI uploads these (and only
+// these) as artifacts.
+//
+// Layout under dir:
+//
+//	<library>/summary.json             the merged Result
+//	<library>/<fingerprint>/repro.json crasher + trace + original sources
+//	<library>/<fingerprint>/mutant/    the minimized mutant, one file per source
+type reproBundle struct {
+	Library  string            `json:"library"`
+	Domain   string            `json:"domain"`
+	Seed     int64             `json:"seed"`
+	Schedule string            `json:"schedule"`
+	Crasher  *Crasher          `json:"crasher"`
+	Sources  map[string]string `json:"sources"`
+}
+
+// WriteArtifacts persists one reproducer bundle per crasher in res plus
+// the campaign summary, and stamps each crasher's Bundle path. Mutant
+// sources are replayed through the public mutator catalog; a trace
+// using injected (test-only) mutators still gets its repro.json, just
+// no rendered mutant directory.
+func WriteArtifacts(dir string, sources map[string]string, res *Result) error {
+	libDir := filepath.Join(dir, res.Library)
+	if err := os.MkdirAll(libDir, 0o755); err != nil {
+		return fmt.Errorf("campaign: artifacts: %w", err)
+	}
+	for _, c := range res.Crashers {
+		cdir := filepath.Join(libDir, c.Fingerprint)
+		if err := os.MkdirAll(cdir, 0o755); err != nil {
+			return fmt.Errorf("campaign: artifacts: %w", err)
+		}
+		c.Bundle = cdir
+		if mutated, _, err := metamorph.ApplySteps(sources, c.Trace); err == nil {
+			mdir := filepath.Join(cdir, "mutant")
+			if err := os.MkdirAll(mdir, 0o755); err != nil {
+				return fmt.Errorf("campaign: artifacts: %w", err)
+			}
+			for name, src := range mutated {
+				if err := os.WriteFile(filepath.Join(mdir, filepath.Base(name)), []byte(src), 0o644); err != nil {
+					return fmt.Errorf("campaign: artifacts: %w", err)
+				}
+			}
+		}
+		rb := reproBundle{
+			Library:  res.Library,
+			Domain:   res.Domain,
+			Seed:     res.Seed,
+			Schedule: res.Schedule,
+			Crasher:  c,
+			Sources:  sources,
+		}
+		buf, err := json.MarshalIndent(rb, "", "  ")
+		if err != nil {
+			return fmt.Errorf("campaign: artifacts: %w", err)
+		}
+		if err := os.WriteFile(filepath.Join(cdir, "repro.json"), append(buf, '\n'), 0o644); err != nil {
+			return fmt.Errorf("campaign: artifacts: %w", err)
+		}
+	}
+	buf, err := json.MarshalIndent(res, "", "  ")
+	if err != nil {
+		return fmt.Errorf("campaign: artifacts: %w", err)
+	}
+	if err := os.WriteFile(filepath.Join(libDir, "summary.json"), append(buf, '\n'), 0o644); err != nil {
+		return fmt.Errorf("campaign: artifacts: %w", err)
+	}
+	return nil
+}

@@ -1,0 +1,131 @@
+package campaign
+
+import (
+	"math/bits"
+	"sort"
+	"strconv"
+	"strings"
+
+	"policyoracle/internal/analysis"
+	"policyoracle/internal/metamorph"
+	"policyoracle/internal/oracle"
+	"policyoracle/internal/secmodel"
+)
+
+// The coverage key is the campaign's cheap behavioral signature of one
+// round, built entirely from data the round already produced — no
+// instrumentation pass. Its components:
+//
+//	mut=...    the distinct mutators applied, sorted;
+//	inv=...    which sampled invariants were stressed (p/i flags);
+//	may=/must= per-mode analysis-shape deltas vs the baseline
+//	           (MethodAnalyses, MemoHits, CPRuns, CPHits), each
+//	           log2-bucketed so magnitudes, not exact counts, define
+//	           novelty;
+//	sc=...     summary-cache hit/miss counts around the round's main
+//	           extraction, log2-bucketed — how much of the mutant's
+//	           entry cone re-derived vs spliced;
+//	viol=...   violated invariant names, sorted;
+//	roots=...  diff root keys touched by violations, sorted.
+//
+// Two rounds share a key iff the analysis did the same shape of work on
+// them, so "new key" approximates "exercised a new analysis path" at
+// zero extra cost.
+
+// libShape carries the per-round inputs to coverageKey that come from
+// the mutant's extraction.
+type libShape struct {
+	may, must      analysis.Stats
+	scHits, scMiss uint64
+	checked        metamorph.MutantChecks
+}
+
+// coverageKey renders the round signature. It must be a pure function
+// of deterministic round state: it feeds both novelty detection and the
+// cross-shard merged key set.
+func coverageKey(applied []string, shape libShape, base *oracle.Library, violations []metamorph.Violation) string {
+	var b strings.Builder
+
+	b.WriteString("mut=")
+	b.WriteString(strings.Join(sortedDistinct(applied), "+"))
+
+	b.WriteString(";inv=")
+	if shape.checked.Parallel {
+		b.WriteByte('p')
+	}
+	if shape.checked.Incremental {
+		b.WriteByte('i')
+	}
+
+	b.WriteString(";may=")
+	writeStatsDelta(&b, shape.may, base.MayStats)
+	b.WriteString(";must=")
+	writeStatsDelta(&b, shape.must, base.MustStats)
+
+	b.WriteString(";sc=")
+	b.WriteString(bucketU(shape.scHits))
+	b.WriteByte('.')
+	b.WriteString(bucketU(shape.scMiss))
+
+	var names, roots []string
+	for _, v := range violations {
+		names = append(names, v.Invariant)
+		roots = append(roots, v.RootKeys...)
+	}
+	b.WriteString(";viol=")
+	b.WriteString(strings.Join(sortedDistinct(names), "+"))
+	b.WriteString(";roots=")
+	b.WriteString(strings.Join(sortedDistinct(roots), "+"))
+
+	return b.String()
+}
+
+// writeStatsDelta renders one mode's bucketed counter deltas as
+// "a.b.c.d" (method analyses, memo hits, CP runs, CP hits).
+func writeStatsDelta(b *strings.Builder, got, base analysis.Stats) {
+	b.WriteString(bucket(got.MethodAnalyses - base.MethodAnalyses))
+	b.WriteByte('.')
+	b.WriteString(bucket(got.MemoHits - base.MemoHits))
+	b.WriteByte('.')
+	b.WriteString(bucket(got.CPRuns - base.CPRuns))
+	b.WriteByte('.')
+	b.WriteString(bucket(got.CPHits - base.CPHits))
+}
+
+// bucket maps a signed delta to its log2 magnitude class ("0", "3",
+// "-2", ...): exact counts jitter with every rename, magnitudes track
+// actual shape changes.
+func bucket(d int) string {
+	sign := ""
+	if d < 0 {
+		sign = "-"
+		d = -d
+	}
+	return sign + strconv.Itoa(bits.Len(uint(d)))
+}
+
+func bucketU(v uint64) string {
+	return strconv.Itoa(bits.Len64(v))
+}
+
+func sortedDistinct(ss []string) []string {
+	seen := map[string]bool{}
+	var out []string
+	for _, s := range ss {
+		if !seen[s] {
+			seen[s] = true
+			out = append(out, s)
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+// domainID resolves the effective check-domain ID (nil means the
+// registered default, SecurityManager).
+func domainID(d *secmodel.Domain) string {
+	if d == nil {
+		return secmodel.SecurityManager().ID()
+	}
+	return d.ID()
+}

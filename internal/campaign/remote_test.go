@@ -1,0 +1,123 @@
+package campaign_test
+
+import (
+	"context"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"policyoracle/internal/campaign"
+	"policyoracle/internal/server"
+	"policyoracle/internal/store"
+	"policyoracle/internal/telemetry"
+)
+
+// startWorker boots a polorad-equivalent campaign worker: a real
+// server.New over a fresh store with -campaigns on.
+func startWorker(t *testing.T) *httptest.Server {
+	t.Helper()
+	st, err := store.Open(store.Config{Dir: t.TempDir(), MaxInflight: 2, Registry: telemetry.New()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(server.New(st, server.Options{Campaigns: true}))
+	t.Cleanup(ts.Close)
+	return ts
+}
+
+func remoteOpts(seed int64) campaign.Options {
+	return campaign.Options{
+		Seed: seed, Rounds: 10, Mutations: 4, ShardRounds: 4,
+		Poll: 10 * time.Millisecond,
+	}
+}
+
+// TestRemoteMatchesLocal is the distribution acceptance test: a
+// campaign sharded across two polorad workers must merge to
+// byte-identical results as the same campaign run locally.
+func TestRemoteMatchesLocal(t *testing.T) {
+	src := testSources(t)
+	local, err := campaign.Run("jdk", src, remoteOpts(31))
+	if err != nil {
+		t.Fatal(err)
+	}
+	w1, w2 := startWorker(t), startWorker(t)
+	remote, err := campaign.RunRemote(context.Background(), "jdk", src, remoteOpts(31),
+		[]string{w1.URL, w2.URL})
+	if err != nil {
+		t.Fatal(err)
+	}
+	lj, _ := json.Marshal(local)
+	rj, _ := json.Marshal(remote)
+	if string(lj) != string(rj) {
+		t.Fatalf("remote merge != local run:\nlocal:  %s\nremote: %s", lj, rj)
+	}
+}
+
+// TestRemoteSurvivesWorkerDropout runs the same campaign against one
+// healthy worker and one that fails every request: the healthy worker
+// must absorb the requeued shards and the merged result must still
+// equal the local run.
+func TestRemoteSurvivesWorkerDropout(t *testing.T) {
+	src := testSources(t)
+	local, err := campaign.Run("jdk", src, remoteOpts(37))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var broken atomic.Int64
+	bad := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		broken.Add(1)
+		http.Error(w, "worker melted", http.StatusInternalServerError)
+	}))
+	t.Cleanup(bad.Close)
+	good := startWorker(t)
+	remote, err := campaign.RunRemote(context.Background(), "jdk", src, remoteOpts(37),
+		[]string{bad.URL, good.URL})
+	if err != nil {
+		t.Fatal(err)
+	}
+	lj, _ := json.Marshal(local)
+	rj, _ := json.Marshal(remote)
+	if string(lj) != string(rj) {
+		t.Fatalf("dropout changed the merged result:\nlocal:  %s\nremote: %s", lj, rj)
+	}
+	if broken.Load() == 0 {
+		t.Fatal("broken worker was never offered a shard")
+	}
+}
+
+// TestRemoteAllWorkersFail pins the terminal error: when every worker
+// has been dropped with shards still pending, RunRemote reports it
+// instead of hanging.
+func TestRemoteAllWorkersFail(t *testing.T) {
+	src := testSources(t)
+	bad := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		http.Error(w, "no", http.StatusInternalServerError)
+	}))
+	t.Cleanup(bad.Close)
+	_, err := campaign.RunRemote(context.Background(), "jdk", src, remoteOpts(1), []string{bad.URL})
+	if err == nil {
+		t.Fatal("RunRemote succeeded against a dead worker pool")
+	}
+}
+
+// TestRemoteHonorsContext pins cancellation: a cancelled context stops
+// the campaign promptly with ctx.Err.
+func TestRemoteHonorsContext(t *testing.T) {
+	src := testSources(t)
+	release := make(chan struct{})
+	hang := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		<-release
+	}))
+	t.Cleanup(hang.Close)
+	t.Cleanup(func() { close(release) })
+	ctx, cancel := context.WithTimeout(context.Background(), 50*time.Millisecond)
+	defer cancel()
+	_, err := campaign.RunRemote(ctx, "jdk", src, remoteOpts(1), []string{hang.URL})
+	if err == nil {
+		t.Fatal("RunRemote ignored context cancellation")
+	}
+}

@@ -1,0 +1,133 @@
+package campaign
+
+import (
+	"math/rand"
+
+	"policyoracle/internal/metamorph"
+)
+
+// Energy constants: every mutator starts at initialEnergy. Each
+// new-coverage round adds energyBoost to every distinct mutator it
+// applied, capped at energyCap; each round that discovers nothing
+// halves its applied mutators' energy (energyDecay), floored at
+// energyFloor, as does every draw whose application fails outright.
+// The decay half is what makes guidance beat uniform draws: a mutator
+// whose reachable coverage is exhausted — or that rarely finds an
+// applicable site at all — keeps drawing under a uniform schedule but
+// fades here, shifting rounds toward mutators that still produce
+// novelty. The cap and floor bound the ratio (40:1) so no mutator is
+// ever starved outright — a decayed mutator that becomes productive
+// again (rewrites compose, so new sites appear) earns its energy back.
+const (
+	initialEnergy = 1.0
+	energyBoost   = 0.75
+	energyCap     = 8.0
+	energyDecay   = 0.5
+	energyFloor   = 0.2
+)
+
+// scheduler holds per-mutator energy and draws mutators with
+// probability proportional to it. In uniform mode the weights are
+// frozen at initialEnergy and reward is a no-op, so guided and uniform
+// schedules consume RNG state identically — an A/B pair differs only in
+// the weights, never in the draw mechanics.
+type scheduler struct {
+	guided bool
+	names  []string
+	energy []float64
+}
+
+func newScheduler(muts []metamorph.Mutator, guided bool) *scheduler {
+	s := &scheduler{
+		guided: guided,
+		names:  make([]string, len(muts)),
+		energy: make([]float64, len(muts)),
+	}
+	for i, m := range muts {
+		s.names[i] = m.Name
+		s.energy[i] = initialEnergy
+	}
+	return s
+}
+
+// pick draws one alive mutator index, energy-weighted; -1 when every
+// mutator is dead.
+func (s *scheduler) pick(rng *rand.Rand, dead []bool) int {
+	total := 0.0
+	for i, e := range s.energy {
+		if !dead[i] {
+			total += e
+		}
+	}
+	if total == 0 {
+		return -1
+	}
+	x := rng.Float64() * total
+	for i, e := range s.energy {
+		if dead[i] {
+			continue
+		}
+		x -= e
+		if x < 0 {
+			return i
+		}
+	}
+	// Float underflow put x exactly at the boundary; return the last
+	// alive index.
+	for i := len(s.energy) - 1; i >= 0; i-- {
+		if !dead[i] {
+			return i
+		}
+	}
+	return -1
+}
+
+// reward boosts every distinct mutator in applied after a new-coverage
+// round; no-op for the uniform schedule.
+func (s *scheduler) reward(applied []string) {
+	s.update(applied, func(e float64) float64 {
+		if e += energyBoost; e > energyCap {
+			return energyCap
+		}
+		return e
+	})
+}
+
+// penalize decays every distinct mutator in applied after a round that
+// discovered no new key; no-op for the uniform schedule.
+func (s *scheduler) penalize(applied []string) {
+	s.update(applied, func(e float64) float64 {
+		if e *= energyDecay; e < energyFloor {
+			return energyFloor
+		}
+		return e
+	})
+}
+
+func (s *scheduler) update(applied []string, f func(float64) float64) {
+	if !s.guided {
+		return
+	}
+	seen := map[string]bool{}
+	for _, name := range applied {
+		if seen[name] {
+			continue
+		}
+		seen[name] = true
+		for i, n := range s.names {
+			if n == name {
+				s.energy[i] = f(s.energy[i])
+				break
+			}
+		}
+	}
+}
+
+// snapshot returns the current energy table keyed by mutator name.
+func (s *scheduler) snapshot() map[string]float64 {
+	out := make(map[string]float64, len(s.names))
+	for i, n := range s.names {
+		out[n] = s.energy[i]
+	}
+	return out
+}

@@ -1,0 +1,111 @@
+package campaign
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"strings"
+
+	"policyoracle/internal/metamorph"
+	"policyoracle/internal/oracle"
+)
+
+// Crash triage: every raw violation is reduced to a root-cause identity
+// (Fingerprint) and its recorded trace to a smallest reproducing subset
+// (minimize). Fingerprints dedupe within a shard, across shards in
+// Merge, and across campaign runs in CI's known-crasher allowlist, so
+// they must be stable against everything that legitimately varies
+// between two hits of the same bug: the round number, the mutant's
+// library name suffix, and incidental counts embedded in detail text.
+// NormalizeDetail erases exactly that class of variation (digit runs),
+// while the diff root keys — which carry the semantic identity of what
+// deviated — are hashed verbatim.
+
+// Fingerprint derives the stable identity of one violation: invariant
+// id + sorted diff root keys + normalized detail, hashed to 16 hex
+// digits.
+func Fingerprint(v metamorph.Violation) string {
+	h := sha256.New()
+	h.Write([]byte(v.Invariant))
+	h.Write([]byte{0})
+	for _, k := range v.RootKeys {
+		h.Write([]byte(k))
+		h.Write([]byte{0})
+	}
+	h.Write([]byte{0})
+	h.Write([]byte(NormalizeDetail(v.Detail)))
+	return hex.EncodeToString(h.Sum(nil))[:16]
+}
+
+// NormalizeDetail replaces every maximal digit run with '#', erasing
+// round numbers, byte counts, and entry tallies while keeping the
+// sentence structure that distinguishes genuinely different failures.
+func NormalizeDetail(detail string) string {
+	var b strings.Builder
+	inDigits := false
+	for _, r := range detail {
+		if r >= '0' && r <= '9' {
+			if !inDigits {
+				b.WriteByte('#')
+				inDigits = true
+			}
+			continue
+		}
+		inDigits = false
+		b.WriteRune(r)
+	}
+	return b.String()
+}
+
+// minimize greedily shrinks c.Trace to a smallest subset that still
+// reproduces c.Fingerprint, re-verifying after every removal. Passes
+// repeat until a fixed point (removing a later step can unlock removing
+// an earlier one). Minimized stays false when even the full trace fails
+// to re-verify — a schedule- or sampling-dependent violation worth
+// flagging loudly rather than shrinking into a non-reproducer.
+func (e *Engine) minimize(c *Crasher) {
+	// Only the violated invariant's sampled leg runs during
+	// re-verification; the always-on invariants are cheap.
+	chk := metamorph.MutantChecks{
+		Parallel:    c.Invariant == "parallel",
+		Incremental: c.Invariant == "incremental",
+	}
+	verify := func(trace []metamorph.Step) bool {
+		c.MinimizerSteps++
+		mutated, err := e.applyTrace(trace)
+		if err != nil {
+			return false
+		}
+		// "+r0" keeps the mutant-name shape of campaign rounds so
+		// normalized details (and therefore fingerprints) line up.
+		lib, err := oracle.LoadLibrary(e.name+"+r0", mutated)
+		if err != nil {
+			return Fingerprint(metamorph.Violation{Invariant: "load", Detail: err.Error()}) == c.Fingerprint
+		}
+		lib.Extract(e.serial)
+		for _, v := range metamorph.CheckExtracted(e.base, lib, mutated, e.serial, chk) {
+			if Fingerprint(v) == c.Fingerprint {
+				return true
+			}
+		}
+		return false
+	}
+
+	cur := c.Trace
+	if !verify(cur) {
+		return
+	}
+	for improved := true; improved; {
+		improved = false
+		for i := len(cur) - 1; i >= 0 && len(cur) > 1; i-- {
+			cand := make([]metamorph.Step, 0, len(cur)-1)
+			cand = append(cand, cur[:i]...)
+			cand = append(cand, cur[i+1:]...)
+			if verify(cand) {
+				cur = cand
+				improved = true
+			}
+		}
+	}
+	c.Trace = cur
+	c.Minimized = true
+}

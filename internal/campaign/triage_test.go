@@ -1,0 +1,307 @@
+package campaign_test
+
+import (
+	"encoding/json"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"policyoracle/internal/ast"
+	"policyoracle/internal/campaign"
+	"policyoracle/internal/metamorph"
+)
+
+// The triage tests seed a known deviation with a deliberately unsound
+// mutator: dropCheck removes the first security-check call statement in
+// the bundle. Every application deviates the extracted policy the same
+// way — the entry points flowing through that check lose a MUST/MAY
+// permission — so a campaign that hits it in many rounds, under
+// different co-applied sound mutators, must fold every raw violation
+// into exactly one fingerprint and minimize its trace to the one step
+// that matters.
+
+// countChecks walks the bundle's mutable files and counts ExprStmt
+// security-check calls (method name starting "check").
+func countChecks(b *metamorph.Bundle) int {
+	n := 0
+	walkCheckStmts(b, func(stmts []ast.Stmt, i int) bool {
+		n++
+		return false
+	})
+	return n
+}
+
+// dropFirstCheck removes the first check-call statement, reporting
+// whether one was found.
+func dropFirstCheck(b *metamorph.Bundle) bool {
+	return walkCheckStmts(b, func(stmts []ast.Stmt, i int) bool { return true })
+}
+
+// walkCheckStmts visits every statement list in bundle order and calls
+// found at each check-call ExprStmt; found returning true removes that
+// statement and stops the walk. Reports whether the walk was stopped.
+func walkCheckStmts(b *metamorph.Bundle, found func([]ast.Stmt, int) bool) bool {
+	var inList func(stmts *[]ast.Stmt) bool
+	var inStmt func(s ast.Stmt) bool
+	inList = func(stmts *[]ast.Stmt) bool {
+		for i, s := range *stmts {
+			if es, ok := s.(*ast.ExprStmt); ok {
+				if call, ok := es.X.(*ast.CallExpr); ok && strings.HasPrefix(call.Name, "check") {
+					if found(*stmts, i) {
+						*stmts = append((*stmts)[:i], (*stmts)[i+1:]...)
+						return true
+					}
+					continue
+				}
+			}
+			if inStmt(s) {
+				return true
+			}
+		}
+		return false
+	}
+	inStmt = func(s ast.Stmt) bool {
+		switch s := s.(type) {
+		case *ast.Block:
+			return inList(&s.Stmts)
+		case *ast.IfStmt:
+			return inStmt(s.Then) || (s.Else != nil && inStmt(s.Else))
+		case *ast.WhileStmt:
+			return inStmt(s.Body)
+		case *ast.DoWhileStmt:
+			return inStmt(s.Body)
+		case *ast.ForStmt:
+			return s.Body != nil && inStmt(s.Body)
+		case *ast.SyncStmt:
+			return inList(&s.Body.Stmts)
+		case *ast.TryStmt:
+			if inList(&s.Body.Stmts) {
+				return true
+			}
+			for _, c := range s.Catches {
+				if inList(&c.Body.Stmts) {
+					return true
+				}
+			}
+			return s.Finally != nil && inList(&s.Finally.Stmts)
+		case *ast.SwitchStmt:
+			for _, c := range s.Cases {
+				if inList(&c.Stmts) {
+					return true
+				}
+			}
+		}
+		return false
+	}
+	for _, f := range b.Files {
+		if f.Frozen {
+			continue
+		}
+		for _, td := range f.AST.Types {
+			for _, md := range td.Methods {
+				if md.Body != nil && inList(&md.Body.Stmts) {
+					return true
+				}
+			}
+		}
+	}
+	return false
+}
+
+// dropCheckCatalog is the real catalog plus the unsound drop-check
+// mutator. total is the bundle's original check count: drop-check
+// refuses to fire twice on one bundle, so every violating round misses
+// exactly the same one check and fingerprints identically.
+func dropCheckCatalog(total int) []metamorph.Mutator {
+	muts := metamorph.Mutators()
+	return append(muts, metamorph.Mutator{
+		Name: "drop-check",
+		Apply: func(b *metamorph.Bundle, rng *rand.Rand) bool {
+			if countChecks(b) < total {
+				return false
+			}
+			return dropFirstCheck(b)
+		},
+	})
+}
+
+func checkTotal(t *testing.T, src map[string]string) int {
+	t.Helper()
+	b, err := metamorph.ParseBundle(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	total := countChecks(b)
+	if total == 0 {
+		t.Fatal("generated corpus has no check calls")
+	}
+	return total
+}
+
+// TestTriageEndToEnd is the acceptance path: a campaign over a catalog
+// with one seeded deviation must hit it in several rounds (raw
+// violations), dedupe them all to one crasher, and minimize that
+// crasher's trace to the single unsound step.
+func TestTriageEndToEnd(t *testing.T) {
+	src := testSources(t)
+	opts := campaign.Options{
+		Seed: 42, Rounds: 12, Mutations: 6, ShardRounds: 12,
+		Mutators: dropCheckCatalog(checkTotal(t, src)),
+	}
+	res, err := campaign.Run("jdk", src, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.RawViolations < 3 {
+		t.Fatalf("campaign hit the seeded deviation %d times, want >= 3", res.RawViolations)
+	}
+	if len(res.Crashers) != 1 {
+		buf, _ := json.MarshalIndent(res.Crashers, "", "  ")
+		t.Fatalf("want exactly 1 deduped crasher, got %d:\n%s", len(res.Crashers), buf)
+	}
+	c := res.Crashers[0]
+	if c.Invariant != "diff-clean" {
+		t.Errorf("crasher invariant %q, want diff-clean", c.Invariant)
+	}
+	if len(c.RootKeys) == 0 {
+		t.Error("crasher carries no diff root keys")
+	}
+	if c.Seen != res.RawViolations {
+		t.Errorf("crasher seen %d != raw violations %d", c.Seen, res.RawViolations)
+	}
+	if !c.Minimized {
+		t.Fatal("crasher trace did not re-verify during minimization")
+	}
+	if len(c.Trace) != 1 || c.Trace[0].Mutator != "drop-check" {
+		t.Fatalf("minimized trace = %+v, want the single drop-check step", c.Trace)
+	}
+	if c.MinimizerSteps == 0 {
+		t.Error("minimizer reported zero verification steps")
+	}
+	if strings.ContainsAny(c.Detail, "0123456789") {
+		t.Errorf("crasher detail not normalized: %q", c.Detail)
+	}
+}
+
+// TestFingerprintStableAcrossSeeds reruns the seeded-deviation
+// campaign under a different seed — different rounds, different
+// co-applied mutators, different mutant names — and requires the same
+// single fingerprint: the identity CI allowlists depend on.
+func TestFingerprintStableAcrossSeeds(t *testing.T) {
+	src := testSources(t)
+	muts := dropCheckCatalog(checkTotal(t, src))
+	var fps []string
+	for _, seed := range []int64{42, 1001} {
+		res, err := campaign.Run("jdk", src, campaign.Options{
+			Seed: seed, Rounds: 12, Mutations: 6, ShardRounds: 12, Mutators: muts,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(res.Crashers) != 1 {
+			t.Fatalf("seed %d: %d crashers, want 1", seed, len(res.Crashers))
+		}
+		fps = append(fps, res.Crashers[0].Fingerprint)
+	}
+	if fps[0] != fps[1] {
+		t.Fatalf("same root cause fingerprinted differently across seeds: %s vs %s", fps[0], fps[1])
+	}
+}
+
+// TestFingerprintIdentity pins the fingerprint function itself:
+// insensitive to digits (round numbers, counts, mutant-name suffixes),
+// sensitive to invariant and root keys.
+func TestFingerprintIdentity(t *testing.T) {
+	base := metamorph.Violation{
+		Invariant: "diff-clean",
+		RootKeys:  []string{"jdk+r3/FileIn.read:may"},
+		Detail:    "entry FileIn.read lost may perm in round 3 (12 bytes)",
+	}
+	same := base
+	same.Detail = "entry FileIn.read lost may perm in round 7 (99 bytes)"
+	if campaign.Fingerprint(base) != campaign.Fingerprint(same) {
+		t.Error("digit-only detail change altered the fingerprint")
+	}
+	diffInv := base
+	diffInv.Invariant = "parallel"
+	if campaign.Fingerprint(base) == campaign.Fingerprint(diffInv) {
+		t.Error("different invariants share a fingerprint")
+	}
+	diffRoots := base
+	diffRoots.RootKeys = []string{"jdk+r3/FileIn.close:may"}
+	if campaign.Fingerprint(base) == campaign.Fingerprint(diffRoots) {
+		t.Error("different root keys share a fingerprint")
+	}
+}
+
+func TestNormalizeDetail(t *testing.T) {
+	for in, want := range map[string]string{
+		"round 42: 3 of 17 entries":  "round #: # of # entries",
+		"no digits here":             "no digits here",
+		"jdk+r1234/Class9.m2 drifts": "jdk+r#/Class#.m# drifts",
+	} {
+		if got := campaign.NormalizeDetail(in); got != want {
+			t.Errorf("NormalizeDetail(%q) = %q, want %q", in, got, want)
+		}
+	}
+}
+
+// TestArtifactsWriteReproBundles runs the seeded-deviation campaign
+// with an output directory and checks the self-contained reproducer
+// layout: per-library summary.json, one directory per fingerprint with
+// repro.json carrying the original sources and minimized trace. The
+// mutant/ render is skipped here — drop-check is not in the public
+// catalog — which must not fail the campaign.
+func TestArtifactsWriteReproBundles(t *testing.T) {
+	src := testSources(t)
+	dir := t.TempDir()
+	res, err := campaign.Run("jdk", src, campaign.Options{
+		Seed: 42, Rounds: 12, Mutations: 6, ShardRounds: 12,
+		Mutators: dropCheckCatalog(checkTotal(t, src)),
+		OutDir:   dir,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var summary campaign.Result
+	buf, err := os.ReadFile(filepath.Join(dir, "jdk", "summary.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := json.Unmarshal(buf, &summary); err != nil {
+		t.Fatal(err)
+	}
+	if summary.RawViolations != res.RawViolations || len(summary.Crashers) != 1 {
+		t.Fatalf("summary diverges from result: %s", buf)
+	}
+	c := res.Crashers[0]
+	if c.Bundle == "" {
+		t.Fatal("crasher bundle path not stamped")
+	}
+	var repro struct {
+		Library string                 `json:"library"`
+		Seed    int64                  `json:"seed"`
+		Crasher *campaign.Crasher      `json:"crasher"`
+		Sources map[string]string      `json:"sources"`
+		Rest    map[string]interface{} `json:"-"`
+	}
+	buf, err = os.ReadFile(filepath.Join(c.Bundle, "repro.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := json.Unmarshal(buf, &repro); err != nil {
+		t.Fatal(err)
+	}
+	if repro.Library != "jdk" || repro.Seed != 42 || repro.Crasher == nil || len(repro.Sources) != len(src) {
+		t.Fatalf("repro bundle incomplete: library=%q seed=%d crasher=%v sources=%d",
+			repro.Library, repro.Seed, repro.Crasher != nil, len(repro.Sources))
+	}
+	if repro.Crasher.Fingerprint != c.Fingerprint {
+		t.Errorf("repro fingerprint %s != crasher %s", repro.Crasher.Fingerprint, c.Fingerprint)
+	}
+	if _, err := os.Stat(filepath.Join(c.Bundle, "mutant")); !os.IsNotExist(err) {
+		t.Errorf("mutant/ should be skipped for a non-catalog trace, stat err = %v", err)
+	}
+}

@@ -94,6 +94,10 @@ type Violation struct {
 	Invariant string // "load", "diff-clean", "must-subset-may", "parallel", "roundtrip", "incremental"
 	Mutators  []string
 	Detail    string
+	// RootKeys identifies the diff groups behind a diff-clean violation
+	// (sorted, deduplicated); empty for other invariants. Crash triage
+	// fingerprints dedupe on it.
+	RootKeys []string `json:",omitempty"`
 }
 
 func (v Violation) String() string {
@@ -105,7 +109,10 @@ type Report struct {
 	Library string
 	Rounds  int
 	// Applied counts successful rewrites per mutator across all rounds.
-	Applied    map[string]int
+	Applied map[string]int
+	// Attempted counts draws per mutator, including those that found no
+	// applicable site; Applied[m] <= Attempted[m] always holds.
+	Attempted  map[string]int
 	Violations []Violation
 	// Entries is the original library's entry-point count.
 	Entries int
@@ -121,11 +128,8 @@ func Run(name string, sources map[string]string, opts CampaignOptions) (*Report,
 	opts = opts.withDefaults()
 	start := time.Now()
 	serial := opts.oracleOptions()
-	if serial.Events != secmodel.NarrowEvents {
-		return nil, fmt.Errorf("metamorph: campaign requires narrow events (broad-mode ParamAccess events are entry-frame relative; helper extraction moves them)")
-	}
-	if serial.MaxDepth >= 0 {
-		return nil, fmt.Errorf("metamorph: campaign requires unlimited MaxDepth (mutators add call frames, shifting the cutoff)")
+	if err := ValidateOracle(serial); err != nil {
+		return nil, err
 	}
 
 	// Fail fast on input the mutators cannot handle; campaign callers
@@ -140,10 +144,11 @@ func Run(name string, sources map[string]string, opts CampaignOptions) (*Report,
 	base.Extract(serial)
 
 	rep := &Report{
-		Library: name,
-		Rounds:  opts.Rounds,
-		Applied: map[string]int{},
-		Entries: len(base.EntryPoints()),
+		Library:   name,
+		Rounds:    opts.Rounds,
+		Applied:   map[string]int{},
+		Attempted: map[string]int{},
+		Entries:   len(base.EntryPoints()),
 	}
 	if v := checkMustSubsetMay(base.Policies); v != "" {
 		rep.Violations = append(rep.Violations, Violation{
@@ -153,6 +158,7 @@ func Run(name string, sources map[string]string, opts CampaignOptions) (*Report,
 
 	type roundResult struct {
 		applied    []string
+		attempted  []string
 		violations []Violation
 	}
 	results := make([]roundResult, opts.Rounds)
@@ -172,8 +178,8 @@ func Run(name string, sources map[string]string, opts CampaignOptions) (*Report,
 					return
 				}
 				t0 := time.Now()
-				applied, violations := runRound(name, sources, base, serial, opts, r)
-				results[r] = roundResult{applied, violations}
+				applied, attempted, violations := runRound(name, sources, base, serial, opts, r)
+				results[r] = roundResult{applied, attempted, violations}
 				if m := opts.Metrics; m != nil {
 					m.Rounds.Inc()
 					m.RoundDuration.ObserveDuration(time.Since(t0))
@@ -191,6 +197,9 @@ func Run(name string, sources map[string]string, opts CampaignOptions) (*Report,
 	for _, rr := range results {
 		for _, a := range rr.applied {
 			rep.Applied[a]++
+		}
+		for _, a := range rr.attempted {
+			rep.Attempted[a]++
 		}
 		rep.Violations = append(rep.Violations, rr.violations...)
 	}
@@ -213,6 +222,20 @@ func (o CampaignOptions) oracleOptions() oracle.Options {
 	return opts
 }
 
+// ValidateOracle rejects oracle options the mutator catalog is not sound
+// under: broad events (ParamAccess tagging is entry-frame relative, so
+// helper extraction legitimately moves it) and bounded MaxDepth (mutators
+// add call frames, which shifts where a depth cutoff truncates).
+func ValidateOracle(serial oracle.Options) error {
+	if serial.Events != secmodel.NarrowEvents {
+		return fmt.Errorf("metamorph: campaign requires narrow events (broad-mode ParamAccess events are entry-frame relative; helper extraction moves them)")
+	}
+	if serial.MaxDepth >= 0 {
+		return fmt.Errorf("metamorph: campaign requires unlimited MaxDepth (mutators add call frames, shifting the cutoff)")
+	}
+	return nil
+}
+
 // MutateSources applies a seeded schedule of n mutations and returns the
 // mutated bundle with the mutator names applied, the primitive every
 // campaign round, fuzz target, and ground-truth-survival test shares.
@@ -222,22 +245,49 @@ func MutateSources(sources map[string]string, seed int64, n int) (map[string]str
 		return nil, nil, err
 	}
 	rng := rand.New(rand.NewSource(seed))
-	applied := mutate(b, rng, n)
+	applied, _ := mutate(b, rng, n)
 	return b.Sources(), applied, nil
 }
 
 // mutate applies n randomly chosen mutators to b, returning the names of
-// those that changed it.
-func mutate(b *Bundle, rng *rand.Rand, n int) []string {
+// those that changed it and the names of every draw attempted. A mutator
+// whose Apply finds no candidate is marked dead and excluded from later
+// draws — it stays a no-op until another mutator changes the bundle, at
+// which point every dead mark is cleared (the rewrite may have created
+// sites). When all mutators are simultaneously dead the round ends early.
+func mutate(b *Bundle, rng *rand.Rand, n int) (applied, attempted []string) {
 	muts := Mutators()
-	var applied []string
-	for i := 0; i < n; i++ {
-		m := muts[rng.Intn(len(muts))]
+	dead := make([]bool, len(muts))
+	alive := len(muts)
+	for i := 0; i < n && alive > 0; i++ {
+		k := rng.Intn(alive)
+		idx := -1
+		for j := range muts {
+			if dead[j] {
+				continue
+			}
+			if k == 0 {
+				idx = j
+				break
+			}
+			k--
+		}
+		m := muts[idx]
+		attempted = append(attempted, m.Name)
 		if m.Apply(b, rng) {
 			applied = append(applied, m.Name)
+			if alive < len(muts) {
+				for j := range dead {
+					dead[j] = false
+				}
+				alive = len(muts)
+			}
+		} else {
+			dead[idx] = true
+			alive--
 		}
 	}
-	return applied
+	return applied, attempted
 }
 
 // roundSeed decorrelates per-round schedules drawn from one campaign
@@ -247,30 +297,59 @@ func roundSeed(seed int64, round int) int64 {
 }
 
 // runRound derives mutant r, extracts it, and checks every invariant.
-func runRound(name string, sources map[string]string, base *oracle.Library, serial oracle.Options, opts CampaignOptions, r int) (applied []string, violations []Violation) {
-	fail := func(invariant, detail string) {
-		violations = append(violations, Violation{
-			Round: r, Invariant: invariant, Mutators: applied, Detail: detail,
-		})
+func runRound(name string, sources map[string]string, base *oracle.Library, serial oracle.Options, opts CampaignOptions, r int) (applied, attempted []string, violations []Violation) {
+	stamp := func(vs []Violation) []Violation {
+		for i := range vs {
+			vs[i].Round = r
+			vs[i].Mutators = applied
+		}
+		return vs
 	}
 	// ParseBundle succeeded on these sources before the pool started, so
 	// a failure here cannot happen; treat it as a load violation anyway
 	// rather than dropping the round.
 	b, err := ParseBundle(sources)
 	if err != nil {
-		fail("load", err.Error())
+		violations = stamp([]Violation{{Invariant: "load", Detail: err.Error()}})
 		return
 	}
 	rng := rand.New(rand.NewSource(roundSeed(opts.Seed, r)))
-	applied = mutate(b, rng, opts.Mutations)
+	applied, attempted = mutate(b, rng, opts.Mutations)
 	mutated := b.Sources()
 
 	lib, err := oracle.LoadLibrary(fmt.Sprintf("%s+r%d", name, r), mutated)
 	if err != nil {
-		fail("load", err.Error())
+		violations = stamp([]Violation{{Invariant: "load", Detail: err.Error()}})
 		return
 	}
 	lib.Extract(serial)
+	chk := MutantChecks{
+		Parallel:    opts.ParallelEvery > 0 && r%opts.ParallelEvery == 0,
+		Incremental: opts.IncrementalEvery > 0 && r%opts.IncrementalEvery == 0,
+	}
+	violations = stamp(CheckExtracted(base, lib, mutated, serial, chk))
+	return
+}
+
+// MutantChecks selects which sampled invariants CheckExtracted runs on
+// top of the always-on set; parallel and incremental each cost extra
+// full extractions, so campaigns sample them.
+type MutantChecks struct {
+	Parallel    bool
+	Incremental bool
+}
+
+// CheckExtracted asserts the metamorphic invariants for one extracted
+// mutant against its baseline library: (a) diff-clean both directions,
+// (b) MUST ⊆ MAY, (d) export roundtrip fixed point always; (c) parallel
+// byte-identity and (e) incremental == clean rebuild when selected by
+// chk. Round and Mutators on the returned violations are left for the
+// caller to stamp. The campaign engine shares this with runRound so a
+// minimized reproducer re-verifies under exactly the campaign's checks.
+func CheckExtracted(base, lib *oracle.Library, mutated map[string]string, serial oracle.Options, chk MutantChecks) (violations []Violation) {
+	fail := func(invariant, detail string) {
+		violations = append(violations, Violation{Invariant: invariant, Detail: detail})
+	}
 
 	// (a) Diff clean, both directions, over an unchanged entry set.
 	if nb, nm := len(base.EntryPoints()), len(lib.EntryPoints()); nb != nm {
@@ -283,7 +362,11 @@ func runRound(name string, sources map[string]string, base *oracle.Library, seri
 		diff.Compare(lib.Policies, base.Policies),
 	} {
 		if len(dr.Groups) > 0 {
-			fail("diff-clean", describeGroups(dr))
+			violations = append(violations, Violation{
+				Invariant: "diff-clean",
+				Detail:    describeGroups(dr),
+				RootKeys:  groupRootKeys(dr),
+			})
 			break
 		}
 	}
@@ -307,7 +390,7 @@ func runRound(name string, sources map[string]string, base *oracle.Library, seri
 
 	// (c) Parallel extraction byte-identical to serial (sampled: two
 	// extra full extractions per checked round).
-	if opts.ParallelEvery > 0 && r%opts.ParallelEvery == 0 && err == nil {
+	if chk.Parallel && err == nil {
 		par, perr := oracle.LoadLibrary(lib.Name, mutated)
 		if perr != nil {
 			fail("parallel", "reload: "+perr.Error())
@@ -315,6 +398,7 @@ func runRound(name string, sources map[string]string, base *oracle.Library, seri
 		}
 		popts := serial
 		popts.Parallel = 4
+		popts.Summaries = nil
 		par.Extract(popts)
 		pexp, perr := par.Policies.ExportJSON()
 		if perr != nil {
@@ -329,10 +413,26 @@ func runRound(name string, sources map[string]string, base *oracle.Library, seri
 	// rebuild plus one — mostly spliced — incremental extraction). Both
 	// run under the baseline's name so the exports embed identical
 	// metadata, isolating the splicing itself.
-	if opts.IncrementalEvery > 0 && r%opts.IncrementalEvery == 0 {
-		checkIncremental(name, mutated, base, serial, fail)
+	if chk.Incremental {
+		checkIncremental(base.Name, mutated, base, serial, fail)
 	}
-	return
+	return violations
+}
+
+// groupRootKeys collects the distinct root keys of a spurious diff
+// report, sorted; crash-triage fingerprints and coverage keys both
+// consume them.
+func groupRootKeys(dr *diff.Report) []string {
+	seen := map[string]bool{}
+	var keys []string
+	for _, g := range dr.Groups {
+		if !seen[g.RootKey] {
+			seen[g.RootKey] = true
+			keys = append(keys, g.RootKey)
+		}
+	}
+	sort.Strings(keys)
+	return keys
 }
 
 // checkIncremental asserts invariant (e) for one mutated bundle: the

@@ -1,0 +1,59 @@
+package metamorph
+
+import (
+	"fmt"
+	"math/rand"
+)
+
+// A Step is one recorded mutator application: the mutator's catalog name
+// plus the private RNG seed it was driven by. Because every step carries
+// its own seed, any subset of a recorded trace replays deterministically
+// over the original sources — the primitive crash-triage minimization is
+// built on. Campaign reproducer bundles serialize traces, so the field
+// names are part of the artifact format.
+type Step struct {
+	Mutator string `json:"mutator"`
+	Seed    int64  `json:"seed"`
+}
+
+// MutatorByName resolves a catalog mutator; ok is false for names not in
+// Mutators().
+func MutatorByName(name string) (Mutator, bool) {
+	for _, m := range Mutators() {
+		if m.Name == name {
+			return m, true
+		}
+	}
+	return Mutator{}, false
+}
+
+// ApplyStep applies m to b driven by a fresh RNG seeded with seed, and
+// reports whether the bundle changed. Unlike sharing one RNG across a
+// whole schedule, the rewrite consumes no state a later step observes,
+// which is what makes recorded traces subsettable.
+func ApplyStep(b *Bundle, m Mutator, seed int64) bool {
+	return m.Apply(b, rand.New(rand.NewSource(seed)))
+}
+
+// ApplySteps replays a trace over fresh copies of sources and returns
+// the mutated sources plus the names of the steps that changed the
+// bundle. A step whose mutator finds no applicable site is skipped (the
+// trace subset under test may have removed the step that created its
+// site); an unknown mutator name is an error.
+func ApplySteps(sources map[string]string, steps []Step) (map[string]string, []string, error) {
+	b, err := ParseBundle(sources)
+	if err != nil {
+		return nil, nil, err
+	}
+	var applied []string
+	for _, s := range steps {
+		m, ok := MutatorByName(s.Mutator)
+		if !ok {
+			return nil, nil, fmt.Errorf("metamorph: unknown mutator %q in trace", s.Mutator)
+		}
+		if ApplyStep(b, m, s.Seed) {
+			applied = append(applied, s.Mutator)
+		}
+	}
+	return b.Sources(), applied, nil
+}

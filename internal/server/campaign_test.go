@@ -1,0 +1,153 @@
+package server_test
+
+import (
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"policyoracle"
+	"policyoracle/internal/campaign"
+	"policyoracle/internal/server"
+	"policyoracle/internal/store"
+	"policyoracle/internal/telemetry"
+)
+
+// startCampaignServer boots the worker configuration: polorad with
+// -campaigns enabled.
+func startCampaignServer(t *testing.T) (*httptest.Server, string) {
+	t.Helper()
+	dir := t.TempDir()
+	st, err := store.Open(store.Config{Dir: dir, MaxInflight: 2, Registry: telemetry.New()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(server.New(st, server.Options{Campaigns: true}))
+	t.Cleanup(ts.Close)
+	return ts, dir
+}
+
+func shardRequest(shard int) campaign.ShardRequest {
+	return campaign.ShardRequest{
+		Name:    "jdk",
+		Sources: policyoracle.BuiltinCorpus("jdk"),
+		Seed:    7, Rounds: 4, Mutations: 3, ShardRounds: 4,
+		Shard: shard,
+	}
+}
+
+func pollCampaign(t *testing.T, ts *httptest.Server, id string) campaign.StatusResponse {
+	t.Helper()
+	deadline := time.Now().Add(60 * time.Second)
+	for {
+		resp, err := http.Get(ts.URL + "/v1/campaign/" + id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var st campaign.StatusResponse
+		if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if st.Status != campaign.StatusRunning {
+			return st
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("campaign %s still running after 60s", id)
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+}
+
+// TestCampaignEndpointLifecycle covers the worker happy path: POST
+// accepts a shard with 202/running, the poll converges to done with a
+// shard result, and the result is persisted under campaigns/.
+func TestCampaignEndpointLifecycle(t *testing.T) {
+	ts, dir := startCampaignServer(t)
+	resp, body := postJSON(t, ts.URL+"/v1/campaign", shardRequest(0))
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("POST status %d: %s", resp.StatusCode, body)
+	}
+	var st campaign.StatusResponse
+	if err := json.Unmarshal(body, &st); err != nil {
+		t.Fatal(err)
+	}
+	if st.ID == "" || st.Status != campaign.StatusRunning {
+		t.Fatalf("POST response %s", body)
+	}
+	final := pollCampaign(t, ts, st.ID)
+	if final.Status != campaign.StatusDone || final.Result == nil {
+		t.Fatalf("final status %q error %q", final.Status, final.Error)
+	}
+	if final.Result.Shard != 0 || final.Result.Rounds != 4 || len(final.Result.Keys) == 0 {
+		t.Fatalf("shard result %+v", final.Result)
+	}
+	saved, err := os.ReadFile(filepath.Join(dir, "campaigns", st.ID+".json"))
+	if err != nil {
+		t.Fatalf("persisted shard result: %v", err)
+	}
+	var persisted campaign.ShardResult
+	if err := json.Unmarshal(saved, &persisted); err != nil {
+		t.Fatal(err)
+	}
+	if persisted.Shard != 0 || persisted.Rounds != final.Result.Rounds {
+		t.Fatalf("persisted result diverges: %s", saved)
+	}
+}
+
+// TestCampaignEndpointGate pins the 501 campaigns_disabled behavior of
+// a polorad without -campaigns — the default.
+func TestCampaignEndpointGate(t *testing.T) {
+	ts, _ := startServer(t)
+	resp, body := postJSON(t, ts.URL+"/v1/campaign", shardRequest(0))
+	if er := decodeError(t, body); resp.StatusCode != http.StatusNotImplemented || er.Code != server.CodeCampaignsDisabled {
+		t.Errorf("POST: status %d code %q, want 501 %q", resp.StatusCode, er.Code, server.CodeCampaignsDisabled)
+	}
+	resp, err := http.Get(ts.URL + "/v1/campaign/c1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusNotImplemented {
+		t.Errorf("GET: status %d, want 501", resp.StatusCode)
+	}
+}
+
+// TestCampaignEndpointValidation covers the stable 4xx codes: unknown
+// job, empty request, unknown domain, out-of-range shard.
+func TestCampaignEndpointValidation(t *testing.T) {
+	ts, _ := startCampaignServer(t)
+
+	resp, err := http.Get(ts.URL + "/v1/campaign/nope")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var er server.ErrorResponse
+	if err := json.NewDecoder(resp.Body).Decode(&er); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound || er.Code != server.CodeUnknownCampaign {
+		t.Errorf("unknown job: status %d code %q, want 404 %q", resp.StatusCode, er.Code, server.CodeUnknownCampaign)
+	}
+
+	resp, body := postJSON(t, ts.URL+"/v1/campaign", campaign.ShardRequest{})
+	if er := decodeError(t, body); resp.StatusCode != http.StatusBadRequest || er.Code != server.CodeBadRequest {
+		t.Errorf("empty request: status %d code %q", resp.StatusCode, er.Code)
+	}
+
+	req := shardRequest(0)
+	req.Domain = "no-such-domain"
+	resp, body = postJSON(t, ts.URL+"/v1/campaign", req)
+	if er := decodeError(t, body); resp.StatusCode != http.StatusBadRequest || er.Code != server.CodeUnknownDomain {
+		t.Errorf("bad domain: status %d code %q", resp.StatusCode, er.Code)
+	}
+
+	resp, body = postJSON(t, ts.URL+"/v1/campaign", shardRequest(99))
+	if er := decodeError(t, body); resp.StatusCode != http.StatusBadRequest || er.Code != server.CodeBadRequest {
+		t.Errorf("shard out of range: status %d code %q: %s", resp.StatusCode, er.Code, body)
+	}
+}

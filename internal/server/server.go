@@ -13,6 +13,8 @@
 //	POST /v1/diff              {"a", "b", "domain"?}           → diff report JSON
 //	GET  /v1/drift             drift timeline (?limit=N)      → reconcile.TimelineWire
 //	GET  /v1/drift/{pair}      latest pair delta + alert      → reconcile.PairStatus
+//	POST /v1/campaign          campaign.ShardRequest          → campaign.StatusResponse (202)
+//	GET  /v1/campaign/{id}     shard job status/result        → campaign.StatusResponse
 //	GET  /healthz                                       → "ok"
 //	GET  /statsz                                        → store counters
 //	GET  /metricsz                                      → Prometheus text exposition
@@ -72,6 +74,12 @@ const (
 	// CodeUnknownDomain: the request named a check domain that is not
 	// registered, or one this server does not serve (polorad -domains).
 	CodeUnknownDomain = "unknown_domain"
+	// CodeCampaignsDisabled: /v1/campaign was called but the server does
+	// not execute campaign shards (polorad started without -campaigns).
+	CodeCampaignsDisabled = "campaigns_disabled"
+	// CodeUnknownCampaign: no campaign job with the given ID (never
+	// created, or evicted after completion).
+	CodeUnknownCampaign = "unknown_campaign"
 )
 
 // ErrorResponse is the error envelope every non-2xx API response carries.
@@ -85,14 +93,16 @@ type ErrorResponse struct {
 }
 
 var codeMessages = map[string]string{
-	CodeBadRequest:      "the request could not be decoded or validated",
-	CodePayloadTooLarge: "the request body exceeds the size limit",
-	CodeUnknownLibrary:  "no library bundle with this fingerprint",
-	CodeExtractFailed:   "policy extraction failed",
-	CodeShuttingDown:    "the request was cancelled before completion",
-	CodeWatchDisabled:   "the reconcile controller is not running (start polorad with -watch)",
-	CodeUnknownPair:     "no drift observations for this library pair",
-	CodeUnknownDomain:   "no check domain with this ID is served here",
+	CodeBadRequest:        "the request could not be decoded or validated",
+	CodePayloadTooLarge:   "the request body exceeds the size limit",
+	CodeUnknownLibrary:    "no library bundle with this fingerprint",
+	CodeExtractFailed:     "policy extraction failed",
+	CodeShuttingDown:      "the request was cancelled before completion",
+	CodeWatchDisabled:     "the reconcile controller is not running (start polorad with -watch)",
+	CodeUnknownPair:       "no drift observations for this library pair",
+	CodeUnknownDomain:     "no check domain with this ID is served here",
+	CodeCampaignsDisabled: "campaign execution is not enabled (start polorad with -campaigns)",
+	CodeUnknownCampaign:   "no campaign job with this ID",
 }
 
 // DriftProvider is the reconcile-controller surface the drift endpoints
@@ -135,16 +145,23 @@ type Options struct {
 	// every registered domain. IDs are as registered; an empty string in
 	// the list means the default domain.
 	Domains []string
+	// Campaigns enables /v1/campaign shard execution (polorad
+	// -campaigns). Off by default: a campaign shard is minutes of CPU
+	// driven by an unauthenticated request body, so serving one is a
+	// deliberate operator action. Disabled servers answer with 501
+	// campaigns_disabled.
+	Campaigns bool
 }
 
 // Server serves the policy-oracle API over one Store.
 type Server struct {
-	st      *store.Store
-	mux     *http.ServeMux
-	hm      *telemetry.HTTPMetrics
-	log     *slog.Logger
-	drift   DriftProvider
-	domains map[string]bool // nil = every registered domain
+	st        *store.Store
+	mux       *http.ServeMux
+	hm        *telemetry.HTTPMetrics
+	log       *slog.Logger
+	drift     DriftProvider
+	domains   map[string]bool // nil = every registered domain
+	campaigns *campaignRunner // nil = campaigns disabled
 }
 
 // New returns a Server over st.
@@ -162,6 +179,9 @@ func New(st *store.Store, opts Options) *Server {
 		log:   opts.Logger,
 		drift: opts.Drift,
 	}
+	if opts.Campaigns {
+		s.campaigns = newCampaignRunner(opts.Logger, opts.Registry)
+	}
 	if len(opts.Domains) > 0 {
 		s.domains = make(map[string]bool, len(opts.Domains))
 		for _, id := range opts.Domains {
@@ -177,6 +197,8 @@ func New(st *store.Store, opts Options) *Server {
 	s.handle("POST /v1/diff", s.handleDiff)
 	s.handle("GET /v1/drift", s.handleDrift)
 	s.handle("GET /v1/drift/{pair}", s.handleDriftPair)
+	s.handle("POST /v1/campaign", s.handleCampaignPost)
+	s.handle("GET /v1/campaign/{id}", s.handleCampaignGet)
 	s.handle("GET /healthz", s.handleHealthz)
 	s.handle("GET /statsz", s.handleStatsz)
 	s.handle("GET /metricsz", opts.Registry.Handler().ServeHTTP)

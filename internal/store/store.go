@@ -169,7 +169,7 @@ func Open(cfg Config) (*Store, error) {
 	if cfg.Dir == "" {
 		return nil, errors.New("store: empty directory")
 	}
-	for _, sub := range []string{"bundles", "policies", "deps"} {
+	for _, sub := range []string{"bundles", "policies", "deps", "campaigns"} {
 		if err := os.MkdirAll(filepath.Join(cfg.Dir, sub), 0o755); err != nil {
 			return nil, fmt.Errorf("store: %w", err)
 		}
@@ -215,6 +215,19 @@ func (s *Store) depsPath(fp string) string {
 
 func (s *Store) namesPath() string {
 	return filepath.Join(s.dir, "names.json")
+}
+
+// SaveCampaign persists one completed campaign shard result under
+// campaigns/<id>.json, so a polorad worker's contribution to a
+// distributed campaign survives the process for postmortems. IDs come
+// from the server's per-process job counter; the caller guarantees
+// they are path-safe.
+func (s *Store) SaveCampaign(id string, result []byte) (string, error) {
+	p := filepath.Join(s.dir, "campaigns", id+".json")
+	if err := os.WriteFile(p, result, 0o644); err != nil {
+		return "", fmt.Errorf("store: saving campaign %s: %w", id, err)
+	}
+	return p, nil
 }
 
 // Put fingerprints and persists a bundle, returning its address. A

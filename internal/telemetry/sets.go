@@ -149,6 +149,43 @@ func NewMetamorphMetrics(r *Registry) *MetamorphMetrics {
 	}
 }
 
+// CampaignMetrics is the coverage-guided campaign instrument set, fed by
+// internal/campaign behind `polora fuzz` and polorad's /v1/campaign.
+type CampaignMetrics struct {
+	// Rounds counts completed campaign rounds:
+	// polora_campaign_rounds_total.
+	Rounds *Counter
+	// NewCoverage counts rounds that produced a coverage key not seen
+	// before in their shard: polora_campaign_new_coverage_total.
+	NewCoverage *Counter
+	// Crashers counts triaged crashers by kind:
+	// polora_campaign_crashers_total{kind="unique"|"duplicate"}.
+	Crashers *CounterVec
+	// MinimizerSteps counts re-verification extractions spent shrinking
+	// crasher traces: polora_campaign_minimizer_steps_total.
+	MinimizerSteps *Counter
+	// Energy is the merged per-mutator scheduling energy after a
+	// campaign: polora_campaign_mutator_energy{mutator}.
+	Energy *GaugeVec
+}
+
+// NewCampaignMetrics registers the campaign instrument set on r
+// (nil-safe).
+func NewCampaignMetrics(r *Registry) *CampaignMetrics {
+	return &CampaignMetrics{
+		Rounds: r.Counter("polora_campaign_rounds_total",
+			"Completed coverage-guided campaign rounds."),
+		NewCoverage: r.Counter("polora_campaign_new_coverage_total",
+			"Campaign rounds that discovered a new coverage key in their shard."),
+		Crashers: r.CounterVec("polora_campaign_crashers_total",
+			"Triaged crashers by kind (unique, duplicate).", "kind"),
+		MinimizerSteps: r.Counter("polora_campaign_minimizer_steps_total",
+			"Re-verification extractions spent minimizing crasher traces."),
+		Energy: r.GaugeVec("polora_campaign_mutator_energy",
+			"Merged per-mutator scheduling energy after a campaign.", "mutator"),
+	}
+}
+
 // ReconcileMetrics is the continuous-watch controller's instrument set,
 // fed by internal/reconcile behind `polorad -watch`. The pair label is
 // the canonical drift pair key ("a~b", names sorted), bounded by the
