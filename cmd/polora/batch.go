@@ -1,0 +1,137 @@
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"path/filepath"
+	"strings"
+	"time"
+
+	"policyoracle/internal/batch"
+	"policyoracle/internal/telemetry"
+)
+
+// cmdBatch executes a batch of extract/diff items against a sharded
+// polorad tier (POST /v1/batch), routing each item to the replica that
+// owns its fingerprint on the tier's consistent-hash ring and merging
+// the streamed results in input order. Replicas that stop answering are
+// retried with exponential backoff, then dropped from the ring and
+// their items rerouted.
+//
+// The item file (-in, default stdin) is either {"items":[...]} or a
+// bare JSON array of items:
+//
+//	[{"op":"extract","fingerprint":"po1-..."},
+//	 {"op":"diff","a":"po1-...","b":"po1-..."}]
+//
+// Each successful item's payload is byte-identical to the single-node
+// wire: `polora export` output for extract, `polora diff -json` output
+// for diff. With -out the payloads land one file per item
+// (item-0003.extract.json); without it they stream to stdout in input
+// order.
+func cmdBatch(args []string) error {
+	fs := flag.NewFlagSet("batch", flag.ExitOnError)
+	remote := fs.String("remote", "", "comma-separated polorad replica addresses (the tier's -peers list)")
+	in := fs.String("in", "-", "item file (JSON; - = stdin)")
+	outDir := fs.String("out", "", "write each item's payload under this directory instead of stdout")
+	workers := fs.Int("workers", 0, "concurrent chunk requests (0 = 4)")
+	retries := fs.Int("retries", 0, "per-chunk retry budget before a replica is declared dead (0 = 3)")
+	backoff := fs.Duration("backoff", 0, "initial retry backoff, doubled per retry (0 = 200ms)")
+	timeout := fs.Duration("timeout", 5*time.Minute, "per-request timeout")
+	verbose := fs.Bool("v", false, "log retries and dropouts to stderr")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if fs.NArg() != 0 {
+		return fmt.Errorf("batch takes no positional arguments (got %q)", fs.Args())
+	}
+	if *remote == "" {
+		return fmt.Errorf("batch: -remote is required (comma-separated replica addresses)")
+	}
+
+	items, err := readBatchItems(*in)
+	if err != nil {
+		return err
+	}
+	if len(items) == 0 {
+		return fmt.Errorf("batch: no items in %s", *in)
+	}
+
+	client := &batch.Client{
+		Members: strings.Split(*remote, ","),
+		Workers: *workers,
+		Retries: *retries,
+		Backoff: *backoff,
+		HTTP:    &http.Client{Timeout: *timeout},
+	}
+	if *verbose {
+		log, err := telemetry.NewLogger(os.Stderr, "text", 0)
+		if err != nil {
+			return err
+		}
+		client.Logger = log
+	}
+	results, err := client.Run(context.Background(), items)
+	if err != nil {
+		return fmt.Errorf("batch: %w", err)
+	}
+
+	failed := 0
+	for _, res := range results {
+		if res.Error != nil {
+			failed++
+			fmt.Fprintf(os.Stderr, "batch: item %d (%s) failed: %s: %s\n",
+				res.Index, res.Op, res.Error.Code, res.Error.Detail)
+			continue
+		}
+		if *outDir != "" {
+			if err := os.MkdirAll(*outDir, 0o755); err != nil {
+				return err
+			}
+			p := filepath.Join(*outDir, fmt.Sprintf("item-%04d.%s.json", res.Index, res.Op))
+			if err := os.WriteFile(p, res.Result, 0o644); err != nil {
+				return err
+			}
+		} else {
+			os.Stdout.Write(res.Result)
+		}
+	}
+	fmt.Fprintf(os.Stderr, "batch: %d items, %d ok, %d failed\n", len(results), len(results)-failed, failed)
+	if failed > 0 {
+		return fmt.Errorf("batch: %d of %d items failed", failed, len(results))
+	}
+	return nil
+}
+
+// readBatchItems loads the item list from path ("-" = stdin), accepting
+// either the request envelope {"items":[...]} or a bare array.
+func readBatchItems(path string) ([]batch.Item, error) {
+	var data []byte
+	var err error
+	if path == "-" {
+		data, err = io.ReadAll(os.Stdin)
+	} else {
+		data, err = os.ReadFile(path)
+	}
+	if err != nil {
+		return nil, err
+	}
+	trimmed := strings.TrimSpace(string(data))
+	if strings.HasPrefix(trimmed, "[") {
+		var items []batch.Item
+		if err := json.Unmarshal(data, &items); err != nil {
+			return nil, fmt.Errorf("batch: decoding item array: %w", err)
+		}
+		return items, nil
+	}
+	var req batch.Request
+	if err := json.Unmarshal(data, &req); err != nil {
+		return nil, fmt.Errorf("batch: decoding request: %w", err)
+	}
+	return req.Items, nil
+}

@@ -12,6 +12,7 @@
 //	polora corpus <outdir>               write the bundled corpora to disk
 //	polora fuzz [dir...] [flags]         run a metamorphic fuzzing campaign
 //	polora drift [flags]                 query a polorad -watch daemon's drift timeline
+//	polora batch -remote a1,a2 [flags]   run a batch of extract/diff items on a polorad tier
 //
 // The extract command writes a snapshot: the exported policies plus the
 // incremental state (per-method content hashes, per-entry dependency
@@ -108,6 +109,8 @@ func main() {
 		err = cmdFuzz(os.Args[2:])
 	case "drift":
 		err = cmdDrift(os.Args[2:])
+	case "batch":
+		err = cmdBatch(os.Args[2:])
 	case "help", "-h", "--help":
 		usage()
 	default:
@@ -143,6 +146,7 @@ func usage() {
   polora corpus <outdir>                write the bundled jdk/harmony/classpath corpora
   polora fuzz [dir...] [flags]          run a metamorphic fuzzing campaign over libraries
   polora drift [flags]                  query a polorad -watch daemon's drift timeline
+  polora batch -remote a1,a2 [flags]    run a batch of extract/diff items on a polorad tier
 `)
 }
 

@@ -30,6 +30,13 @@
 //	-interval d       full reconcile rescan period (default 30s)
 //	-drift-store f    drift-timeline file (default <store>/drift.json)
 //	-drift-threshold N fire a pair's drift alert at N deviations (0 = off)
+//	-peers addrs      comma-separated replica addresses of the whole tier,
+//	                  this node included: on a local miss the store fetches
+//	                  the blob from the fingerprint's consistent-hash owner
+//	                  (GET /v1/blob/{fp}) before extracting locally
+//	-advertise addr   this node's own address within -peers (required with
+//	                  -peers; must match one member string exactly)
+//	-batch-workers N  concurrent items per /v1/batch request (default 4)
 //
 // Metrics are always served at GET /metricsz in Prometheus text format;
 // DESIGN.md's Observability section documents the series.
@@ -77,6 +84,9 @@ func main() {
 	interval := flag.Duration("interval", 30*time.Second, "full reconcile rescan period (with -watch)")
 	driftStore := flag.String("drift-store", "", "drift-timeline file (default <store>/drift.json)")
 	driftThreshold := flag.Int("drift-threshold", 0, "fire a pair's drift alert at this many deviations (0 disables)")
+	peers := flag.String("peers", "", "comma-separated replica addresses of the whole tier, including this node (enables the peer store tier)")
+	advertise := flag.String("advertise", "", "this node's own address within -peers (required with -peers)")
+	batchWorkers := flag.Int("batch-workers", 0, "concurrent items per /v1/batch request (0 = default 4)")
 	flag.Parse()
 	if *cache == 0 {
 		// On the flag, 0 means "no cache"; the store treats 0 as "use the
@@ -98,6 +108,9 @@ func main() {
 		interval:       *interval,
 		driftStore:     *driftStore,
 		driftThreshold: *driftThreshold,
+		peers:          *peers,
+		advertise:      *advertise,
+		batchWorkers:   *batchWorkers,
 	}); err != nil {
 		fmt.Fprintf(os.Stderr, "polorad: %v\n", err)
 		os.Exit(1)
@@ -116,6 +129,20 @@ type config struct {
 	interval              time.Duration
 	driftStore            string
 	driftThreshold        int
+	peers, advertise      string
+	batchWorkers          int
+}
+
+// splitTrim splits a comma-separated flag value, trimming whitespace and
+// dropping empty entries.
+func splitTrim(s string) []string {
+	var out []string
+	for _, v := range strings.Split(s, ",") {
+		if v = strings.TrimSpace(v); v != "" {
+			out = append(out, v)
+		}
+	}
+	return out
 }
 
 func run(cfg config) error {
@@ -143,11 +170,37 @@ func run(cfg config) error {
 	// One registry spans the service, the store, and the extractor, so a
 	// single /metricsz scrape sees every layer.
 	registry := telemetry.New()
+	var backends []store.Backend
+	if cfg.peers != "" {
+		members := splitTrim(cfg.peers)
+		if cfg.advertise == "" {
+			return fmt.Errorf("-peers requires -advertise (this node's own address within the peer list)")
+		}
+		found := false
+		for _, m := range members {
+			if m == cfg.advertise {
+				found = true
+			}
+		}
+		if !found {
+			return fmt.Errorf("-advertise %q is not in -peers %q; member strings must match exactly "+
+				"(they are the ring identity every replica and client hashes)", cfg.advertise, cfg.peers)
+		}
+		backends = append(backends, store.NewPeerBackend(store.PeerConfig{
+			Members:  members,
+			Self:     cfg.advertise,
+			Registry: registry,
+			Logger:   logger,
+		}))
+	} else if cfg.advertise != "" {
+		return fmt.Errorf("-advertise requires -peers")
+	}
 	st, err := store.Open(store.Config{
 		Dir:          cfg.storeDir,
 		CacheEntries: cfg.cache,
 		Parallel:     cfg.parallel,
 		MaxInflight:  cfg.maxInflight,
+		Backends:     backends,
 		Registry:     registry,
 		Logger:       logger,
 	})
@@ -182,12 +235,13 @@ func run(cfg config) error {
 	srv := &http.Server{
 		Addr: cfg.addr,
 		Handler: server.New(st, server.Options{
-			Registry:  registry,
-			Logger:    logger,
-			Pprof:     cfg.pprof,
-			Drift:     drift,
-			Domains:   domainIDs,
-			Campaigns: cfg.campaigns,
+			Registry:     registry,
+			Logger:       logger,
+			Pprof:        cfg.pprof,
+			Drift:        drift,
+			Domains:      domainIDs,
+			Campaigns:    cfg.campaigns,
+			BatchWorkers: cfg.batchWorkers,
 		}),
 		ReadHeaderTimeout: 10 * time.Second,
 		BaseContext:       func(net.Listener) context.Context { return baseCtx },
@@ -214,7 +268,7 @@ func run(cfg config) error {
 	go func() {
 		logger.Info("polorad: serving", "addr", cfg.addr, "store", cfg.storeDir,
 			"max_inflight", cfg.maxInflight, "pprof", cfg.pprof, "watch", cfg.watch,
-			"campaigns", cfg.campaigns)
+			"campaigns", cfg.campaigns, "peers", cfg.peers)
 		errc <- srv.ListenAndServe()
 	}()
 

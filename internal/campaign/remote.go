@@ -163,8 +163,17 @@ func RunRemote(ctx context.Context, name string, sources map[string]string, opts
 	return res, nil
 }
 
+// pollRetryBudget is how many consecutive status-poll failures a worker
+// is forgiven before runShardOn declares it gone. A shard that was
+// POSTed is already running remotely: requeueing it over one dropped
+// GET would re-run minutes of work (and double-run the shard), so
+// transient errors back off and retry instead.
+const pollRetryBudget = 3
+
 // runShardOn submits one shard to a worker and polls its status to
-// completion.
+// completion. Transient poll failures retry with exponential backoff up
+// to pollRetryBudget consecutive misses; only an exhausted budget (or a
+// failed/malformed job) reports the worker as dropped.
 func runShardOn(ctx context.Context, client *http.Client, addr string, e *Engine, shard int) (*ShardResult, error) {
 	base := addr
 	if !hasScheme(base) {
@@ -178,6 +187,9 @@ func runShardOn(ctx context.Context, client *http.Client, addr string, e *Engine
 	if err := doJSON(ctx, client, http.MethodPost, base+"/v1/campaign", bytes.NewReader(body), &st); err != nil {
 		return nil, err
 	}
+	failures := 0
+	timer := time.NewTimer(e.opts.Poll)
+	defer timer.Stop()
 	for {
 		switch st.Status {
 		case StatusDone:
@@ -191,11 +203,25 @@ func runShardOn(ctx context.Context, client *http.Client, addr string, e *Engine
 		select {
 		case <-ctx.Done():
 			return nil, ctx.Err()
-		case <-time.After(e.opts.Poll):
+		case <-timer.C:
 		}
+		delay := e.opts.Poll
 		if err := doJSON(ctx, client, http.MethodGet, base+"/v1/campaign/"+st.ID, nil, &st); err != nil {
-			return nil, err
+			if ctx.Err() != nil {
+				return nil, ctx.Err()
+			}
+			failures++
+			if failures > pollRetryBudget {
+				return nil, fmt.Errorf("campaign: worker %s unreachable after %d status retries: %w",
+					addr, pollRetryBudget, err)
+			}
+			// Exponential backoff over the poll period: Poll, 2*Poll,
+			// 4*Poll... while the failure streak lasts.
+			delay = e.opts.Poll << failures
+		} else {
+			failures = 0
 		}
+		timer.Reset(delay)
 	}
 }
 

@@ -89,6 +89,60 @@ func TestRemoteSurvivesWorkerDropout(t *testing.T) {
 	}
 }
 
+// TestRemoteSurvivesFlakyStatusPolls pins the poll retry budget: a
+// worker whose status GETs fail intermittently (every other poll) must
+// not be declared dead — the poller retries with backoff, and no shard
+// is requeued, so each shard is POSTed exactly once and the merged
+// result still equals the local run. Before the budget existed, one
+// dropped GET requeued a shard that was still running remotely.
+func TestRemoteSurvivesFlakyStatusPolls(t *testing.T) {
+	src := testSources(t)
+	opts := remoteOpts(41)
+	local, err := campaign.Run("jdk", src, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e, err := campaign.NewEngine("jdk", src, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st, err := store.Open(store.Config{Dir: t.TempDir(), MaxInflight: 2, Registry: telemetry.New()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	inner := server.New(st, server.Options{Campaigns: true})
+	var posts, polls, dropped atomic.Int64
+	flaky := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.Method == http.MethodPost {
+			posts.Add(1)
+		}
+		if r.Method == http.MethodGet {
+			if polls.Add(1)%2 == 1 {
+				dropped.Add(1)
+				http.Error(w, "bad gateway", http.StatusBadGateway)
+				return
+			}
+		}
+		inner.ServeHTTP(w, r)
+	}))
+	t.Cleanup(flaky.Close)
+	remote, err := campaign.RunRemote(context.Background(), "jdk", src, opts, []string{flaky.URL})
+	if err != nil {
+		t.Fatalf("flaky status polls killed the campaign: %v", err)
+	}
+	if dropped.Load() == 0 {
+		t.Fatal("no status poll was dropped; test is vacuous")
+	}
+	if got, want := posts.Load(), int64(e.Shards()); got != want {
+		t.Fatalf("%d shard POSTs for %d shards: transient poll failures requeued running shards", got, want)
+	}
+	lj, _ := json.Marshal(local)
+	rj, _ := json.Marshal(remote)
+	if string(lj) != string(rj) {
+		t.Fatalf("flaky polls changed the merged result:\nlocal:  %s\nremote: %s", lj, rj)
+	}
+}
+
 // TestRemoteAllWorkersFail pins the terminal error: when every worker
 // has been dropped with shards still pending, RunRemote reports it
 // instead of hanging.

@@ -297,32 +297,66 @@ func TestServerErrors(t *testing.T) {
 		}
 	}
 
-	// Oversized bodies get their own code so clients can distinguish
-	// "shrink the bundle" from "fix the request".
-	huge := fmt.Sprintf(`{"name":"x","sources":{"a.mj":%q}}`, strings.Repeat("x", server.MaxRequestBytes+1))
-	resp, err := http.Post(ts.URL+"/v1/libraries", "application/json", strings.NewReader(huge))
-	if err != nil {
-		t.Fatal(err)
-	}
-	body, _ := io.ReadAll(resp.Body)
-	resp.Body.Close()
-	var envelope server.ErrorResponse
-	if err := json.Unmarshal(body, &envelope); err != nil {
-		t.Fatalf("oversized body: not an error envelope: %.200s", body)
-	}
-	if resp.StatusCode != http.StatusRequestEntityTooLarge || envelope.Code != server.CodePayloadTooLarge {
-		t.Errorf("oversized body: status %d code %q, want 413 %q",
-			resp.StatusCode, envelope.Code, server.CodePayloadTooLarge)
-	}
-
 	// Method not allowed on API routes.
-	resp, err = http.Get(ts.URL + "/v1/diff")
+	resp, err := http.Get(ts.URL + "/v1/diff")
 	if err != nil {
 		t.Fatal(err)
 	}
 	resp.Body.Close()
 	if resp.StatusCode != http.StatusMethodNotAllowed {
 		t.Errorf("GET /v1/diff: status %d, want 405", resp.StatusCode)
+	}
+}
+
+// TestBodyLimitsEveryEndpoint sweeps every body-reading endpoint with an
+// oversized request: each must cap the read at MaxRequestBytes and
+// answer the stable payload_too_large envelope — the code clients
+// dispatch "shrink the bundle" on, distinct from "fix the request". The
+// sweep (rather than a single spot check) is what keeps a future
+// endpoint from shipping with an unbounded io.ReadAll.
+func TestBodyLimitsEveryEndpoint(t *testing.T) {
+	reg := telemetry.New()
+	st, err := store.Open(store.Config{Dir: t.TempDir(), MaxInflight: 4, Registry: reg})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Campaigns on, so POST /v1/campaign reaches its body read instead of
+	// failing early with campaigns_disabled.
+	ts := httptest.NewServer(server.New(st, server.Options{Registry: reg, Campaigns: true}))
+	t.Cleanup(ts.Close)
+
+	huge := fmt.Sprintf(`{"name":"x","sources":{"a.mj":%q}}`, strings.Repeat("x", server.MaxRequestBytes+1))
+	endpoints := []struct {
+		method, path string
+	}{
+		{http.MethodPost, "/v1/libraries"},
+		{http.MethodPut, "/v1/libraries/x"},
+		{http.MethodPost, "/v1/extract"},
+		{http.MethodPost, "/v1/diff"},
+		{http.MethodPost, "/v1/campaign"},
+		{http.MethodPost, "/v1/batch"},
+	}
+	for _, ep := range endpoints {
+		req, err := http.NewRequest(ep.method, ts.URL+ep.path, strings.NewReader(huge))
+		if err != nil {
+			t.Fatal(err)
+		}
+		req.Header.Set("Content-Type", "application/json")
+		resp, err := http.DefaultClient.Do(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		body, _ := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		var envelope server.ErrorResponse
+		if err := json.Unmarshal(body, &envelope); err != nil {
+			t.Errorf("%s %s: oversized body did not yield an error envelope: %.200s", ep.method, ep.path, body)
+			continue
+		}
+		if resp.StatusCode != http.StatusRequestEntityTooLarge || envelope.Code != server.CodePayloadTooLarge {
+			t.Errorf("%s %s: status %d code %q, want 413 %q",
+				ep.method, ep.path, resp.StatusCode, envelope.Code, server.CodePayloadTooLarge)
+		}
 	}
 }
 

@@ -15,6 +15,9 @@
 //	GET  /v1/drift/{pair}      latest pair delta + alert      → reconcile.PairStatus
 //	POST /v1/campaign          campaign.ShardRequest          → campaign.StatusResponse (202)
 //	GET  /v1/campaign/{id}     shard job status/result        → campaign.StatusResponse
+//	POST /v1/batch             batch.Request (≤ MaxBatchItems) → NDJSON stream of
+//	                           batch.ItemResult, input order, flushed per item
+//	GET  /v1/blob/{fp}         local-only policy blob         → policy wire JSON
 //	GET  /healthz                                       → "ok"
 //	GET  /statsz                                        → store counters
 //	GET  /metricsz                                      → Prometheus text exposition
@@ -80,6 +83,10 @@ const (
 	// CodeUnknownCampaign: no campaign job with the given ID (never
 	// created, or evicted after completion).
 	CodeUnknownCampaign = "unknown_campaign"
+	// CodeBatchTooLarge: a /v1/batch request carried more items than the
+	// per-request cap (MaxBatchItems). The whole request is rejected
+	// before any item runs; split it into smaller batches.
+	CodeBatchTooLarge = "batch_too_large"
 )
 
 // ErrorResponse is the error envelope every non-2xx API response carries.
@@ -103,6 +110,7 @@ var codeMessages = map[string]string{
 	CodeUnknownDomain:     "no check domain with this ID is served here",
 	CodeCampaignsDisabled: "campaign execution is not enabled (start polorad with -campaigns)",
 	CodeUnknownCampaign:   "no campaign job with this ID",
+	CodeBatchTooLarge:     "the batch carries more items than the per-request cap",
 }
 
 // DriftProvider is the reconcile-controller surface the drift endpoints
@@ -151,17 +159,24 @@ type Options struct {
 	// deliberate operator action. Disabled servers answer with 501
 	// campaigns_disabled.
 	Campaigns bool
+	// BatchWorkers bounds how many /v1/batch items one request executes
+	// concurrently (<= 0 means DefaultBatchWorkers). The store's own
+	// MaxInflight still bounds extractions globally; this keeps a single
+	// batch from monopolizing that budget.
+	BatchWorkers int
 }
 
 // Server serves the policy-oracle API over one Store.
 type Server struct {
-	st        *store.Store
-	mux       *http.ServeMux
-	hm        *telemetry.HTTPMetrics
-	log       *slog.Logger
-	drift     DriftProvider
-	domains   map[string]bool // nil = every registered domain
-	campaigns *campaignRunner // nil = campaigns disabled
+	st           *store.Store
+	mux          *http.ServeMux
+	hm           *telemetry.HTTPMetrics
+	bm           *telemetry.BatchMetrics
+	log          *slog.Logger
+	drift        DriftProvider
+	domains      map[string]bool // nil = every registered domain
+	campaigns    *campaignRunner // nil = campaigns disabled
+	batchWorkers int
 }
 
 // New returns a Server over st.
@@ -172,12 +187,17 @@ func New(st *store.Store, opts Options) *Server {
 	if opts.Logger == nil {
 		opts.Logger = telemetry.NopLogger()
 	}
+	if opts.BatchWorkers <= 0 {
+		opts.BatchWorkers = DefaultBatchWorkers
+	}
 	s := &Server{
-		st:    st,
-		mux:   http.NewServeMux(),
-		hm:    telemetry.NewHTTPMetrics(opts.Registry),
-		log:   opts.Logger,
-		drift: opts.Drift,
+		st:           st,
+		mux:          http.NewServeMux(),
+		hm:           telemetry.NewHTTPMetrics(opts.Registry),
+		bm:           telemetry.NewBatchMetrics(opts.Registry),
+		log:          opts.Logger,
+		drift:        opts.Drift,
+		batchWorkers: opts.BatchWorkers,
 	}
 	if opts.Campaigns {
 		s.campaigns = newCampaignRunner(opts.Logger, opts.Registry)
@@ -199,6 +219,8 @@ func New(st *store.Store, opts Options) *Server {
 	s.handle("GET /v1/drift/{pair}", s.handleDriftPair)
 	s.handle("POST /v1/campaign", s.handleCampaignPost)
 	s.handle("GET /v1/campaign/{id}", s.handleCampaignGet)
+	s.handle("POST /v1/batch", s.handleBatch)
+	s.handle("GET /v1/blob/{fp}", s.handleBlob)
 	s.handle("GET /healthz", s.handleHealthz)
 	s.handle("GET /statsz", s.handleStatsz)
 	s.handle("GET /metricsz", opts.Registry.Handler().ServeHTTP)
@@ -536,21 +558,30 @@ func domainLabel(id string) string {
 	return id
 }
 
-func (s *Server) failStore(w http.ResponseWriter, err error) {
+// storeErrorCode maps a store-layer error to its HTTP status and stable
+// error code. Shared by the single-item handlers (via failStore) and the
+// per-item envelopes of /v1/batch, so an item fails with exactly the
+// code its standalone request would have.
+func storeErrorCode(err error) (status int, code string) {
 	switch {
 	case errors.Is(err, store.ErrNotFound):
-		s.fail(w, http.StatusNotFound, CodeUnknownLibrary, err)
+		return http.StatusNotFound, CodeUnknownLibrary
 	case errors.Is(err, secmodel.ErrUnknownDomain):
-		s.fail(w, http.StatusBadRequest, CodeUnknownDomain, err)
+		return http.StatusBadRequest, CodeUnknownDomain
 	case errors.Is(err, oracle.ErrDomainMismatch):
-		s.fail(w, http.StatusBadRequest, CodeBadRequest, err)
+		return http.StatusBadRequest, CodeBadRequest
 	case errors.Is(err, store.ErrMalformed), errors.Is(err, store.ErrInvalid):
-		s.fail(w, http.StatusBadRequest, CodeBadRequest, err)
+		return http.StatusBadRequest, CodeBadRequest
 	case errors.Is(err, context.Canceled), errors.Is(err, context.DeadlineExceeded):
-		s.fail(w, http.StatusServiceUnavailable, CodeShuttingDown, err)
+		return http.StatusServiceUnavailable, CodeShuttingDown
 	default:
-		s.fail(w, http.StatusInternalServerError, CodeExtractFailed, err)
+		return http.StatusInternalServerError, CodeExtractFailed
 	}
+}
+
+func (s *Server) failStore(w http.ResponseWriter, err error) {
+	status, code := storeErrorCode(err)
+	s.fail(w, status, code, err)
 }
 
 func (s *Server) fail(w http.ResponseWriter, status int, code string, err error) {

@@ -1,0 +1,53 @@
+package store
+
+import (
+	"context"
+	"errors"
+)
+
+// Backend is a pluggable policy-blob source consulted between the local
+// disk tier and extraction: on a mem+disk miss the store asks each
+// configured backend for the fingerprint's blob before paying for a
+// local extraction. The split mirrors external-dns's provider interface
+// — the store stays the single read path while the places blobs can
+// come from (disk, a peer replica, an object store) stay pluggable.
+//
+// A backend returns the exact policy wire bytes (`polora export`
+// format) or ErrBackendMiss when it does not have them. The store
+// validates whatever comes back by re-importing it, exactly as it
+// validates disk blobs, so a corrupt or truncated backend response is
+// discarded (and counted) rather than served.
+//
+// Fetch runs inside the store's single-flight: concurrent requests for
+// one fingerprint perform at most one backend fetch, and when the last
+// waiter leaves, ctx is cancelled.
+type Backend interface {
+	// Name labels the backend in logs and error messages.
+	Name() string
+	// Fetch returns the policy blob for fp, or ErrBackendMiss when this
+	// backend cannot supply it (not an error condition: the store moves
+	// on to the next tier).
+	Fetch(ctx context.Context, fp string) ([]byte, error)
+}
+
+// ErrBackendMiss reports that a backend does not hold the requested
+// blob. The store treats it (and any other fetch error) as "keep
+// going": the next backend, then local extraction.
+var ErrBackendMiss = errors.New("store: backend does not have this blob")
+
+// localOnlyKey marks a context as local-only: the read must be served
+// from this replica's cache, disk, or extraction, never from a backend.
+type localOnlyKey struct{}
+
+// LocalOnly returns a context whose store reads skip the configured
+// backends. The server's GET /v1/blob handler (the supplier side of
+// peer fetching) reads under it, so two replicas with disagreeing ring
+// views can never chase each other's blobs in a loop.
+func LocalOnly(ctx context.Context) context.Context {
+	return context.WithValue(ctx, localOnlyKey{}, true)
+}
+
+func isLocalOnly(ctx context.Context) bool {
+	v, _ := ctx.Value(localOnlyKey{}).(bool)
+	return v
+}

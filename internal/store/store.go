@@ -89,6 +89,13 @@ type Config struct {
 	// re-analyzed. 0 uses oracle.DefaultSummaryCacheCap; a negative value
 	// disables the cache.
 	SummaryCacheEntries int
+	// Backends are consulted in order on a mem+disk miss, before local
+	// extraction: the pluggable remote tiers of a distributed store
+	// (peer replicas today; an object store tomorrow). A blob served by
+	// a backend is validated and persisted locally, so later reads of
+	// the fingerprint are disk hits. Empty means extraction is the only
+	// fallback, the single-node behavior.
+	Backends []Backend
 	// Registry receives the store's and the extractor's metrics. Nil
 	// disables instrumentation (the instruments become no-ops).
 	Registry *telemetry.Registry
@@ -117,6 +124,9 @@ type Stats struct {
 	Diffs uint64 `json:"diffs"`
 	// Evictions dropped a blob from the in-memory LRU.
 	Evictions uint64 `json:"evictions"`
+	// BackendHits served a blob from a configured backend (for a peer
+	// backend: fetched from another replica instead of extracting).
+	BackendHits uint64 `json:"backendHits"`
 }
 
 // Store is a content-addressed policy store. It is safe for concurrent
@@ -125,6 +135,7 @@ type Store struct {
 	dir      string
 	parallel int
 	sem      chan struct{} // bounds concurrent extractions
+	backends []Backend
 	tm       *telemetry.StoreMetrics
 	xm       *telemetry.ExtractMetrics
 	sums     *oracle.SummaryCache // nil when disabled
@@ -147,6 +158,7 @@ type Store struct {
 	memHits, diskHits, misses, coalesced atomic.Uint64
 	extractions, corruptBlobs            atomic.Uint64
 	bundles, diffs, evictions            atomic.Uint64
+	backendHits                          atomic.Uint64
 
 	// extract produces the policy blob for a bundle; tests may stub it.
 	extract func(context.Context, *Bundle) ([]byte, error)
@@ -187,6 +199,7 @@ func Open(cfg Config) (*Store, error) {
 		dir:         cfg.Dir,
 		parallel:    cfg.Parallel,
 		sem:         make(chan struct{}, cfg.MaxInflight),
+		backends:    cfg.Backends,
 		tm:          telemetry.NewStoreMetrics(cfg.Registry),
 		xm:          telemetry.NewExtractMetrics(cfg.Registry),
 		log:         cfg.Logger,
@@ -224,7 +237,10 @@ func (s *Store) namesPath() string {
 // they are path-safe.
 func (s *Store) SaveCampaign(id string, result []byte) (string, error) {
 	p := filepath.Join(s.dir, "campaigns", id+".json")
-	if err := os.WriteFile(p, result, 0o644); err != nil {
+	// Atomic rename, not a plain write: a crash mid-save must leave
+	// either the previous complete result or none, never a truncated
+	// JSON document a postmortem reader would choke on.
+	if err := writeAtomic(p, result); err != nil {
 		return "", fmt.Errorf("store: saving campaign %s: %w", id, err)
 	}
 	return p, nil
@@ -438,6 +454,12 @@ func (s *Store) PoliciesContext(ctx context.Context, fp string) ([]byte, error) 
 	// The extraction runs under its own context, detached from this
 	// caller's: other callers may coalesce onto it, so it must outlive
 	// any single one. It is cancelled only when every waiter has left.
+	// Context values do not flow through the detachment, so the flight
+	// leader's local-only flag is captured here explicitly. (A normal
+	// read coalescing onto a local-only flight inherits its narrower
+	// tier walk for that one call; failures are never cached, so the
+	// next read consults the backends again.)
+	localOnly := isLocalOnly(ctx)
 	cctx, cancel := context.WithCancel(context.Background())
 	c := &flightCall{done: make(chan struct{}), cancel: cancel, waiters: 1}
 	s.flight[fp] = c
@@ -445,7 +467,7 @@ func (s *Store) PoliciesContext(ctx context.Context, fp string) ([]byte, error) 
 
 	go func() {
 		defer cancel()
-		c.blob, c.err = s.loadOrExtract(cctx, fp)
+		c.blob, c.err = s.loadOrExtract(cctx, fp, localOnly)
 		s.mu.Lock()
 		if s.flight[fp] == c {
 			delete(s.flight, fp)
@@ -503,9 +525,10 @@ func (s *Store) noteEvictions(n int) {
 	s.tm.CachedBlobs.Set(float64(s.cache.len()))
 }
 
-// loadOrExtract serves one fingerprint from disk, falling back to
-// extraction. Exactly one goroutine runs this per in-flight fingerprint.
-func (s *Store) loadOrExtract(ctx context.Context, fp string) ([]byte, error) {
+// loadOrExtract serves one fingerprint from disk, then the configured
+// backends (unless the read is local-only), falling back to extraction.
+// Exactly one goroutine runs this per in-flight fingerprint.
+func (s *Store) loadOrExtract(ctx context.Context, fp string, localOnly bool) ([]byte, error) {
 	path := s.policyPath(fp)
 	if blob, err := os.ReadFile(path); err == nil {
 		if _, err := policy.ImportJSON(blob); err == nil {
@@ -519,6 +542,11 @@ func (s *Store) loadOrExtract(ctx context.Context, fp string) ([]byte, error) {
 	}
 	s.misses.Add(1)
 	s.tm.CacheMisses.Inc()
+	if !localOnly {
+		if blob, ok := s.fromBackends(ctx, fp, path); ok {
+			return blob, nil
+		}
+	}
 	b, err := s.Bundle(fp)
 	if err != nil {
 		return nil, err
@@ -557,6 +585,38 @@ func (s *Store) loadOrExtract(ctx context.Context, fp string) ([]byte, error) {
 		return nil, fmt.Errorf("store: persisting policies: %w", err)
 	}
 	return blob, nil
+}
+
+// fromBackends asks each configured backend for fp's blob, in order.
+// A hit is validated exactly like a disk blob and persisted locally so
+// the next read of fp is a disk hit; a corrupt response is counted and
+// skipped. ok is false when no backend could supply a valid blob — the
+// caller falls back to local extraction.
+func (s *Store) fromBackends(ctx context.Context, fp, path string) ([]byte, bool) {
+	for _, b := range s.backends {
+		blob, err := b.Fetch(ctx, fp)
+		if err != nil {
+			if !errors.Is(err, ErrBackendMiss) {
+				s.log.Warn("store: backend fetch failed", "backend", b.Name(), "fingerprint", fp, "err", err)
+			}
+			continue
+		}
+		if _, err := policy.ImportJSON(blob); err != nil {
+			s.corruptBlobs.Add(1)
+			s.tm.CorruptBlobs.Inc()
+			s.log.Warn("store: backend returned corrupt blob", "backend", b.Name(), "fingerprint", fp, "err", err)
+			continue
+		}
+		if err := writeAtomic(path, blob); err != nil {
+			// Serving the validated bytes still beats re-extracting; the
+			// blob just won't be a disk hit next time.
+			s.log.Warn("store: persisting backend blob failed", "backend", b.Name(), "fingerprint", fp, "err", err)
+		}
+		s.backendHits.Add(1)
+		s.tm.CacheHits.With("backend").Inc()
+		return blob, true
+	}
+	return nil, false
 }
 
 func (s *Store) extractBundle(ctx context.Context, b *Bundle) ([]byte, error) {
@@ -665,6 +725,7 @@ func (s *Store) Stats() Stats {
 		Bundles:      s.bundles.Load(),
 		Diffs:        s.diffs.Load(),
 		Evictions:    s.evictions.Load(),
+		BackendHits:  s.backendHits.Load(),
 	}
 }
 

@@ -117,6 +117,56 @@ func NewStoreMetrics(r *Registry) *StoreMetrics {
 	}
 }
 
+// PeerMetrics is the distributed-tier peer-fetch instrument set, fed by
+// the store's peer backend (polorad -peers): blob fetches attempted
+// against other replicas before falling back to local extraction.
+type PeerMetrics struct {
+	// Fetches counts peer blob-fetch attempts by outcome:
+	// polora_peer_fetch_total{outcome="hit"|"miss"|"error"}. One fetch
+	// may record several attempts as it walks the ring's fallback order.
+	Fetches *CounterVec
+	// Duration is the wall time of one peer fetch attempt:
+	// polora_peer_fetch_duration_seconds.
+	Duration *Histogram
+}
+
+// NewPeerMetrics registers the peer-backend instrument set on r
+// (nil-safe).
+func NewPeerMetrics(r *Registry) *PeerMetrics {
+	return &PeerMetrics{
+		Fetches: r.CounterVec("polora_peer_fetch_total",
+			"Peer blob-fetch attempts by outcome (hit, miss, error).", "outcome"),
+		Duration: r.Histogram("polora_peer_fetch_duration_seconds",
+			"Wall time of one peer blob-fetch attempt.", DefBuckets),
+	}
+}
+
+// BatchMetrics is the batched-oracle instrument set, fed by the
+// server's POST /v1/batch handler.
+type BatchMetrics struct {
+	// Requests counts batch requests accepted for execution:
+	// polora_batch_requests_total.
+	Requests *Counter
+	// Items counts executed batch items by operation and outcome:
+	// polora_batch_items_total{op="extract"|"diff",outcome="ok"|"error"}.
+	Items *CounterVec
+	// ItemDuration is the per-item execution latency:
+	// polora_batch_item_duration_seconds{op}.
+	ItemDuration *HistogramVec
+}
+
+// NewBatchMetrics registers the batch instrument set on r (nil-safe).
+func NewBatchMetrics(r *Registry) *BatchMetrics {
+	return &BatchMetrics{
+		Requests: r.Counter("polora_batch_requests_total",
+			"Batch requests accepted for execution."),
+		Items: r.CounterVec("polora_batch_items_total",
+			"Executed batch items by operation and outcome.", "op", "outcome"),
+		ItemDuration: r.HistogramVec("polora_batch_item_duration_seconds",
+			"Per-item batch execution latency by operation.", DefBuckets, "op"),
+	}
+}
+
 // MetamorphMetrics is the metamorphic-fuzzing instrument set, fed by
 // the internal/metamorph campaign runner behind `polora fuzz`.
 type MetamorphMetrics struct {
